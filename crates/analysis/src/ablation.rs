@@ -1,0 +1,242 @@
+//! Beyond-paper ablations of the design choices DESIGN.md calls out.
+//!
+//! **A1 — why *this* series?** The skyscraper series looks arbitrary next
+//! to the obvious "just double" progression `[1, 2, 4, 8, …]`. The
+//! doubling series yields *better* latency for the same channel count (its
+//! prefix sums grow faster), so why not use it? Because its fragments are
+//! (almost) all even: consecutive transmission groups land on the *same*
+//! loader, and a two-loader client physically cannot catch its broadcasts
+//! in time. [`series_ablation`] quantifies this: for each candidate series
+//! it sweeps arrival phases and counts loader conflicts and jitter events
+//! under the two-loader discipline.
+//!
+//! **A2 — width sensitivity** lives in
+//! [`crate::figures::width_tradeoff`]; here [`width_ablation`] adds the
+//! buffer-vs-latency elasticity (the marginal MB per saved second of
+//! latency) that §5.4's "determine a good W" discussion eyeballs.
+
+use serde::{Deserialize, Serialize};
+use vod_units::Minutes;
+
+use sb_core::client::{loaders_needed, ClientTimeline};
+use sb_core::series::Width;
+
+/// A candidate fragmentation series for the ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSeries {
+    /// Name used in reports.
+    pub name: String,
+    /// The unit sizes.
+    pub units: Vec<u64>,
+}
+
+/// The doubling (power-of-two) series `[1, 2, 4, …, 2^{k-1}]`.
+#[must_use]
+pub fn doubling_series(k: usize) -> Vec<u64> {
+    (0..k as u32).map(|i| 1u64 << i.min(62)).collect()
+}
+
+/// A "paired doubling" series `[1, 2, 2, 4, 4, 8, 8, …]` — keeps the
+/// pair structure but not the parity alternation.
+#[must_use]
+pub fn paired_doubling_series(k: usize) -> Vec<u64> {
+    (0..k)
+        .map(|i| {
+            if i == 0 {
+                1
+            } else {
+                1u64 << (i.div_ceil(2)).min(62)
+            }
+        })
+        .collect()
+}
+
+/// The Fibonacci-ish series `[1, 2, 3, 5, 8, …]` (slower growth, odd/even
+/// mixing without the skyscraper's structure).
+#[must_use]
+pub fn fibonacci_series(k: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(k);
+    let (mut a, mut b) = (1u64, 2u64);
+    for _ in 0..k {
+        out.push(a);
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    out
+}
+
+/// The candidates evaluated by the ablation.
+#[must_use]
+pub fn candidates(k: usize) -> Vec<CandidateSeries> {
+    vec![
+        CandidateSeries {
+            name: "skyscraper".into(),
+            units: Width::Unbounded.units(k),
+        },
+        CandidateSeries {
+            name: "doubling".into(),
+            units: doubling_series(k),
+        },
+        CandidateSeries {
+            name: "paired-doubling".into(),
+            units: paired_doubling_series(k),
+        },
+        CandidateSeries {
+            name: "fibonacci".into(),
+            units: fibonacci_series(k),
+        },
+    ]
+}
+
+/// What happens when a two-loader client runs against a series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesReport {
+    /// The candidate's name.
+    pub name: String,
+    /// Access latency `D₁ = D / Σ units` in minutes, for `d` total.
+    pub latency_min: f64,
+    /// Arrival phases probed.
+    pub phases: u64,
+    /// Phases with at least one loader double-booking.
+    pub phases_with_conflicts: u64,
+    /// Phases with at least one late segment (jitter).
+    pub phases_with_jitter: u64,
+    /// Worst peak buffer over the probed phases, in slot units.
+    pub worst_peak_units: u64,
+    /// Largest fragment, in slot units.
+    pub max_unit: u64,
+    /// Smallest loader count (client receive bandwidth ÷ b) under which
+    /// the series becomes usable, up to 8; `None` if 8 do not suffice.
+    pub loaders_needed: Option<usize>,
+}
+
+impl SeriesReport {
+    /// A series is *usable* by the paper's client iff no probed phase
+    /// conflicts or starves.
+    #[must_use]
+    pub fn usable(&self) -> bool {
+        self.phases_with_conflicts == 0 && self.phases_with_jitter == 0
+    }
+}
+
+/// Probe a candidate series over `phases` arrival slots.
+#[must_use]
+pub fn probe_series(name: &str, units: &[u64], d: Minutes, phases: u64) -> SeriesReport {
+    let mut conflicts = 0;
+    let mut jitter = 0;
+    let mut worst_peak = 0;
+    for t0 in 0..phases {
+        let tl = ClientTimeline::compute(units, t0);
+        if !tl.loader_conflicts().is_empty() {
+            conflicts += 1;
+        }
+        if !tl.is_jitter_free() {
+            jitter += 1;
+        }
+        worst_peak = worst_peak.max(tl.peak_buffer_units());
+    }
+    let total: u64 = units.iter().sum();
+    SeriesReport {
+        name: name.into(),
+        latency_min: d.value() / total as f64,
+        phases,
+        phases_with_conflicts: conflicts,
+        phases_with_jitter: jitter,
+        worst_peak_units: worst_peak,
+        max_unit: *units.iter().max().expect("non-empty"),
+        loaders_needed: loaders_needed(units, 8, phases.min(256)),
+    }
+}
+
+/// A1: probe all candidates at a given fragment count.
+#[must_use]
+pub fn series_ablation(k: usize, d: Minutes, phases: u64) -> Vec<SeriesReport> {
+    candidates(k)
+        .into_iter()
+        .map(|c| probe_series(&c.name, &c.units, d, phases))
+        .collect()
+}
+
+/// A2: the marginal cost of latency, width to width: `(W, latency_min,
+/// buffer_mb, mb_per_saved_second)` rows.
+#[must_use]
+pub fn width_ablation(d: Minutes, k: usize) -> Vec<(u64, f64, f64, f64)> {
+    let base = crate::figures::width_tradeoff(d, k);
+    let mut out = Vec::with_capacity(base.len());
+    for (i, &(w, lat, buf)) in base.iter().enumerate() {
+        let marginal = if i == 0 {
+            0.0
+        } else {
+            let (_, prev_lat, prev_buf) = base[i - 1];
+            let saved_sec = (prev_lat - lat) * 60.0;
+            if saved_sec > 1e-12 {
+                (buf - prev_buf) / saved_sec
+            } else {
+                f64::INFINITY
+            }
+        };
+        out.push((w, lat, buf, marginal));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_series_is_unusable_by_two_loaders() {
+        // The punchline of A1: the obvious series breaks the client.
+        let reports = series_ablation(10, Minutes(120.0), 512);
+        let sky = reports.iter().find(|r| r.name == "skyscraper").unwrap();
+        let dbl = reports.iter().find(|r| r.name == "doubling").unwrap();
+        assert!(sky.usable(), "skyscraper must be conflict- and jitter-free");
+        assert!(!dbl.usable(), "doubling must conflict (all-even groups)");
+        // …even though doubling has the better latency.
+        assert!(dbl.latency_min < sky.latency_min);
+    }
+
+    #[test]
+    fn paired_doubling_also_fails() {
+        let reports = series_ablation(12, Minutes(120.0), 512);
+        let pd = reports.iter().find(|r| r.name == "paired-doubling").unwrap();
+        assert!(!pd.usable());
+    }
+
+    #[test]
+    fn loader_counts_tell_the_bandwidth_story() {
+        // Two loaders suffice only for the skyscraper series; the faster
+        // series demand more client receive bandwidth — the axis the
+        // follow-on literature explores.
+        let reports = series_ablation(10, Minutes(120.0), 256);
+        let get = |n: &str| reports.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("skyscraper").loaders_needed, Some(2));
+        let dbl = get("doubling").loaders_needed;
+        assert!(dbl.is_none_or(|l| l > 2), "doubling at ≤2 loaders: {dbl:?}");
+    }
+
+    #[test]
+    fn skyscraper_peak_matches_effective_width() {
+        let reports = series_ablation(9, Minutes(120.0), 1024);
+        let sky = reports.iter().find(|r| r.name == "skyscraper").unwrap();
+        assert_eq!(sky.worst_peak_units, sky.max_unit - 1);
+    }
+
+    #[test]
+    fn fibonacci_growth() {
+        assert_eq!(fibonacci_series(6), vec![1, 2, 3, 5, 8, 13]);
+        assert_eq!(doubling_series(5), vec![1, 2, 4, 8, 16]);
+        assert_eq!(paired_doubling_series(6), vec![1, 2, 2, 4, 4, 8]);
+    }
+
+    #[test]
+    fn width_ablation_marginal_cost_grows() {
+        let rows = width_ablation(Minutes(120.0), 40);
+        // The very first step is free-ish; after that, each saved second
+        // of latency costs more MB than the previous one (diminishing
+        // returns — §5.4's reason to stop at W=52).
+        let marginals: Vec<f64> = rows.iter().skip(1).map(|r| r.3).collect();
+        assert!(marginals.windows(2).all(|w| w[1] >= w[0] * 0.99));
+    }
+}

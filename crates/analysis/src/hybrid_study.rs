@@ -1,0 +1,154 @@
+//! The §1 throughput argument, measured: "It was shown in [7, 8] that a
+//! hybrid of the two techniques offered the best performance" and "[a
+//! latency] guarantee can generally influence the reneging behavior of
+//! clients, and therefore improve the server throughput."
+//!
+//! The study compares, at equal total bandwidth and identical request
+//! streams, a *pure batching* server (every title scheduled-multicast)
+//! against the *hybrid* (top-`m` titles on Skyscraper Broadcasting, tail
+//! on batching). As load rises, pure batching's queues push waits past
+//! viewer patience and throughput collapses; the hybrid's broadcast half
+//! keeps its worst-case latency flat, so the popular majority of demand
+//! never reneges.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use sb_batching::{BatchPolicy, BatchingServer, HybridConfig};
+use sb_core::series::Width;
+use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
+
+/// One arrival-rate point of the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Arrival rate, requests per minute.
+    pub rate_per_minute: f64,
+    /// Total requests generated.
+    pub requests: usize,
+    /// Viewers served by the pure-batching server.
+    pub pure_served: usize,
+    /// Pure-batching renege rate.
+    pub pure_renege_rate: f64,
+    /// Viewers served by the hybrid (broadcast + multicast halves).
+    pub hybrid_served: usize,
+    /// Hybrid overall renege rate (broadcast impatience + tail reneges).
+    pub hybrid_renege_rate: f64,
+    /// The hybrid's guaranteed worst broadcast latency.
+    pub broadcast_worst_latency: Minutes,
+}
+
+/// Parameters of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Catalog size.
+    pub titles: usize,
+    /// Titles given periodic broadcast in the hybrid.
+    pub popular: usize,
+    /// Total server bandwidth.
+    pub bandwidth: Mbps,
+    /// Skyscraper width for the broadcast half.
+    pub width: u64,
+    /// Fraction of bandwidth the hybrid reserves for broadcast.
+    pub broadcast_fraction: f64,
+    /// Workload horizon.
+    pub horizon: Minutes,
+    /// Mean viewer patience (exponential).
+    pub mean_patience: Minutes,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            titles: 60,
+            popular: 10,
+            bandwidth: Mbps(600.0),
+            width: 52,
+            broadcast_fraction: 0.5,
+            horizon: Minutes(600.0),
+            mean_patience: Minutes(8.0),
+            seed: 97,
+        }
+    }
+}
+
+/// Run the study over a set of arrival rates.
+///
+/// # Panics
+/// Panics if the hybrid split is infeasible for `cfg` (e.g. the broadcast
+/// fraction cannot sustain the popular set).
+#[must_use]
+pub fn throughput_study(cfg: StudyConfig, rates: &[f64]) -> Vec<ThroughputPoint> {
+    let catalog = Catalog::paper_defaults(cfg.titles);
+    let popularity = ZipfPopularity::paper(cfg.titles);
+    let pure_pool = (cfg.bandwidth.value() / 1.5).floor() as usize;
+    let hybrid = HybridConfig {
+        total_bandwidth: cfg.bandwidth,
+        popular: cfg.popular,
+        width: Width::capped_lossy(cfg.width),
+        policy: BatchPolicy::Mql,
+        broadcast_fraction: cfg.broadcast_fraction,
+    };
+
+    rates
+        .iter()
+        .map(|&rate| {
+            let requests = PoissonArrivals::new(rate, cfg.seed)
+                .with_patience(Patience::Exponential(cfg.mean_patience))
+                .generate(&popularity, cfg.horizon);
+
+            let pure = BatchingServer::new(pure_pool, BatchPolicy::Mql).run(&catalog, &requests);
+
+            let h = hybrid.run(&catalog, &requests).expect("feasible hybrid split");
+            let hybrid_served = (h.broadcast_requests - h.broadcast_impatient)
+                + h.multicast.served;
+            let hybrid_reneged = h.broadcast_impatient + h.multicast.reneged;
+
+            ThroughputPoint {
+                rate_per_minute: rate,
+                requests: requests.len(),
+                pure_served: pure.served,
+                pure_renege_rate: pure.renege_rate(),
+                hybrid_served,
+                hybrid_renege_rate: hybrid_reneged as f64 / requests.len().max(1) as f64,
+                broadcast_worst_latency: h.broadcast_worst_latency,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_wins_under_load() {
+        // §1's claim: at heavy load the hybrid serves more viewers than
+        // pure scheduled multicast at the same bandwidth.
+        let points = throughput_study(StudyConfig::default(), &[2.0, 8.0]);
+        let light = &points[0];
+        let heavy = &points[1];
+        // Under light load both serve nearly everyone.
+        assert!(light.pure_renege_rate < 0.1, "{}", light.pure_renege_rate);
+        assert!(light.hybrid_renege_rate < 0.1, "{}", light.hybrid_renege_rate);
+        // Under heavy load the hybrid's broadcast half keeps the popular
+        // majority served.
+        assert!(
+            heavy.hybrid_served > heavy.pure_served,
+            "hybrid {} vs pure {}",
+            heavy.hybrid_served,
+            heavy.pure_served
+        );
+        assert!(heavy.hybrid_renege_rate < heavy.pure_renege_rate);
+        // The guarantee itself is rate-independent.
+        assert_eq!(light.broadcast_worst_latency, heavy.broadcast_worst_latency);
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_requests() {
+        let points = throughput_study(StudyConfig::default(), &[1.0, 4.0]);
+        assert!(points[1].requests > points[0].requests);
+        assert!(points[1].hybrid_served >= points[0].hybrid_served);
+    }
+}

@@ -1,0 +1,33 @@
+//! # Evaluation machinery for the Skyscraper Broadcasting reproduction
+//!
+//! Everything §5 of the paper plots or tabulates, regenerated:
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`lineup`] | the scheme lineup of §5 (SB at the studied widths, PB:a/b, PPB:a/b, staggered) |
+//! | [`sweep`] | the bandwidth sweep 100–600 Mb/s underlying Figures 5–8 |
+//! | [`figures`] | Figure 5 (K, P, α), Figure 6 (disk bandwidth), Figure 7 (latency), Figure 8 (storage), Figures 1–4 (buffer-transition profiles) |
+//! | [`tables`] | Table 1 (performance formulas, evaluated) and Table 2 (design parameters) |
+//! | [`render`] | plain-text rendering of figures/tables plus JSON export |
+//! | [`crosscheck`] | analytic-vs-simulated comparison for `EXPERIMENTS.md` |
+//! | [`ablation`] | beyond-paper studies: series shape and width sensitivity |
+//! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
+//!
+//! The binaries in `sb-bench` are thin wrappers over this crate: each
+//! prints one paper artifact (`fig5` … `fig8`, `table1`, `table2`,
+//! `fig1_4`, `ablation`).
+
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod crosscheck;
+pub mod figures;
+pub mod hybrid_study;
+pub mod lineup;
+pub mod render;
+pub mod sweep;
+pub mod tables;
+
+pub use figures::Figure;
+pub use lineup::{paper_lineup, SchemeId};
+pub use sweep::{sweep_bandwidth, SweepRow};

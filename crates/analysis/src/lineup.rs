@@ -1,0 +1,153 @@
+//! The scheme lineup of §5's performance study.
+//!
+//! "We investigated the proposed technique under four different values of
+//! W …, namely 2, 52, 1705, and 54612. They are the values of the 2-nd,
+//! 10-th, 20-th and 30-th elements of the broadcast series" — plus the
+//! uncapped scheme, the two PB rules, the two PPB rules, and (as the §1
+//! reference point, not in the paper's figures) staggered broadcasting.
+
+use serde::{Deserialize, Serialize};
+
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::Width;
+use sb_core::Skyscraper;
+use sb_pyramid::{
+    FastBroadcasting, HarmonicBroadcasting, PermutationPyramid, PyramidBroadcasting,
+    StaggeredBroadcasting,
+};
+
+/// Identifier for every scheme in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeId {
+    /// Skyscraper with a given width (`None` = unbounded).
+    Sb(Option<u64>),
+    /// Pyramid Broadcasting, rule a.
+    PbA,
+    /// Pyramid Broadcasting, rule b.
+    PbB,
+    /// Permutation-Based Pyramid Broadcasting, rule a.
+    PpbA,
+    /// Permutation-Based Pyramid Broadcasting, rule b.
+    PpbB,
+    /// Staggered whole-file broadcasting.
+    Staggered,
+    /// Fast Broadcasting (Juhn & Tseng) — landscape context, not in the
+    /// paper's figures.
+    Fast,
+    /// Harmonic Broadcasting, delayed (corrected) variant — landscape
+    /// context, not in the paper's figures.
+    Harmonic,
+}
+
+impl SchemeId {
+    /// Instantiate the scheme.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn BroadcastScheme> {
+        match *self {
+            SchemeId::Sb(None) => Box::new(Skyscraper::unbounded()),
+            SchemeId::Sb(Some(w)) => Box::new(Skyscraper::with_width(
+                Width::capped(w).expect("lineup widths are series values"),
+            )),
+            SchemeId::PbA => Box::new(PyramidBroadcasting::a()),
+            SchemeId::PbB => Box::new(PyramidBroadcasting::b()),
+            SchemeId::PpbA => Box::new(PermutationPyramid::a()),
+            SchemeId::PpbB => Box::new(PermutationPyramid::b()),
+            SchemeId::Staggered => Box::new(StaggeredBroadcasting),
+            SchemeId::Fast => Box::new(FastBroadcasting),
+            SchemeId::Harmonic => Box::new(HarmonicBroadcasting::delayed()),
+        }
+    }
+
+    /// The display label used in figures.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            SchemeId::Sb(None) => "SB:W=inf".to_string(),
+            SchemeId::Sb(Some(w)) => format!("SB:W={w}"),
+            SchemeId::PbA => "PB:a".to_string(),
+            SchemeId::PbB => "PB:b".to_string(),
+            SchemeId::PpbA => "PPB:a".to_string(),
+            SchemeId::PpbB => "PPB:b".to_string(),
+            SchemeId::Staggered => "STAG".to_string(),
+            SchemeId::Fast => "FB".to_string(),
+            SchemeId::Harmonic => "HB:delayed".to_string(),
+        }
+    }
+}
+
+/// The §5.2 widths: the 2nd, 10th, 20th and 30th series elements.
+pub const PAPER_WIDTHS: [u64; 4] = [2, 52, 1705, 54612];
+
+/// The full §5 lineup, in the order the paper's figure legends list them.
+#[must_use]
+pub fn paper_lineup() -> Vec<SchemeId> {
+    let mut v: Vec<SchemeId> = PAPER_WIDTHS.iter().map(|&w| SchemeId::Sb(Some(w))).collect();
+    v.push(SchemeId::Sb(None));
+    v.extend([SchemeId::PbA, SchemeId::PbB, SchemeId::PpbA, SchemeId::PpbB]);
+    v
+}
+
+/// The lineup plus the staggered reference scheme.
+#[must_use]
+pub fn extended_lineup() -> Vec<SchemeId> {
+    let mut v = paper_lineup();
+    v.push(SchemeId::Staggered);
+    v
+}
+
+/// The full 1997-98 landscape: the paper's lineup plus staggered, Fast
+/// Broadcasting and (corrected) Harmonic Broadcasting.
+#[must_use]
+pub fn landscape_lineup() -> Vec<SchemeId> {
+    let mut v = extended_lineup();
+    v.extend([SchemeId::Fast, SchemeId::Harmonic]);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::config::SystemConfig;
+    use vod_units::Mbps;
+
+    #[test]
+    fn lineup_order_and_labels() {
+        let ids = paper_lineup();
+        assert_eq!(ids.len(), 9);
+        assert_eq!(ids[0].label(), "SB:W=2");
+        assert_eq!(ids[3].label(), "SB:W=54612");
+        assert_eq!(ids[4].label(), "SB:W=inf");
+        assert_eq!(ids[8].label(), "PPB:b");
+        assert_eq!(extended_lineup().len(), 10);
+    }
+
+    #[test]
+    fn landscape_extends_cleanly() {
+        let ids = landscape_lineup();
+        assert_eq!(ids.len(), 12);
+        assert_eq!(ids[10].label(), "FB");
+        assert_eq!(ids[11].label(), "HB:delayed");
+    }
+
+    #[test]
+    fn every_scheme_instantiates_and_evaluates_at_320() {
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        for id in landscape_lineup() {
+            let scheme = id.build();
+            let m = scheme.metrics(&cfg);
+            assert!(m.is_ok(), "{} failed: {:?}", id.label(), m.err());
+            assert_eq!(
+                scheme.name().replace("W=∞", "W=inf"),
+                id.label(),
+                "label/name mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_widths_are_series_elements() {
+        for (idx, w) in [(2usize, 2u64), (10, 52), (20, 1705), (30, 54612)] {
+            assert_eq!(sb_core::series::unit(idx), w);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Plain-text and JSON rendering of figures and tables.
+//!
+//! The paper's artifacts are regenerated as fixed-width text (one row per
+//! bandwidth, one column per curve) so `cargo run -p sb-bench --bin figN`
+//! prints something directly comparable with the paper's plots, plus JSON
+//! for downstream plotting.
+
+use std::fmt::Write as _;
+
+use crate::figures::Figure;
+use crate::tables::{EvaluatedRow, FormulaRow};
+
+/// Render a figure as a fixed-width table: x in the first column, one
+/// column per series, `-` where a series has no point.
+#[must_use]
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} [{}]", fig.title, fig.id);
+    let _ = writeln!(out, "# x = {}, y = {}", fig.x_label, fig.y_label);
+
+    // Collect the x grid (union over series).
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let width = 12usize;
+    let _ = write!(out, "{:>8}", "B");
+    for s in &fig.series {
+        let _ = write!(out, "{:>width$}", truncate(&s.label, width - 1));
+    }
+    let _ = writeln!(out);
+    for &x in &xs {
+        let _ = write!(out, "{x:>8.0}");
+        for s in &fig.series {
+            match s
+                .points
+                .iter()
+                .find(|(px, _)| (*px - x).abs() < 1e-9)
+                .map(|&(_, y)| y)
+            {
+                Some(y) => {
+                    let _ = write!(out, "{y:>width$.4}");
+                }
+                None => {
+                    let _ = write!(out, "{:>width$}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n).collect()
+    }
+}
+
+/// Render Table 1's formula box.
+#[must_use]
+pub fn render_formulas(rows: &[FormulaRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let _ = writeln!(out, "{}:", r.scheme);
+        let _ = writeln!(out, "  I/O bandwidth : {}", r.io_bandwidth);
+        let _ = writeln!(out, "  access latency: {}", r.access_latency);
+        let _ = writeln!(out, "  buffer space  : {}", r.buffer_space);
+    }
+    out
+}
+
+/// Render the numeric table evaluations.
+#[must_use]
+pub fn render_evaluations(rows: &[EvaluatedRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:<12} {:>4} {:>4} {:>7} {:>10} {:>12} {:>12}",
+        "B", "scheme", "K", "P", "alpha", "IO(Mb/s)", "latency(min)", "buffer(MB)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6.0} {:<12} {:>4} {:>4} {:>7} {:>10.2} {:>12.4} {:>12.1}",
+            r.bandwidth,
+            r.scheme,
+            r.k,
+            r.p.map_or("-".to_string(), |p| p.to_string()),
+            r.alpha.map_or("-".to_string(), |a| format!("{a:.3}")),
+            r.io_mbps,
+            r.latency_min,
+            r.buffer_mbytes,
+        );
+    }
+    out
+}
+
+/// Serialize any serde value as pretty JSON.
+///
+/// # Panics
+/// Panics if serialization fails (plain data types here never do).
+#[must_use]
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("figure data serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn toy_figure() -> Figure {
+        Figure {
+            id: "t".into(),
+            title: "toy".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(1.0, 2.0), (2.0, 3.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(2.0, 9.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn figure_renders_grid_with_gaps() {
+        let txt = render_figure(&toy_figure());
+        assert!(txt.contains("# toy [t]"));
+        // x=1 row has a value for `a` and a dash for `b`.
+        let row1 = txt.lines().find(|l| l.trim_start().starts_with('1')).unwrap();
+        assert!(row1.contains("2.0000"));
+        assert!(row1.contains('-'));
+        let row2 = txt.lines().find(|l| l.trim_start().starts_with('2')).unwrap();
+        assert!(row2.contains("9.0000"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let fig = toy_figure();
+        let json = to_json(&fig);
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fig);
+    }
+
+    #[test]
+    fn formula_and_eval_render() {
+        let f = render_formulas(&crate::tables::table1_formulas());
+        assert!(f.contains("60*b*D1*(W-1)"));
+        let rows = crate::tables::evaluate_tables(
+            &[crate::lineup::SchemeId::Sb(Some(52))],
+            &[300.0],
+        );
+        let t = render_evaluations(&rows);
+        assert!(t.contains("SB:W=52"));
+        assert!(t.contains("300"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Tables 1 and 2, regenerated.
+//!
+//! Table 1 lists the closed-form performance expressions per scheme;
+//! Table 2 the design-parameter selection rules. We reproduce both as (a)
+//! the symbolic rules, for documentation, and (b) their numeric evaluation
+//! over a row of bandwidths, which is what the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+use vod_units::Mbps;
+
+use sb_core::config::SystemConfig;
+
+use crate::lineup::SchemeId;
+use crate::sweep::evaluate;
+
+/// The symbolic content of Table 1 for one scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormulaRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Client I/O bandwidth expression.
+    pub io_bandwidth: String,
+    /// Access-latency expression.
+    pub access_latency: String,
+    /// Buffer-space expression.
+    pub buffer_space: String,
+}
+
+/// Table 1's formula box (as reconstructed; see DESIGN.md §3).
+#[must_use]
+pub fn table1_formulas() -> Vec<FormulaRow> {
+    vec![
+        FormulaRow {
+            scheme: "PB".into(),
+            io_bandwidth: "b + 2B/K".into(),
+            access_latency: "D1*M*K*b/B,  D1 = D(a-1)/(a^K - 1)".into(),
+            buffer_space: "60*b*(D_{K-1}*(1 - 1/M) + D_K)".into(),
+        },
+        FormulaRow {
+            scheme: "PPB".into(),
+            io_bandwidth: "b + B/(K*M*P)".into(),
+            access_latency: "D1*M*K*b/B,  D1 = D(a-1)/(a^K - 1)".into(),
+            buffer_space: "60*b*(D_{K-1} + D_K)*(M*K*b/B)".into(),
+        },
+        FormulaRow {
+            scheme: "SB".into(),
+            io_bandwidth: "b (W=1 or K=1); 2b (W=2 or K=2,3); 3b otherwise".into(),
+            access_latency: "D1 = D / sum_{i=1..K} min(f(i), W)".into(),
+            buffer_space: "60*b*D1*(W-1)".into(),
+        },
+    ]
+}
+
+/// The symbolic content of Table 2 (parameter-selection rules).
+#[must_use]
+pub fn table2_rules() -> Vec<(String, String)> {
+    vec![
+        (
+            "PB:a".into(),
+            "K = ceil(B/(e*M*b)),  a = B/(b*M*K)  [a <= e]".into(),
+        ),
+        (
+            "PB:b".into(),
+            "K = floor(B/(e*M*b)), a = B/(b*M*K)  [a >= e]".into(),
+        ),
+        (
+            "PPB:a".into(),
+            "K = clamp(floor(B/(2*M*b)), 2, 7), x = B/(K*M*b), P = max(1, floor(x-2)), a = x - P".into(),
+        ),
+        (
+            "PPB:b".into(),
+            "K = clamp(floor(B/(3*M*b)), 2, 7), x = B/(K*M*b), P = max(2, floor(x-2)), a = x - P".into(),
+        ),
+        (
+            "SB".into(),
+            "K = floor(B/(b*M)); W chosen from the series to meet the latency target".into(),
+        ),
+    ]
+}
+
+/// One numeric Table-1 evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Server bandwidth of this evaluation.
+    pub bandwidth: f64,
+    /// Channels per video / fragments.
+    pub k: usize,
+    /// PPB replicas.
+    pub p: Option<usize>,
+    /// Geometric factor.
+    pub alpha: Option<f64>,
+    /// Client I/O bandwidth (Mb/s).
+    pub io_mbps: f64,
+    /// Access latency (minutes).
+    pub latency_min: f64,
+    /// Buffer (MBytes).
+    pub buffer_mbytes: f64,
+}
+
+/// Evaluate the full lineup at a set of bandwidths (the numeric half of
+/// Tables 1 & 2).
+#[must_use]
+pub fn evaluate_tables(ids: &[SchemeId], bandwidths: &[f64]) -> Vec<EvaluatedRow> {
+    let mut out = Vec::new();
+    for &b in bandwidths {
+        let cfg = SystemConfig::paper_defaults(Mbps(b));
+        for &id in ids {
+            if let Some(p) = evaluate(id, &cfg) {
+                out.push(EvaluatedRow {
+                    scheme: id.label(),
+                    bandwidth: b,
+                    k: p.params.k,
+                    p: p.params.p,
+                    alpha: p.params.alpha,
+                    io_mbps: p.metrics.client_io_bandwidth.value(),
+                    latency_min: p.metrics.access_latency.value(),
+                    buffer_mbytes: p.metrics.buffer_mbytes().value(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineup::paper_lineup;
+
+    #[test]
+    fn formulas_cover_all_three_schemes() {
+        let t = table1_formulas();
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().any(|r| r.scheme == "SB"));
+        assert_eq!(table2_rules().len(), 5);
+    }
+
+    #[test]
+    fn evaluation_produces_rows_for_feasible_schemes() {
+        let rows = evaluate_tables(&paper_lineup(), &[100.0, 320.0, 600.0]);
+        // At 320 and 600 all nine schemes are feasible; at 100 the PPBs are
+        // borderline.
+        assert!(rows.len() >= 9 * 2 + 5);
+        let sb = rows
+            .iter()
+            .find(|r| r.scheme == "SB:W=52" && r.bandwidth == 320.0)
+            .unwrap();
+        assert_eq!(sb.k, 21);
+        assert!(sb.alpha.is_none());
+        let ppb = rows
+            .iter()
+            .find(|r| r.scheme == "PPB:b" && r.bandwidth == 320.0)
+            .unwrap();
+        assert_eq!((ppb.k, ppb.p), (7, Some(2)));
+        assert!((ppb.latency_min - 5.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,240 @@
+//! The §1 hybrid server: periodic broadcast for the head of the catalog,
+//! scheduled multicast for the tail.
+//!
+//! "It was shown in [7, 8] that a hybrid of the two techniques offered the
+//! best performance. In this approach, a fraction of the server channels
+//! is reserved and preallocated for periodic broadcast of the popular
+//! videos. The remaining channels are used to serve the rest of the videos
+//! using some scheduled multicast technique."
+//!
+//! [`HybridConfig::run`] wires the pieces together: the top `m` titles are
+//! served by a Skyscraper plan (bounded worst-case latency, load-
+//! independent), the tail by a [`BatchingServer`] pool sized with whatever
+//! bandwidth is left.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::Result;
+use sb_core::plan::VideoId;
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::Width;
+use sb_core::Skyscraper;
+use sb_workload::{Catalog, WorkloadRequest};
+
+use crate::policy::BatchPolicy;
+use crate::server::{BatchingServer, ServiceReport};
+
+/// Configuration of the hybrid server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Total server network-I/O bandwidth.
+    pub total_bandwidth: Mbps,
+    /// How many of the most popular titles get periodic broadcast.
+    pub popular: usize,
+    /// Skyscraper width for the broadcast half.
+    pub width: Width,
+    /// Batch policy for the multicast half.
+    pub policy: BatchPolicy,
+    /// Fraction of bandwidth reserved for the broadcast half, in `(0, 1)`.
+    pub broadcast_fraction: f64,
+}
+
+/// What came out of a hybrid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridReport {
+    /// Worst-case startup latency guaranteed to the popular titles
+    /// (= the SB access latency `D₁`).
+    pub broadcast_worst_latency: Minutes,
+    /// Number of broadcast requests (all served, by construction).
+    pub broadcast_requests: usize,
+    /// Broadcast requests that would have reneged anyway (patience below
+    /// the worst-case wait — §1: the latency *guarantee* is what curbs
+    /// reneging).
+    pub broadcast_impatient: usize,
+    /// Channels (display-rate streams) used by the broadcast half.
+    pub broadcast_channels: usize,
+    /// Channels given to the batching pool.
+    pub multicast_channels: usize,
+    /// The batching half's statistics.
+    pub multicast: ServiceReport,
+}
+
+impl HybridConfig {
+    /// Run the hybrid over a request stream against `catalog`.
+    ///
+    /// Returns an error if the broadcast fraction cannot sustain at least
+    /// one SB channel per popular video, or leaves the pool empty.
+    pub fn run(&self, catalog: &Catalog, requests: &[WorkloadRequest]) -> Result<HybridReport> {
+        assert!(
+            (0.0..1.0).contains(&self.broadcast_fraction) && self.broadcast_fraction > 0.0,
+            "broadcast fraction must be in (0, 1)"
+        );
+        let m = self.popular.min(catalog.len());
+        let display_rate = catalog.get(0).expect("non-empty catalog").display_rate;
+        let video_length = catalog.get(0).expect("non-empty catalog").length;
+
+        // Broadcast half: an SB system over the m hot titles.
+        let sb_cfg = SystemConfig {
+            server_bandwidth: Mbps(self.total_bandwidth.value() * self.broadcast_fraction),
+            num_videos: m,
+            video_length,
+            display_rate,
+        };
+        let scheme = Skyscraper::with_width(self.width);
+        let metrics = scheme.metrics(&sb_cfg)?;
+        let k = scheme.channels_per_video(&sb_cfg)?;
+        let broadcast_channels = k * m;
+
+        // Multicast half: whatever bandwidth is left over, in display-rate
+        // channel units.
+        let leftover = self.total_bandwidth.value()
+            - broadcast_channels as f64 * display_rate.value();
+        let pool = (leftover / display_rate.value()).floor() as usize;
+        if pool == 0 {
+            return Err(sb_core::error::SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            });
+        }
+
+        // Split the request stream.
+        let mut broadcast_requests = 0usize;
+        let mut broadcast_impatient = 0usize;
+        let mut cold_requests: Vec<WorkloadRequest> = Vec::new();
+        for r in requests {
+            if r.video < m {
+                broadcast_requests += 1;
+                if r.patience < metrics.access_latency {
+                    broadcast_impatient += 1;
+                }
+            } else {
+                // Re-index the tail for the batching catalog.
+                cold_requests.push(WorkloadRequest {
+                    at: r.at,
+                    video: r.video - m,
+                    patience: r.patience,
+                });
+            }
+        }
+        let cold_catalog = Catalog::paper_defaults(catalog.len() - m);
+        let multicast = BatchingServer::new(pool, self.policy).run(&cold_catalog, &cold_requests);
+
+        Ok(HybridReport {
+            broadcast_worst_latency: metrics.access_latency,
+            broadcast_requests,
+            broadcast_impatient,
+            broadcast_channels,
+            multicast_channels: pool,
+            multicast,
+        })
+    }
+
+    /// The popular-video plan of the broadcast half, for driving simulated
+    /// clients against it.
+    pub fn broadcast_plan(&self, catalog: &Catalog) -> Result<sb_core::plan::ChannelPlan> {
+        let m = self.popular.min(catalog.len());
+        let v0 = catalog.get(0).expect("non-empty catalog");
+        let sb_cfg = SystemConfig {
+            server_bandwidth: Mbps(self.total_bandwidth.value() * self.broadcast_fraction),
+            num_videos: m,
+            video_length: v0.length,
+            display_rate: v0.display_rate,
+        };
+        Skyscraper::with_width(self.width).plan(&sb_cfg)
+    }
+}
+
+/// Map a catalog rank to the broadcast plan's [`VideoId`] (identity for
+/// hot titles; tail titles are not in the plan).
+#[must_use]
+pub fn broadcast_video_id(rank: usize, popular: usize) -> Option<VideoId> {
+    (rank < popular).then_some(VideoId(rank))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_workload::{Patience, PoissonArrivals, ZipfPopularity};
+
+    fn workload(n_titles: usize, rate: f64, horizon: f64, seed: u64) -> Vec<WorkloadRequest> {
+        PoissonArrivals::new(rate, seed)
+            .with_patience(Patience::Exponential(Minutes(8.0)))
+            .generate(&ZipfPopularity::paper(n_titles), Minutes(horizon))
+    }
+
+    fn config() -> HybridConfig {
+        HybridConfig {
+            total_bandwidth: Mbps(600.0),
+            popular: 10,
+            width: Width::Capped(52),
+            policy: BatchPolicy::Mql,
+            broadcast_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn hybrid_accounting_adds_up() {
+        let catalog = Catalog::paper_defaults(60);
+        let reqs = workload(60, 3.0, 600.0, 9);
+        let report = config().run(&catalog, &reqs).unwrap();
+        assert_eq!(
+            report.broadcast_requests
+                + report.multicast.served
+                + report.multicast.reneged,
+            reqs.len()
+        );
+        // Bandwidth split: broadcast channels + pool ≤ total / b.
+        assert!(
+            report.broadcast_channels + report.multicast_channels <= 400,
+            "{} + {}",
+            report.broadcast_channels,
+            report.multicast_channels
+        );
+        // 300 Mb/s for 10 videos → K = 20 → 200 broadcast channels
+        // (= 300 Mb/s); the remaining 300 Mb/s funds a 200-channel pool.
+        assert_eq!(report.broadcast_channels, 200);
+        assert_eq!(report.multicast_channels, 200);
+    }
+
+    #[test]
+    fn popular_titles_get_guaranteed_latency() {
+        let catalog = Catalog::paper_defaults(60);
+        let reqs = workload(60, 3.0, 600.0, 10);
+        let report = config().run(&catalog, &reqs).unwrap();
+        // SB at 300 Mb/s, W=52: sub-minute worst-case latency, far better
+        // than what the batching tail experiences under the same load.
+        assert!(report.broadcast_worst_latency.value() < 0.5);
+        // The broadcast guarantee is load-independent; the batching tail's
+        // *worst* wait under the same stream is strictly worse.
+        assert!(report.multicast.worst_wait.value() > report.broadcast_worst_latency.value());
+        // And almost no broadcast viewer is impatient enough to renege.
+        let impatient_rate =
+            report.broadcast_impatient as f64 / report.broadcast_requests.max(1) as f64;
+        assert!(impatient_rate < 0.05, "impatient rate {impatient_rate}");
+    }
+
+    #[test]
+    fn majority_of_demand_lands_on_broadcast() {
+        // §1's Zipf argument: the 10 hot titles of a 60-title catalog draw
+        // most of the requests.
+        let catalog = Catalog::paper_defaults(60);
+        let reqs = workload(60, 3.0, 600.0, 11);
+        let report = config().run(&catalog, &reqs).unwrap();
+        let frac = report.broadcast_requests as f64 / reqs.len() as f64;
+        assert!(frac > 0.45, "broadcast share {frac:.3}");
+    }
+
+    #[test]
+    fn starving_the_pool_is_an_error() {
+        let catalog = Catalog::paper_defaults(20);
+        let mut cfg = config();
+        // 150.85 Mb/s for broadcast → K=10 → 100 channels = 150 Mb/s;
+        // the leftover 1 Mb/s cannot fund even one display-rate channel.
+        cfg.total_bandwidth = Mbps(151.0);
+        cfg.broadcast_fraction = 0.999;
+        let r = cfg.run(&catalog, &workload(20, 1.0, 100.0, 1));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # Scheduled multicast (batching) for the unpopular videos
+//!
+//! §1 of the paper: "We assume that some existing scheduled multicast
+//! scheme is used to handle the less popular videos." This crate *is* that
+//! scheme — built, not assumed — so the repository can run the full hybrid
+//! server the paper describes (§1: "a fraction of the server channels is
+//! reserved and preallocated for periodic broadcast of the popular videos.
+//! The remaining channels are used to serve the rest of the videos using
+//! some scheduled multicast technique").
+//!
+//! * [`policy`] — batch-selection policies: FCFS and Dan et al.'s
+//!   **Maximum Queue Length** (MQL), the §1 example ("selects the batch
+//!   with the most number of pending requests to serve first. The
+//!   objective … is to maximize the server throughput").
+//! * [`server`] — an event-driven channel-pool simulation with reneging
+//!   viewers.
+//! * [`hybrid`] — the §1 hybrid: split the server bandwidth between a
+//!   periodic-broadcast scheme for the top-`M` titles and a batching pool
+//!   for the tail.
+
+#![forbid(unsafe_code)]
+
+pub mod hybrid;
+pub mod policy;
+pub mod server;
+
+pub use hybrid::{HybridConfig, HybridReport};
+pub use policy::BatchPolicy;
+pub use server::{BatchingServer, ServiceOutcome, ServiceReport};

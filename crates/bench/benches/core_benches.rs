@@ -1,0 +1,65 @@
+//! Criterion micro-benches for the core algorithms: series generation,
+//! fragmentation, slot-level client scheduling, and the worst-case phase
+//! sweeps that back the §4 storage theorem.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_core::client::{sampled_worst_case_peak_buffer_units, ClientTimeline};
+use sb_core::config::SystemConfig;
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::{series, Width};
+use sb_core::Skyscraper;
+use vod_units::Mbps;
+
+fn bench_series(c: &mut Criterion) {
+    let mut g = c.benchmark_group("series");
+    for k in [10usize, 40, 80] {
+        g.bench_with_input(BenchmarkId::new("generate", k), &k, |b, &k| {
+            b.iter(|| series(black_box(k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_client_timeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slot_client");
+    for (k, w) in [(10usize, Width::Capped(12)), (20, Width::Capped(52)), (40, Width::Capped(52))] {
+        let units = w.units(k);
+        g.bench_with_input(
+            BenchmarkId::new("schedule+buffer", format!("K{k}_{w}")),
+            &units,
+            |b, units| {
+                b.iter(|| {
+                    let tl = ClientTimeline::compute(black_box(units), black_box(137));
+                    black_box(tl.peak_buffer_units())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_phase_sweep(c: &mut Criterion) {
+    let units = Width::Capped(12).units(10);
+    c.bench_function("sampled_worst_case_peak", |b| {
+        b.iter(|| sampled_worst_case_peak_buffer_units(black_box(&units), 64))
+    });
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_defaults(Mbps(600.0));
+    let scheme = Skyscraper::with_width(Width::Capped(52));
+    c.bench_function("sb_plan_600", |b| {
+        b.iter(|| scheme.plan(black_box(&cfg)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_series,
+    bench_client_timeline,
+    bench_phase_sweep,
+    bench_plan_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for whole-system runs: workload generation, the
+//! batching pool, and many-client broadcast simulation.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sb_batching::{BatchPolicy, BatchingServer};
+use sb_core::config::SystemConfig;
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::Width;
+use sb_core::Skyscraper;
+use sb_sim::policy::ClientPolicy;
+use sb_sim::system::{Request, SystemSim};
+use sb_core::plan::VideoId;
+use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
+use vod_units::{Mbps, Minutes};
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let z = ZipfPopularity::paper(100);
+    c.bench_function("poisson_10k_requests", |b| {
+        b.iter(|| {
+            PoissonArrivals::new(10.0, 42)
+                .with_patience(Patience::Exponential(Minutes(8.0)))
+                .generate(black_box(&z), Minutes(1000.0))
+        })
+    });
+}
+
+fn bench_batching_pool(c: &mut Criterion) {
+    let catalog = Catalog::paper_defaults(50);
+    let z = ZipfPopularity::paper(50);
+    let reqs = PoissonArrivals::new(2.0, 7)
+        .with_patience(Patience::Exponential(Minutes(10.0)))
+        .generate(&z, Minutes(2000.0));
+    c.bench_function("mql_pool_4k_requests", |b| {
+        b.iter(|| {
+            BatchingServer::new(16, BatchPolicy::Mql).run(black_box(&catalog), black_box(&reqs))
+        })
+    });
+}
+
+fn bench_system_sim(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+    let plan = Skyscraper::with_width(Width::Capped(52)).plan(&cfg).unwrap();
+    let requests: Vec<Request> = (0..200)
+        .map(|i| Request {
+            at: Minutes(i as f64 * 0.13),
+            video: VideoId(i % 10),
+        })
+        .collect();
+    c.bench_function("system_200_sb_clients", |b| {
+        b.iter(|| {
+            SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible)
+                .run(black_box(&requests))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_figure_pipeline(c: &mut Criterion) {
+    use sb_analysis::lineup::paper_lineup;
+    let ids = paper_lineup();
+    c.bench_function("paper_sweep_26_points", |b| {
+        b.iter(|| sb_analysis::sweep::paper_sweep(black_box(&ids)))
+    });
+    let rows = sb_analysis::sweep::paper_sweep(&ids);
+    c.bench_function("figures_6_7_8_from_sweep", |b| {
+        b.iter(|| {
+            (
+                sb_analysis::figures::figure6(black_box(&rows), &ids),
+                sb_analysis::figures::figure7(black_box(&rows), &ids),
+                sb_analysis::figures::figure8(black_box(&rows), &ids),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_workload_generation,
+    bench_batching_pool,
+    bench_system_sim,
+    bench_figure_pipeline
+);
+criterion_main!(benches);

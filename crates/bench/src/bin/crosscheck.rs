@@ -1,0 +1,42 @@
+//! Analytic-vs-simulated cross-check for every scheme, at the paper's
+//! spotlight bandwidths. This is the data behind EXPERIMENTS.md.
+
+use sb_analysis::crosscheck::crosscheck_lineup;
+use sb_analysis::lineup::extended_lineup;
+use vod_units::{Mbps, Minutes};
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let mut all = Vec::new();
+    for b in [100.0, 320.0, 600.0] {
+        println!("== B = {b} Mb/s ==");
+        println!(
+            "{:<12} {:>14} {:>14} {:>7} {:>14} {:>14} {:>7} {:>8}",
+            "scheme",
+            "latency(anl)",
+            "latency(sim)",
+            "ratio",
+            "buffer(anl)MB",
+            "buffer(sim)MB",
+            "ratio",
+            "streams"
+        );
+        let checks = crosscheck_lineup(&extended_lineup(), Mbps(b), Minutes(15.0), 120);
+        for c in &checks {
+            println!(
+                "{:<12} {:>14.4} {:>14.4} {:>7.3} {:>14.1} {:>14.1} {:>7.3} {:>8}",
+                c.scheme,
+                c.analytic.access_latency.value(),
+                c.sim_worst_latency,
+                c.latency_ratio(),
+                c.analytic.buffer_requirement.value() / 8.0,
+                c.sim_peak_buffer / 8.0,
+                c.buffer_ratio(),
+                c.sim_max_streams
+            );
+        }
+        println!();
+        all.extend(checks);
+    }
+    args.maybe_write_json(&all);
+}

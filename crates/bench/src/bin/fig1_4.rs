@@ -1,0 +1,25 @@
+//! Regenerates Figures 1–4: the §4 group-transition buffer profiles,
+//! measured from the exact slot-level client model at the worst arrival
+//! phase for each transition type.
+
+use sb_analysis::figures::figures1_to_4;
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let demos = figures1_to_4();
+    for d in &demos {
+        println!("== {} ==", d.figure);
+        println!("{}", d.description);
+        println!("units: {:?}", d.units);
+        println!(
+            "worst phase t0={}  measured peak = {} units  (section-4 bound: {} units; 1 unit = 60*b*D1 Mbits)",
+            d.worst_phase, d.measured_peak_units, d.bound_units
+        );
+        print!("buffer profile (slot units): ");
+        for (t, b) in &d.profile {
+            print!("({t},{b}) ");
+        }
+        println!("\n");
+    }
+    args.maybe_write_json(&demos);
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 5: design-parameter values (K, P, α) vs bandwidth.
+
+use sb_analysis::figures::{figure5a, figure5b};
+use sb_analysis::lineup::paper_lineup;
+use sb_analysis::render::render_figure;
+use sb_analysis::sweep::paper_sweep;
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let rows = paper_sweep(&paper_lineup());
+    let a = figure5a(&rows);
+    let b = figure5b(&rows);
+    print!("{}", render_figure(&a));
+    println!();
+    print!("{}", render_figure(&b));
+    args.maybe_write_json(&(a, b));
+}

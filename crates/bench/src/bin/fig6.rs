@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: client disk bandwidth requirement (MBytes/sec).
+
+use sb_analysis::figures::figure6;
+use sb_analysis::lineup::paper_lineup;
+use sb_analysis::render::render_figure;
+use sb_analysis::sweep::paper_sweep;
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let ids = paper_lineup();
+    let fig = figure6(&paper_sweep(&ids), &ids);
+    print!("{}", render_figure(&fig));
+    args.maybe_write_json(&fig);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7: access latency (minutes).
+
+use sb_analysis::figures::figure7;
+use sb_analysis::lineup::paper_lineup;
+use sb_analysis::render::render_figure;
+use sb_analysis::sweep::paper_sweep;
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let ids = paper_lineup();
+    let fig = figure7(&paper_sweep(&ids), &ids);
+    print!("{}", render_figure(&fig));
+    args.maybe_write_json(&fig);
+}

@@ -1,0 +1,37 @@
+//! Measures §1's throughput argument: hybrid (broadcast + batching) vs
+//! pure scheduled multicast at equal bandwidth, across arrival rates.
+
+use sb_analysis::hybrid_study::{throughput_study, StudyConfig};
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let cfg = StudyConfig::default();
+    println!(
+        "hybrid-vs-pure throughput: {} titles ({} broadcast), B = {:.0}, horizon {:.0} min, \
+         mean patience {:.0} min\n",
+        cfg.titles,
+        cfg.popular,
+        cfg.bandwidth.value(),
+        cfg.horizon.value(),
+        cfg.mean_patience.value()
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>13} {:>13} {:>14}",
+        "req/min", "requests", "pure served", "pure renege", "hybrid served", "hybrid renege", "guarantee(min)"
+    );
+    let rates = [1.0, 2.0, 4.0, 6.0, 8.0, 12.0];
+    let points = throughput_study(cfg, &rates);
+    for p in &points {
+        println!(
+            "{:>10.1} {:>10} {:>12} {:>11.1}% {:>13} {:>12.1}% {:>14.3}",
+            p.rate_per_minute,
+            p.requests,
+            p.pure_served,
+            p.pure_renege_rate * 100.0,
+            p.hybrid_served,
+            p.hybrid_renege_rate * 100.0,
+            p.broadcast_worst_latency.value()
+        );
+    }
+    args.maybe_write_json(&points);
+}

@@ -1,0 +1,21 @@
+//! Beyond the paper: the 1997-98 periodic-broadcast landscape in one
+//! table — the paper's schemes plus Fast Broadcasting and (corrected)
+//! Harmonic Broadcasting, which trade client receive bandwidth and
+//! mid-broadcast tuning for bandwidth efficiency SB refuses to pay for.
+
+use sb_analysis::lineup::landscape_lineup;
+use sb_analysis::render::render_evaluations;
+use sb_analysis::tables::evaluate_tables;
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    println!("periodic-broadcast landscape at the paper's workload (M=10, D=120, b=1.5):\n");
+    let rows = evaluate_tables(&landscape_lineup(), &[100.0, 320.0, 600.0]);
+    print!("{}", render_evaluations(&rows));
+    println!(
+        "\nnote: FB needs K+1 display-rate tuners at the client; HB:delayed needs to\n\
+         record every channel mid-broadcast (see sb_sim::receive_all for the\n\
+         original HB's correctness bug, demonstrated)."
+    );
+    args.maybe_write_json(&rows);
+}

@@ -1,0 +1,32 @@
+//! The latency × buffer trade-off plane at one bandwidth: every scheme,
+//! with SB expanded to all candidate widths, and Pareto-dominance marked —
+//! §5.4's "cross-examine Figure 7 and Figure 8", made explicit.
+
+use sb_analysis::figures::{dominated, tradeoff_points};
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let mut all = Vec::new();
+    for b in [200.0, 320.0, 600.0] {
+        println!("== B = {b} Mb/s ==");
+        println!(
+            "{:<12} {:>14} {:>12} {:>10} {:>9}",
+            "scheme", "latency(min)", "buffer(MB)", "io(Mb/s)", "frontier"
+        );
+        let points = tradeoff_points(b);
+        for p in &points {
+            println!(
+                "{:<12} {:>14.4} {:>12.1} {:>10.2} {:>9}",
+                p.scheme,
+                p.latency,
+                p.buffer_mb,
+                p.io_mbps,
+                if dominated(p, &points) { "" } else { "*" }
+            );
+        }
+        println!();
+        all.push((b, points));
+    }
+    println!("(* = on the latency/buffer Pareto frontier)");
+    args.maybe_write_json(&all);
+}

@@ -1,0 +1,73 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each paper artifact has a binary (`fig5` … `fig8`, `fig1_4`, `table1`,
+//! `table2`, `ablation`, `crosscheck`) that prints the regenerated data as
+//! text and, with `--json <path>`, also writes the structured data for
+//! plotting. The Criterion benches live in `benches/`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+/// Parsed command line shared by every figure binary.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// `--json <path>`: where to additionally write JSON output.
+    pub json: Option<PathBuf>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`. Unknown flags abort with a usage message.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    ///
+    /// # Panics
+    /// Panics on unknown arguments or a missing `--json` value.
+    #[must_use]
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => {
+                    let path = it.next().expect("--json requires a path");
+                    out.json = Some(PathBuf::from(path));
+                }
+                other => panic!("unknown argument `{other}` (supported: --json <path>)"),
+            }
+        }
+        out
+    }
+
+    /// Write `value` as pretty JSON if `--json` was given.
+    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(value).expect("serializable artifact");
+            std::fs::write(path, json).expect("writable --json path");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_json_flag() {
+        let a = Args::parse_from(["--json".to_string(), "/tmp/x.json".to_string()]);
+        assert_eq!(a.json, Some(PathBuf::from("/tmp/x.json")));
+        let none = Args::parse_from(std::iter::empty());
+        assert!(none.json.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flags() {
+        let _ = Args::parse_from(["--bogus".to_string()]);
+    }
+}

@@ -1,0 +1,357 @@
+//! `sbcast` — plan, inspect and simulate periodic-broadcast schemes.
+//!
+//! ```text
+//! sbcast plan     --scheme SB:W=52 --bandwidth 300      print the channel plan summary
+//! sbcast metrics  --scheme all    --bandwidth 320       Table-1 metrics at one bandwidth
+//! sbcast client   --scheme SB:W=52 --bandwidth 300 --arrival 7.3
+//!                                                       one client session, with buffer profile
+//! sbcast sweep    [--from 100 --to 600 --step 20]       the Figures 6/7/8 data
+//! sbcast hybrid   --bandwidth 600 --titles 60 --rate 3  the §1 hybrid system
+//! ```
+//!
+//! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
+//! `STAG`, or `all`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use sb_analysis::lineup::{extended_lineup, SchemeId};
+use sb_analysis::render::{render_evaluations, render_figure};
+use sb_analysis::sweep::sweep_bandwidth;
+use sb_batching::{BatchPolicy, HybridConfig};
+use sb_core::config::SystemConfig;
+use sb_core::plan::VideoId;
+use sb_core::series::Width;
+use sb_sim::policy::schedule_client;
+use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
+use vod_units::{Mbps, Minutes};
+
+fn usage() -> &'static str {
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|series|hetero|pausing> [--key value]...\n\
+     keys: --scheme --bandwidth --arrival --video --from --to --step\n\
+           --titles --popular --rate --horizon --width --seed\n\
+           --units 1,2,2,5,5 --k 10 --lengths 95,120,150"
+}
+
+fn parse_scheme(name: &str) -> Option<SchemeId> {
+    match name {
+        "PB:a" => Some(SchemeId::PbA),
+        "PB:b" => Some(SchemeId::PbB),
+        "PPB:a" => Some(SchemeId::PpbA),
+        "PPB:b" => Some(SchemeId::PpbB),
+        "STAG" => Some(SchemeId::Staggered),
+        s if s.starts_with("SB:W=") => {
+            let w = &s["SB:W=".len()..];
+            if w == "inf" {
+                Some(SchemeId::Sb(None))
+            } else {
+                w.parse::<u64>().ok().map(|w| SchemeId::Sb(Some(w)))
+            }
+        }
+        _ => None,
+    }
+}
+
+struct Opts(HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --key, got `{k}`"))?;
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Self(map))
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer `{v}`")),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn schemes_from(opt: &str) -> Result<Vec<SchemeId>, String> {
+    if opt == "all" {
+        Ok(extended_lineup())
+    } else {
+        parse_scheme(opt)
+            .map(|s| vec![s])
+            .ok_or_else(|| format!("unknown scheme `{opt}`"))
+    }
+}
+
+fn cmd_plan(opts: &Opts) -> Result<(), String> {
+    let b = opts.get_f64("bandwidth", 300.0)?;
+    let ids = schemes_from(&opts.get_str("scheme", "SB:W=52"))?;
+    let cfg = SystemConfig::paper_defaults(Mbps(b));
+    for id in ids {
+        let scheme = id.build();
+        match scheme.plan(&cfg) {
+            Ok(plan) => {
+                println!("{}: {} channels, {} total", plan.scheme, plan.channels.len(), plan.total_bandwidth());
+                let mut by_rate: HashMap<String, usize> = HashMap::new();
+                for ch in &plan.channels {
+                    *by_rate.entry(format!("{:.3}", ch.rate)).or_default() += 1;
+                }
+                let mut rates: Vec<_> = by_rate.into_iter().collect();
+                rates.sort();
+                for (rate, n) in rates {
+                    println!("  {n} channel(s) at {rate}");
+                }
+                let sizes = &plan.segment_sizes[0];
+                println!("  per-video fragments: {}", sizes.len());
+                for (i, s) in sizes.iter().enumerate().take(8) {
+                    println!("    segment {i}: {:.1} ({:.2} min at display rate)", s, s.value() / (1.5 * 60.0));
+                }
+                if sizes.len() > 8 {
+                    println!("    … {} more", sizes.len() - 8);
+                }
+            }
+            Err(e) => println!("{}: infeasible here ({e})", scheme.name()),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_metrics(opts: &Opts) -> Result<(), String> {
+    let b = opts.get_f64("bandwidth", 320.0)?;
+    let ids = schemes_from(&opts.get_str("scheme", "all"))?;
+    let rows = sb_analysis::tables::evaluate_tables(&ids, &[b]);
+    print!("{}", render_evaluations(&rows));
+    Ok(())
+}
+
+fn cmd_client(opts: &Opts) -> Result<(), String> {
+    let b = opts.get_f64("bandwidth", 300.0)?;
+    let arrival = Minutes(opts.get_f64("arrival", 0.0)?);
+    let video = VideoId(opts.get_usize("video", 0)?);
+    let id = parse_scheme(&opts.get_str("scheme", "SB:W=52"))
+        .ok_or_else(|| "unknown scheme".to_string())?;
+    let cfg = SystemConfig::paper_defaults(Mbps(b));
+    let scheme = id.build();
+    let plan = scheme.plan(&cfg).map_err(|e| e.to_string())?;
+    let policy = sb_analysis::crosscheck::policy_for(id);
+    let s = schedule_client(&plan, video, arrival, cfg.display_rate, policy)
+        .map_err(|e| e.to_string())?;
+    println!("scheme {}   arrival {:.3}", plan.scheme, arrival);
+    println!("playback starts {:.4} (latency {:.4})", s.playback_start, s.startup_latency());
+    println!("downloads:");
+    for d in &s.downloads {
+        println!(
+            "  seg {:>2}  ch {:>4}  [{:>9.4} .. {:>9.4}] min at {}",
+            d.item.segment,
+            d.channel,
+            d.start.value(),
+            d.end().value(),
+            d.rate
+        );
+    }
+    println!("peak buffer {:.1} = {:.1}", s.peak_buffer(), s.peak_buffer().to_mbytes());
+    println!("max concurrent streams {}", s.max_concurrent_downloads());
+    let jv = s.jitter_violations(1e-9);
+    println!("jitter violations: {}", jv.len());
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let from = opts.get_f64("from", 100.0)?;
+    let to = opts.get_f64("to", 600.0)?;
+    let step = opts.get_f64("step", 20.0)?;
+    let ids = schemes_from(&opts.get_str("scheme", "all"))?;
+    let rows = sweep_bandwidth(&ids, from, to, step);
+    for (fig, name) in [
+        (sb_analysis::figures::figure7(&rows, &ids), "latency"),
+        (sb_analysis::figures::figure6(&rows, &ids), "disk bandwidth"),
+        (sb_analysis::figures::figure8(&rows, &ids), "storage"),
+    ] {
+        println!("--- {name} ---");
+        print!("{}", render_figure(&fig));
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
+    let b = opts.get_f64("bandwidth", 600.0)?;
+    let titles = opts.get_usize("titles", 60)?;
+    let popular = opts.get_usize("popular", 10)?;
+    let rate = opts.get_f64("rate", 3.0)?;
+    let horizon = opts.get_f64("horizon", 600.0)?;
+    let width = opts.get_usize("width", 52)? as u64;
+    let seed = opts.get_usize("seed", 42)? as u64;
+    let catalog = Catalog::paper_defaults(titles);
+    let requests = PoissonArrivals::new(rate, seed)
+        .with_patience(Patience::Exponential(Minutes(8.0)))
+        .generate(&ZipfPopularity::paper(titles), Minutes(horizon));
+    let cfg = HybridConfig {
+        total_bandwidth: Mbps(b),
+        popular,
+        width: Width::capped_lossy(width),
+        policy: BatchPolicy::Mql,
+        broadcast_fraction: 0.5,
+    };
+    let report = cfg.run(&catalog, &requests).map_err(|e| e.to_string())?;
+    println!("hybrid server: {titles} titles, {popular} broadcast, B = {b} Mb/s");
+    println!("requests: {}", requests.len());
+    println!(
+        "broadcast half : {} channels, worst latency {:.3}, {} requests ({} impatient)",
+        report.broadcast_channels,
+        report.broadcast_worst_latency,
+        report.broadcast_requests,
+        report.broadcast_impatient
+    );
+    println!(
+        "multicast half : {} channels, served {} / reneged {} (renege rate {:.1}%), mean wait {:.2}, mean batch {:.2}",
+        report.multicast_channels,
+        report.multicast.served,
+        report.multicast.reneged,
+        report.multicast.renege_rate() * 100.0,
+        report.multicast.mean_wait,
+        report.multicast.mean_batch_size
+    );
+    Ok(())
+}
+
+fn cmd_series(opts: &Opts) -> Result<(), String> {
+    use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
+    let budget = PhaseBudget::ExhaustiveUpTo(100_000);
+    if let Some(spec) = opts.0.get("units") {
+        let units: Vec<u64> = spec
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|_| format!("bad unit `{t}`")))
+            .collect::<Result<_, _>>()?;
+        match validate_units(&units, budget) {
+            Ok(()) => {
+                println!("series {units:?} is VALID for the two-loader client");
+                let total: u64 = units.iter().sum();
+                println!("  latency for a 120-min video: {:.4} min", 120.0 / total as f64);
+            }
+            Err(v) => println!("series {units:?} is INVALID: {v}"),
+        }
+        Ok(())
+    } else {
+        let k = opts.get_usize("k", 10)?;
+        let found = greedy_max_series(k, budget);
+        println!("fastest two-loader-safe series of {k} fragments:");
+        println!("  {found:?}");
+        println!("  (the paper's series: {:?})", sb_core::series::series(k.min(40)));
+        Ok(())
+    }
+}
+
+fn cmd_hetero(opts: &Opts) -> Result<(), String> {
+    use sb_core::heterogeneous::{plan_heterogeneous, HeteroVideo};
+    let b = opts.get_f64("bandwidth", 300.0)?;
+    let width = opts.get_usize("width", 52)? as u64;
+    let lengths = opts.get_str("lengths", "95,120,150,87,133");
+    let videos: Vec<HeteroVideo> = lengths
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map(|m| HeteroVideo { length: Minutes(m) })
+                .map_err(|_| format!("bad length `{t}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let hp = plan_heterogeneous(Mbps(b), Mbps(1.5), &videos, Width::capped_lossy(width))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "heterogeneous SB plan: {} videos × {} channels, {} total",
+        videos.len(),
+        hp.channels_per_video,
+        hp.plan.total_bandwidth()
+    );
+    println!("{:>6} {:>12} {:>14} {:>12}", "video", "length(min)", "latency(min)", "buffer(MB)");
+    for (v, pv) in hp.per_video.iter().enumerate() {
+        println!(
+            "{v:>6} {:>12.0} {:>14.4} {:>12.1}",
+            videos[v].length.value(),
+            pv.metrics.access_latency.value(),
+            pv.metrics.buffer_requirement.to_mbytes().value()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_pausing(opts: &Opts) -> Result<(), String> {
+    use sb_sim::pausing::schedule_pausing_client;
+    let b = opts.get_f64("bandwidth", 320.0)?;
+    let arrival = Minutes(opts.get_f64("arrival", 0.0)?);
+    let id = parse_scheme(&opts.get_str("scheme", "PPB:b"))
+        .ok_or_else(|| "unknown scheme".to_string())?;
+    if !matches!(id, SchemeId::PpbA | SchemeId::PpbB) {
+        return Err("pausing clients exist only for PPB (scheme PPB:a or PPB:b)".into());
+    }
+    let cfg = SystemConfig::paper_defaults(Mbps(b));
+    let scheme = id.build();
+    let plan = scheme.plan(&cfg).map_err(|e| e.to_string())?;
+    let s = schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate)
+        .map_err(|e| e.to_string())?;
+    let t = schedule_client(
+        &plan,
+        VideoId(0),
+        arrival,
+        cfg.display_rate,
+        sb_analysis::crosscheck::policy_for(id),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("PPB max-saving (pausing) client vs tune-at-start, arrival {arrival:.2}:");
+    println!("  bursts               : {}", s.bursts.len());
+    println!("  mid-broadcast joins  : {}", s.mid_broadcast_joins());
+    println!("  pausing peak buffer  : {:.1}", s.peak_buffer_mbytes());
+    println!("  tune-at-start buffer : {:.1}", t.peak_buffer().to_mbytes());
+    println!(
+        "  Table-1 analytic     : {:.1}",
+        scheme
+            .metrics(&cfg)
+            .map_err(|e| e.to_string())?
+            .buffer_requirement
+            .to_mbytes()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let run = Opts::parse(rest).and_then(|opts| match cmd.as_str() {
+        "plan" => cmd_plan(&opts),
+        "metrics" => cmd_metrics(&opts),
+        "client" => cmd_client(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "hybrid" => cmd_hybrid(&opts),
+        "series" => cmd_series(&opts),
+        "hetero" => cmd_hetero(&opts),
+        "pausing" => cmd_pausing(&opts),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    });
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

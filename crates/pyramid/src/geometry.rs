@@ -1,0 +1,140 @@
+//! Geometric data fragmentation shared by PB and PPB (§2).
+//!
+//! Each video is partitioned into `K` sequential fragments of geometrically
+//! increasing length: `D₁ = D·(α−1)/(α^K−1)` and `Dᵢ = D₁·α^{i−1}`, so that
+//! `Σ Dᵢ = D`. The factor `α > 1` is what makes early fragments small
+//! (broadcast often → low latency) and late fragments huge (the root of the
+//! pyramids' client-storage problem: `D_{K−1} + D_K` approaches
+//! `D·(1 − 1/α²)` ≈ 86 % of the video for `α = e`).
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes};
+
+use sb_core::error::{Result, SchemeError};
+
+/// A geometric fragmentation of one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometricFragmentation {
+    /// Number of fragments `K` (≥ 1).
+    pub k: usize,
+    /// The geometric factor `α > 1`.
+    pub alpha: f64,
+    /// Total video length `D`.
+    pub total: Minutes,
+}
+
+impl GeometricFragmentation {
+    /// Construct, validating `K ≥ 1` and `α > 1`.
+    pub fn new(total: Minutes, k: usize, alpha: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(SchemeError::InvalidConfig {
+                what: "geometric fragmentation needs at least one fragment",
+            });
+        }
+        if !(alpha.is_finite() && alpha > 1.0) {
+            return Err(SchemeError::AlphaTooSmall { alpha });
+        }
+        if !(total.value().is_finite() && total.value() > 0.0) {
+            return Err(SchemeError::InvalidConfig {
+                what: "video length must be positive and finite",
+            });
+        }
+        Ok(Self { k, alpha, total })
+    }
+
+    /// The first fragment's length `D₁ = D·(α−1)/(α^K−1)`.
+    #[must_use]
+    pub fn d1(&self) -> Minutes {
+        let a = self.alpha;
+        Minutes(self.total.value() * (a - 1.0) / (a.powi(self.k as i32) - 1.0))
+    }
+
+    /// Length of fragment `i` (0-based): `D₁·α^i`.
+    #[must_use]
+    pub fn duration(&self, i: usize) -> Minutes {
+        assert!(i < self.k, "fragment {i} out of range (K = {})", self.k);
+        Minutes(self.d1().value() * self.alpha.powi(i as i32))
+    }
+
+    /// Size of fragment `i` in Mbits at display rate `b`.
+    #[must_use]
+    pub fn size(&self, i: usize, display_rate: Mbps) -> Mbits {
+        display_rate * self.duration(i)
+    }
+
+    /// Playback start offset of fragment `i` within the video.
+    #[must_use]
+    pub fn playback_offset(&self, i: usize) -> Minutes {
+        let a = self.alpha;
+        // Σ_{j<i} D₁·α^j = D₁·(α^i − 1)/(α − 1)
+        Minutes(self.d1().value() * (a.powi(i as i32) - 1.0) / (a - 1.0))
+    }
+
+    /// Length of the last two fragments combined, `D_{K−1} + D_K` — the
+    /// driver of both pyramids' buffer requirements.
+    #[must_use]
+    pub fn last_two(&self) -> Minutes {
+        if self.k == 1 {
+            return self.duration(0);
+        }
+        self.duration(self.k - 2) + self.duration(self.k - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn durations_sum_to_total() {
+        let f = GeometricFragmentation::new(Minutes(120.0), 8, 2.5).unwrap();
+        let sum: f64 = (0..8).map(|i| f.duration(i).value()).sum();
+        assert!((sum - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_between_fragments_is_alpha() {
+        let f = GeometricFragmentation::new(Minutes(120.0), 6, 2.0).unwrap();
+        for i in 1..6 {
+            assert!((f.duration(i) / f.duration(i - 1) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn last_two_approach_1_minus_inv_alpha_sq() {
+        // For large K, (D_{K−1}+D_K)/D → 1 − 1/α².
+        let a = vod_units::EULER;
+        let f = GeometricFragmentation::new(Minutes(120.0), 30, a).unwrap();
+        let frac = f.last_two().value() / 120.0;
+        assert!((frac - (1.0 - 1.0 / (a * a))).abs() < 1e-6, "{frac}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(GeometricFragmentation::new(Minutes(120.0), 0, 2.0).is_err());
+        assert!(GeometricFragmentation::new(Minutes(120.0), 5, 1.0).is_err());
+        assert!(GeometricFragmentation::new(Minutes(120.0), 5, 0.5).is_err());
+        assert!(GeometricFragmentation::new(Minutes(-1.0), 5, 2.0).is_err());
+    }
+
+    #[test]
+    fn single_fragment_video() {
+        let f = GeometricFragmentation::new(Minutes(120.0), 1, 2.0).unwrap();
+        assert!(f.d1().approx_eq(Minutes(120.0), 1e-9));
+        assert!(f.last_two().approx_eq(Minutes(120.0), 1e-9));
+    }
+
+    proptest! {
+        #[test]
+        fn offsets_are_cumulative(k in 1usize..=20, alpha in 1.01f64..5.0) {
+            let f = GeometricFragmentation::new(Minutes(120.0), k, alpha).unwrap();
+            let mut acc = 0.0;
+            for i in 0..k {
+                prop_assert!((f.playback_offset(i).value() - acc).abs() < 1e-7);
+                acc += f.duration(i).value();
+            }
+            prop_assert!((acc - 120.0).abs() < 1e-7);
+        }
+    }
+}

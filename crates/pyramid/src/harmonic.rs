@@ -1,0 +1,223 @@
+//! Harmonic Broadcasting (HB) — Juhn & Tseng's other 1997 scheme, plus
+//! the delayed variant that repairs its famous correctness bug.
+//!
+//! HB cuts the video into `N` equal slots and broadcasts slot `i`
+//! (1-based) on its own channel at rate `b/i`, for a total server cost of
+//! only `b·H(N)` (harmonic number — logarithmic!) per video. A client
+//! records every channel from the moment it tunes in, catching each
+//! channel **mid-broadcast** and keeping the wrap-around pieces.
+//!
+//! The original analysis claimed playback could begin at the next slot-1
+//! broadcast. Pâris, Carter & Long later showed that is wrong: bytes of
+//! slot `i` caught mid-cycle can arrive *after* their playback deadline.
+//! The simple repair is to delay playback by one extra slot time while
+//! still recording from tune-in. Both behaviours are exposed here, and
+//! `sb_sim::receive_all` demonstrates the bug and verifies the fix — see
+//! the tests there.
+//!
+//! Analytics:
+//!
+//! * bandwidth per video `= b·H(N)`; we pick the largest `N ≤ MAX_SLOTS`
+//!   affordable from the per-video budget `B/M`;
+//! * access latency `= D/N` as originally claimed (the buggy variant) or
+//!   `2·D/N` for the delayed fix;
+//! * client I/O bandwidth `= b·(H(N) + 1)`;
+//! * buffer ≈ 37 % of the video (asserted empirically in
+//!   `sb_sim::receive_all`).
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+/// Cap on HB's slot count (the harmonic sum grows so slowly that an
+/// uncapped `N` would explode the plan long before exhausting bandwidth).
+pub const MAX_SLOTS: usize = 512;
+
+/// The `n`-th harmonic number `H(n) = Σ 1/i`.
+#[must_use]
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Whether playback starts at the original (buggy) or the delayed
+/// (correct) point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HarmonicVariant {
+    /// Juhn & Tseng's original rule: play slot 1 as it is received.
+    /// Starves for some arrival phases (demonstrated in
+    /// `sb_sim::receive_all` tests).
+    Original,
+    /// Delay playback by one slot time after reception starts — the
+    /// simple fix in the spirit of Pâris, Carter & Long.
+    Delayed,
+}
+
+/// Harmonic Broadcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarmonicBroadcasting {
+    /// Playback-start rule.
+    pub variant: HarmonicVariant,
+}
+
+impl HarmonicBroadcasting {
+    /// The original scheme.
+    #[must_use]
+    pub fn original() -> Self {
+        Self {
+            variant: HarmonicVariant::Original,
+        }
+    }
+
+    /// The delayed (correct) variant.
+    #[must_use]
+    pub fn delayed() -> Self {
+        Self {
+            variant: HarmonicVariant::Delayed,
+        }
+    }
+
+    /// Largest `N ≤ MAX_SLOTS` with `b·H(N) ≤ B/M`.
+    pub fn slots(&self, cfg: &SystemConfig) -> Result<usize> {
+        cfg.validate()?;
+        let budget = cfg.channels_ratio(); // (B/M)/b = affordable H(N)
+        if budget < 1.0 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            });
+        }
+        let mut n = 0usize;
+        let mut h = 0.0;
+        while n < MAX_SLOTS {
+            let next = h + 1.0 / (n + 1) as f64;
+            if next > budget {
+                break;
+            }
+            n += 1;
+            h = next;
+        }
+        Ok(n.max(1))
+    }
+
+    /// One slot's playback time, `D/N`.
+    pub fn slot(&self, cfg: &SystemConfig) -> Result<Minutes> {
+        Ok(Minutes(cfg.video_length.value() / self.slots(cfg)? as f64))
+    }
+}
+
+impl BroadcastScheme for HarmonicBroadcasting {
+    fn name(&self) -> String {
+        match self.variant {
+            HarmonicVariant::Original => "HB".to_string(),
+            HarmonicVariant::Delayed => "HB:delayed".to_string(),
+        }
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let n = self.slots(cfg)?;
+        let slot = self.slot(cfg)?;
+        let latency = match self.variant {
+            HarmonicVariant::Original => slot,
+            HarmonicVariant::Delayed => Minutes(2.0 * slot.value()),
+        };
+        // The classic HB buffer estimate: ≈ 37 % of the video for large N
+        // (Σ max-buffered fractions → 1 − ln 2 ≈ 0.307, plus slot-grain
+        // slack; we quote 0.4·size as the requirement, validated
+        // empirically by the receive-all client's measurements).
+        let video = cfg.video_size();
+        Ok(SchemeMetrics {
+            access_latency: latency,
+            client_io_bandwidth: Mbps(cfg.display_rate.value() * (harmonic(n) + 1.0)),
+            buffer_requirement: video * 0.4,
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let n = self.slots(cfg)?;
+        let slot = self.slot(cfg)?;
+        let size = cfg.display_rate * slot;
+        let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
+        let mut channels = Vec::with_capacity(cfg.num_videos * n);
+        for v in 0..cfg.num_videos {
+            segment_sizes.push(vec![size; n]);
+            for i in 0..n {
+                let rate = Mbps(cfg.display_rate.value() / (i + 1) as f64);
+                channels.push(LogicalChannel {
+                    id: channels.len(),
+                    rate,
+                    phase: Minutes(0.0),
+                    cycle: vec![ScheduledSegment {
+                        item: BroadcastItem {
+                            video: VideoId(v),
+                            segment: i,
+                        },
+                        size,
+                        // on-air time = size / (b/(i+1)) = (i+1) slots.
+                        on_air: Minutes(slot.value() * (i + 1) as f64),
+                    }],
+                });
+            }
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(b: f64) -> SystemConfig {
+        SystemConfig::paper_defaults(Mbps(b))
+    }
+
+    #[test]
+    fn harmonic_numbers() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logarithmic_bandwidth_buys_many_slots() {
+        // B = 60 → per-video budget 6 Mb/s = 4·b → H(N) ≤ 4 → N = 30
+        // (H(30) ≈ 3.995, H(31) ≈ 4.027).
+        let c = cfg(60.0);
+        let n = HarmonicBroadcasting::original().slots(&c).unwrap();
+        assert_eq!(n, 30);
+        // B = 320 → budget ≈ 21.3·b: the MAX_SLOTS cap binds long before
+        // the harmonic sum does (H(512) ≈ 6.8).
+        assert_eq!(
+            HarmonicBroadcasting::original().slots(&cfg(320.0)).unwrap(),
+            MAX_SLOTS
+        );
+    }
+
+    #[test]
+    fn plan_uses_harmonic_rates() {
+        let c = cfg(60.0);
+        let plan = HarmonicBroadcasting::original().plan(&c).unwrap();
+        plan.validate(c.server_bandwidth).unwrap();
+        // Channel for slot i runs at b/(i+1) and needs (i+1) slot times.
+        let ch2 = &plan.channels[2];
+        assert!(ch2.rate.approx_eq(Mbps(0.5), 1e-12));
+        assert!((ch2.period().value() - 3.0 * 4.0).abs() < 1e-9); // 3 slots × 4 min
+        // Aggregate per-video cost is b·H(30) ≪ 30·b.
+        let per_video: f64 = plan.channels[..30].iter().map(|c| c.rate.value()).sum();
+        assert!((per_video - 1.5 * harmonic(30)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_variant_doubles_latency() {
+        let c = cfg(60.0);
+        let orig = HarmonicBroadcasting::original().metrics(&c).unwrap();
+        let fixed = HarmonicBroadcasting::delayed().metrics(&c).unwrap();
+        assert!((fixed.access_latency.value() - 2.0 * orig.access_latency.value()).abs() < 1e-12);
+    }
+}

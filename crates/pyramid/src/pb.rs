@@ -1,0 +1,297 @@
+//! Pyramid Broadcasting (PB) — Viswanathan & Imieliński, as described in §2.
+//!
+//! The server bandwidth is split into `K` logical channels of `B/K` Mb/s.
+//! Channel `i` broadcasts the `i`-th fragments of *all* `M` videos, one
+//! after another, forever. A client plays fragment `i` while prefetching
+//! fragment `i+1` from the next channel ("at the earliest possible time
+//! after beginning to play back the current fragment"), so it reads from at
+//! most two channels at once — but each at the huge channel rate `B/K`.
+//!
+//! Parameter rules (Table 2): both variants keep `α = B/(b·M·K)` near
+//! Euler's `e` (which maximizes the latency improvement per unit of
+//! bandwidth); **PB:a** rounds the channel count up
+//! (`K = ⌈B/(e·M·b)⌉`, hence `α ≤ e`), **PB:b** rounds it down
+//! (`K = ⌊B/(e·M·b)⌋`, hence `α ≥ e`).
+//!
+//! Table-1 metrics implemented below:
+//!
+//! * access latency `= D₁·M·K·b/B` — one full period of channel 1,
+//! * client I/O bandwidth `= b + 2·B/K` — playback plus two concurrent
+//!   channel-rate receptions (≈ `b(2Me+1) ≈ 55.36·b` at `M = 10`),
+//! * buffer `= 60·b·(D_{K−1}·(1−1/M) + D_K)` — play `S_{K−1}` while
+//!   receiving both `S_{K−1}` and `S_K`; the `D_{K−1}/M` term is the data
+//!   consumed during `S_K`'s reception (`D_K/(αM) = D_{K−1}/M` minutes).
+//!   Approaches `0.84·(60·b·D)` for `M = 10`, `α = e` — >1 GB for a
+//!   2-hour MPEG-1 video, the paper's headline criticism of PB.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes, EULER};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+use crate::geometry::GeometricFragmentation;
+
+/// The two K-selection rules of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PbVariant {
+    /// `K = ⌈B/(e·M·b)⌉` → `α ≤ e`.
+    A,
+    /// `K = ⌊B/(e·M·b)⌋` → `α ≥ e`.
+    B,
+}
+
+impl core::fmt::Display for PbVariant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PbVariant::A => write!(f, "a"),
+            PbVariant::B => write!(f, "b"),
+        }
+    }
+}
+
+/// Pyramid Broadcasting with a chosen parameter rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PyramidBroadcasting {
+    /// Which Table-2 rule selects `K`.
+    pub variant: PbVariant,
+}
+
+/// The resolved design parameters of a PB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PbParams {
+    /// Number of logical channels (= fragments per video).
+    pub k: usize,
+    /// The geometric factor `α = B/(b·M·K)`.
+    pub alpha: f64,
+    /// Rate of each logical channel, `B/K`.
+    pub channel_rate: Mbps,
+}
+
+impl PyramidBroadcasting {
+    /// PB with rule `a`.
+    #[must_use]
+    pub fn a() -> Self {
+        Self {
+            variant: PbVariant::A,
+        }
+    }
+
+    /// PB with rule `b`.
+    #[must_use]
+    pub fn b() -> Self {
+        Self {
+            variant: PbVariant::B,
+        }
+    }
+
+    /// Resolve `(K, α)` for a configuration (Table 2).
+    pub fn params(&self, cfg: &SystemConfig) -> Result<PbParams> {
+        cfg.validate()?;
+        let ratio = cfg.channels_ratio(); // B/(b·M)
+        let k = match self.variant {
+            PbVariant::A => (ratio / EULER).ceil() as usize,
+            PbVariant::B => (ratio / EULER).floor() as usize,
+        };
+        if k < 2 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: k,
+                required: 2,
+            });
+        }
+        let alpha = ratio / k as f64;
+        if alpha <= 1.0 {
+            return Err(SchemeError::AlphaTooSmall { alpha });
+        }
+        Ok(PbParams {
+            k,
+            alpha,
+            channel_rate: Mbps(cfg.server_bandwidth.value() / k as f64),
+        })
+    }
+
+    /// The geometric fragmentation PB induces for `cfg`.
+    pub fn fragmentation(&self, cfg: &SystemConfig) -> Result<GeometricFragmentation> {
+        let p = self.params(cfg)?;
+        GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)
+    }
+}
+
+impl BroadcastScheme for PyramidBroadcasting {
+    fn name(&self) -> String {
+        format!("PB:{}", self.variant)
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let p = self.params(cfg)?;
+        let frag = GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)?;
+        let m = cfg.num_videos as f64;
+        let kb_over_b =
+            p.k as f64 * cfg.display_rate.value() * m / cfg.server_bandwidth.value(); // M·K·b/B = 1/α
+        let latency = Minutes(frag.d1().value() * kb_over_b);
+        let io = Mbps(cfg.display_rate.value() + 2.0 * p.channel_rate.value());
+        let buffer_minutes = if p.k >= 2 {
+            Minutes(
+                frag.duration(p.k - 2).value() * (1.0 - 1.0 / m)
+                    + frag.duration(p.k - 1).value(),
+            )
+        } else {
+            Minutes(0.0)
+        };
+        Ok(SchemeMetrics {
+            access_latency: latency,
+            client_io_bandwidth: io,
+            buffer_requirement: cfg.display_rate * buffer_minutes,
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let p = self.params(cfg)?;
+        let frag = GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)?;
+        let sizes: Vec<_> = (0..p.k).map(|i| frag.size(i, cfg.display_rate)).collect();
+        let segment_sizes = vec![sizes.clone(); cfg.num_videos];
+        // Channel i carries segment i of every video, serially.
+        let channels = (0..p.k)
+            .map(|i| {
+                let cycle = (0..cfg.num_videos)
+                    .map(|v| ScheduledSegment {
+                        item: BroadcastItem {
+                            video: VideoId(v),
+                            segment: i,
+                        },
+                        size: sizes[i],
+                        on_air: (sizes[i] / p.channel_rate).to_minutes(),
+                    })
+                    .collect();
+                LogicalChannel {
+                    id: i,
+                    rate: p.channel_rate,
+                    phase: Minutes(0.0),
+                    cycle,
+                }
+            })
+            .collect();
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(b: f64) -> SystemConfig {
+        SystemConfig::paper_defaults(Mbps(b))
+    }
+
+    #[test]
+    fn k_selection_straddles_e() {
+        // B=600: B/(bMe) ≈ 14.71 → PB:a K=15 (α≈2.67), PB:b K=14 (α≈2.857).
+        let pa = PyramidBroadcasting::a().params(&cfg(600.0)).unwrap();
+        let pb = PyramidBroadcasting::b().params(&cfg(600.0)).unwrap();
+        assert_eq!(pa.k, 15);
+        assert_eq!(pb.k, 14);
+        assert!(pa.alpha <= EULER + 1e-9);
+        assert!(pb.alpha >= EULER - 1e-9);
+    }
+
+    #[test]
+    fn io_bandwidth_near_55b_for_large_b() {
+        // §2: "the disk bandwidth … approaches b(2Me + 1) ≈ 55.36·b".
+        let m = PyramidBroadcasting::a().metrics(&cfg(6000.0)).unwrap();
+        let ratio = m.client_io_bandwidth.value() / 1.5;
+        assert!(
+            (ratio - (2.0 * 10.0 * EULER + 1.0)).abs() < 2.0,
+            "I/O should approach 55.36·b, got {ratio:.2}·b"
+        );
+    }
+
+    #[test]
+    fn buffer_near_084_of_video_for_large_b() {
+        // §2: buffer → 0.84·(60·b·D) Mbits for M = 10, α near e.
+        let c = cfg(6000.0);
+        let m = PyramidBroadcasting::b().metrics(&c).unwrap();
+        let frac = m.buffer_requirement.value() / c.video_size().value();
+        assert!((frac - 0.84).abs() < 0.02, "expected ≈0.84, got {frac:.4}");
+    }
+
+    #[test]
+    fn buffer_exceeds_1gb_in_paper_range() {
+        // §5.4: "PB scheme requires each client to have more than 1.0
+        // GBytes of disk space, which is more than 75 % of the length of a
+        // video", across the studied range.
+        for b in [200.0, 320.0, 450.0, 600.0] {
+            let c = cfg(b);
+            let m = PyramidBroadcasting::a().metrics(&c).unwrap();
+            let mbytes = m.buffer_requirement.to_mbytes().value();
+            assert!(mbytes > 1000.0, "B={b}: got {mbytes:.0} MB");
+            assert!(m.buffer_requirement.value() / c.video_size().value() > 0.75);
+        }
+    }
+
+    #[test]
+    fn excellent_access_latency() {
+        // §5.3: PB latency ≈ 0.1 min and below in the studied range.
+        let m = PyramidBroadcasting::a().metrics(&cfg(320.0)).unwrap();
+        assert!(m.access_latency.value() < 0.1, "{}", m.access_latency);
+    }
+
+    #[test]
+    fn latency_equals_channel1_period() {
+        // Cross-check the Table-1 latency against the plan: one period of
+        // channel 1 (M transmissions of S₁ at rate B/K).
+        let c = cfg(300.0);
+        let scheme = PyramidBroadcasting::a();
+        let m = scheme.metrics(&c).unwrap();
+        let plan = scheme.plan(&c).unwrap();
+        let period = plan.channels[0].period();
+        assert!(
+            m.access_latency.approx_eq(period, 1e-9),
+            "latency {} vs channel-1 period {period}",
+            m.access_latency
+        );
+    }
+
+    #[test]
+    fn plan_valid_and_uses_full_bandwidth() {
+        let c = cfg(300.0);
+        let plan = PyramidBroadcasting::b().plan(&c).unwrap();
+        plan.validate(c.server_bandwidth).unwrap();
+        assert!(plan.total_bandwidth().approx_eq(c.server_bandwidth, 1e-6));
+    }
+
+    #[test]
+    fn infeasible_below_threshold() {
+        // PB:b needs ⌊B/(e·M·b)⌋ ≥ 2, i.e. B ≥ 2·e·15 ≈ 81.5 Mb/s at the
+        // paper's M=10, b=1.5 (cf. §5.1's "PB and PPB do not work if the
+        // server bandwidth is less than 90 Mbits/sec").
+        assert!(PyramidBroadcasting::b().params(&cfg(80.0)).is_err());
+        assert!(PyramidBroadcasting::b().params(&cfg(90.0)).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn latency_decreases_with_bandwidth(b1 in 150.0f64..550.0) {
+            let b2 = b1 + 50.0;
+            let m1 = PyramidBroadcasting::a().metrics(&cfg(b1)).unwrap();
+            let m2 = PyramidBroadcasting::a().metrics(&cfg(b2)).unwrap();
+            // Latency is near-monotone; allow the sawtooth from K rounding.
+            prop_assert!(m2.access_latency.value() < m1.access_latency.value() * 1.5);
+        }
+
+        #[test]
+        fn alpha_always_near_e(b in 85.0f64..2000.0) {
+            for scheme in [PyramidBroadcasting::a(), PyramidBroadcasting::b()] {
+                if let Ok(p) = scheme.params(&cfg(b)) {
+                    prop_assert!(p.alpha > 1.0 && p.alpha < 2.0 * EULER);
+                }
+            }
+        }
+    }
+}

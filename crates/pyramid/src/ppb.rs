@@ -1,0 +1,336 @@
+//! Permutation-Based Pyramid Broadcasting (PPB) — Aggarwal, Wolf & Yu, as
+//! described in §2.
+//!
+//! PPB keeps PB's geometric fragmentation but divides each of the `K`
+//! logical channels into `P·M` *subchannels* of `B/(K·M·P)` Mb/s each. A
+//! fragment is replicated on `P` subchannels whose broadcasts are phase
+//! shifted by `1/P` of the fragment's on-air time, so a client can catch a
+//! fresh broadcast sooner and — because the subchannel rate is far below
+//! `B/K` — needs much less client disk bandwidth and space than PB. The
+//! price is a longer access latency and (in the storage-optimal variant the
+//! paper declines to adopt) mid-broadcast retuning.
+//!
+//! Parameter rules (Table 2, reconstructed — see `DESIGN.md` §3): with
+//! `x = B/(K·M·b)`,
+//!
+//! * `K` is the largest channel count that keeps the variant feasible,
+//!   capped at 7 (§2: "K is determined …, but is limited within the range
+//!   2 ≤ K ≤ 7"): `K_a = clamp(⌊B/(2·M·b)⌋, 2, 7)`,
+//!   `K_b = clamp(⌊B/(3·M·b)⌋, 2, 7)`;
+//! * **PPB:a** `P = max(1, ⌊x − 2⌋)`; **PPB:b** `P = max(2, ⌊x − 2⌋)`;
+//! * both set `α = x − P`, which must exceed 1.
+//!
+//! These rules reproduce every PPB number the paper states: infeasibility
+//! below ≈90 Mb/s, PPB:a crossing 0.5 min latency at ≈300 Mb/s, and PPB:b
+//! at 320 Mb/s having ≈5 min latency with ≈150 MB of client disk.
+//!
+//! Table-1 metrics:
+//!
+//! * access latency `= D₁·M·K·b/B` (with PPB's own `K`, `α` — much larger
+//!   than PB's because `K ≤ 7` caps the exponential gain),
+//! * client I/O bandwidth `= b + B/(K·M·P)` (one subchannel-rate reception
+//!   plus playback),
+//! * buffer `= 60·b·(D_{K−1}+D_K)·(M·K·b/B)` Mbits.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+use crate::geometry::GeometricFragmentation;
+
+/// Hard cap on PPB's channel count (§2: `2 ≤ K ≤ 7`).
+pub const MAX_K: usize = 7;
+
+/// The two P-selection rules of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PpbVariant {
+    /// `P = max(1, ⌊x − 2⌋)` — latency-leaning.
+    A,
+    /// `P = max(2, ⌊x − 2⌋)` — storage-leaning (more replicas, slower
+    /// subchannels, smaller buffers, longer waits).
+    B,
+}
+
+impl PpbVariant {
+    fn min_p(self) -> usize {
+        match self {
+            PpbVariant::A => 1,
+            PpbVariant::B => 2,
+        }
+    }
+}
+
+impl core::fmt::Display for PpbVariant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PpbVariant::A => write!(f, "a"),
+            PpbVariant::B => write!(f, "b"),
+        }
+    }
+}
+
+/// Permutation-Based Pyramid Broadcasting with a chosen parameter rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermutationPyramid {
+    /// Which Table-2 rule selects `P`.
+    pub variant: PpbVariant,
+}
+
+/// The resolved design parameters of a PPB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpbParams {
+    /// Number of logical channels (= fragments per video), `2 ≤ K ≤ 7`.
+    pub k: usize,
+    /// Replication degree per fragment.
+    pub p: usize,
+    /// The geometric factor `α = B/(K·M·b) − P`.
+    pub alpha: f64,
+    /// Rate of each subchannel, `B/(K·M·P)`.
+    pub subchannel_rate: Mbps,
+}
+
+impl PermutationPyramid {
+    /// PPB with rule `a`.
+    #[must_use]
+    pub fn a() -> Self {
+        Self {
+            variant: PpbVariant::A,
+        }
+    }
+
+    /// PPB with rule `b`.
+    #[must_use]
+    pub fn b() -> Self {
+        Self {
+            variant: PpbVariant::B,
+        }
+    }
+
+    /// Resolve `(K, P, α)` for a configuration (Table 2).
+    pub fn params(&self, cfg: &SystemConfig) -> Result<PpbParams> {
+        cfg.validate()?;
+        let ratio = cfg.channels_ratio(); // B/(b·M)
+        let min_p = self.variant.min_p();
+        // Feasibility needs α = x − P > 1 with P ≥ min_p, i.e.
+        // x = ratio/K > min_p + 1 — the largest such K, capped at 7.
+        let k = ((ratio / (min_p as f64 + 1.0)).floor() as usize).min(MAX_K);
+        if k < 2 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: k,
+                required: 2,
+            });
+        }
+        let x = ratio / k as f64;
+        let p = ((x - 2.0).floor() as i64).max(min_p as i64) as usize;
+        let alpha = x - p as f64;
+        if alpha <= 1.0 {
+            return Err(SchemeError::AlphaTooSmall { alpha });
+        }
+        Ok(PpbParams {
+            k,
+            p,
+            alpha,
+            subchannel_rate: Mbps(
+                cfg.server_bandwidth.value() / (k * cfg.num_videos * p) as f64,
+            ),
+        })
+    }
+
+    /// The geometric fragmentation PPB induces for `cfg`.
+    pub fn fragmentation(&self, cfg: &SystemConfig) -> Result<GeometricFragmentation> {
+        let p = self.params(cfg)?;
+        GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)
+    }
+}
+
+impl BroadcastScheme for PermutationPyramid {
+    fn name(&self) -> String {
+        format!("PPB:{}", self.variant)
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let p = self.params(cfg)?;
+        let frag = GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)?;
+        let mkb_over_b = (p.k * cfg.num_videos) as f64 * cfg.display_rate.value()
+            / cfg.server_bandwidth.value();
+        Ok(SchemeMetrics {
+            access_latency: Minutes(frag.d1().value() * mkb_over_b),
+            client_io_bandwidth: Mbps(cfg.display_rate.value() + p.subchannel_rate.value()),
+            buffer_requirement: cfg.display_rate
+                * Minutes(frag.last_two().value() * mkb_over_b),
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let pp = self.params(cfg)?;
+        let frag = GeometricFragmentation::new(cfg.video_length, pp.k, pp.alpha)?;
+        let sizes: Vec<_> = (0..pp.k).map(|i| frag.size(i, cfg.display_rate)).collect();
+        let segment_sizes = vec![sizes.clone(); cfg.num_videos];
+        let mut channels = Vec::with_capacity(pp.k * cfg.num_videos * pp.p);
+        for (i, &seg_size) in sizes.iter().enumerate() {
+            let on_air = (seg_size / pp.subchannel_rate).to_minutes();
+            for v in 0..cfg.num_videos {
+                for replica in 0..pp.p {
+                    channels.push(LogicalChannel {
+                        id: channels.len(),
+                        rate: pp.subchannel_rate,
+                        // Replicas phase-shifted by 1/P of the on-air time.
+                        phase: Minutes(on_air.value() * replica as f64 / pp.p as f64),
+                        cycle: vec![ScheduledSegment {
+                            item: BroadcastItem {
+                                video: VideoId(v),
+                                segment: i,
+                            },
+                            size: seg_size,
+                            on_air,
+                        }],
+                    });
+                }
+            }
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg(b: f64) -> SystemConfig {
+        SystemConfig::paper_defaults(Mbps(b))
+    }
+
+    #[test]
+    fn paper_anchor_ppb_b_at_320() {
+        // §5.4: "when B is about 320 Mbits/sec, PPB:b requires only
+        // 150 MBytes or so of disk space. Unfortunately, its access latency
+        // in this case is as high as five minutes."
+        let m = PermutationPyramid::b().metrics(&cfg(320.0)).unwrap();
+        let lat = m.access_latency.value();
+        let buf = m.buffer_requirement.to_mbytes().value();
+        assert!((lat - 5.0).abs() < 0.5, "expected ≈5 min, got {lat:.2}");
+        assert!((buf - 150.0).abs() < 20.0, "expected ≈150 MB, got {buf:.0}");
+    }
+
+    #[test]
+    fn paper_anchor_ppb_a_latency_at_300() {
+        // §5.3: "if the access latency is required to be less than 0.5
+        // minutes, then we must have a network-I/O bandwidth of at least
+        // 300 Mbits/sec in order to use PPB."
+        let at_300 = PermutationPyramid::a().metrics(&cfg(300.0)).unwrap();
+        assert!(
+            at_300.access_latency.value() <= 0.55,
+            "PPB:a at 300 should be ≈0.5 min, got {}",
+            at_300.access_latency
+        );
+        let at_260 = PermutationPyramid::a().metrics(&cfg(260.0)).unwrap();
+        assert!(
+            at_260.access_latency.value() > 0.5,
+            "below 300 the 0.5-min target must be missed, got {}",
+            at_260.access_latency
+        );
+    }
+
+    #[test]
+    fn infeasible_below_90() {
+        // §5.1: "PB and PPB do not work if the server bandwidth is less
+        // than 90 Mbits/sec (i.e., α becomes less than one)". For PPB:b the
+        // threshold is exactly B = 90 at M=10, b=1.5.
+        assert!(PermutationPyramid::b().params(&cfg(89.0)).is_err());
+        assert!(PermutationPyramid::b().params(&cfg(95.0)).is_ok());
+        assert!(PermutationPyramid::a().params(&cfg(55.0)).is_err());
+    }
+
+    #[test]
+    fn k_is_capped_at_7() {
+        for b in [320.0, 450.0, 600.0, 2000.0] {
+            for scheme in [PermutationPyramid::a(), PermutationPyramid::b()] {
+                let p = scheme.params(&cfg(b)).unwrap();
+                assert!(p.k <= MAX_K, "B={b}: K={}", p.k);
+                assert!(p.alpha > 1.0);
+            }
+        }
+        // …which is why PPB improves only linearly at large B (§2).
+        assert_eq!(PermutationPyramid::a().params(&cfg(600.0)).unwrap().k, 7);
+    }
+
+    #[test]
+    fn variant_b_has_more_replicas_smaller_buffer() {
+        let c = cfg(320.0);
+        let pa = PermutationPyramid::a().params(&c).unwrap();
+        let pb = PermutationPyramid::b().params(&c).unwrap();
+        assert!(pb.p >= pa.p.max(2));
+        let ma = PermutationPyramid::a().metrics(&c).unwrap();
+        let mb = PermutationPyramid::b().metrics(&c).unwrap();
+        assert!(mb.buffer_requirement < ma.buffer_requirement);
+        assert!(mb.access_latency > ma.access_latency);
+    }
+
+    #[test]
+    fn io_bandwidth_far_below_pb() {
+        // §2/§5.2: PPB's client disk bandwidth is close to the display rate
+        // (b + subchannel rate), nowhere near PB's ~50·b.
+        let c = cfg(600.0);
+        let ppb = PermutationPyramid::b().metrics(&c).unwrap();
+        let pb = crate::pb::PyramidBroadcasting::a().metrics(&c).unwrap();
+        assert!(ppb.client_io_bandwidth.value() < 6.0 * 1.5);
+        assert!(pb.client_io_bandwidth.value() > 25.0 * 1.5);
+    }
+
+    #[test]
+    fn plan_valid_with_phase_shifted_replicas() {
+        let c = cfg(320.0);
+        let scheme = PermutationPyramid::b();
+        let p = scheme.params(&c).unwrap();
+        let plan = scheme.plan(&c).unwrap();
+        plan.validate(c.server_bandwidth).unwrap();
+        assert_eq!(plan.channels.len(), p.k * 10 * p.p);
+        // Each fragment appears on exactly P subchannels with distinct phases.
+        let item = BroadcastItem {
+            video: VideoId(3),
+            segment: 1,
+        };
+        let carriers = plan.channels_for(item);
+        assert_eq!(carriers.len(), p.p);
+        let mut phases: Vec<f64> = carriers.iter().map(|c| c.phase.value()).collect();
+        phases.sort_by(f64::total_cmp);
+        phases.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert_eq!(phases.len(), p.p);
+    }
+
+    proptest! {
+        #[test]
+        fn feasible_parameters_are_consistent(b in 95.0f64..2000.0) {
+            for scheme in [PermutationPyramid::a(), PermutationPyramid::b()] {
+                if let Ok(p) = scheme.params(&cfg(b)) {
+                    prop_assert!((2..=MAX_K).contains(&p.k));
+                    prop_assert!(p.p >= scheme.variant.min_p());
+                    prop_assert!(p.alpha > 1.0);
+                    // x = α + P must reconstruct B/(K·M·b)
+                    let x = cfg(b).channels_ratio() / p.k as f64;
+                    prop_assert!((p.alpha + p.p as f64 - x).abs() < 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn subchannel_rate_exceeds_display_rate(b in 95.0f64..2000.0) {
+            // α > 1 ⇒ x/P > 1 + 1/P ⇒ subchannel rate > b: contiguous
+            // reception keeps ahead of playback, so tune-at-start works.
+            for scheme in [PermutationPyramid::a(), PermutationPyramid::b()] {
+                if let Ok(p) = scheme.params(&cfg(b)) {
+                    prop_assert!(p.subchannel_rate.value() > 1.5);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Staggered periodic broadcast — the §1 baseline ("an earlier periodic
+//! broadcast scheme was proposed by Dan, Sitaram and Shahabuddin").
+//!
+//! Each video is broadcast *in its entirety* on `K = ⌊B/(b·M)⌋` channels of
+//! rate `b`, with starts staggered `D/K` minutes apart. A client simply
+//! waits for the next start and plays the stream live:
+//!
+//! * access latency `= D/K` — improving only **linearly** with server
+//!   bandwidth, the observation that motivated the pyramid schemes;
+//! * client I/O bandwidth `= b` (no prefetching at all);
+//! * buffer `= 0`.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+/// Staggered (whole-file) periodic broadcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StaggeredBroadcasting;
+
+impl StaggeredBroadcasting {
+    /// Channels per video, `K = ⌊B/(b·M)⌋`.
+    pub fn channels_per_video(&self, cfg: &SystemConfig) -> Result<usize> {
+        cfg.validate()?;
+        let k = cfg.channels_ratio().floor() as usize;
+        if k < 1 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: k,
+                required: 1,
+            });
+        }
+        Ok(k)
+    }
+}
+
+impl BroadcastScheme for StaggeredBroadcasting {
+    fn name(&self) -> String {
+        "STAG".to_string()
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let k = self.channels_per_video(cfg)?;
+        Ok(SchemeMetrics {
+            access_latency: Minutes(cfg.video_length.value() / k as f64),
+            client_io_bandwidth: cfg.display_rate,
+            buffer_requirement: Mbits(0.0),
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let k = self.channels_per_video(cfg)?;
+        let size = cfg.video_size();
+        let segment_sizes = vec![vec![size]; cfg.num_videos];
+        let stagger = cfg.video_length.value() / k as f64;
+        let mut channels = Vec::with_capacity(cfg.num_videos * k);
+        for v in 0..cfg.num_videos {
+            for j in 0..k {
+                channels.push(LogicalChannel {
+                    id: channels.len(),
+                    rate: cfg.display_rate,
+                    phase: Minutes(stagger * j as f64),
+                    cycle: vec![ScheduledSegment {
+                        item: BroadcastItem {
+                            video: VideoId(v),
+                            segment: 0,
+                        },
+                        size,
+                        on_air: cfg.video_length,
+                    }],
+                });
+            }
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_units::Mbps;
+
+    #[test]
+    fn linear_latency() {
+        // Doubling bandwidth halves the wait — no better (§1's complaint).
+        let m300 = StaggeredBroadcasting
+            .metrics(&SystemConfig::paper_defaults(Mbps(300.0)))
+            .unwrap();
+        let m600 = StaggeredBroadcasting
+            .metrics(&SystemConfig::paper_defaults(Mbps(600.0)))
+            .unwrap();
+        assert!(m300.access_latency.approx_eq(Minutes(6.0), 1e-9)); // 120/20
+        assert!(m600.access_latency.approx_eq(Minutes(3.0), 1e-9)); // 120/40
+    }
+
+    #[test]
+    fn zero_buffer_and_display_rate_io() {
+        let m = StaggeredBroadcasting
+            .metrics(&SystemConfig::paper_defaults(Mbps(300.0)))
+            .unwrap();
+        assert_eq!(m.buffer_requirement, Mbits(0.0));
+        assert_eq!(m.client_io_bandwidth, Mbps(1.5));
+    }
+
+    #[test]
+    fn plan_has_staggered_phases() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = StaggeredBroadcasting.plan(&cfg).unwrap();
+        plan.validate(cfg.server_bandwidth).unwrap();
+        assert_eq!(plan.channels.len(), 10 * 20);
+        // Video 0's replicas are 6 minutes apart.
+        let item = BroadcastItem {
+            video: VideoId(0),
+            segment: 0,
+        };
+        let mut phases: Vec<f64> = plan
+            .channels_for(item)
+            .iter()
+            .map(|c| c.phase.value())
+            .collect();
+        phases.sort_by(f64::total_cmp);
+        assert_eq!(phases.len(), 20);
+        for (j, p) in phases.iter().enumerate() {
+            assert!((p - 6.0 * j as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn worst_wait_matches_plan_gap() {
+        // The analytic latency equals the largest gap between consecutive
+        // starts of the same video in the plan.
+        let cfg = SystemConfig::paper_defaults(Mbps(150.0));
+        let m = StaggeredBroadcasting.metrics(&cfg).unwrap();
+        let plan = StaggeredBroadcasting.plan(&cfg).unwrap();
+        let item = BroadcastItem {
+            video: VideoId(0),
+            segment: 0,
+        };
+        let mut starts: Vec<f64> = plan
+            .channels
+            .iter()
+            .filter_map(|c| c.next_start_of(item, Minutes(0.0)))
+            .map(|m| m.value())
+            .collect();
+        starts.sort_by(f64::total_cmp);
+        let max_gap = starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0f64, f64::max);
+        assert!((max_gap - m.access_latency.value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,411 @@
+//! End-to-end packet-level replay of a client session.
+//!
+//! The closed-form [`crate::schedule::ClientSchedule`] treats receptions
+//! as fluid flows. This module re-executes a session at *packet*
+//! granularity on the discrete-event [`crate::engine::Engine`]: each
+//! reception window is chopped into fixed-duration packets, every packet
+//! arrival is an engine event, the player's deadline for each byte is
+//! checked against actual cumulative deliveries, and the buffer peak is
+//! measured from the event sequence alone.
+//!
+//! Its purpose is defence in depth: the fluid model and the packet replay
+//! are *independent* accountings of the same session, so agreement (peak
+//! within one packet per concurrent stream, zero underruns) catches
+//! errors in either. It also gives the repository a concrete answer to
+//! "what does the set-top box actually see on the wire" — packets per
+//! second, instantaneous stream counts, burst boundaries.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Minutes, Seconds, TickScale, Ticks};
+
+use crate::engine::Engine;
+use crate::schedule::ClientSchedule;
+
+/// Configuration of the packet replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketConfig {
+    /// Simulated-time resolution.
+    pub scale: TickScale,
+    /// Packet pacing: one packet per this many ticks per active stream.
+    pub ticks_per_packet: u64,
+    /// Network delay jitter: each packet is delayed by a deterministic
+    /// pseudo-random amount in `[0, jitter_ticks]`. Zero = ideal plant.
+    pub jitter_ticks: u64,
+    /// Client de-jitter buffer: playback deadlines are relaxed by this
+    /// startup delay (the set-top box holds back playback to absorb
+    /// `jitter_ticks` of network variation).
+    pub dejitter_ticks: u64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for PacketConfig {
+    fn default() -> Self {
+        Self {
+            // 100 ticks/s, one packet per 10 ticks → 10 packets/s/stream:
+            // at 1.5 Mb/s a packet is 18.75 kB, a cable-plant-ish burst.
+            scale: TickScale::default(),
+            ticks_per_packet: 10,
+            jitter_ticks: 0,
+            dejitter_ticks: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl PacketConfig {
+    /// An ideal plant with the given jitter and a matching de-jitter
+    /// buffer (the correct dimensioning: hold back exactly the worst-case
+    /// network delay).
+    #[must_use]
+    pub fn with_jitter(jitter_ticks: u64, seed: u64) -> Self {
+        Self {
+            jitter_ticks,
+            dejitter_ticks: jitter_ticks,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic per-packet delay in `[0, jitter]` (splitmix-style hash of
+/// seed, segment and packet index).
+fn packet_jitter(seed: u64, segment: usize, idx: u64, jitter: u64) -> u64 {
+    if jitter == 0 {
+        return 0;
+    }
+    let mut x = seed
+        ^ (segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % (jitter + 1)
+}
+
+/// One detected underrun: the player needed data that had not arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Underrun {
+    /// The starving segment.
+    pub segment: usize,
+    /// When the player ran dry.
+    pub at: Minutes,
+    /// How many Mbits short the delivery was at that instant.
+    pub shortfall: Mbits,
+}
+
+/// The outcome of a packet-level replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct E2eReport {
+    /// Total packets delivered.
+    pub packets: usize,
+    /// Peak buffer observed across packet events, Mbits.
+    pub peak_buffer: Mbits,
+    /// Largest number of simultaneously active reception streams.
+    pub max_streams: usize,
+    /// Underruns detected (empty for a correct schedule).
+    pub underruns: Vec<Underrun>,
+}
+
+/// Replay `schedule` at packet granularity.
+///
+/// # Panics
+/// Panics if the schedule's times are not finite.
+#[must_use]
+pub fn replay(schedule: &ClientSchedule, cfg: PacketConfig) -> E2eReport {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        /// A packet of `bits` for `segment` (cumulative delivery bookkeeping
+        /// happens in the handler).
+        Packet { segment: usize, bits: f64 },
+        StreamStart,
+        StreamEnd,
+    }
+
+    let scale = cfg.scale;
+    let mut engine: Engine<Ev> = Engine::new();
+
+    // Enqueue every packet of every download window up front; the engine
+    // orders and replays them. Each window [start, end) at rate r becomes
+    // ⌈window/packet⌉ packets, the last one short.
+    for (segment, d) in schedule.downloads.iter().enumerate() {
+        let start = scale.duration_from_seconds(Seconds(d.start.value() * 60.0));
+        let end = scale.duration_from_seconds(Seconds(d.end().value() * 60.0));
+        engine.schedule_at(Ticks::ZERO + start, Ev::StreamStart);
+        engine.schedule_at(Ticks::ZERO + end, Ev::StreamEnd);
+        let window_ticks = (end.0).saturating_sub(start.0);
+        let mut t = start.0;
+        let mut delivered = 0.0f64;
+        let mut idx = 0u64;
+        while t < start.0 + window_ticks {
+            let step = cfg.ticks_per_packet.min(start.0 + window_ticks - t);
+            t += step;
+            let upto = scale
+                .data_over(d.rate, vod_units::TickDuration(t - start.0))
+                .value()
+                .min(d.size.value());
+            let bits = upto - delivered;
+            delivered = upto;
+            if bits > 0.0 {
+                let delay = packet_jitter(cfg.seed, segment, idx, cfg.jitter_ticks);
+                engine.schedule_at(Ticks(t + delay), Ev::Packet { segment, bits });
+            }
+            idx += 1;
+        }
+    }
+
+    let b = schedule.display_rate.value();
+    // The de-jitter buffer shifts every playback deadline later.
+    let dejitter_min = cfg.dejitter_ticks as f64 / scale.ticks_per_second as f64 / 60.0;
+    let playback_start_min = schedule.playback_start.value() + dejitter_min;
+    let total: f64 = schedule.segment_sizes.iter().map(|s| s.value()).sum();
+    let playback_end_min = schedule.playback_end().value();
+
+    // Per-segment cumulative deliveries and playback offsets.
+    let n = schedule.segment_sizes.len();
+    let mut delivered_seg = vec![0.0f64; n];
+    let pb_start: Vec<f64> = (0..n)
+        .map(|i| schedule.playback_start_of(i).value() + dejitter_min)
+        .collect();
+
+    let mut packets = 0usize;
+    let mut peak = 0.0f64;
+    let mut streams = 0usize;
+    let mut max_streams = 0usize;
+    let mut delivered_total = 0.0f64;
+    let mut underruns = Vec::new();
+
+    engine.run(|_eng, at, ev| match ev {
+        Ev::StreamStart => {
+            streams += 1;
+            max_streams = max_streams.max(streams);
+        }
+        Ev::StreamEnd => {
+            streams = streams.saturating_sub(1);
+        }
+        Ev::Packet { segment, bits } => {
+            let now_min = scale.seconds(at.since(Ticks::ZERO)).value() / 60.0;
+            // Underrun check: everything the player needed from this
+            // segment *just before* this packet must already be there.
+            let needed = ((now_min - pb_start[segment]) * b * 60.0)
+                .clamp(0.0, schedule.segment_sizes[segment].value());
+            // Packetization slack: a just-in-time fluid stream lags by up
+            // to one whole packet at its own rate, plus tick rounding of
+            // the window start. Two packets' worth is the agreed margin.
+            let rate = schedule.downloads[segment].rate.value();
+            let packet_seconds = cfg.ticks_per_packet as f64 / scale.ticks_per_second as f64;
+            let slack = 2.0 * rate * packet_seconds + 2.0 * b / scale.ticks_per_second as f64;
+            // Note: network jitter is NOT added to the slack — absorbing
+            // it is the de-jitter buffer's job; an undersized buffer must
+            // surface as an underrun.
+            if needed > delivered_seg[segment] + slack + 1e-9 {
+                underruns.push(Underrun {
+                    segment,
+                    at: Minutes(now_min),
+                    shortfall: Mbits(needed - delivered_seg[segment]),
+                });
+            }
+            delivered_seg[segment] += bits;
+            delivered_total += bits;
+            packets += 1;
+            let consumed = ((now_min - playback_start_min) * b * 60.0)
+                .clamp(0.0, total.min((playback_end_min - playback_start_min) * b * 60.0));
+            peak = peak.max(delivered_total - consumed);
+        }
+    });
+
+    E2eReport {
+        packets,
+        peak_buffer: Mbits(peak.max(0.0)),
+        max_streams,
+        underruns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{schedule_client, ClientPolicy};
+    use sb_core::config::SystemConfig;
+    use sb_core::plan::VideoId;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_core::series::Width;
+    use sb_core::Skyscraper;
+    use sb_pyramid::{PermutationPyramid, PyramidBroadcasting, StaggeredBroadcasting};
+    use vod_units::Mbps;
+
+    fn replay_scheme(
+        plan: &sb_core::plan::ChannelPlan,
+        policy: ClientPolicy,
+        arrival: f64,
+    ) -> (ClientSchedule, E2eReport) {
+        let sched = schedule_client(
+            plan,
+            VideoId(0),
+            Minutes(arrival),
+            Mbps(1.5),
+            policy,
+        )
+        .unwrap();
+        let report = replay(&sched, PacketConfig::default());
+        (sched, report)
+    }
+
+    /// One packet's worth of data per concurrently active stream, the
+    /// agreed tolerance between fluid and packet accounting.
+    fn tolerance(report: &E2eReport, sched: &ClientSchedule) -> f64 {
+        let packet_seconds = 0.1; // 10 ticks at 100 ticks/s
+        let max_rate: f64 = sched.downloads.iter().map(|d| d.rate.value()).fold(0.0, f64::max);
+        report.max_streams as f64 * max_rate * packet_seconds + 1.0
+    }
+
+    #[test]
+    fn sb_replay_matches_fluid_model() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(52)).plan(&cfg).unwrap();
+        for arrival in [0.0, 3.7, 7.31, 11.9] {
+            let (sched, report) = replay_scheme(&plan, ClientPolicy::LatestFeasible, arrival);
+            assert!(report.underruns.is_empty(), "arrival {arrival}: {:?}", report.underruns);
+            assert!(report.max_streams <= 2);
+            let fluid = sched.peak_buffer().value();
+            let diff = (report.peak_buffer.value() - fluid).abs();
+            assert!(
+                diff <= tolerance(&report, &sched),
+                "arrival {arrival}: packet {} vs fluid {fluid}",
+                report.peak_buffer
+            );
+            // 2 hours of video at ≥1 packet per second per stream.
+            assert!(report.packets > 10_000, "{} packets", report.packets);
+        }
+    }
+
+    #[test]
+    fn pb_replay_matches_fluid_model() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = PyramidBroadcasting::a().plan(&cfg).unwrap();
+        let (sched, report) = replay_scheme(&plan, ClientPolicy::PbEarliest, 4.4);
+        assert!(report.underruns.is_empty());
+        assert!(report.max_streams <= 2);
+        let diff = (report.peak_buffer.value() - sched.peak_buffer().value()).abs();
+        assert!(diff <= tolerance(&report, &sched));
+    }
+
+    #[test]
+    fn ppb_and_staggered_replay() {
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        for plan in [
+            PermutationPyramid::b().plan(&cfg).unwrap(),
+            StaggeredBroadcasting.plan(&cfg).unwrap(),
+        ] {
+            let (sched, report) = replay_scheme(&plan, ClientPolicy::LatestFeasible, 2.2);
+            assert!(report.underruns.is_empty(), "{}", plan.scheme);
+            let diff = (report.peak_buffer.value() - sched.peak_buffer().value()).abs();
+            assert!(diff <= tolerance(&report, &sched), "{}", plan.scheme);
+        }
+    }
+
+    #[test]
+    fn corrupted_schedule_is_caught() {
+        // Push one reception past its deadline: the replay must flag it.
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
+        let mut sched = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(1.0),
+            Mbps(1.5),
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        let last = sched.downloads.len() - 1;
+        sched.downloads[last].start = Minutes(sched.downloads[last].start.value() + 5.0);
+        let report = replay(&sched, PacketConfig::default());
+        assert!(
+            !report.underruns.is_empty(),
+            "a 5-minute-late segment must starve the player"
+        );
+        assert_eq!(report.underruns[0].segment, last);
+    }
+
+    #[test]
+    fn jitter_within_dejitter_buffer_is_absorbed() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
+        let sched = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(5.2),
+            Mbps(1.5),
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        // 2 seconds of network jitter, correctly dimensioned buffer.
+        for seed in 0..5 {
+            let report = replay(&sched, PacketConfig::with_jitter(200, seed));
+            assert!(
+                report.underruns.is_empty(),
+                "seed {seed}: {:?}",
+                &report.underruns[..report.underruns.len().min(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_dejitter_buffer_underruns() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
+        let sched = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(5.2),
+            Mbps(1.5),
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        // Heavy jitter (30 s) with NO de-jitter buffer: must starve.
+        let mut cfg_bad = PacketConfig::with_jitter(3000, 7);
+        cfg_bad.dejitter_ticks = 0;
+        let report = replay(&sched, cfg_bad);
+        assert!(
+            !report.underruns.is_empty(),
+            "3000 ticks of jitter with no buffer must underrun"
+        );
+    }
+
+    #[test]
+    fn finer_packets_converge_to_fluid() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
+        let sched = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(5.2),
+            Mbps(1.5),
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        let fluid = sched.peak_buffer().value();
+        let coarse = replay(
+            &sched,
+            PacketConfig {
+                scale: TickScale::new(100),
+                ticks_per_packet: 100,
+                ..PacketConfig::default()
+            },
+        );
+        let fine = replay(
+            &sched,
+            PacketConfig {
+                scale: TickScale::new(1000),
+                ticks_per_packet: 10,
+                ..PacketConfig::default()
+            },
+        );
+        let err_coarse = (coarse.peak_buffer.value() - fluid).abs();
+        let err_fine = (fine.peak_buffer.value() - fluid).abs();
+        assert!(err_fine <= err_coarse + 1e-9, "fine {err_fine} vs coarse {err_coarse}");
+        assert!(err_fine < 0.2, "fine-grained replay within 0.2 Mbit of fluid");
+    }
+}

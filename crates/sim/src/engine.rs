@@ -1,0 +1,290 @@
+//! A small, deterministic discrete-event engine.
+//!
+//! The broadcast side of the simulator is deterministic and computed in
+//! closed form ([`crate::schedule`]), but whole-system questions — how many
+//! clients are active at once, how a channel pool drains a request queue —
+//! need an agenda-driven simulation. This engine provides exactly that:
+//! a tick clock ([`vod_units::Ticks`]), a binary-heap agenda with
+//! deterministic FIFO tie-breaking, and event cancellation.
+//!
+//! Events are user-defined payloads; the engine is generic and contains no
+//! domain logic. Determinism matters for reproducible experiments: two
+//! events scheduled for the same tick fire in the order they were
+//! scheduled, regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use vod_units::{TickDuration, Ticks};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Ticks,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event engine: a clock plus an agenda of pending events.
+pub struct Engine<E> {
+    now: Ticks,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at tick zero with an empty agenda.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            now: Ticks::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedule `payload` at the absolute tick `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the current time — the past is immutable.
+    pub fn schedule_at(&mut self, at: Ticks, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let id = EventId(self.seq);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            id,
+            payload,
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedule `payload` after a delay from now.
+    pub fn schedule_in(&mut self, delay: TickDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancel a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        // Only mark; the entry is skipped lazily on pop.
+        self.cancelled.insert(id)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    /// Returns `None` when the agenda is exhausted.
+    ///
+    /// Deliberately named like `Iterator::next`; the engine is not an
+    /// `Iterator` only because handlers need `&mut self` back.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Ticks, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "agenda went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Run the agenda to exhaustion, calling `handler` for each event.
+    /// The handler may schedule further events through the engine.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, Ticks, E)) {
+        while let Some((at, payload)) = self.next() {
+            handler(self, at, payload);
+        }
+    }
+}
+
+// `run` needs to pass `&mut self` into the handler while iterating; do the
+// loop manually to satisfy the borrow checker.
+impl<E> Engine<E> {
+    /// Like [`Engine::run`] but stops once the clock passes `horizon`
+    /// (events beyond it stay pending).
+    pub fn run_until(&mut self, horizon: Ticks, mut handler: impl FnMut(&mut Self, Ticks, E)) {
+        loop {
+            // Peek for the horizon check without consuming.
+            let next_at = loop {
+                match self.heap.peek() {
+                    Some(e) if self.cancelled.contains(&e.id) => {
+                        let e = self.heap.pop().expect("peeked");
+                        self.cancelled.remove(&e.id);
+                    }
+                    Some(e) => break Some(e.at),
+                    None => break None,
+                }
+            };
+            match next_at {
+                Some(at) if at <= horizon => {
+                    let (at, payload) = self.next().expect("peeked event exists");
+                    handler(self, at, payload);
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fires_in_time_order_with_fifo_ties() {
+        let mut eng: Engine<&'static str> = Engine::new();
+        eng.schedule_at(Ticks(10), "b");
+        eng.schedule_at(Ticks(5), "a");
+        eng.schedule_at(Ticks(10), "c"); // same tick as "b", scheduled later
+        let mut seen = Vec::new();
+        eng.run(|_, at, p| seen.push((at.0, p)));
+        assert_eq!(seen, vec![(5, "a"), (10, "b"), (10, "c")]);
+    }
+
+    #[test]
+    fn handler_can_schedule_more() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_at(Ticks(1), 0);
+        let mut fired = Vec::new();
+        eng.run(|eng, _, n| {
+            fired.push(n);
+            if n < 4 {
+                eng.schedule_in(TickDuration(2), n + 1);
+            }
+        });
+        assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+        assert_eq!(eng.now(), Ticks(9));
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut eng: Engine<&'static str> = Engine::new();
+        let a = eng.schedule_at(Ticks(1), "a");
+        eng.schedule_at(Ticks(2), "b");
+        assert!(eng.cancel(a));
+        assert!(!eng.cancel(a), "double-cancel reports false");
+        assert_eq!(eng.pending(), 1);
+        let mut seen = Vec::new();
+        eng.run(|_, _, p| seen.push(p));
+        assert_eq!(seen, vec!["b"]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut eng: Engine<()> = Engine::new();
+        assert!(!eng.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut eng: Engine<u8> = Engine::new();
+        eng.schedule_at(Ticks(1), 1);
+        eng.schedule_at(Ticks(100), 2);
+        let mut seen = Vec::new();
+        eng.run_until(Ticks(50), |_, _, p| seen.push(p));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(eng.pending(), 1);
+        assert_eq!(eng.now(), Ticks(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule_at(Ticks(5), ());
+        let _ = eng.next();
+        eng.schedule_at(Ticks(3), ());
+    }
+
+    proptest! {
+        /// Events always replay in non-decreasing time order with FIFO
+        /// tie-breaking, whatever the insertion order.
+        #[test]
+        fn replay_order_invariant(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut eng: Engine<usize> = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                eng.schedule_at(Ticks(t), i);
+            }
+            let mut fired: Vec<(u64, usize)> = Vec::new();
+            eng.run(|_, at, i| fired.push((at.0, i)));
+            prop_assert_eq!(fired.len(), times.len());
+            for w in fired.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                if w[0].0 == w[1].0 {
+                    // FIFO within a tick: insertion (payload) order.
+                    prop_assert!(w[0].1 < w[1].1);
+                }
+            }
+        }
+
+        /// Cancelling an arbitrary subset removes exactly that subset.
+        #[test]
+        fn cancellation_subset(times in proptest::collection::vec(0u64..100, 1..50), mask in proptest::collection::vec(any::<bool>(), 50)) {
+            let mut eng: Engine<usize> = Engine::new();
+            let ids: Vec<_> = times.iter().enumerate().map(|(i, &t)| eng.schedule_at(Ticks(t), i)).collect();
+            let mut expect: Vec<usize> = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                if mask[i % mask.len()] {
+                    eng.cancel(*id);
+                } else {
+                    expect.push(i);
+                }
+            }
+            let mut fired = Vec::new();
+            eng.run(|_, _, i| fired.push(i));
+            fired.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(fired, expect);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Fault injection: lost broadcasts and the stalls they cause.
+//!
+//! The paper assumes a lossless isochronous network. Real metropolitan
+//! plants drop things, so the simulator can mark individual broadcast
+//! *occurrences* as lost (seeded, reproducible — in the spirit of
+//! smoltcp's `--drop-chance` examples). A client that planned to catch a
+//! lost occurrence must fall back to the next surviving one; if that
+//! arrives too late, playback **stalls** — the player pauses until the
+//! segment's delivery catches up, pushing every later deadline back.
+//!
+//! [`apply_losses`] rewrites a [`ClientSchedule`] under a [`LossModel`]
+//! and returns the stalls incurred. Tests assert the two invariants that
+//! make fault behaviour trustworthy: zero loss ⇒ identical schedule and no
+//! stalls; any loss ⇒ the repaired schedule is still starvation-free
+//! *after* accounting for the reported stalls.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vod_units::Minutes;
+
+use sb_core::plan::ChannelPlan;
+
+use crate::schedule::ClientSchedule;
+
+/// Decides which broadcast occurrences are lost.
+///
+/// An occurrence is identified by `(channel, occurrence index)` where the
+/// index counts cycle repetitions of the channel since the epoch. The
+/// decision is a pure function of the seed, so every client in a run sees
+/// the same losses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Probability in `[0, 1]` that any given occurrence is lost.
+    pub drop_probability: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl LossModel {
+    /// A lossless model.
+    #[must_use]
+    pub fn lossless() -> Self {
+        Self {
+            drop_probability: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// `true` if occurrence `occ` on `channel` is lost.
+    ///
+    /// # Panics
+    /// Panics if `drop_probability` is outside `[0, 1]`.
+    #[must_use]
+    pub fn is_lost(&self, channel: usize, occ: u64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&self.drop_probability),
+            "drop probability must be in [0, 1]"
+        );
+        if self.drop_probability <= 0.0 {
+            return false;
+        }
+        if self.drop_probability >= 1.0 {
+            return true;
+        }
+        // Derive a per-occurrence stream: deterministic, order-independent.
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ (channel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ occ.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        rng.gen::<f64>() < self.drop_probability
+    }
+}
+
+/// One playback stall caused by losses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stall {
+    /// Segment whose lateness caused the stall.
+    pub segment: usize,
+    /// How long the player froze.
+    pub duration: Minutes,
+}
+
+/// The outcome of replaying a schedule under losses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallReport {
+    /// The repaired schedule (later receptions, shifted playback).
+    pub schedule: ClientSchedule,
+    /// Stalls in playback order.
+    pub stalls: Vec<Stall>,
+}
+
+impl StallReport {
+    /// Total frozen time.
+    #[must_use]
+    pub fn total_stall(&self) -> Minutes {
+        Minutes(self.stalls.iter().map(|s| s.duration.value()).sum())
+    }
+}
+
+/// Which occurrence index of `channel`'s cycle contains the broadcast
+/// starting at `start`?
+fn occurrence_index(plan: &ChannelPlan, channel: usize, start: Minutes) -> u64 {
+    let ch = &plan.channels[channel];
+    let period = ch.period().value();
+    (((start.value() - ch.phase.value()) / period) + 0.5).floor().max(0.0) as u64
+}
+
+/// Replay `schedule` under `losses`: every reception whose occurrence is
+/// lost slips to the next surviving occurrence on the same channel, and
+/// playback stalls whenever a segment thereby misses its (shifted)
+/// deadline.
+///
+/// Gives up (still reports, with a final giant stall) after
+/// `MAX_RETRIES` consecutive lost occurrences of one segment.
+#[must_use]
+pub fn apply_losses(
+    plan: &ChannelPlan,
+    schedule: &ClientSchedule,
+    losses: &LossModel,
+) -> StallReport {
+    const MAX_RETRIES: u64 = 1_000;
+    let mut out = schedule.clone();
+    let mut stalls = Vec::new();
+    // Accumulated playback shift from stalls so far.
+    let mut shift = 0.0f64;
+
+    for i in 0..out.downloads.len() {
+        let d = out.downloads[i];
+        let ch = &plan.channels[d.channel];
+        let period = ch.period().value();
+        let mut occ = occurrence_index(plan, d.channel, d.start);
+        let mut start = d.start.value();
+        let mut retries = 0;
+        while losses.is_lost(d.channel, occ) && retries < MAX_RETRIES {
+            occ += 1;
+            start += period;
+            retries += 1;
+        }
+        out.downloads[i].start = Minutes(start);
+
+        // The deadline this segment must meet, in the *shifted* timeline.
+        let required = schedule.required_start(i, d.rate).value() + shift;
+        if start > required + 1e-9 {
+            let pause = start - required;
+            shift += pause;
+            stalls.push(Stall {
+                segment: i,
+                duration: Minutes(pause),
+            });
+        }
+    }
+    // Apply the accumulated shift… stalls delay playback of later
+    // segments. We fold the total shift into playback_start of the
+    // repaired schedule only when the very first segment slipped; per-
+    // segment shifts are captured in the stall list (the ClientSchedule
+    // type models unstalled playback, so jitter checks on the repaired
+    // schedule must add the stall shifts — see `jitter_free_with_stalls`).
+    StallReport {
+        schedule: out,
+        stalls,
+    }
+}
+
+/// Starvation check for a repaired schedule: every reception start must be
+/// within tolerance of its deadline *after* crediting the stalls that
+/// precede it.
+#[must_use]
+pub fn jitter_free_with_stalls(report: &StallReport, tol: f64) -> bool {
+    let mut shift = 0.0f64;
+    let mut stall_iter = report.stalls.iter().peekable();
+    for (i, d) in report.schedule.downloads.iter().enumerate() {
+        while let Some(s) = stall_iter.peek() {
+            if s.segment <= i {
+                shift += s.duration.value();
+                stall_iter.next();
+            } else {
+                break;
+            }
+        }
+        let required = report.schedule.required_start(i, d.rate).value() + shift;
+        if d.start.value() > required + tol {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{schedule_client, ClientPolicy};
+    use sb_core::config::SystemConfig;
+    use sb_core::plan::VideoId;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_core::series::Width;
+    use sb_core::Skyscraper;
+    use vod_units::Mbps;
+
+    fn sb_setup() -> (SystemConfig, sb_core::plan::ChannelPlan) {
+        let cfg = SystemConfig::paper_defaults(Mbps(150.0));
+        let plan = Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap();
+        (cfg, plan)
+    }
+
+    #[test]
+    fn lossless_is_identity() {
+        let (cfg, plan) = sb_setup();
+        let s = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(3.3),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        let r = apply_losses(&plan, &s, &LossModel::lossless());
+        assert_eq!(r.schedule, s);
+        assert!(r.stalls.is_empty());
+        assert!(jitter_free_with_stalls(&r, 1e-9));
+    }
+
+    #[test]
+    fn losses_cause_bounded_stalls_and_remain_consistent() {
+        let (cfg, plan) = sb_setup();
+        let s = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(3.3),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        let mut any_stall = false;
+        for seed in 0..20 {
+            let model = LossModel {
+                drop_probability: 0.3,
+                seed,
+            };
+            let r = apply_losses(&plan, &s, &model);
+            assert!(jitter_free_with_stalls(&r, 1e-6), "seed {seed}");
+            // Receptions only ever slip later, never earlier.
+            for (orig, repaired) in s.downloads.iter().zip(&r.schedule.downloads) {
+                assert!(repaired.start >= orig.start);
+            }
+            any_stall |= !r.stalls.is_empty();
+        }
+        assert!(any_stall, "30% loss over 20 seeds must stall at least once");
+    }
+
+    #[test]
+    fn loss_model_is_deterministic() {
+        let m = LossModel {
+            drop_probability: 0.5,
+            seed: 7,
+        };
+        for ch in 0..5 {
+            for occ in 0..50 {
+                assert_eq!(m.is_lost(ch, occ), m.is_lost(ch, occ));
+            }
+        }
+        // …and certain probabilities behave as advertised.
+        assert!(!LossModel::lossless().is_lost(3, 14));
+        let always = LossModel {
+            drop_probability: 1.0,
+            seed: 0,
+        };
+        assert!(always.is_lost(0, 0));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let m = LossModel {
+            drop_probability: 0.25,
+            seed: 42,
+        };
+        let lost = (0..4000).filter(|&o| m.is_lost(1, o)).count();
+        let rate = lost as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_panics() {
+        let m = LossModel {
+            drop_probability: 1.5,
+            seed: 0,
+        };
+        let _ = m.is_lost(0, 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The PPB *max-saving* client: mid-broadcast retuning ("pausing").
+//!
+//! §2 of the paper, describing PPB: "To further reduce this requirement,
+//! PPB occasionally pauses the incoming stream to allow the playback to
+//! catch up. This is done by allowing a client to discontinue the current
+//! stream and tune to another subchannel, which broadcasts the same
+//! fragment, at a later time to collect the remaining data. This, however,
+//! is difficult to implement since a client must be able to tune to a
+//! channel during, instead of at the beginning of, a broadcast."
+//!
+//! This module implements that difficult client, so the repository can
+//! measure both sides of the paper's argument: the tune-at-start client
+//! (in [`crate::policy`]) overshoots PPB's Table-1 buffer by up to ≈2×,
+//! while this pausing client gets *under* it — at the price of reception
+//! schedules made of many precisely-timed mid-broadcast joins.
+//!
+//! ## How the schedule is built
+//!
+//! A fragment of on-air time `T` is replicated on `P` subchannels with
+//! phase shifts `δ = T/P`. Replica `p` transmits byte offset `y` at wall
+//! times `p·δ + y/r + n·T`, so reception of the content at offset `y` can
+//! begin at any time on the lattice `y/r + k·δ` (picking the replica that
+//! is at the right offset then). We cut each fragment into `P·m` chunks
+//! (`m` = [`SUBDIVISIONS`]); chunk `j`, covering content from byte
+//! `y_j = j·r·ε` (`ε = δ/m`), may start at any `j·ε + k·δ`. The
+//! minimal-buffer schedule is then a reverse greedy: walk chunks from the
+//! last deadline backwards, giving each the latest lattice point that
+//! (a) meets its deadline, (b) does not overlap an already-scheduled chunk
+//! (one tuner), and (c) is not before the client's arrival. Finer `m`
+//! means smaller buffers and ever more mid-broadcast joins — the knob §2's
+//! complexity warning is about.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{MBytes, Mbits, Mbps, Minutes};
+
+use sb_core::plan::{BroadcastItem, ChannelPlan, VideoId};
+
+use crate::policy::PolicyError;
+
+/// How many pieces each replica-phase window is subdivided into. The
+/// client's retune lattice has spacing `δ = T/P` in time; `m` chunks per
+/// window bound the per-fragment prefetch lead by `≈ δ/m + ` drain slack,
+/// trading buffer for mid-broadcast joins.
+pub const SUBDIVISIONS: usize = 8;
+
+/// One contiguous reception burst (a chunk of one fragment, from one
+/// replica, joined possibly mid-broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Burst {
+    /// The fragment being received.
+    pub segment: usize,
+    /// Chunk index within the fragment (0-based).
+    pub chunk: usize,
+    /// Wall-clock start, minutes.
+    pub start: Minutes,
+    /// Burst duration, minutes.
+    pub duration: Minutes,
+    /// Reception rate (the subchannel rate).
+    pub rate: Mbps,
+    /// Content byte-offset of the chunk within the fragment, in Mbits.
+    pub content_offset: Mbits,
+    /// Chunk payload, Mbits.
+    pub size: Mbits,
+}
+
+impl Burst {
+    /// Wall-clock end of the burst.
+    #[must_use]
+    pub fn end(&self) -> Minutes {
+        self.start + self.duration
+    }
+}
+
+/// A complete pausing-client session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PausingSchedule {
+    /// Arrival time.
+    pub arrival: Minutes,
+    /// Playback start (first catchable broadcast of fragment 0).
+    pub playback_start: Minutes,
+    /// Display rate.
+    pub display_rate: Mbps,
+    /// Fragment sizes in playback order.
+    pub segment_sizes: Vec<Mbits>,
+    /// All reception bursts, sorted by start time.
+    pub bursts: Vec<Burst>,
+}
+
+impl PausingSchedule {
+    /// Playback start of segment `i`.
+    #[must_use]
+    pub fn playback_start_of(&self, i: usize) -> Minutes {
+        let prefix: f64 = self.segment_sizes[..i]
+            .iter()
+            .map(|s| (*s / self.display_rate).to_minutes().value())
+            .sum();
+        Minutes(self.playback_start.value() + prefix)
+    }
+
+    /// End of playback.
+    #[must_use]
+    pub fn playback_end(&self) -> Minutes {
+        self.playback_start_of(self.segment_sizes.len())
+    }
+
+    /// Startup latency.
+    #[must_use]
+    pub fn startup_latency(&self) -> Minutes {
+        Minutes(self.playback_start.value() - self.arrival.value())
+    }
+
+    /// Starvation check: every content byte must be received no later
+    /// than it is consumed. For a burst at rate `r ≥ b`, it suffices that
+    /// the burst starts no later than the deadline of its first byte.
+    #[must_use]
+    pub fn is_jitter_free(&self, tol: f64) -> bool {
+        let b = self.display_rate.value();
+        self.bursts.iter().all(|burst| {
+            let pb = self.playback_start_of(burst.segment).value();
+            let deadline = pb + burst.content_offset.value() / (b * 60.0);
+            burst.rate.value() >= b - 1e-12 && burst.start.value() <= deadline + tol
+        })
+    }
+
+    /// `true` when no two bursts overlap (the client has a single tuner).
+    #[must_use]
+    pub fn single_tuner(&self, tol: f64) -> bool {
+        let mut sorted: Vec<(f64, f64)> = self
+            .bursts
+            .iter()
+            .map(|b| (b.start.value(), b.end().value()))
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        sorted.windows(2).all(|w| w[0].1 <= w[1].0 + tol)
+    }
+
+    /// Peak buffer occupancy (received − consumed), in Mbits.
+    #[must_use]
+    pub fn peak_buffer(&self) -> Mbits {
+        let mut points: Vec<f64> = vec![self.playback_start.value(), self.playback_end().value()];
+        for b in &self.bursts {
+            points.push(b.start.value());
+            points.push(b.end().value());
+        }
+        points.sort_by(f64::total_cmp);
+        points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let total: f64 = self.segment_sizes.iter().map(|s| s.value()).sum();
+        let mut peak = 0.0f64;
+        for &t in &points {
+            let received: f64 = self
+                .bursts
+                .iter()
+                .map(|b| {
+                    let active = (t - b.start.value()).clamp(0.0, b.duration.value());
+                    b.rate.value() * active * 60.0
+                })
+                .sum();
+            let played = (t - self.playback_start.value())
+                .clamp(0.0, self.playback_end().value() - self.playback_start.value());
+            let consumed = (self.display_rate.value() * played * 60.0).min(total);
+            peak = peak.max(received - consumed);
+        }
+        Mbits(peak.max(0.0))
+    }
+
+    /// Peak buffer in the paper's Figure-8 unit.
+    #[must_use]
+    pub fn peak_buffer_mbytes(&self) -> MBytes {
+        self.peak_buffer().to_mbytes()
+    }
+
+    /// Number of mid-broadcast joins (bursts that do not begin at a
+    /// replica's cycle start) — the implementation complexity §2 warns
+    /// about, quantified.
+    #[must_use]
+    pub fn mid_broadcast_joins(&self) -> usize {
+        self.bursts.iter().filter(|b| b.chunk != 0).count()
+    }
+}
+
+/// Build the pausing schedule for one PPB client.
+///
+/// `plan` must be a PPB plan: every fragment carried by `P ≥ 1` equal-rate
+/// subchannels whose phases are `j·T/P` apart.
+pub fn schedule_pausing_client(
+    plan: &ChannelPlan,
+    video: VideoId,
+    arrival: Minutes,
+    display_rate: Mbps,
+) -> Result<PausingSchedule, PolicyError> {
+    let sizes = plan
+        .segment_sizes
+        .get(video.0)
+        .ok_or(PolicyError::UnknownVideo(video))?
+        .clone();
+
+    // Playback start: earliest catchable broadcast of fragment 0 over its
+    // replicas (identical to the tune-at-start client).
+    let first = BroadcastItem { video, segment: 0 };
+    let carriers0 = plan.channels_for(first);
+    if carriers0.is_empty() {
+        return Err(PolicyError::MissingSegment(0));
+    }
+    let playback_start = carriers0
+        .iter()
+        .filter_map(|c| c.next_start_of(first, arrival))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        .ok_or(PolicyError::MissingSegment(0))?;
+
+    let mut sched = PausingSchedule {
+        arrival,
+        playback_start,
+        display_rate,
+        segment_sizes: sizes.clone(),
+        bursts: Vec::new(),
+    };
+
+    // Fragment 0 is consumed live from its broadcast: one burst, chunk 0.
+    let ch0 = carriers0[0];
+    sched.bursts.push(Burst {
+        segment: 0,
+        chunk: 0,
+        start: playback_start,
+        duration: (sizes[0] / ch0.rate).to_minutes(),
+        rate: ch0.rate,
+        content_offset: Mbits(0.0),
+        size: sizes[0],
+    });
+
+    // Remaining fragments: reverse-greedy chunk placement.
+    // Collect chunks with their deadlines first.
+    struct PendingChunk {
+        segment: usize,
+        chunk: usize,
+        lattice_origin: f64, // j·ε: earliest-phase start of this chunk's lattice
+        lattice_step: f64,   // δ for this fragment, minutes
+        duration: f64,       // ε, minutes
+        deadline: f64,       // latest permissible start, minutes
+        rate: Mbps,
+        offset: Mbits,
+        size: Mbits,
+    }
+    let mut pending: Vec<PendingChunk> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `segment` is an identifier, not just an index
+    for segment in 1..sizes.len() {
+        let item = BroadcastItem { video, segment };
+        let carriers = plan.channels_for(item);
+        if carriers.is_empty() {
+            return Err(PolicyError::MissingSegment(segment));
+        }
+        let p = carriers.len();
+        let rate = carriers[0].rate;
+        let on_air = (sizes[segment] / rate).to_minutes().value();
+        let delta = on_air / p as f64;
+        let chunks = p * SUBDIVISIONS;
+        let eps = on_air / chunks as f64;
+        let chunk_size = Mbits(sizes[segment].value() / chunks as f64);
+        let pb = sched.playback_start_of(segment).value();
+        let b = display_rate.value();
+        for j in 0..chunks {
+            // Deadline of the chunk's first byte under playback at b.
+            let offset = Mbits(chunk_size.value() * j as f64);
+            let deadline = pb + offset.value() / (b * 60.0);
+            pending.push(PendingChunk {
+                segment,
+                chunk: j,
+                lattice_origin: j as f64 * eps,
+                lattice_step: delta,
+                duration: eps,
+                deadline,
+                rate,
+                offset,
+                size: chunk_size,
+            });
+        }
+    }
+    // Latest deadlines first.
+    pending.sort_by(|a, b| b.deadline.partial_cmp(&a.deadline).expect("finite"));
+
+    // Occupied intervals (start, end), kept sorted by start.
+    let mut occupied: Vec<(f64, f64)> = sched
+        .bursts
+        .iter()
+        .map(|b| (b.start.value(), b.end().value()))
+        .collect();
+
+    for c in &pending {
+        // Content at this chunk's offset is on the air at lattice points
+        // `origin + k·δ` (the PPB plan's replica 0 has phase 0).
+        let mut k = ((c.deadline - c.lattice_origin) / c.lattice_step).floor();
+        // f64 guard: make sure we start at or before the deadline.
+        while c.lattice_origin + k * c.lattice_step > c.deadline + 1e-9 {
+            k -= 1.0;
+        }
+        let start = loop {
+            let s = c.lattice_origin + k * c.lattice_step;
+            if k < 0.0 || s + 1e-9 < arrival.value() {
+                return Err(PolicyError::NoFeasibleBroadcast { segment: c.segment });
+            }
+            let e = s + c.duration;
+            let free = occupied
+                .iter()
+                .all(|&(os, oe)| e <= os + 1e-9 || s >= oe - 1e-9);
+            if free {
+                break s;
+            }
+            k -= 1.0;
+        };
+        occupied.push((start, start + c.duration));
+        occupied.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sched.bursts.push(Burst {
+            segment: c.segment,
+            chunk: c.chunk,
+            start: Minutes(start),
+            duration: Minutes(c.duration),
+            rate: c.rate,
+            content_offset: c.offset,
+            size: c.size,
+        });
+    }
+    sched
+        .bursts
+        .sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+    Ok(sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{schedule_client, ClientPolicy};
+    use proptest::prelude::*;
+    use sb_core::config::SystemConfig;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_pyramid::PermutationPyramid;
+
+    fn setup(b: f64) -> (SystemConfig, sb_core::plan::ChannelPlan, PermutationPyramid) {
+        let cfg = SystemConfig::paper_defaults(Mbps(b));
+        let scheme = PermutationPyramid::b();
+        let plan = scheme.plan(&cfg).unwrap();
+        (cfg, plan, scheme)
+    }
+
+    #[test]
+    fn pausing_client_is_consistent() {
+        let (cfg, plan, _) = setup(320.0);
+        for i in 0..40 {
+            let arrival = Minutes(30.0 * i as f64 / 40.0);
+            let s =
+                schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
+            assert!(s.is_jitter_free(1e-6), "arrival {arrival}");
+            assert!(s.single_tuner(1e-6), "arrival {arrival}");
+            // Total received equals the video.
+            let received: f64 = s.bursts.iter().map(|b| b.size.value()).sum();
+            let total: f64 = s.segment_sizes.iter().map(|x| x.value()).sum();
+            assert!((received - total).abs() < 1e-6 * total);
+        }
+    }
+
+    #[test]
+    fn pausing_beats_tune_at_start_and_the_table1_number() {
+        // The point of the module: the §2 "max saving" client needs less
+        // buffer than both the tune-at-start client and the analytic
+        // Table-1 PPB requirement.
+        let (cfg, plan, scheme) = setup(320.0);
+        let analytic = scheme.metrics(&cfg).unwrap().buffer_requirement;
+        let mut worst_pausing = 0.0f64;
+        let mut worst_start = 0.0f64;
+        for i in 0..60 {
+            let arrival = Minutes(30.0 * i as f64 / 60.0);
+            let p = schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate)
+                .unwrap();
+            worst_pausing = worst_pausing.max(p.peak_buffer().value());
+            let t = schedule_client(
+                &plan,
+                VideoId(0),
+                arrival,
+                cfg.display_rate,
+                ClientPolicy::LatestFeasible,
+            )
+            .unwrap();
+            worst_start = worst_start.max(t.peak_buffer().value());
+        }
+        assert!(
+            worst_pausing < worst_start * 0.8,
+            "pausing {worst_pausing:.0} vs tune-at-start {worst_start:.0} Mbit"
+        );
+        assert!(
+            worst_pausing <= analytic.value() * 1.01,
+            "pausing {worst_pausing:.0} vs Table-1 {analytic}"
+        );
+    }
+
+    #[test]
+    fn pausing_pays_in_synchronization_complexity() {
+        // §2's criticism, measured: the schedule is full of mid-broadcast
+        // joins, unlike the tune-at-start client which has none.
+        let (cfg, plan, _) = setup(320.0);
+        let s = schedule_pausing_client(&plan, VideoId(0), Minutes(3.7), cfg.display_rate)
+            .unwrap();
+        assert!(
+            s.mid_broadcast_joins() > 0,
+            "expected mid-broadcast tunings, got a trivial schedule"
+        );
+        // Latency is unchanged (first fragment handling is identical).
+        let t = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(3.7),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        assert!(s.startup_latency().approx_eq(t.startup_latency(), 1e-9));
+    }
+
+    #[test]
+    fn works_for_ppb_a_single_replica() {
+        // P = 1: the retune lattice degenerates to one point per cycle —
+        // the client pauses and picks the content up again on a *later
+        // cycle of the same subchannel*, which still slashes its buffer
+        // relative to tune-at-start.
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        let scheme = PermutationPyramid::a();
+        let plan = scheme.plan(&cfg).unwrap();
+        let analytic = scheme.metrics(&cfg).unwrap().buffer_requirement;
+        let s = schedule_pausing_client(&plan, VideoId(1), Minutes(5.0), cfg.display_rate)
+            .unwrap();
+        assert!(s.is_jitter_free(1e-6));
+        assert!(s.single_tuner(1e-6));
+        let t = schedule_client(
+            &plan,
+            VideoId(1),
+            Minutes(5.0),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        assert!(s.peak_buffer().value() < t.peak_buffer().value());
+        assert!(s.peak_buffer().value() <= analytic.value() * 1.01);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Pausing sessions stay consistent across bandwidths, variants,
+        /// videos and arrivals, and never exceed the Table-1 buffer.
+        #[test]
+        fn pausing_invariants(
+            b in 95.0f64..600.0,
+            variant_b in any::<bool>(),
+            video in 0usize..10,
+            arrival in 0.0f64..40.0,
+        ) {
+            let cfg = SystemConfig::paper_defaults(Mbps(b));
+            let scheme = if variant_b {
+                PermutationPyramid::b()
+            } else {
+                PermutationPyramid::a()
+            };
+            let Ok(plan) = scheme.plan(&cfg) else { return Ok(()) };
+            let analytic = scheme.metrics(&cfg).unwrap().buffer_requirement;
+            let s = schedule_pausing_client(
+                &plan,
+                VideoId(video),
+                Minutes(arrival),
+                cfg.display_rate,
+            )
+            .unwrap();
+            prop_assert!(s.is_jitter_free(1e-6));
+            prop_assert!(s.single_tuner(1e-6));
+            prop_assert!(s.peak_buffer().value() <= analytic.value() * 1.01);
+            let received: f64 = s.bursts.iter().map(|x| x.size.value()).sum();
+            let total: f64 = s.segment_sizes.iter().map(|x| x.value()).sum();
+            prop_assert!((received - total).abs() < 1e-6 * total);
+        }
+    }
+
+    #[test]
+    fn unknown_video_errors() {
+        let (cfg, plan, _) = setup(320.0);
+        assert!(matches!(
+            schedule_pausing_client(&plan, VideoId(55), Minutes(0.0), cfg.display_rate),
+            Err(PolicyError::UnknownVideo(_))
+        ));
+    }
+}

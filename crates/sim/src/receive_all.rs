@@ -1,0 +1,296 @@
+//! The *receive-all* client of Harmonic Broadcasting — and the famous
+//! correctness bug it exposes.
+//!
+//! An HB client cannot tune at broadcast beginnings: slot `i`'s channel
+//! repeats every `i` slot-times, so waiting for a fresh start of every
+//! channel would take forever. Instead the client records **every channel
+//! from the moment it tunes in**, catching each mid-broadcast and keeping
+//! the wrap-around pieces: byte `y` of slot `i` becomes available the
+//! first time channel `i` transmits it after tune-in.
+//!
+//! Juhn & Tseng's original analysis assumed playback could start with the
+//! next slot-1 broadcast. Pâris, Carter & Long showed that is wrong:
+//! depending on the tune-in phase, bytes of later slots caught mid-cycle
+//! arrive *after* their playback deadline. [`record_all`] computes the
+//! exact per-byte availability, so [`RecordingSchedule::worst_shortfall`]
+//! measures the bug, and the tests demonstrate both the starvation of the
+//! original rule and the correctness of the delayed-playback fix across
+//! arrival phases.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{MBytes, Mbits, Mbps, Minutes};
+
+use sb_core::plan::{BroadcastItem, ChannelPlan, VideoId};
+
+use crate::policy::PolicyError;
+
+/// Reception of one segment by the recording client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    /// The segment.
+    pub segment: usize,
+    /// Channel rate.
+    pub rate: Mbps,
+    /// Segment size.
+    pub size: Mbits,
+    /// Channel cycle period, minutes.
+    pub period: Minutes,
+    /// Phase of the channel cycle at tune-in: how far into its cycle the
+    /// channel is when recording starts, in minutes.
+    pub phase_at_tune_in: Minutes,
+}
+
+impl Recording {
+    /// When byte `y` (Mbits from the segment start) becomes available,
+    /// in minutes after tune-in.
+    #[must_use]
+    pub fn available_after(&self, y: f64) -> f64 {
+        let tau = y / (self.rate.value() * 60.0); // cycle-time of byte y
+        let lag = tau - self.phase_at_tune_in.value();
+        if lag >= 0.0 {
+            lag
+        } else {
+            lag + self.period.value()
+        }
+    }
+}
+
+/// The complete receive-all session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordingSchedule {
+    /// Arrival time of the request.
+    pub arrival: Minutes,
+    /// When recording (tune-in) begins.
+    pub tune_in: Minutes,
+    /// When playback begins (`tune_in` + the variant's delay).
+    pub playback_start: Minutes,
+    /// Display rate.
+    pub display_rate: Mbps,
+    /// Per-segment recordings, in playback order.
+    pub recordings: Vec<Recording>,
+}
+
+impl RecordingSchedule {
+    /// Playback start of segment `s`, minutes after tune-in.
+    fn playback_offset(&self, s: usize) -> f64 {
+        let b = self.display_rate.value() * 60.0;
+        let prefix: f64 = self.recordings[..s].iter().map(|r| r.size.value()).sum();
+        (self.playback_start.value() - self.tune_in.value()) + prefix / b
+    }
+
+    /// The worst lateness over every byte of every segment: how long after
+    /// its playback deadline the most-delayed byte arrives (negative =
+    /// everything on time). This is the §HB bug, quantified in minutes.
+    #[must_use]
+    pub fn worst_shortfall(&self) -> f64 {
+        let b = self.display_rate.value() * 60.0; // Mbits per minute
+        let mut worst = f64::NEG_INFINITY;
+        for (s, r) in self.recordings.iter().enumerate() {
+            let pb = self.playback_offset(s);
+            let z = r.size.value();
+            // lateness(y) = avail(y) − (pb + y/b) is piecewise linear in y
+            // with positive slope (rate < b) and one wrap discontinuity at
+            // y* where the channel cycle passed tune-in; evaluate at the
+            // ends of both pieces.
+            let y_star = (r.phase_at_tune_in.value() * r.rate.value() * 60.0).clamp(0.0, z);
+            for y in [0.0, (y_star - 1e-9).max(0.0), y_star, z] {
+                let lateness = r.available_after(y) - (pb + y / b);
+                worst = worst.max(lateness);
+            }
+        }
+        worst
+    }
+
+    /// `true` when no byte misses its deadline (within `tol` minutes).
+    #[must_use]
+    pub fn is_jitter_free(&self, tol: f64) -> bool {
+        self.worst_shortfall() <= tol
+    }
+
+    /// Aggregate reception rate while all channels are still recording —
+    /// the client I/O burden HB trades its bandwidth savings for.
+    #[must_use]
+    pub fn total_receive_rate(&self) -> Mbps {
+        Mbps(self.recordings.iter().map(|r| r.rate.value()).sum())
+    }
+
+    /// Peak buffer: recorded-so-far minus consumed-so-far, maximized over
+    /// the breakpoints (each channel stops after one full period; playback
+    /// is linear).
+    #[must_use]
+    pub fn peak_buffer(&self) -> Mbits {
+        let b = self.display_rate.value() * 60.0;
+        let total: f64 = self.recordings.iter().map(|r| r.size.value()).sum();
+        let play0 = self.playback_start.value() - self.tune_in.value();
+        let play_end = play0 + total / b;
+        let mut points: Vec<f64> = vec![0.0, play0, play_end];
+        points.extend(self.recordings.iter().map(|r| r.period.value()));
+        points.sort_by(f64::total_cmp);
+        points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let mut peak = 0.0f64;
+        for &t in &points {
+            let received: f64 = self
+                .recordings
+                .iter()
+                .map(|r| r.rate.value() * 60.0 * t.min(r.period.value()))
+                .sum();
+            let consumed = ((t - play0).max(0.0) * b).min(total);
+            peak = peak.max(received - consumed);
+        }
+        Mbits(peak.max(0.0))
+    }
+
+    /// Peak buffer in Figure-8 units.
+    #[must_use]
+    pub fn peak_buffer_mbytes(&self) -> MBytes {
+        self.peak_buffer().to_mbytes()
+    }
+}
+
+/// Build the receive-all session: tune in at the next broadcast start of
+/// segment 0 after `arrival`, record every channel from that moment, and
+/// begin playback `playback_delay` later.
+///
+/// Every segment must be carried by exactly one single-item channel (true
+/// for HB plans; SB/FB plans should use the tune-at-start policies
+/// instead).
+pub fn record_all(
+    plan: &ChannelPlan,
+    video: VideoId,
+    arrival: Minutes,
+    display_rate: Mbps,
+    playback_delay: Minutes,
+) -> Result<RecordingSchedule, PolicyError> {
+    let sizes = plan
+        .segment_sizes
+        .get(video.0)
+        .ok_or(PolicyError::UnknownVideo(video))?
+        .clone();
+    let first = BroadcastItem { video, segment: 0 };
+    let carriers = plan.channels_for(first);
+    let tune_in = carriers
+        .iter()
+        .filter_map(|c| c.next_start_of(first, arrival))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        .ok_or(PolicyError::MissingSegment(0))?;
+
+    let mut recordings = Vec::with_capacity(sizes.len());
+    for (segment, &size) in sizes.iter().enumerate() {
+        let item = BroadcastItem { video, segment };
+        let carriers = plan.channels_for(item);
+        let ch = *carriers
+            .first()
+            .ok_or(PolicyError::MissingSegment(segment))?;
+        let period = ch.period();
+        let phase = (tune_in.value() - ch.phase.value()).rem_euclid(period.value());
+        recordings.push(Recording {
+            segment,
+            rate: ch.rate,
+            size,
+            period,
+            phase_at_tune_in: Minutes(phase),
+        });
+    }
+    Ok(RecordingSchedule {
+        arrival,
+        tune_in,
+        playback_start: Minutes(tune_in.value() + playback_delay.value()),
+        display_rate,
+        recordings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::config::SystemConfig;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_pyramid::HarmonicBroadcasting;
+
+    fn setup() -> (SystemConfig, sb_core::plan::ChannelPlan, Minutes) {
+        // B = 60 → N = 30 slots of 4 minutes.
+        let cfg = SystemConfig::paper_defaults(Mbps(60.0));
+        let scheme = HarmonicBroadcasting::original();
+        let plan = scheme.plan(&cfg).unwrap();
+        let slot = scheme.slot(&cfg).unwrap();
+        (cfg, plan, slot)
+    }
+
+    #[test]
+    fn original_hb_starves_at_some_phases() {
+        // The Pâris–Carter–Long result: with playback starting at the next
+        // slot-1 broadcast (zero delay), some tune-in phases leave bytes
+        // arriving after their deadlines.
+        let (cfg, plan, slot) = setup();
+        let mut worst = f64::NEG_INFINITY;
+        let mut starving_phases = 0;
+        for i in 0..60 {
+            let arrival = Minutes(slot.value() * i as f64 / 60.0 * 7.0);
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, Minutes(0.0))
+                .unwrap();
+            let short = s.worst_shortfall();
+            worst = worst.max(short);
+            if short > 1e-6 {
+                starving_phases += 1;
+            }
+        }
+        assert!(
+            starving_phases > 0,
+            "original HB must starve somewhere; worst shortfall {worst:.4} min"
+        );
+        // The classical bound: the shortfall never exceeds one slot time.
+        assert!(worst <= slot.value() + 1e-6, "shortfall {worst} vs slot {slot}");
+    }
+
+    #[test]
+    fn delayed_hb_is_jitter_free_everywhere() {
+        let (cfg, plan, slot) = setup();
+        for i in 0..120 {
+            let arrival = Minutes(slot.value() * i as f64 / 120.0 * 13.0);
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
+            assert!(
+                s.is_jitter_free(1e-6),
+                "arrival {arrival}: shortfall {}",
+                s.worst_shortfall()
+            );
+        }
+    }
+
+    #[test]
+    fn hb_buffer_around_forty_percent() {
+        // The classic HB storage figure: a bit under 40 % of the video.
+        let (cfg, plan, slot) = setup();
+        let video = cfg.video_size().value();
+        let mut worst = 0.0f64;
+        for i in 0..40 {
+            let arrival = Minutes(slot.value() * i as f64 / 40.0 * 5.0);
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
+            worst = worst.max(s.peak_buffer().value());
+        }
+        let frac = worst / video;
+        assert!(
+            (0.25..=0.45).contains(&frac),
+            "HB buffer fraction {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn receive_rate_is_harmonic() {
+        let (cfg, plan, _) = setup();
+        let s = record_all(&plan, VideoId(0), Minutes(1.0), cfg.display_rate, Minutes(0.0))
+            .unwrap();
+        let h30 = sb_pyramid::harmonic::harmonic(30);
+        assert!((s.total_receive_rate().value() - 1.5 * h30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_bounded_by_slot_plus_delay() {
+        let (cfg, plan, slot) = setup();
+        for i in 0..50 {
+            let arrival = Minutes(0.37 * i as f64);
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
+            let latency = s.playback_start.value() - arrival.value();
+            assert!(latency <= 2.0 * slot.value() + 1e-9, "latency {latency}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Whole-system simulation: many clients against one broadcast plan.
+//!
+//! Periodic broadcast's selling point (§1) is that server load is
+//! *independent of the request rate* — the channels burn the same
+//! bandwidth whether one client or a million watch. What varies with load
+//! is the client-side picture: how many sessions are active, what startup
+//! latencies the population experiences, how much buffer the worst client
+//! of the day needed. [`SystemSim`] drives a stream of arrivals through
+//! the [`crate::engine`] and aggregates exactly those statistics.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes, TickScale, Ticks};
+
+use sb_core::plan::{ChannelPlan, VideoId};
+
+use crate::engine::Engine;
+use crate::policy::{schedule_client, ClientPolicy, PolicyError};
+
+/// One viewer request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time.
+    pub at: Minutes,
+    /// Requested video.
+    pub video: VideoId,
+}
+
+/// Aggregate statistics from a system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Number of sessions served.
+    pub sessions: usize,
+    /// Mean startup latency over all sessions.
+    pub mean_latency: Minutes,
+    /// Median (p50) startup latency.
+    pub p50_latency: Minutes,
+    /// 95th-percentile startup latency.
+    pub p95_latency: Minutes,
+    /// Worst startup latency over all sessions.
+    pub worst_latency: Minutes,
+    /// Worst per-client peak buffer over all sessions.
+    pub worst_buffer: Mbits,
+    /// Largest number of simultaneously active sessions.
+    pub peak_active_sessions: usize,
+    /// Total client-hours of playback delivered.
+    pub delivered_minutes: Minutes,
+}
+
+/// Engine events for the system run.
+enum Ev {
+    Arrive(Request),
+    Finish,
+}
+
+/// A many-client simulation over a fixed broadcast plan.
+pub struct SystemSim<'a> {
+    plan: &'a ChannelPlan,
+    display_rate: Mbps,
+    policy: ClientPolicy,
+    scale: TickScale,
+}
+
+impl<'a> SystemSim<'a> {
+    /// Create a simulation against `plan`.
+    #[must_use]
+    pub fn new(plan: &'a ChannelPlan, display_rate: Mbps, policy: ClientPolicy) -> Self {
+        Self {
+            plan,
+            display_rate,
+            policy,
+            scale: TickScale::default(),
+        }
+    }
+
+    /// Use a non-default tick resolution.
+    #[must_use]
+    pub fn with_scale(mut self, scale: TickScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Run the request stream to completion and aggregate statistics.
+    ///
+    /// Requests need not be sorted; the engine orders them.
+    pub fn run(&self, requests: &[Request]) -> Result<SystemReport, PolicyError> {
+        let mut engine: Engine<Ev> = Engine::new();
+        for &r in requests {
+            engine.schedule_at(
+                Ticks::ZERO + self.scale.duration_from_minutes(r.at),
+                Ev::Arrive(r),
+            );
+        }
+
+        let mut sessions = 0usize;
+        let mut latency_sum = 0.0f64;
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut worst_latency = Minutes(0.0);
+        let mut worst_buffer = Mbits::ZERO;
+        let mut active = 0usize;
+        let mut peak_active = 0usize;
+        let mut delivered = 0.0f64;
+        let mut error: Option<PolicyError> = None;
+
+        engine.run(|eng, _at, ev| match ev {
+            Ev::Arrive(r) => {
+                if error.is_some() {
+                    return;
+                }
+                match schedule_client(self.plan, r.video, r.at, self.display_rate, self.policy) {
+                    Ok(s) => {
+                        sessions += 1;
+                        active += 1;
+                        peak_active = peak_active.max(active);
+                        let lat = s.startup_latency();
+                        latency_sum += lat.value();
+                        latencies.push(lat.value());
+                        worst_latency = worst_latency.max(lat);
+                        worst_buffer = worst_buffer.max(s.peak_buffer());
+                        let end = s.playback_end();
+                        delivered += end.value() - s.playback_start.value();
+                        eng.schedule_at(
+                            Ticks::ZERO + self.scale.duration_from_minutes(end),
+                            Ev::Finish,
+                        );
+                    }
+                    Err(e) => error = Some(e),
+                }
+            }
+            Ev::Finish => {
+                active = active.saturating_sub(1);
+            }
+        });
+
+        if let Some(e) = error {
+            return Err(e);
+        }
+        latencies.sort_by(f64::total_cmp);
+        let percentile = |q: f64| -> Minutes {
+            if latencies.is_empty() {
+                Minutes(0.0)
+            } else {
+                let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+                Minutes(latencies[idx])
+            }
+        };
+        Ok(SystemReport {
+            sessions,
+            mean_latency: Minutes(if sessions > 0 {
+                latency_sum / sessions as f64
+            } else {
+                0.0
+            }),
+            p50_latency: percentile(0.5),
+            p95_latency: percentile(0.95),
+            worst_latency,
+            worst_buffer,
+            peak_active_sessions: peak_active,
+            delivered_minutes: Minutes(delivered),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::config::SystemConfig;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_core::series::Width;
+    use sb_core::Skyscraper;
+
+    fn requests_grid(n: usize, videos: usize, span: f64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                at: Minutes(span * i as f64 / n as f64),
+                video: VideoId(i % videos),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hundred_clients_all_bounded() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let scheme = Skyscraper::with_width(Width::Capped(52));
+        let plan = scheme.plan(&cfg).unwrap();
+        let metrics = scheme.metrics(&cfg).unwrap();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let report = sim.run(&requests_grid(100, 10, 30.0)).unwrap();
+        assert_eq!(report.sessions, 100);
+        assert!(report.worst_latency.value() <= metrics.access_latency.value() + 1e-9);
+        assert!(report.worst_buffer.value() <= metrics.buffer_requirement.value() * (1.0 + 1e-9));
+        assert!(report.mean_latency.value() <= report.worst_latency.value());
+        assert!(report.p50_latency <= report.p95_latency);
+        assert!(report.p95_latency <= report.worst_latency);
+        // All 100 two-hour sessions overlap within the 30-minute window.
+        assert!(report.peak_active_sessions >= 90);
+        assert!(report.delivered_minutes.value() > 100.0 * 119.0);
+    }
+
+    #[test]
+    fn mean_latency_is_about_half_worst() {
+        // Uniform arrivals against a periodic first fragment: the mean wait
+        // approaches half the period.
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let scheme = Skyscraper::with_width(Width::Capped(2));
+        let plan = scheme.plan(&cfg).unwrap();
+        let d1 = scheme.metrics(&cfg).unwrap().access_latency.value();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let report = sim.run(&requests_grid(500, 1, 50.0)).unwrap();
+        let ratio = report.mean_latency.value() / d1;
+        assert!((ratio - 0.5).abs() < 0.05, "mean/worst = {ratio:.3}");
+    }
+
+    #[test]
+    fn empty_request_stream() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::unbounded().plan(&cfg).unwrap();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let report = sim.run(&[]).unwrap();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.peak_active_sessions, 0);
+    }
+
+    #[test]
+    fn unknown_video_propagates() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::unbounded().plan(&cfg).unwrap();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let err = sim
+            .run(&[Request {
+                at: Minutes(0.0),
+                video: VideoId(77),
+            }])
+            .unwrap_err();
+        assert_eq!(err, PolicyError::UnknownVideo(VideoId(77)));
+    }
+}

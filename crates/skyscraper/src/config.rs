@@ -1,0 +1,111 @@
+//! The paper's system model: a server of bandwidth `B` periodically
+//! broadcasting `M` popular videos of length `D` at display rate `b`.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes};
+
+use crate::error::{Result, SchemeError};
+
+/// The `(B, M, D, b)` quadruple of §2's notation table.
+///
+/// * `B` — server (network-I/O) bandwidth in Mbits/sec,
+/// * `M` — number of videos being periodically broadcast,
+/// * `D` — length of each video in minutes,
+/// * `b` — display (consumption) rate of each video in Mbits/sec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Total server network-I/O bandwidth `B`.
+    pub server_bandwidth: Mbps,
+    /// Number of popular videos `M` served by periodic broadcast.
+    pub num_videos: usize,
+    /// Playback duration `D` of each video.
+    pub video_length: Minutes,
+    /// Display rate `b` of each video.
+    pub display_rate: Mbps,
+}
+
+impl SystemConfig {
+    /// §5's evaluation setting: `M = 10` popular videos, `D = 120` minutes,
+    /// MPEG-1 compression so `b = 1.5` Mb/s; the server bandwidth is the
+    /// swept variable (100–600 Mb/s in the paper's figures).
+    #[must_use]
+    pub fn paper_defaults(server_bandwidth: Mbps) -> Self {
+        Self {
+            server_bandwidth,
+            num_videos: 10,
+            video_length: Minutes(120.0),
+            display_rate: Mbps(1.5),
+        }
+    }
+
+    /// Validate the configuration (positive, finite quantities).
+    pub fn validate(&self) -> Result<()> {
+        let pos = |v: f64| v.is_finite() && v > 0.0;
+        if !pos(self.server_bandwidth.value()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "server bandwidth must be positive and finite",
+            });
+        }
+        if self.num_videos == 0 {
+            return Err(SchemeError::InvalidConfig {
+                what: "at least one video is required",
+            });
+        }
+        if !pos(self.video_length.value()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "video length must be positive and finite",
+            });
+        }
+        if !pos(self.display_rate.value()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "display rate must be positive and finite",
+            });
+        }
+        Ok(())
+    }
+
+    /// Size of one whole video in Mbits (`60·b·D`).
+    #[must_use]
+    pub fn video_size(&self) -> Mbits {
+        self.display_rate * self.video_length
+    }
+
+    /// The bandwidth ratio `B / (b·M)` — how many display-rate channels the
+    /// server can dedicate to each video. Every scheme's channel-count rule
+    /// is a rounding of this.
+    #[must_use]
+    pub fn channels_ratio(&self) -> f64 {
+        self.server_bandwidth.value() / (self.display_rate.value() * self.num_videos as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        assert_eq!(cfg.num_videos, 10);
+        assert_eq!(cfg.video_length, Minutes(120.0));
+        assert_eq!(cfg.display_rate, Mbps(1.5));
+        assert_eq!(cfg.video_size(), Mbits(10_800.0));
+        assert!((cfg.channels_ratio() - 20.0).abs() < 1e-12);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut cfg = SystemConfig::paper_defaults(Mbps(0.0));
+        assert!(cfg.validate().is_err());
+        cfg.server_bandwidth = Mbps(100.0);
+        cfg.num_videos = 0;
+        assert!(cfg.validate().is_err());
+        cfg.num_videos = 10;
+        cfg.video_length = Minutes(f64::NAN);
+        assert!(cfg.validate().is_err());
+        cfg.video_length = Minutes(120.0);
+        cfg.display_rate = Mbps(-1.5);
+        assert!(cfg.validate().is_err());
+    }
+}

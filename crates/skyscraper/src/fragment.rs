@@ -1,0 +1,183 @@
+//! Data fragmentation: from a `(K, W)` pair and a video length to concrete
+//! fragment durations and sizes (§3.2).
+//!
+//! Fragment `i` of a `K`-fragment video spans `uᵢ = min(f(i), W)` *units*
+//! of `D₁ = D / Σ uⱼ` minutes each. The access latency of the scheme is
+//! exactly `D₁` (a fresh broadcast of the one-unit first fragment starts
+//! every `D₁` minutes), which is how §3.2's formula
+//! `Access Latency = D / Σ min(f(i), W)` arises.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes};
+
+use crate::error::{Result, SchemeError};
+use crate::series::{Width, MAX_SEGMENTS};
+
+/// The fragmentation of one video under Skyscraper Broadcasting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fragmentation {
+    /// Number of fragments `K`.
+    pub k: usize,
+    /// The width cap used.
+    pub width: Width,
+    /// Capped unit sizes `uᵢ = min(f(i), W)`, length `K`.
+    pub units: Vec<u64>,
+    /// The slot length `D₁` in minutes.
+    pub slot: Minutes,
+}
+
+impl Fragmentation {
+    /// Fragment a video of length `d` into `k` fragments with width `width`.
+    pub fn new(d: Minutes, k: usize, width: Width) -> Result<Self> {
+        if k == 0 {
+            return Err(SchemeError::InvalidConfig {
+                what: "a video needs at least one fragment",
+            });
+        }
+        if k > MAX_SEGMENTS {
+            return Err(SchemeError::TooManySegments {
+                requested: k,
+                max: MAX_SEGMENTS,
+            });
+        }
+        if !(d.value().is_finite() && d.value() > 0.0) {
+            return Err(SchemeError::InvalidConfig {
+                what: "video length must be positive and finite",
+            });
+        }
+        let units = width.units(k);
+        let total: u64 = units.iter().sum();
+        let slot = d / total as f64;
+        Ok(Self {
+            k,
+            width,
+            units,
+            slot,
+        })
+    }
+
+    /// Fragment a video along an explicit unit vector (for generalized
+    /// series; see [`crate::custom`]). `width` is recorded as unbounded —
+    /// callers track their own cap semantics.
+    pub fn from_units(d: Minutes, units: Vec<u64>) -> Result<Self> {
+        if units.is_empty() || units.contains(&0) {
+            return Err(SchemeError::InvalidConfig {
+                what: "unit vector must be non-empty and positive",
+            });
+        }
+        if !(d.value().is_finite() && d.value() > 0.0) {
+            return Err(SchemeError::InvalidConfig {
+                what: "video length must be positive and finite",
+            });
+        }
+        let total: u64 = units.iter().sum();
+        Ok(Self {
+            k: units.len(),
+            width: Width::Unbounded,
+            slot: d / total as f64,
+            units,
+        })
+    }
+
+    /// Total length of the video in slot units, `Σ uᵢ`.
+    #[must_use]
+    pub fn total_units(&self) -> u64 {
+        self.units.iter().sum()
+    }
+
+    /// Duration of fragment `i` (0-based) in minutes, `Dᵢ₊₁ = uᵢ·D₁`.
+    #[must_use]
+    pub fn duration(&self, i: usize) -> Minutes {
+        self.slot * self.units[i] as f64
+    }
+
+    /// Size of fragment `i` (0-based) in Mbits at display rate `b`.
+    #[must_use]
+    pub fn size(&self, i: usize, display_rate: Mbps) -> Mbits {
+        display_rate * self.duration(i)
+    }
+
+    /// Start offset of fragment `i`'s playback within the video, in slot
+    /// units from the video start.
+    #[must_use]
+    pub fn playback_offset_units(&self, i: usize) -> u64 {
+        self.units[..i].iter().sum()
+    }
+
+    /// The worst-case access latency `D₁` (§3.2).
+    #[must_use]
+    pub fn access_latency(&self) -> Minutes {
+        self.slot
+    }
+
+    /// The effective width `min(W, f(K))` of this fragmentation — the unit
+    /// size of the largest fragment actually present.
+    #[must_use]
+    pub fn effective_width(&self) -> u64 {
+        *self.units.last().expect("k >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uncapped_k5_durations() {
+        // D = 120, units [1,2,2,5,5] sum 15 → D₁ = 8 min.
+        let f = Fragmentation::new(Minutes(120.0), 5, Width::Unbounded).unwrap();
+        assert_eq!(f.total_units(), 15);
+        assert!(f.slot.approx_eq(Minutes(8.0), 1e-12));
+        assert!(f.duration(0).approx_eq(Minutes(8.0), 1e-12));
+        assert!(f.duration(3).approx_eq(Minutes(40.0), 1e-12));
+        assert_eq!(f.playback_offset_units(3), 5);
+        assert_eq!(f.effective_width(), 5);
+    }
+
+    #[test]
+    fn capped_latency_grows() {
+        // Smaller W ⇒ larger D₁ ⇒ larger access latency (§3.2's trade-off).
+        let d = Minutes(120.0);
+        let cap2 = Fragmentation::new(d, 20, Width::Capped(2)).unwrap();
+        let cap52 = Fragmentation::new(d, 20, Width::Capped(52)).unwrap();
+        let unb = Fragmentation::new(d, 20, Width::Unbounded).unwrap();
+        assert!(cap2.access_latency() > cap52.access_latency());
+        assert!(cap52.access_latency() >= unb.access_latency());
+    }
+
+    #[test]
+    fn sizes_use_display_rate() {
+        let f = Fragmentation::new(Minutes(120.0), 5, Width::Unbounded).unwrap();
+        // fragment 0: 8 minutes at 1.5 Mb/s = 720 Mbits.
+        assert!(f.size(0, Mbps(1.5)).approx_eq(Mbits(720.0), 1e-9));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Fragmentation::new(Minutes(120.0), 0, Width::Unbounded).is_err());
+        assert!(Fragmentation::new(Minutes(0.0), 5, Width::Unbounded).is_err());
+        assert!(Fragmentation::new(Minutes(120.0), MAX_SEGMENTS + 1, Width::Unbounded).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn durations_sum_to_video_length(k in 1usize..=60, wi in 0usize..10, d in 10.0f64..500.0) {
+            let width = if wi == 0 { Width::Unbounded } else { Width::capped_lossy(crate::series::unit(2 * wi)) };
+            let f = Fragmentation::new(Minutes(d), k, width).unwrap();
+            let total: f64 = (0..k).map(|i| f.duration(i).value()).sum();
+            prop_assert!((total - d).abs() < 1e-9 * d);
+        }
+
+        #[test]
+        fn offsets_are_prefix_sums(k in 1usize..=60) {
+            let f = Fragmentation::new(Minutes(120.0), k, Width::Unbounded).unwrap();
+            let mut acc = 0;
+            for i in 0..k {
+                prop_assert_eq!(f.playback_offset_units(i), acc);
+                acc += f.units[i];
+            }
+            prop_assert_eq!(acc, f.total_units());
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Transmission groups and the three group-transition types of §4.
+//!
+//! §3.3: "reception of segments is done in terms of *transmission group*,
+//! which is defined as consecutive segments having the same sizes". In the
+//! capped series `[1, 2, 2, 5, 5, 12, 12, …]` the groups are `(1)`, `(2,2)`,
+//! `(5,5)`, `(12,12)`, … and — once the width cap `W` bites — one final
+//! long run `(W, W, …, W)`. A group whose unit size is odd is an *odd
+//! group*, handled by the client's Odd Loader; even groups go to the Even
+//! Loader. Because consecutive distinct series values alternate parity
+//! (see [`crate::series`]), the two loaders strictly alternate.
+//!
+//! §4 classifies the transitions between consecutive groups into three
+//! types, each with its own worst-case buffer bound; [`GroupTransition`]
+//! reproduces that classification and [`GroupTransition::buffer_bound_units`]
+//! the per-transition bound read off the paper's Figures 1–4.
+
+use serde::{Deserialize, Serialize};
+
+/// Which client loader services a group (§3.3's Odd Loader / Even Loader).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parity {
+    /// Groups whose unit size is odd.
+    Odd,
+    /// Groups whose unit size is even.
+    Even,
+}
+
+impl Parity {
+    /// Parity of a unit size.
+    #[must_use]
+    pub fn of(unit: u64) -> Self {
+        if unit % 2 == 1 {
+            Parity::Odd
+        } else {
+            Parity::Even
+        }
+    }
+
+    /// The other loader.
+    #[must_use]
+    pub fn other(self) -> Self {
+        match self {
+            Parity::Odd => Parity::Even,
+            Parity::Even => Parity::Odd,
+        }
+    }
+}
+
+/// A maximal run of equal-size fragments, downloaded contiguously by one
+/// loader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransmissionGroup {
+    /// Index of the group within the video (0-based).
+    pub index: usize,
+    /// Index of the group's first segment (0-based).
+    pub first_segment: usize,
+    /// Number of segments in the group.
+    pub len: usize,
+    /// The common unit size `A` of the group's segments.
+    pub unit: u64,
+}
+
+impl TransmissionGroup {
+    /// The loader that services this group.
+    #[must_use]
+    pub fn parity(&self) -> Parity {
+        Parity::of(self.unit)
+    }
+
+    /// Total duration of the group in slot units (`len × unit`).
+    #[must_use]
+    pub fn total_units(&self) -> u64 {
+        self.len as u64 * self.unit
+    }
+
+    /// Index one past the group's last segment.
+    #[must_use]
+    pub fn end_segment(&self) -> usize {
+        self.first_segment + self.len
+    }
+}
+
+/// Decompose a capped unit vector into its transmission groups.
+///
+/// # Panics
+/// Panics if `units` is empty or contains a zero.
+#[must_use]
+pub fn group_segments(units: &[u64]) -> Vec<TransmissionGroup> {
+    assert!(!units.is_empty(), "a video must have at least one segment");
+    assert!(units.iter().all(|&u| u > 0), "unit sizes must be positive");
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=units.len() {
+        if i == units.len() || units[i] != units[start] {
+            out.push(TransmissionGroup {
+                index: out.len(),
+                first_segment: start,
+                len: i - start,
+                unit: units[start],
+            });
+            start = i;
+        }
+    }
+    out
+}
+
+/// The three §4 transition types between consecutive groups, plus the
+/// degenerate continuation within a width-capped tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupTransition {
+    /// Type 1: `(1) → (2,2)` — only at the very start of playback
+    /// (Figure 1). Worst-case extra buffer: 1 unit.
+    Initial,
+    /// Type 2: `(A,A) → (2A+1, 2A+1)` with `A` even (Figure 2).
+    /// Worst-case extra buffer: `2A` units.
+    EvenToOdd {
+        /// The source group's unit size `A` (even).
+        a: u64,
+    },
+    /// Type 3: `(A,A) → (2A+2, 2A+2)` with `A` odd (Figures 3 and 4).
+    /// Worst-case extra buffer: `A−1` units... dominated by type 2 and by
+    /// the final capped transition in every capped series.
+    OddToEven {
+        /// The source group's unit size `A` (odd).
+        a: u64,
+    },
+    /// Transition into the width-capped tail `(X,X) → (W, W, …, W)` where
+    /// the successor's unit equals the cap rather than `2X+1`/`2X+2`.
+    /// Worst-case extra buffer: `W−1` units (§4's concluding formula).
+    IntoCap {
+        /// The source group's unit size.
+        from: u64,
+        /// The cap `W`.
+        w: u64,
+    },
+}
+
+impl GroupTransition {
+    /// Classify the transition from `from` to `to`.
+    ///
+    /// # Panics
+    /// Panics if the pair cannot arise from a (possibly capped) broadcast
+    /// series — i.e. it is neither `1→2`, `A→2A+1` (A even), `A→2A+2`
+    /// (A odd), nor a cap (`to < ` the uncapped successor).
+    #[must_use]
+    pub fn classify(from: u64, to: u64) -> Self {
+        assert!(from >= 1 && to > from, "groups must strictly grow: {from} → {to}");
+        if from == 1 && to == 2 {
+            return GroupTransition::Initial;
+        }
+        let uncapped = if from % 2 == 0 { 2 * from + 1 } else { 2 * from + 2 };
+        if to == uncapped {
+            if from % 2 == 0 {
+                GroupTransition::EvenToOdd { a: from }
+            } else {
+                GroupTransition::OddToEven { a: from }
+            }
+        } else if to < uncapped {
+            GroupTransition::IntoCap { from, w: to }
+        } else {
+            panic!("transition {from} → {to} is not realizable by a capped broadcast series")
+        }
+    }
+
+    /// The paper's worst-case buffer occupancy caused by this transition,
+    /// in slot units of data (multiply by `60·b·D₁` Mbits).
+    ///
+    /// Read off the bottom plots of Figures 1–4: the overall curve peaks at
+    /// `60·b·D₁·(next − 1)` where `next` is the destination group's unit —
+    /// `2A` for type 2 (`next = 2A+1`), and `W−1` for the capped tail. §4
+    /// concludes the global requirement is the last transition's bound,
+    /// `60·b·D₁·(W−1)`.
+    #[must_use]
+    pub fn buffer_bound_units(&self) -> u64 {
+        match *self {
+            GroupTransition::Initial => 1,
+            GroupTransition::EvenToOdd { a } => 2 * a,
+            GroupTransition::OddToEven { a } => 2 * a + 1,
+            GroupTransition::IntoCap { w, .. } => w - 1,
+        }
+    }
+}
+
+/// Classify every transition in a grouped unit vector, in order.
+#[must_use]
+pub fn transitions(groups: &[TransmissionGroup]) -> Vec<GroupTransition> {
+    groups
+        .windows(2)
+        .map(|w| GroupTransition::classify(w[0].unit, w[1].unit))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{capped_series, series, Width};
+    use proptest::prelude::*;
+
+    #[test]
+    fn groups_of_uncapped_prefix() {
+        // §3.3's example: first group (1); second (2,2); third (5,5); …
+        let g = group_segments(&series(7));
+        assert_eq!(g.len(), 4);
+        assert_eq!((g[0].unit, g[0].len, g[0].first_segment), (1, 1, 0));
+        assert_eq!((g[1].unit, g[1].len, g[1].first_segment), (2, 2, 1));
+        assert_eq!((g[2].unit, g[2].len, g[2].first_segment), (5, 2, 3));
+        assert_eq!((g[3].unit, g[3].len, g[3].first_segment), (12, 2, 5));
+        assert_eq!(g[1].total_units(), 4);
+        assert_eq!(g[2].end_segment(), 5);
+    }
+
+    #[test]
+    fn capped_tail_is_one_group() {
+        // W=5, K=9: [1,2,2,5,5,5,5,5,5] → (1), (2,2), (5 × 6)
+        let g = group_segments(&capped_series(9, 5));
+        assert_eq!(g.len(), 3);
+        assert_eq!((g[2].unit, g[2].len), (5, 6));
+    }
+
+    #[test]
+    fn parities_alternate() {
+        for k in 1..=40 {
+            let g = group_segments(&series(k));
+            for w in g.windows(2) {
+                assert_eq!(w[0].parity(), w[1].parity().other());
+            }
+        }
+    }
+
+    #[test]
+    fn first_group_is_odd() {
+        let g = group_segments(&series(10));
+        assert_eq!(g[0].parity(), Parity::Odd);
+        assert_eq!(Parity::of(1), Parity::Odd);
+        assert_eq!(Parity::of(2), Parity::Even);
+    }
+
+    #[test]
+    fn transition_classification() {
+        assert_eq!(GroupTransition::classify(1, 2), GroupTransition::Initial);
+        assert_eq!(
+            GroupTransition::classify(2, 5),
+            GroupTransition::EvenToOdd { a: 2 }
+        );
+        assert_eq!(
+            GroupTransition::classify(5, 12),
+            GroupTransition::OddToEven { a: 5 }
+        );
+        assert_eq!(
+            GroupTransition::classify(12, 25),
+            GroupTransition::EvenToOdd { a: 12 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not realizable")]
+    fn bogus_transition_rejected() {
+        let _ = GroupTransition::classify(2, 6);
+    }
+
+    #[test]
+    fn figure2_buffer_bound() {
+        // Figure 2's plot: transition (A,A)→(2A+1,2A+1) peaks at 60·b·D₁·2A.
+        let t = GroupTransition::classify(12, 25);
+        assert_eq!(t.buffer_bound_units(), 24);
+    }
+
+    #[test]
+    fn whole_series_transitions_classify() {
+        let g = group_segments(&series(30));
+        let ts = transitions(&g);
+        assert_eq!(ts.len(), g.len() - 1);
+        assert_eq!(ts[0], GroupTransition::Initial);
+    }
+
+    #[test]
+    fn capped_transition_bound_is_w_minus_1() {
+        // W=52 tail: (25,25) → (52,…): with cap 52 == uncapped 2·25+2, so
+        // the *cap* only shows as IntoCap for caps below the natural child.
+        let g = group_segments(&capped_series(12, 12));
+        let ts = transitions(&g);
+        let last = *ts.last().unwrap();
+        assert_eq!(last, GroupTransition::OddToEven { a: 5 });
+        assert_eq!(last.buffer_bound_units(), 11); // W−1 = 12−1
+
+        // A genuinely early cap: units [1,2,2,5,5,5…] has last transition
+        // (2,2)→(5,…): bound 5−1 = 4 = W−1.
+        let g = group_segments(&capped_series(9, 5));
+        let last = *transitions(&g).last().unwrap();
+        assert_eq!(last.buffer_bound_units(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn groups_partition_segments(k in 1usize..=60, wi in 0usize..12) {
+            let w = if wi == 0 { Width::Unbounded } else { Width::capped_lossy(crate::series::unit(2 * wi)) };
+            let units = w.units(k);
+            let g = group_segments(&units);
+            // groups tile [0, k)
+            let mut next = 0usize;
+            for grp in &g {
+                prop_assert_eq!(grp.first_segment, next);
+                next = grp.end_segment();
+                // all segments in group share the unit
+                for &u in &units[grp.first_segment..grp.end_segment()] {
+                    prop_assert_eq!(u, grp.unit);
+                }
+            }
+            prop_assert_eq!(next, k);
+            // maximality: adjacent groups differ in unit
+            for w in g.windows(2) {
+                prop_assert_ne!(w[0].unit, w[1].unit);
+            }
+        }
+
+        #[test]
+        fn max_transition_bound_is_effective_width_minus_one(k in 2usize..=60, wi in 1usize..12) {
+            let w = Width::capped_lossy(crate::series::unit(2 * wi));
+            let units = w.units(k);
+            let g = group_segments(&units);
+            if g.len() >= 2 {
+                let max_bound = transitions(&g)
+                    .iter()
+                    .map(GroupTransition::buffer_bound_units)
+                    .max()
+                    .unwrap();
+                let w_eff = w.effective(k);
+                prop_assert_eq!(max_bound, w_eff - 1);
+            }
+        }
+    }
+}

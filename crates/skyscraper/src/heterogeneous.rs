@@ -1,0 +1,216 @@
+//! Heterogeneous catalogs: Skyscraper plans for videos of *different*
+//! lengths.
+//!
+//! The paper's evaluation assumes `M` identical videos (`D = 120` for
+//! all), but nothing in the scheme requires that: each video is
+//! fragmented independently, so a per-video slot `D₁ᵥ = Dᵥ / Σ min(f(i), W)`
+//! falls out naturally — shorter films simply get shorter slots and
+//! therefore *better* worst-case latency from the same channel count.
+//! This module builds such plans and reports per-video metrics.
+//!
+//! Channel allocation remains the §3.1 rule applied to the catalog: every
+//! video receives `K = ⌊B/(b·M)⌋` display-rate channels (the server's
+//! cost is per channel, not per minute of content).
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use crate::config::SystemConfig;
+use crate::error::{Result, SchemeError};
+use crate::fragment::Fragmentation;
+use crate::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use crate::sb::Skyscraper;
+use crate::scheme::SchemeMetrics;
+use crate::series::Width;
+
+/// One video of a heterogeneous catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeteroVideo {
+    /// Playback length.
+    pub length: Minutes,
+}
+
+/// Per-video outcome of a heterogeneous plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerVideoMetrics {
+    /// The video.
+    pub video: VideoId,
+    /// Its slot `D₁ᵥ` (= its worst-case access latency).
+    pub slot: Minutes,
+    /// Its client-buffer requirement, `60·b·D₁ᵥ·(W_eff − 1)` Mbits.
+    pub metrics: SchemeMetrics,
+}
+
+/// A Skyscraper plan over a heterogeneous catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousPlan {
+    /// The channel plan (consumable by the simulator like any other).
+    pub plan: ChannelPlan,
+    /// Per-video metrics, indexed by `VideoId`.
+    pub per_video: Vec<PerVideoMetrics>,
+    /// Channels dedicated to each video.
+    pub channels_per_video: usize,
+}
+
+impl HeterogeneousPlan {
+    /// The worst access latency over the catalog (the longest video's).
+    #[must_use]
+    pub fn worst_latency(&self) -> Minutes {
+        self.per_video
+            .iter()
+            .map(|m| m.metrics.access_latency)
+            .fold(Minutes(0.0), Minutes::max)
+    }
+
+    /// The worst client-buffer requirement over the catalog.
+    #[must_use]
+    pub fn worst_buffer(&self) -> vod_units::Mbits {
+        self.per_video
+            .iter()
+            .map(|m| m.metrics.buffer_requirement)
+            .fold(vod_units::Mbits::ZERO, vod_units::Mbits::max)
+    }
+}
+
+/// Build a Skyscraper plan for videos of different lengths.
+///
+/// `server_bandwidth` and `display_rate` play their usual roles; every
+/// video gets `⌊B/(b·M)⌋` channels and the width `width`.
+pub fn plan_heterogeneous(
+    server_bandwidth: Mbps,
+    display_rate: Mbps,
+    videos: &[HeteroVideo],
+    width: Width,
+) -> Result<HeterogeneousPlan> {
+    if videos.is_empty() {
+        return Err(SchemeError::InvalidConfig {
+            what: "a heterogeneous catalog needs at least one video",
+        });
+    }
+    // Reuse the homogeneous K rule via a representative config.
+    let cfg = SystemConfig {
+        server_bandwidth,
+        num_videos: videos.len(),
+        video_length: videos[0].length,
+        display_rate,
+    };
+    let scheme = Skyscraper::with_width(width);
+    let k = scheme.channels_per_video(&cfg)?;
+
+    let mut segment_sizes = Vec::with_capacity(videos.len());
+    let mut channels = Vec::with_capacity(videos.len() * k);
+    let mut per_video = Vec::with_capacity(videos.len());
+    for (v, video) in videos.iter().enumerate() {
+        let frag = Fragmentation::new(video.length, k, width)?;
+        let sizes: Vec<_> = (0..k).map(|i| frag.size(i, display_rate)).collect();
+        for (i, &size) in sizes.iter().enumerate() {
+            channels.push(LogicalChannel {
+                id: channels.len(),
+                rate: display_rate,
+                phase: Minutes(0.0),
+                cycle: vec![ScheduledSegment {
+                    item: BroadcastItem {
+                        video: VideoId(v),
+                        segment: i,
+                    },
+                    size,
+                    on_air: frag.duration(i),
+                }],
+            });
+        }
+        let d1 = frag.access_latency();
+        let w_eff = frag.effective_width();
+        per_video.push(PerVideoMetrics {
+            video: VideoId(v),
+            slot: d1,
+            metrics: SchemeMetrics {
+                access_latency: d1,
+                client_io_bandwidth: Skyscraper::client_io_bandwidth(width, k, display_rate),
+                buffer_requirement: display_rate * Minutes(d1.value() * (w_eff - 1) as f64),
+            },
+        });
+        segment_sizes.push(sizes);
+    }
+    Ok(HeterogeneousPlan {
+        plan: ChannelPlan {
+            scheme: format!("SB:{width}:hetero"),
+            segment_sizes,
+            channels,
+        },
+        per_video,
+        channels_per_video: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::BroadcastScheme as _;
+
+    fn catalog() -> Vec<HeteroVideo> {
+        [95.0, 120.0, 150.0, 87.0, 133.0]
+            .into_iter()
+            .map(|m| HeteroVideo { length: Minutes(m) })
+            .collect()
+    }
+
+    #[test]
+    fn per_video_slots_scale_with_length() {
+        // B = 150 over 5 videos → K = 20 each.
+        let hp = plan_heterogeneous(Mbps(150.0), Mbps(1.5), &catalog(), Width::Capped(52))
+            .unwrap();
+        assert_eq!(hp.channels_per_video, 20);
+        hp.plan.validate(Mbps(150.0)).unwrap();
+        // Latency proportional to length: video 2 (150 min) worst.
+        let worst = hp.worst_latency();
+        assert_eq!(
+            hp.per_video
+                .iter()
+                .max_by(|a, b| a.slot.partial_cmp(&b.slot).unwrap())
+                .unwrap()
+                .video,
+            VideoId(2)
+        );
+        let v2 = &hp.per_video[2];
+        let v3 = &hp.per_video[3]; // 87 min, shortest
+        assert!((v2.slot.value() / v3.slot.value() - 150.0 / 87.0).abs() < 1e-9);
+        assert_eq!(worst, v2.metrics.access_latency);
+    }
+
+    #[test]
+    fn homogeneous_special_case_matches_skyscraper() {
+        let videos = vec![HeteroVideo { length: Minutes(120.0) }; 10];
+        let hp = plan_heterogeneous(Mbps(300.0), Mbps(1.5), &videos, Width::Capped(52))
+            .unwrap();
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let homo = Skyscraper::with_width(Width::Capped(52)).metrics(&cfg).unwrap();
+        for m in &hp.per_video {
+            assert!(m.metrics.access_latency.approx_eq(homo.access_latency, 1e-12));
+            assert!(m
+                .metrics
+                .buffer_requirement
+                .approx_eq(homo.buffer_requirement, 1e-9));
+        }
+        assert!(hp.worst_buffer().approx_eq(homo.buffer_requirement, 1e-9));
+    }
+
+    #[test]
+    fn clients_of_every_length_are_jitter_free() {
+        // Exercise the slot model per video: schedules remain correct at
+        // each video's own slot granularity.
+        let hp = plan_heterogeneous(Mbps(105.0), Mbps(1.5), &catalog(), Width::Capped(12))
+            .unwrap();
+        for pv in &hp.per_video {
+            let units = Width::Capped(12).units(hp.channels_per_video);
+            for t0 in [0u64, 1, 5, 11] {
+                let tl = crate::client::ClientTimeline::compute(&units, t0);
+                assert!(tl.is_jitter_free(), "{:?} phase {t0}", pv.video);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        assert!(plan_heterogeneous(Mbps(100.0), Mbps(1.5), &[], Width::Unbounded).is_err());
+    }
+}

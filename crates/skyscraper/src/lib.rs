@@ -1,0 +1,105 @@
+//! # Skyscraper Broadcasting
+//!
+//! A from-scratch implementation of **Skyscraper Broadcasting (SB)**, the
+//! periodic-broadcast scheme for metropolitan video-on-demand systems
+//! introduced by Kien A. Hua and Simon Sheu at SIGCOMM 1997.
+//!
+//! ## The scheme in one paragraph
+//!
+//! A video of length `D` minutes is cut into `K` fragments whose lengths
+//! follow the integer *broadcast series* `[1, 2, 2, 5, 5, 12, 12, 25, 25,
+//! 52, 52, …]`, capped at a configurable *width* `W` (so fragment `i` is
+//! `min(f(i), W)` *units*, one unit being `D₁ = D / Σ min(f(i), W)`
+//! minutes). Each fragment is broadcast cyclically on its own logical
+//! channel **at the video's display rate** `b`. A client tunes only to the
+//! *beginning* of broadcasts and downloads *transmission groups* (maximal
+//! runs of equal-size fragments) with exactly two loaders — an *odd* and an
+//! *even* loader, named for the parity of the group's unit size — while a
+//! player consumes the shared buffer at `b`. The result: worst-case
+//! start-up latency `D₁`, client I/O bandwidth at most `3b`, and client
+//! buffer `60·b·D₁·(W−1)` Mbits.
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`series`] | the broadcast series `f(n)` (recurrence + closed form), width capping |
+//! | [`groups`] | transmission groups, parities, and the three §4 transition types |
+//! | [`custom`] | generalized (validated) broadcast series — §6's closing remark |
+//! | [`heterogeneous`] | plans for catalogs of videos with different lengths |
+//! | [`allocation`] | popularity-aware channel allocation across the catalog |
+//! | [`fragment`] | the data-fragmentation step: units → fragment durations/sizes |
+//! | [`config`] | [`SystemConfig`]: the paper's `(B, M, D, b)` quadruple |
+//! | [`plan`] | scheme-agnostic broadcast plans (channels with cyclic schedules) |
+//! | [`scheme`] | the [`BroadcastScheme`] trait and analytic [`SchemeMetrics`] |
+//! | [`client`] | exact integer *slot-level* client model: loader schedules, jitter check, buffer profile |
+//! | [`width`] | choosing `W` from a latency target (the §3.2 trade-off knob) |
+//! | [`sb`] | [`Skyscraper`], tying everything together as a `BroadcastScheme` |
+//!
+//! The slot-level client model in [`client`] is the heart of the
+//! reproduction of the paper's §4 correctness and storage analysis: because
+//! every SB fragment length is an integer multiple of `D₁` and every
+//! broadcast starts on a slot boundary, the entire client timeline can be
+//! computed in exact integer arithmetic and the paper's claims (jitter-free
+//! playback, ≤ 2 concurrent loaders, peak buffer `60·b·D₁·(W−1)`) can be
+//! *checked*, not just plotted.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sb_core::prelude::*;
+//!
+//! // The paper's evaluation setting: 10 videos, 120 min, MPEG-1 (1.5 Mb/s),
+//! // with a 300 Mb/s server.
+//! let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+//! let scheme = Skyscraper::with_width(Width::capped(52).unwrap());
+//! let metrics = scheme.metrics(&cfg).unwrap();
+//!
+//! // K = ⌊300 / (1.5 · 10)⌋ = 20 channels per video.
+//! assert_eq!(scheme.channels_per_video(&cfg).unwrap(), 20);
+//! // §5.4: above 200 Mb/s, W = 52 gives ≈0.1–0.2 min latency for well
+//! // under 200 MBytes of client buffer.
+//! assert!(metrics.access_latency.value() < 0.2);
+//! assert!(metrics.buffer_requirement.to_mbytes().value() < 200.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod allocation;
+pub mod client;
+pub mod config;
+pub mod custom;
+pub mod error;
+pub mod fragment;
+pub mod groups;
+pub mod heterogeneous;
+pub mod plan;
+pub mod sb;
+pub mod scheme;
+pub mod series;
+pub mod width;
+
+pub use allocation::{allocate_channels, even_allocation, Allocation};
+pub use client::{ClientTimeline, GroupDownload, LoaderId};
+pub use custom::{greedy_max_series, CustomSkyscraper, PhaseBudget, ValidatedSeries};
+pub use config::SystemConfig;
+pub use error::SchemeError;
+pub use fragment::Fragmentation;
+pub use groups::{GroupTransition, TransmissionGroup};
+pub use plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+pub use sb::Skyscraper;
+pub use scheme::{BroadcastScheme, SchemeMetrics};
+pub use series::Width;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::client::ClientTimeline;
+    pub use crate::config::SystemConfig;
+    pub use crate::error::SchemeError;
+    pub use crate::fragment::Fragmentation;
+    pub use crate::plan::{ChannelPlan, VideoId};
+    pub use crate::sb::Skyscraper;
+    pub use crate::scheme::{BroadcastScheme, SchemeMetrics};
+    pub use crate::series::Width;
+    pub use vod_units::{MBytes, Mbits, Mbps, Minutes, Seconds};
+}

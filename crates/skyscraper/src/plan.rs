@@ -1,0 +1,384 @@
+//! Scheme-agnostic broadcast plans.
+//!
+//! Every periodic-broadcast scheme in this workspace — Skyscraper, PB, PPB,
+//! staggered — reduces to the same server-side artifact: a set of *logical
+//! channels*, each with a fixed rate, a phase offset, and a finite cyclic
+//! schedule of `(video, segment)` items that repeats forever. The
+//! discrete-event simulator consumes exactly this representation, so the
+//! analytic formulas and the empirical measurements are computed from the
+//! same object.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes};
+
+/// Identifier of a video within a plan (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VideoId(pub usize);
+
+impl core::fmt::Display for VideoId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One `(video, segment)` pair carried by a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BroadcastItem {
+    /// The video the segment belongs to.
+    pub video: VideoId,
+    /// Segment index within the video (0-based).
+    pub segment: usize,
+}
+
+/// One entry of a channel's cyclic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledSegment {
+    /// What is broadcast.
+    pub item: BroadcastItem,
+    /// Size of the segment in Mbits.
+    pub size: Mbits,
+    /// On-air time of one transmission of the segment at the channel rate,
+    /// in minutes (`size / rate`).
+    pub on_air: Minutes,
+}
+
+/// A logical channel: a constant-rate stream cyclically transmitting its
+/// schedule, first transmission beginning at `phase` minutes past the
+/// simulation epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalChannel {
+    /// Dense channel id within the plan.
+    pub id: usize,
+    /// Constant transmission rate of the channel.
+    pub rate: Mbps,
+    /// Offset of the first cycle start from the epoch. PPB's
+    /// phase-shifted subchannel replicas are expressed with this; all
+    /// other schemes use zero.
+    pub phase: Minutes,
+    /// The cyclic schedule (repeats forever, back to back).
+    pub cycle: Vec<ScheduledSegment>,
+}
+
+impl LogicalChannel {
+    /// Duration of one full cycle in minutes.
+    #[must_use]
+    pub fn period(&self) -> Minutes {
+        self.cycle.iter().map(|s| s.on_air).sum()
+    }
+
+    /// All transmission start times of `item` within `[0, horizon)`,
+    /// in minutes. Used by client policies to find the next tune-in point.
+    #[must_use]
+    pub fn starts_of(&self, item: BroadcastItem, horizon: Minutes) -> Vec<Minutes> {
+        let period = self.period().value();
+        let mut offsets = Vec::new();
+        let mut acc = 0.0;
+        for s in &self.cycle {
+            if s.item == item {
+                offsets.push(acc);
+            }
+            acc += s.on_air.value();
+        }
+        let mut out = Vec::new();
+        let mut cycle_start = self.phase.value();
+        // Back up so items whose first occurrence is before `phase + period`
+        // but after 0 are included when phase > 0? Phases are non-negative
+        // and the first cycle begins at `phase`; nothing airs before it.
+        while cycle_start < horizon.value() {
+            for &o in &offsets {
+                let t = cycle_start + o;
+                if t < horizon.value() {
+                    out.push(Minutes(t));
+                }
+            }
+            cycle_start += period;
+        }
+        out
+    }
+
+    /// The last transmission start of `item` at or before `t` (but never
+    /// before the channel's phase).
+    ///
+    /// Returns `None` if the channel never carries `item` or has not yet
+    /// aired it by `t`.
+    #[must_use]
+    pub fn prev_start_of(&self, item: BroadcastItem, t: Minutes) -> Option<Minutes> {
+        let period = self.period().value();
+        debug_assert!(period > 0.0, "channel {} has an empty cycle", self.id);
+        let mut acc = 0.0;
+        let mut best: Option<f64> = None;
+        for s in &self.cycle {
+            if s.item == item {
+                let offset = self.phase.value() + acc;
+                // Occurrences at offset + n·period, n ≥ 0; want the largest
+                // ≤ t (within a relative epsilon — callers hand in times
+                // computed from the same plan, so boundaries must be
+                // treated as hits, not near-misses).
+                let q = (t.value() - offset) / period;
+                let eps = 1e-9 * q.abs().max(1.0);
+                if q >= -eps {
+                    let n = (q + eps).floor().max(0.0);
+                    let mut candidate = offset + n * period;
+                    if candidate > t.value() + eps * period {
+                        candidate -= period;
+                    }
+                    if candidate >= offset - 1e-12 {
+                        best = Some(match best {
+                            Some(b) => b.max(candidate),
+                            None => candidate,
+                        });
+                    }
+                }
+            }
+            acc += s.on_air.value();
+        }
+        best.map(Minutes)
+    }
+
+    /// The first transmission start of `item` at or after `t`.
+    ///
+    /// Returns `None` if the channel never carries `item`.
+    #[must_use]
+    pub fn next_start_of(&self, item: BroadcastItem, t: Minutes) -> Option<Minutes> {
+        let period = self.period().value();
+        debug_assert!(period > 0.0, "channel {} has an empty cycle", self.id);
+        let mut acc = 0.0;
+        let mut best: Option<f64> = None;
+        for s in &self.cycle {
+            if s.item == item {
+                // Occurrences are phase + offset + n·period for n ≥ 0; want
+                // the smallest ≥ t, treating boundary hits (within a
+                // relative epsilon) as valid occurrences.
+                let offset = self.phase.value() + acc;
+                let q = (t.value() - offset) / period;
+                let eps = 1e-9 * q.abs().max(1.0);
+                let n = (q - eps).ceil().max(0.0);
+                let candidate = offset + n * period;
+                // Guard against f64 edge: candidate may land just below t.
+                let candidate = if candidate < t.value() - eps * period {
+                    candidate + period
+                } else {
+                    candidate
+                };
+                best = Some(match best {
+                    Some(b) => b.min(candidate),
+                    None => candidate,
+                });
+            }
+            acc += s.on_air.value();
+        }
+        best.map(Minutes)
+    }
+}
+
+/// A complete broadcast plan for the popular-video set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    /// Human-readable scheme tag (e.g. `"SB:W=52"`, `"PB:a"`).
+    pub scheme: String,
+    /// Per-video segment sizes in Mbits (index = `VideoId`).
+    pub segment_sizes: Vec<Vec<Mbits>>,
+    /// The logical channels.
+    pub channels: Vec<LogicalChannel>,
+}
+
+impl ChannelPlan {
+    /// Aggregate bandwidth of all channels.
+    #[must_use]
+    pub fn total_bandwidth(&self) -> Mbps {
+        Mbps(self.channels.iter().map(|c| c.rate.value()).sum())
+    }
+
+    /// Number of videos covered by the plan.
+    #[must_use]
+    pub fn num_videos(&self) -> usize {
+        self.segment_sizes.len()
+    }
+
+    /// The channels carrying a given item, if any.
+    #[must_use]
+    pub fn channels_for(&self, item: BroadcastItem) -> Vec<&LogicalChannel> {
+        self.channels
+            .iter()
+            .filter(|c| c.cycle.iter().any(|s| s.item == item))
+            .collect()
+    }
+
+    /// Structural validation:
+    ///
+    /// * every `(video, segment)` of `segment_sizes` is carried by at least
+    ///   one channel, with a matching size;
+    /// * total channel bandwidth does not exceed `budget` (within a relative
+    ///   tolerance for float accumulation);
+    /// * all cycles are non-empty and rates positive.
+    pub fn validate(&self, budget: Mbps) -> Result<(), String> {
+        for ch in &self.channels {
+            if ch.cycle.is_empty() {
+                return Err(format!("channel {} has an empty cycle", ch.id));
+            }
+            if !(ch.rate.value().is_finite() && ch.rate.value() > 0.0) {
+                return Err(format!("channel {} has non-positive rate", ch.id));
+            }
+            if ch.phase.value() < 0.0 {
+                return Err(format!("channel {} has negative phase", ch.id));
+            }
+            for s in &ch.cycle {
+                let (v, g) = (s.item.video.0, s.item.segment);
+                let expect = self
+                    .segment_sizes
+                    .get(v)
+                    .and_then(|ss| ss.get(g))
+                    .ok_or_else(|| format!("channel {} schedules unknown item v{v}/s{g}", ch.id))?;
+                if !s.size.approx_eq(*expect, 1e-6 * expect.value().max(1.0)) {
+                    return Err(format!(
+                        "channel {} carries v{v}/s{g} with size {} but layout says {}",
+                        ch.id, s.size, expect
+                    ));
+                }
+            }
+        }
+        for (v, sizes) in self.segment_sizes.iter().enumerate() {
+            for g in 0..sizes.len() {
+                let item = BroadcastItem {
+                    video: VideoId(v),
+                    segment: g,
+                };
+                if self.channels_for(item).is_empty() {
+                    return Err(format!("item v{v}/s{g} is never broadcast"));
+                }
+            }
+        }
+        let total = self.total_bandwidth();
+        if total.value() > budget.value() * (1.0 + 1e-9) {
+            return Err(format!(
+                "plan uses {total} which exceeds the budget {budget}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_channel() -> LogicalChannel {
+        // One channel alternating two items of 1 and 2 minutes on air.
+        let mk = |video, segment, mins: f64| ScheduledSegment {
+            item: BroadcastItem {
+                video: VideoId(video),
+                segment,
+            },
+            size: Mbps(1.5) * Minutes(mins),
+            on_air: Minutes(mins),
+        };
+        LogicalChannel {
+            id: 0,
+            rate: Mbps(1.5),
+            phase: Minutes(0.0),
+            cycle: vec![mk(0, 0, 1.0), mk(0, 1, 2.0)],
+        }
+    }
+
+    #[test]
+    fn period_and_starts() {
+        let ch = toy_channel();
+        assert!(ch.period().approx_eq(Minutes(3.0), 1e-12));
+        let item0 = BroadcastItem {
+            video: VideoId(0),
+            segment: 0,
+        };
+        let item1 = BroadcastItem {
+            video: VideoId(0),
+            segment: 1,
+        };
+        assert_eq!(
+            ch.starts_of(item0, Minutes(7.0))
+                .iter()
+                .map(|m| m.value())
+                .collect::<Vec<_>>(),
+            vec![0.0, 3.0, 6.0]
+        );
+        assert_eq!(
+            ch.starts_of(item1, Minutes(7.0))
+                .iter()
+                .map(|m| m.value())
+                .collect::<Vec<_>>(),
+            vec![1.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn next_start_respects_phase() {
+        let mut ch = toy_channel();
+        ch.phase = Minutes(0.5);
+        let item1 = BroadcastItem {
+            video: VideoId(0),
+            segment: 1,
+        };
+        // First airing of item1 at phase + 1.0 = 1.5.
+        assert!(ch
+            .next_start_of(item1, Minutes(0.0))
+            .unwrap()
+            .approx_eq(Minutes(1.5), 1e-12));
+        assert!(ch
+            .next_start_of(item1, Minutes(1.6))
+            .unwrap()
+            .approx_eq(Minutes(4.5), 1e-12));
+        // Exactly at an occurrence returns that occurrence.
+        assert!(ch
+            .next_start_of(item1, Minutes(4.5))
+            .unwrap()
+            .approx_eq(Minutes(4.5), 1e-12));
+    }
+
+    #[test]
+    fn prev_start_mirrors_next_start() {
+        let mut ch = toy_channel();
+        ch.phase = Minutes(0.5);
+        let item1 = BroadcastItem {
+            video: VideoId(0),
+            segment: 1,
+        };
+        // Occurrences at 1.5, 4.5, 7.5, …
+        assert_eq!(ch.prev_start_of(item1, Minutes(1.0)), None);
+        assert!(ch
+            .prev_start_of(item1, Minutes(1.5))
+            .unwrap()
+            .approx_eq(Minutes(1.5), 1e-12));
+        assert!(ch
+            .prev_start_of(item1, Minutes(5.0))
+            .unwrap()
+            .approx_eq(Minutes(4.5), 1e-12));
+        // prev(next(t)) == next(t).
+        let nxt = ch.next_start_of(item1, Minutes(3.0)).unwrap();
+        assert!(ch.prev_start_of(item1, nxt).unwrap().approx_eq(nxt, 1e-12));
+    }
+
+    #[test]
+    fn next_start_of_missing_item_is_none() {
+        let ch = toy_channel();
+        let ghost = BroadcastItem {
+            video: VideoId(9),
+            segment: 9,
+        };
+        assert_eq!(ch.next_start_of(ghost, Minutes(0.0)), None);
+    }
+
+    #[test]
+    fn plan_validation() {
+        let ch = toy_channel();
+        let plan = ChannelPlan {
+            scheme: "toy".into(),
+            segment_sizes: vec![vec![Mbps(1.5) * Minutes(1.0), Mbps(1.5) * Minutes(2.0)]],
+            channels: vec![ch],
+        };
+        plan.validate(Mbps(2.0)).unwrap();
+        assert!(plan.validate(Mbps(1.0)).is_err()); // over budget
+        let mut broken = plan.clone();
+        broken.segment_sizes[0].push(Mbps(1.5) * Minutes(9.0));
+        assert!(broken.validate(Mbps(2.0)).is_err()); // un-broadcast item
+    }
+}

@@ -1,0 +1,228 @@
+//! [`Skyscraper`] — the paper's scheme as a [`BroadcastScheme`].
+//!
+//! Channel design (§3.1): the server bandwidth `B` is divided into
+//! `⌊B/b⌋` logical channels of `b` Mb/s each, allocated evenly so each of
+//! the `M` videos owns `K = ⌊B/(b·M)⌋` channels; channel `i` of a video
+//! repeatedly broadcasts fragment `i` **at the display rate**. Analytic
+//! metrics (§5's formula box):
+//!
+//! * access latency `= D₁ = D / Σ min(f(i), W)`,
+//! * client I/O bandwidth `= b` if `W=1` or `K=1`; `2b` if `W=2` or
+//!   `K ∈ {2,3}`; `3b` otherwise,
+//! * buffer `= 60·b·D₁·(W_eff − 1)` Mbits, with
+//!   `W_eff = min(W, f(K))`.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use crate::config::SystemConfig;
+use crate::error::{Result, SchemeError};
+use crate::fragment::Fragmentation;
+use crate::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use crate::scheme::{BroadcastScheme, SchemeMetrics};
+use crate::series::Width;
+
+/// The Skyscraper Broadcasting scheme with a chosen width `W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Skyscraper {
+    /// The width cap.
+    pub width: Width,
+}
+
+impl Skyscraper {
+    /// An uncapped scheme (`W = ∞`, the paper's "SB:W=infinite" curves).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self {
+            width: Width::Unbounded,
+        }
+    }
+
+    /// A scheme with the given (already validated) width.
+    #[must_use]
+    pub fn with_width(width: Width) -> Self {
+        Self { width }
+    }
+
+    /// Channels dedicated to each video: `K = ⌊B/(b·M)⌋` (§3.1).
+    pub fn channels_per_video(&self, cfg: &SystemConfig) -> Result<usize> {
+        cfg.validate()?;
+        let k = cfg.channels_ratio().floor() as usize;
+        if k < 1 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: k,
+                required: 1,
+            });
+        }
+        Ok(k.min(crate::series::MAX_SEGMENTS))
+    }
+
+    /// The fragmentation this scheme induces for `cfg`.
+    pub fn fragmentation(&self, cfg: &SystemConfig) -> Result<Fragmentation> {
+        let k = self.channels_per_video(cfg)?;
+        Fragmentation::new(cfg.video_length, k, self.width)
+    }
+
+    /// The client I/O bandwidth rule from §5's formula box.
+    #[must_use]
+    pub fn client_io_bandwidth(width: Width, k: usize, display_rate: Mbps) -> Mbps {
+        let streams = match (width, k) {
+            (_, 1) | (Width::Capped(1), _) => 1.0,
+            (_, 2 | 3) | (Width::Capped(2), _) => 2.0,
+            _ => 3.0,
+        };
+        Mbps(display_rate.value() * streams)
+    }
+}
+
+impl BroadcastScheme for Skyscraper {
+    fn name(&self) -> String {
+        format!("SB:{}", self.width)
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let frag = self.fragmentation(cfg)?;
+        let d1 = frag.access_latency();
+        let w_eff = frag.effective_width();
+        Ok(SchemeMetrics {
+            access_latency: d1,
+            client_io_bandwidth: Self::client_io_bandwidth(self.width, frag.k, cfg.display_rate),
+            // 60·b·D₁·(W_eff − 1); `Mbps × Minutes` applies the 60.
+            buffer_requirement: cfg.display_rate * Minutes(d1.value() * (w_eff - 1) as f64),
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let frag = self.fragmentation(cfg)?;
+        let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
+        let mut channels = Vec::with_capacity(cfg.num_videos * frag.k);
+        for v in 0..cfg.num_videos {
+            let sizes: Vec<_> = (0..frag.k).map(|i| frag.size(i, cfg.display_rate)).collect();
+            for (i, &size) in sizes.iter().enumerate() {
+                channels.push(LogicalChannel {
+                    id: channels.len(),
+                    rate: cfg.display_rate,
+                    phase: Minutes(0.0),
+                    cycle: vec![ScheduledSegment {
+                        item: BroadcastItem {
+                            video: VideoId(v),
+                            segment: i,
+                        },
+                        size,
+                        // at display rate, on-air time equals playback time
+                        on_air: frag.duration(i),
+                    }],
+                });
+            }
+            segment_sizes.push(sizes);
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_units::MBytes;
+
+    #[test]
+    fn k_rule_matches_paper() {
+        // B = 300, b = 1.5, M = 10 → K = 20.
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        assert_eq!(Skyscraper::unbounded().channels_per_video(&cfg).unwrap(), 20);
+        // B = 100 → K = ⌊6.66⌋ = 6.
+        let cfg = SystemConfig::paper_defaults(Mbps(100.0));
+        assert_eq!(Skyscraper::unbounded().channels_per_video(&cfg).unwrap(), 6);
+    }
+
+    #[test]
+    fn insufficient_bandwidth_rejected() {
+        let cfg = SystemConfig::paper_defaults(Mbps(10.0)); // K = 0
+        assert!(matches!(
+            Skyscraper::unbounded().channels_per_video(&cfg),
+            Err(SchemeError::InsufficientBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_spot_check_b320_w2() {
+        // §5.4: "when B is about 320 Mbits/sec … SB scheme with W = 2 …
+        // requires only 33 MBytes of disk space at the receiving end."
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        let m = Skyscraper::with_width(Width::Capped(2))
+            .metrics(&cfg)
+            .unwrap();
+        let buf = m.buffer_mbytes();
+        assert!(
+            (buf.value() - 33.0).abs() < 1.5,
+            "expected ≈33 MB, got {buf}"
+        );
+        // I/O bandwidth 2b for W=2.
+        assert_eq!(m.client_io_bandwidth, Mbps(3.0));
+    }
+
+    #[test]
+    fn paper_spot_check_b600_w52() {
+        // §5.4: at B = 600, W = 52 → ≈40 MB buffer and ≈0.1 min latency.
+        let cfg = SystemConfig::paper_defaults(Mbps(600.0));
+        let m = Skyscraper::with_width(Width::Capped(52))
+            .metrics(&cfg)
+            .unwrap();
+        assert!((m.access_latency.value() - 0.1).abs() < 0.03, "{}", m.access_latency);
+        let buf = m.buffer_mbytes();
+        assert!((buf.value() - 40.0).abs() < 8.0, "expected ≈40 MB, got {buf}");
+        assert_eq!(m.client_io_bandwidth, Mbps(4.5)); // 3b
+    }
+
+    #[test]
+    fn io_bandwidth_rule() {
+        let b = Mbps(1.5);
+        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(1), 20, b), Mbps(1.5));
+        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(52), 1, b), Mbps(1.5));
+        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(2), 20, b), Mbps(3.0));
+        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(52), 3, b), Mbps(3.0));
+        assert_eq!(Skyscraper::client_io_bandwidth(Width::Unbounded, 20, b), Mbps(4.5));
+    }
+
+    #[test]
+    fn plan_is_valid_and_display_rate() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let scheme = Skyscraper::with_width(Width::Capped(52));
+        let plan = scheme.plan(&cfg).unwrap();
+        plan.validate(cfg.server_bandwidth).unwrap();
+        // M·K channels, all at b.
+        assert_eq!(plan.channels.len(), 10 * 20);
+        assert!(plan.channels.iter().all(|c| c.rate == Mbps(1.5)));
+        // Total bandwidth = M·K·b = 300 exactly here.
+        assert!(plan.total_bandwidth().approx_eq(Mbps(300.0), 1e-9));
+    }
+
+    #[test]
+    fn uncapped_buffer_uses_effective_width() {
+        // At B=150 (K=10) the largest fragment is f(10)=52 even uncapped,
+        // so W=∞ and W=52 coincide everywhere.
+        let cfg = SystemConfig::paper_defaults(Mbps(150.0));
+        let unb = Skyscraper::unbounded().metrics(&cfg).unwrap();
+        let w52 = Skyscraper::with_width(Width::Capped(52)).metrics(&cfg).unwrap();
+        assert_eq!(unb.buffer_requirement, w52.buffer_requirement);
+        assert_eq!(unb.access_latency, w52.access_latency);
+    }
+
+    #[test]
+    fn buffer_scales_like_w_minus_one() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let m2 = Skyscraper::with_width(Width::Capped(2)).metrics(&cfg).unwrap();
+        let m5 = Skyscraper::with_width(Width::Capped(5)).metrics(&cfg).unwrap();
+        // D₁ differs, but buffer ratio ≈ (5−1)/(2−1) × (D₁ ratio).
+        let d1_2 = m2.access_latency.value();
+        let d1_5 = m5.access_latency.value();
+        let expect = 4.0 * d1_5 / d1_2;
+        let got = m5.buffer_requirement.value() / m2.buffer_requirement.value();
+        assert!((got - expect).abs() < 1e-9);
+        let _ = MBytes(0.0); // keep import used in all cfgs
+    }
+}

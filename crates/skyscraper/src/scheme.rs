@@ -1,0 +1,70 @@
+//! The [`BroadcastScheme`] trait: what §5 measures about every scheme.
+//!
+//! The paper's performance study (Table 1) compares the schemes on three
+//! client-side metrics as functions of the server bandwidth: access
+//! latency, client I/O (disk) bandwidth, and client buffer space.
+//! [`SchemeMetrics`] carries exactly those three numbers; the trait also
+//! exposes the concrete [`ChannelPlan`] so the simulator can measure the
+//! same quantities empirically.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{MBytes, Mbits, Mbps, Minutes};
+
+use crate::config::SystemConfig;
+use crate::error::Result;
+use crate::plan::ChannelPlan;
+
+/// The paper's three performance metrics (Table 1's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeMetrics {
+    /// Worst-case service (access) latency.
+    pub access_latency: Minutes,
+    /// Client storage-I/O bandwidth requirement (Figure 6's y-axis, there
+    /// plotted in MBytes/sec).
+    pub client_io_bandwidth: Mbps,
+    /// Client disk-buffer requirement (Figure 8's y-axis, there plotted in
+    /// MBytes).
+    pub buffer_requirement: Mbits,
+}
+
+impl SchemeMetrics {
+    /// Figure 6's unit: client disk bandwidth in MBytes/sec.
+    #[must_use]
+    pub fn io_mbytes_per_sec(&self) -> f64 {
+        self.client_io_bandwidth.to_mbytes_per_sec()
+    }
+
+    /// Figure 8's unit: buffer space in MBytes.
+    #[must_use]
+    pub fn buffer_mbytes(&self) -> MBytes {
+        self.buffer_requirement.to_mbytes()
+    }
+}
+
+/// A periodic-broadcast scheme for the popular-video set.
+pub trait BroadcastScheme {
+    /// Short tag used in figures and reports, e.g. `"SB:W=52"` or `"PB:a"`.
+    fn name(&self) -> String;
+
+    /// The analytic metrics for `cfg` (Table 1 evaluated at `cfg`).
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics>;
+
+    /// The concrete channel plan realizing the scheme for `cfg`.
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_for_figures() {
+        let m = SchemeMetrics {
+            access_latency: Minutes(0.5),
+            client_io_bandwidth: Mbps(4.5),
+            buffer_requirement: Mbits(264.0),
+        };
+        assert!((m.io_mbytes_per_sec() - 0.5625).abs() < 1e-12);
+        assert_eq!(m.buffer_mbytes(), MBytes(33.0));
+    }
+}

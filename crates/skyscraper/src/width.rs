@@ -1,0 +1,201 @@
+//! Choosing the width `W` — §3.2's design knob.
+//!
+//! "The number of videos determines the parameter K. Given K, we can
+//! control the size of the first fragment, D₁, by adjusting W. … we can
+//! reduce the access latency by using a larger W", at the cost of a larger
+//! client buffer (`60·b·D₁·(W−1)` grows in `W` much faster than `D₁`
+//! shrinks). This module solves the inverse problem: given a latency
+//! target, find the smallest valid width that meets it.
+
+use vod_units::Minutes;
+
+use crate::error::{Result, SchemeError};
+use crate::series::{capped_sum, unit, Width, MAX_SEGMENTS};
+
+/// All distinct broadcast-series values that can serve as widths for a
+/// `k`-segment video, in increasing order, ending with the first value
+/// `≥ f(k)` (beyond which capping no longer changes anything).
+#[must_use]
+pub fn candidate_widths(k: usize) -> Vec<u64> {
+    let k = k.clamp(1, MAX_SEGMENTS);
+    let last = unit(k);
+    let mut out = Vec::new();
+    let mut n = 1;
+    loop {
+        let v = unit(n);
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        if v >= last || n == MAX_SEGMENTS {
+            break;
+        }
+        n += 1;
+    }
+    out
+}
+
+/// The access latency `D₁ = D / Σ min(f(i), W)` for a given width.
+#[must_use]
+pub fn latency_for(d: Minutes, k: usize, width: Width) -> Minutes {
+    Minutes(d.value() / capped_sum(k, width) as f64)
+}
+
+/// The smallest valid width whose access latency is at most `target`
+/// (§3.2: "The relationship between W and access latency … can be used to
+/// determine W given the desired access latency").
+///
+/// Smaller widths mean cheaper clients, so the *smallest* satisfying width
+/// is the economical choice. Returns an error if even the uncapped scheme
+/// (`W = f(K)`) cannot reach the target — then only more server bandwidth
+/// (larger `K`) helps.
+pub fn min_width_for_latency(d: Minutes, k: usize, target: Minutes) -> Result<Width> {
+    if !(target.value().is_finite() && target.value() > 0.0) {
+        return Err(SchemeError::InvalidConfig {
+            what: "latency target must be positive and finite",
+        });
+    }
+    for w in candidate_widths(k) {
+        let width = Width::Capped(w);
+        if latency_for(d, k, width) <= target {
+            return Ok(width);
+        }
+    }
+    Err(SchemeError::InvalidConfig {
+        what: "latency target unreachable even with an uncapped series; increase server bandwidth",
+    })
+}
+
+/// The largest valid width whose client buffer stays within `budget`
+/// Mbits — the other direction of §5.4's trade-off ("it is desirable to
+/// keep W small in order to reduce the storage costs").
+///
+/// Buffer for width `w` at display rate `b`: `60·b·D₁(w)·(w_eff − 1)`.
+/// Returns the largest affordable width (at least `W = 1`, whose buffer is
+/// zero), so callers always get the best latency their clients can hold.
+pub fn max_width_for_buffer(
+    d: Minutes,
+    k: usize,
+    display_rate: vod_units::Mbps,
+    budget: vod_units::Mbits,
+) -> Result<Width> {
+    if !(budget.value().is_finite() && budget.value() >= 0.0) {
+        return Err(SchemeError::InvalidConfig {
+            what: "buffer budget must be non-negative and finite",
+        });
+    }
+    let mut best = Width::Capped(1);
+    for w in candidate_widths(k) {
+        let width = Width::Capped(w);
+        let d1 = latency_for(d, k, width);
+        let buffer = display_rate * Minutes(d1.value() * (width.effective(k) - 1) as f64);
+        if buffer.value() <= budget.value() + 1e-9 {
+            best = width;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn candidates_for_small_k() {
+        assert_eq!(candidate_widths(1), vec![1]);
+        assert_eq!(candidate_widths(5), vec![1, 2, 5]);
+        assert_eq!(candidate_widths(10), vec![1, 2, 5, 12, 25, 52]);
+    }
+
+    #[test]
+    fn latency_monotone_in_width() {
+        let d = Minutes(120.0);
+        let k = 20;
+        let ws = candidate_widths(k);
+        let ls: Vec<f64> = ws
+            .iter()
+            .map(|&w| latency_for(d, k, Width::Capped(w)).value())
+            .collect();
+        assert!(ls.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn paper_example_w52() {
+        // §5.4: at B = 600 Mb/s (K = 40), W = 52 gives ≈ 0.1 min latency.
+        let k = 40;
+        let l = latency_for(Minutes(120.0), k, Width::Capped(52));
+        assert!(
+            (l.value() - 0.1).abs() < 0.05,
+            "expected ≈0.1 min, got {l}"
+        );
+        // … so asking for 0.15 min should select a width ≤ 52.
+        let w = min_width_for_latency(Minutes(120.0), k, Minutes(0.15)).unwrap();
+        match w {
+            Width::Capped(v) => assert!(v <= 52, "got {w}"),
+            Width::Unbounded => panic!("capped width expected"),
+        }
+    }
+
+    #[test]
+    fn unreachable_target_errors() {
+        assert!(min_width_for_latency(Minutes(120.0), 3, Minutes(1e-6)).is_err());
+        assert!(min_width_for_latency(Minutes(120.0), 3, Minutes(0.0)).is_err());
+    }
+
+    #[test]
+    fn buffer_budget_selection() {
+        use vod_units::{Mbits, Mbps};
+        let d = Minutes(120.0);
+        let (k, b) = (40, Mbps(1.5));
+        // 40 MB ≈ the §5.4 quote for W=52 at B=600.
+        let w = max_width_for_buffer(d, k, b, Mbits(40.5 * 8.0)).unwrap();
+        assert_eq!(w, Width::Capped(52));
+        // A zero budget only affords W=1 (no buffering at all).
+        assert_eq!(
+            max_width_for_buffer(d, k, b, Mbits(0.0)).unwrap(),
+            Width::Capped(1)
+        );
+        // An enormous budget affords the full series.
+        let w = max_width_for_buffer(d, k, b, Mbits(1e9)).unwrap();
+        assert_eq!(w, Width::Capped(*candidate_widths(k).last().unwrap()));
+        assert!(max_width_for_buffer(d, k, b, Mbits(f64::NAN)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn buffer_budget_is_respected(k in 1usize..=40, budget_mb in 0.0f64..500.0) {
+            use vod_units::{Mbits, Mbps};
+            let d = Minutes(120.0);
+            let b = Mbps(1.5);
+            let w = max_width_for_buffer(d, k, b, Mbits(budget_mb * 8.0)).unwrap();
+            let d1 = latency_for(d, k, w);
+            let buffer = 1.5 * 60.0 * d1.value() * (w.effective(k) - 1) as f64;
+            prop_assert!(buffer <= budget_mb * 8.0 + 1e-6);
+        }
+
+        #[test]
+        fn chosen_width_meets_target_and_is_minimal(
+            k in 1usize..=40,
+            target_frac in 0.0005f64..0.5,
+        ) {
+            let d = Minutes(120.0);
+            let target = Minutes(d.value() * target_frac);
+            if let Ok(width) = min_width_for_latency(d, k, target) {
+                prop_assert!(latency_for(d, k, width) <= target);
+                // minimality: the next-smaller candidate misses the target
+                if let Width::Capped(w) = width {
+                    let cands = candidate_widths(k);
+                    let idx = cands.iter().position(|&c| c == w).unwrap();
+                    if idx > 0 {
+                        let smaller = Width::Capped(cands[idx - 1]);
+                        prop_assert!(latency_for(d, k, smaller) > target);
+                    }
+                }
+            } else {
+                // error is only legitimate when even the largest candidate fails
+                let best = Width::Capped(*candidate_widths(k).last().unwrap());
+                prop_assert!(latency_for(d, k, best) > target);
+            }
+        }
+    }
+}

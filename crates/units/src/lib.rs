@@ -1,0 +1,582 @@
+//! Physical-quantity newtypes shared by the Skyscraper Broadcasting workspace.
+//!
+//! The SIGCOMM '97 paper mixes three unit systems freely — video length in
+//! *minutes*, bandwidth in *Mbits/sec*, and buffer sizes in *Mbits* or
+//! *MBytes* — and every one of its formulas carries a literal `60` that
+//! converts between minutes of playback and megabits of data
+//! (`60 · b · D` Mbits for `D` minutes at `b` Mb/s). Encoding these as
+//! distinct types eliminates the entire class of "forgot the 60" and
+//! "bits vs. bytes" bugs that plague reimplementations.
+//!
+//! Two families of types live here:
+//!
+//! * **Continuous quantities** ([`Mbits`], [`MBytes`], [`Mbps`],
+//!   [`Minutes`], [`Seconds`]) — thin `f64` wrappers with only the
+//!   physically meaningful arithmetic implemented. `Mbps * Minutes` yields
+//!   [`Mbits`] with the 60× factor applied in exactly one place.
+//! * **Discrete simulation time** ([`Ticks`], [`TickDuration`]) — exact
+//!   `u64` instants and spans for the discrete-event engine, plus
+//!   [`TickScale`] describing the real-time length of one tick.
+//!
+//! All continuous types are plain `Copy` data; none allocates.
+
+#![forbid(unsafe_code)]
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per minute; the single place the paper's ubiquitous `60` lives.
+pub const SECONDS_PER_MINUTE: f64 = 60.0;
+
+/// Euler's constant, used by Pyramid Broadcasting's channel-count rule
+/// (`K ≈ B/(e·M·b)` keeps the geometric factor α near e).
+pub const EULER: f64 = core::f64::consts::E;
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Construct from a raw `f64` in this type's native unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The raw value in this type's native unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// `true` when the value is finite (neither NaN nor ±∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamp the value to be at least zero.
+            #[inline]
+            pub fn clamp_non_negative(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// `true` if `self` and `other` differ by at most `tol` in the
+            /// native unit. Used by analytic-vs-simulated cross checks.
+            #[inline]
+            pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+                (self.0 - other.0).abs() <= tol
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl PartialOrd for $name {
+            #[inline]
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                self.0.partial_cmp(&other.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A quantity of data in megabits (the paper's native data unit).
+    Mbits,
+    "Mbit"
+);
+
+quantity!(
+    /// A quantity of data in megabytes (used by the paper's Figures 6 and 8).
+    MBytes,
+    "MByte"
+);
+
+quantity!(
+    /// A data rate in megabits per second (the paper's `B` and `b`).
+    Mbps,
+    "Mb/s"
+);
+
+quantity!(
+    /// A duration in minutes (the paper's `D`, `Dᵢ`, and all latencies).
+    Minutes,
+    "min"
+);
+
+quantity!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+
+impl Mbits {
+    /// Convert to megabytes (÷ 8).
+    #[inline]
+    pub fn to_mbytes(self) -> MBytes {
+        MBytes(self.0 / 8.0)
+    }
+}
+
+impl MBytes {
+    /// Convert to megabits (× 8).
+    #[inline]
+    pub fn to_mbits(self) -> Mbits {
+        Mbits(self.0 * 8.0)
+    }
+}
+
+impl Minutes {
+    /// Convert to seconds.
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds(self.0 * SECONDS_PER_MINUTE)
+    }
+}
+
+impl Seconds {
+    /// Convert to minutes.
+    #[inline]
+    pub fn to_minutes(self) -> Minutes {
+        Minutes(self.0 / SECONDS_PER_MINUTE)
+    }
+}
+
+impl Mbps {
+    /// A rate in megabytes per second (used by Figure 6's y-axis).
+    #[inline]
+    pub fn to_mbytes_per_sec(self) -> f64 {
+        self.0 / 8.0
+    }
+}
+
+/// `rate × minutes = data`, applying the paper's `60` exactly once.
+impl Mul<Minutes> for Mbps {
+    type Output = Mbits;
+    #[inline]
+    fn mul(self, rhs: Minutes) -> Mbits {
+        Mbits(self.0 * rhs.0 * SECONDS_PER_MINUTE)
+    }
+}
+
+/// `minutes × rate = data` (commutative form).
+impl Mul<Mbps> for Minutes {
+    type Output = Mbits;
+    #[inline]
+    fn mul(self, rhs: Mbps) -> Mbits {
+        rhs * self
+    }
+}
+
+/// `rate × seconds = data`.
+impl Mul<Seconds> for Mbps {
+    type Output = Mbits;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Mbits {
+        Mbits(self.0 * rhs.0)
+    }
+}
+
+/// `seconds × rate = data`.
+impl Mul<Mbps> for Seconds {
+    type Output = Mbits;
+    #[inline]
+    fn mul(self, rhs: Mbps) -> Mbits {
+        rhs * self
+    }
+}
+
+/// `data ÷ rate = transmission time`.
+impl Div<Mbps> for Mbits {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Mbps) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Discrete simulation time
+// ---------------------------------------------------------------------------
+
+/// An absolute instant of discrete simulation time, in ticks since the
+/// simulation epoch.
+///
+/// The discrete-event engine runs on exact integer time: events can be
+/// compared, ordered, and deduplicated with no floating-point fuzz. How
+/// long one tick is in simulated real time is described by [`TickScale`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Ticks(pub u64);
+
+/// A span of discrete simulation time, in ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TickDuration(pub u64);
+
+impl Ticks {
+    /// The simulation epoch.
+    pub const ZERO: Self = Self(0);
+
+    /// Ticks elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; the engine never asks for
+    /// a negative elapsed time and a wrap here would silently corrupt
+    /// buffer accounting.
+    #[inline]
+    pub fn since(self, earlier: Ticks) -> TickDuration {
+        TickDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("Ticks::since called with a later instant"),
+        )
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Ticks) -> TickDuration {
+        TickDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl TickDuration {
+    /// The empty span.
+    pub const ZERO: Self = Self(0);
+
+    /// `true` when the span is empty.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<TickDuration> for Ticks {
+    type Output = Ticks;
+    #[inline]
+    fn add(self, rhs: TickDuration) -> Ticks {
+        Ticks(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+    }
+}
+
+impl AddAssign<TickDuration> for Ticks {
+    #[inline]
+    fn add_assign(&mut self, rhs: TickDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for TickDuration {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.checked_add(rhs.0).expect("tick duration overflow"))
+    }
+}
+
+impl AddAssign for TickDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for TickDuration {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0.checked_mul(rhs).expect("tick duration overflow"))
+    }
+}
+
+impl Sum for TickDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for Ticks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TickDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+/// The real-time meaning of one simulation tick.
+///
+/// The byte-level simulator picks a scale fine enough that segment
+/// boundaries of the irrational-α pyramid schemes round to ticks with
+/// negligible error (default: 100 ticks per simulated second, i.e. one
+/// tick = 10 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickScale {
+    /// Number of ticks per simulated second. Must be non-zero.
+    pub ticks_per_second: u64,
+}
+
+impl Default for TickScale {
+    fn default() -> Self {
+        Self {
+            ticks_per_second: 100,
+        }
+    }
+}
+
+impl TickScale {
+    /// A scale with the given resolution.
+    ///
+    /// # Panics
+    /// Panics if `ticks_per_second` is zero.
+    pub fn new(ticks_per_second: u64) -> Self {
+        assert!(ticks_per_second > 0, "tick scale must be non-zero");
+        Self { ticks_per_second }
+    }
+
+    /// Convert a continuous duration to the nearest whole number of ticks.
+    pub fn duration_from_seconds(self, seconds: Seconds) -> TickDuration {
+        assert!(
+            seconds.value() >= 0.0 && seconds.is_finite(),
+            "durations must be finite and non-negative, got {seconds}"
+        );
+        TickDuration((seconds.value() * self.ticks_per_second as f64).round() as u64)
+    }
+
+    /// Convert a continuous duration in minutes to ticks.
+    pub fn duration_from_minutes(self, minutes: Minutes) -> TickDuration {
+        self.duration_from_seconds(minutes.to_seconds())
+    }
+
+    /// The continuous length of a tick span.
+    pub fn seconds(self, d: TickDuration) -> Seconds {
+        Seconds(d.0 as f64 / self.ticks_per_second as f64)
+    }
+
+    /// The continuous length of a tick span, in minutes.
+    pub fn minutes(self, d: TickDuration) -> Minutes {
+        self.seconds(d).to_minutes()
+    }
+
+    /// Data delivered by a stream of rate `rate` over the span `d`.
+    pub fn data_over(self, rate: Mbps, d: TickDuration) -> Mbits {
+        rate * self.seconds(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_times_minutes_applies_the_sixty() {
+        // The paper's canonical example: a 120-minute MPEG-1 video at
+        // 1.5 Mb/s is 60·1.5·120 = 10 800 Mbits = 1 350 MBytes.
+        let size = Mbps(1.5) * Minutes(120.0);
+        assert_eq!(size, Mbits(10_800.0));
+        assert_eq!(size.to_mbytes(), MBytes(1_350.0));
+    }
+
+    #[test]
+    fn transmission_time_roundtrip() {
+        let seg = Mbps(1.5) * Minutes(12.0); // a 12-minute fragment
+        let t = seg / Mbps(4.5); // sent at 3× the display rate
+        assert!((t.to_minutes().value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbyte_mbit_roundtrip() {
+        assert_eq!(MBytes(33.0).to_mbits(), Mbits(264.0));
+        assert_eq!(Mbits(264.0).to_mbytes(), MBytes(33.0));
+    }
+
+    #[test]
+    fn display_respects_precision() {
+        assert_eq!(format!("{:.2}", Mbps(1.5)), "1.50 Mb/s");
+        assert_eq!(format!("{}", Minutes(2.0)), "2 min");
+    }
+
+    #[test]
+    fn tick_scale_conversions() {
+        let scale = TickScale::default();
+        let d = scale.duration_from_minutes(Minutes(2.0));
+        assert_eq!(d, TickDuration(12_000));
+        assert_eq!(scale.minutes(d), Minutes(2.0));
+        // 1.5 Mb/s over 2 minutes = 180 Mbits.
+        assert_eq!(scale.data_over(Mbps(1.5), d), Mbits(180.0));
+    }
+
+    #[test]
+    fn ticks_since() {
+        assert_eq!(Ticks(10).since(Ticks(4)), TickDuration(6));
+        assert_eq!(Ticks(4).saturating_since(Ticks(10)), TickDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn ticks_since_panics_on_negative() {
+        let _ = Ticks(4).since(Ticks(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_tick_scale_rejected() {
+        let _ = TickScale::new(0);
+    }
+
+    #[test]
+    fn sums_work() {
+        let total: Mbits = [Mbits(1.0), Mbits(2.5), Mbits(3.5)].into_iter().sum();
+        assert_eq!(total, Mbits(7.0));
+        let span: TickDuration = [TickDuration(3), TickDuration(4)].into_iter().sum();
+        assert_eq!(span, TickDuration(7));
+    }
+
+    proptest! {
+        #[test]
+        fn ratio_is_inverse_of_scale(v in 0.001_f64..1e6, k in 0.001_f64..1e3) {
+            let q = Mbits(v);
+            let scaled = q * k;
+            prop_assert!((scaled / q - k).abs() < 1e-9 * k.max(1.0));
+        }
+
+        #[test]
+        fn minutes_seconds_roundtrip(v in 0.0_f64..1e6) {
+            let m = Minutes(v);
+            prop_assert!(m.to_seconds().to_minutes().approx_eq(m, 1e-9 * v.max(1.0)));
+        }
+
+        #[test]
+        fn data_over_matches_manual(rate in 0.1_f64..1e3, ticks in 0u64..10_000_000) {
+            let scale = TickScale::default();
+            let got = scale.data_over(Mbps(rate), TickDuration(ticks));
+            let want = rate * ticks as f64 / 100.0;
+            prop_assert!((got.value() - want).abs() < 1e-6 * want.max(1.0));
+        }
+
+        #[test]
+        fn duration_roundtrip_is_within_half_tick(secs in 0.0_f64..1e5) {
+            let scale = TickScale::new(1000);
+            let d = scale.duration_from_seconds(Seconds(secs));
+            prop_assert!((scale.seconds(d).value() - secs).abs() <= 0.5 / 1000.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Video catalogs.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes};
+
+/// One video title in the catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    /// Dense catalog index; also the popularity rank (0 = most popular).
+    pub id: usize,
+    /// Display name.
+    pub title: String,
+    /// Playback length.
+    pub length: Minutes,
+    /// Display (consumption) rate.
+    pub display_rate: Mbps,
+}
+
+impl Video {
+    /// Size in Mbits.
+    #[must_use]
+    pub fn size(&self) -> Mbits {
+        self.display_rate * self.length
+    }
+}
+
+/// An ordered catalog: index = popularity rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    videos: Vec<Video>,
+}
+
+impl Catalog {
+    /// A catalog of `n` identical paper-style videos: 120 minutes of
+    /// MPEG-1 at 1.5 Mb/s (§5's workload).
+    #[must_use]
+    pub fn paper_defaults(n: usize) -> Self {
+        Self {
+            videos: (0..n)
+                .map(|id| Video {
+                    id,
+                    title: format!("movie-{id:03}"),
+                    length: Minutes(120.0),
+                    display_rate: Mbps(1.5),
+                })
+                .collect(),
+        }
+    }
+
+    /// Build from explicit videos.
+    ///
+    /// # Panics
+    /// Panics if ids are not dense `0..n`.
+    #[must_use]
+    pub fn from_videos(videos: Vec<Video>) -> Self {
+        for (i, v) in videos.iter().enumerate() {
+            assert_eq!(v.id, i, "catalog ids must be dense ranks");
+        }
+        Self { videos }
+    }
+
+    /// Number of titles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// `true` when the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Lookup by rank.
+    #[must_use]
+    pub fn get(&self, id: usize) -> Option<&Video> {
+        self.videos.get(id)
+    }
+
+    /// All titles, most popular first.
+    #[must_use]
+    pub fn videos(&self) -> &[Video] {
+        &self.videos
+    }
+
+    /// Split into the `m` popular titles (for periodic broadcast) and the
+    /// rest (for scheduled multicast) — the hybrid of §1.
+    #[must_use]
+    pub fn split_popular(&self, m: usize) -> (&[Video], &[Video]) {
+        let m = m.min(self.videos.len());
+        self.videos.split_at(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_shape() {
+        let c = Catalog::paper_defaults(100);
+        assert_eq!(c.len(), 100);
+        let v = c.get(0).unwrap();
+        assert_eq!(v.length, Minutes(120.0));
+        assert_eq!(v.display_rate, Mbps(1.5));
+        assert_eq!(v.size(), Mbits(10_800.0));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn split_popular_partitions() {
+        let c = Catalog::paper_defaults(30);
+        let (hot, cold) = c.split_popular(10);
+        assert_eq!(hot.len(), 10);
+        assert_eq!(cold.len(), 20);
+        assert_eq!(hot[0].id, 0);
+        assert_eq!(cold[0].id, 10);
+        // Oversized split clamps.
+        let (hot, cold) = c.split_popular(99);
+        assert_eq!((hot.len(), cold.len()), (30, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let mut vs = Catalog::paper_defaults(2).videos().to_vec();
+        vs[1].id = 7;
+        let _ = Catalog::from_videos(vs);
+    }
+}

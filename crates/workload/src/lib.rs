@@ -1,0 +1,26 @@
+//! # Workload generation for metropolitan VoD
+//!
+//! The paper's system model (§1) rests on an empirical observation from
+//! Dan, Sitaram & Shahabuddin: "the popularities of movies follow the Zipf
+//! distribution with the skew factor of 0.271. That is, most of the demand
+//! (80 %) is for a few (10 to 20) very popular movies." Skyscraper
+//! Broadcasting serves those few popular videos; everything else goes to a
+//! scheduled-multicast service. This crate generates the request streams
+//! that exercise both halves:
+//!
+//! * [`catalog`] — video catalogs (the paper's videos: 120 min, MPEG-1 at
+//!   1.5 Mb/s),
+//! * [`zipf`] — the Zipf popularity model with the Dan et al. skew
+//!   convention (`p_i ∝ (1/i)^{1−θ}`, `θ = 0.271`),
+//! * [`arrivals`] — Poisson arrival processes, seeded and reproducible,
+//!   plus viewer patience (reneging) models.
+
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod catalog;
+pub mod zipf;
+
+pub use arrivals::{DiurnalArrivals, Patience, PoissonArrivals, WorkloadRequest};
+pub use catalog::{Catalog, Video};
+pub use zipf::ZipfPopularity;

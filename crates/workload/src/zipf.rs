@@ -1,0 +1,225 @@
+//! Zipf video popularity — the Dan/Sitaram/Shahabuddin convention the
+//! paper cites (§1).
+//!
+//! The probability of requesting the rank-`i` video (1-based rank) is
+//! `p_i = c / i^{1−θ}`, with `θ = 0` being the pure Zipf distribution and
+//! larger `θ` flattening the skew. The paper quotes `θ = 0.271` from the
+//! batching literature. A separate constructor accepts an arbitrary
+//! exponent `s` (`p_i ∝ i^{−s}`) for sensitivity studies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The skew factor the paper quotes.
+pub const PAPER_THETA: f64 = 0.271;
+
+/// A Zipf-like popularity distribution over `n` ranked titles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfPopularity {
+    exponent: f64,
+    /// Cumulative distribution, `cdf[i]` = P(rank ≤ i), strictly increasing
+    /// to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfPopularity {
+    /// `p_i ∝ i^{−s}` over `n` titles.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn with_exponent(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one title");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect::<Vec<_>>();
+        Self { exponent: s, cdf }
+    }
+
+    /// The Dan et al. parameterization: `p_i ∝ (1/i)^{1−θ}`.
+    #[must_use]
+    pub fn with_skew_theta(n: usize, theta: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "skew θ must be in [0, 1), got {theta}"
+        );
+        Self::with_exponent(n, 1.0 - theta)
+    }
+
+    /// The paper's distribution: `θ = 0.271`.
+    #[must_use]
+    pub fn paper(n: usize) -> Self {
+        Self::with_skew_theta(n, PAPER_THETA)
+    }
+
+    /// Number of titles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when there are no titles (never: construction requires ≥ 1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s` in `p_i ∝ i^{−s}`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of the rank-`r` title (0-based).
+    #[must_use]
+    pub fn probability(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Fraction of total demand captured by the `k` most popular titles.
+    #[must_use]
+    pub fn top_share(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+        }
+    }
+
+    /// Draw a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfPopularity::paper(100);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_popularity() {
+        let z = ZipfPopularity::paper(50);
+        for r in 1..50 {
+            assert!(z.probability(r) <= z.probability(r - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn paper_skew_concentrates_demand() {
+        // §1's qualitative claim: a small head of the catalog dominates.
+        // With the Dan et al. convention over 100 titles the top 20 carry
+        // the majority of demand (the literature's "80 % for 10–20 movies"
+        // refers to measured rental data the Zipf fit approximates).
+        let z = ZipfPopularity::paper(100);
+        let s20 = z.top_share(20);
+        assert!(s20 > 0.5, "top-20 share {s20:.3}");
+        assert!(z.top_share(10) > 0.38);
+        // The pure Zipf (θ = 0) is sharper still.
+        let pure = ZipfPopularity::with_skew_theta(100, 0.0);
+        assert!(pure.top_share(20) > s20);
+    }
+
+    #[test]
+    fn uniform_limit() {
+        // s = 0 (θ = 1 is excluded; use with_exponent) → uniform.
+        let z = ZipfPopularity::with_exponent(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+        assert!((z.top_share(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let z = ZipfPopularity::paper(20);
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let n = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            let exp = z.probability(r);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {r}: empirical {emp:.4} vs {exp:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_share_edges() {
+        let z = ZipfPopularity::paper(10);
+        assert_eq!(z.top_share(0), 0.0);
+        assert!((z.top_share(10) - 1.0).abs() < 1e-12);
+        assert!((z.top_share(999) - 1.0).abs() < 1e-12);
+        assert_eq!(z.len(), 10);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_catalog_rejected() {
+        let _ = ZipfPopularity::paper(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew")]
+    fn theta_one_rejected() {
+        let _ = ZipfPopularity::with_skew_theta(5, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_and_complete(n in 1usize..200, theta in 0.0f64..0.99) {
+            let z = ZipfPopularity::with_skew_theta(n, theta);
+            let mut prev = 0.0;
+            for r in 0..n {
+                let c = z.top_share(r + 1);
+                prop_assert!(c >= prev);
+                prev = c;
+            }
+            prop_assert!((prev - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn samples_in_range(n in 1usize..50, seed in 0u64..1000) {
+            let z = ZipfPopularity::paper(n);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: design a Skyscraper Broadcasting system for the paper's
+//! workload, inspect the plan, and walk one client through a session.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use skyscraper_broadcasting::prelude::*;
+
+fn main() {
+    // The paper's §5 setting: 10 popular 2-hour MPEG-1 videos (1.5 Mb/s)
+    // on a server with 300 Mb/s of network-I/O bandwidth.
+    let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+
+    // Pick the width W=52 the paper recommends above 200 Mb/s (§5.4).
+    let scheme = Skyscraper::with_width(Width::capped(52).expect("52 is a series value"));
+
+    // Analytic metrics: what every client is promised.
+    let metrics = scheme.metrics(&cfg).expect("feasible configuration");
+    println!("scheme           : {}", BroadcastScheme::name(&scheme));
+    println!("channels per video: {}", scheme.channels_per_video(&cfg).unwrap());
+    println!("worst-case latency: {:.3}", metrics.access_latency);
+    println!("client I/O        : {:.2}", metrics.client_io_bandwidth);
+    println!(
+        "client buffer     : {:.1} ({:.1})",
+        metrics.buffer_requirement,
+        metrics.buffer_requirement.to_mbytes()
+    );
+
+    // Build the concrete broadcast plan the server would run.
+    let plan = scheme.plan(&cfg).expect("feasible configuration");
+    println!(
+        "\nplan: {} logical channels, {:.1} total",
+        plan.channels.len(),
+        plan.total_bandwidth()
+    );
+
+    // A viewer shows up 7.3 minutes after the epoch and asks for video 2.
+    let session = schedule_client(
+        &plan,
+        VideoId(2),
+        Minutes(7.3),
+        cfg.display_rate,
+        ClientPolicy::LatestFeasible,
+    )
+    .expect("every video in the plan is watchable");
+
+    println!("\nviewer arrives at 7.300 min:");
+    println!("  playback starts {:.4} (waited {:.4})", session.playback_start, session.startup_latency());
+    println!("  receives {} fragments on {} concurrent streams at most", session.downloads.len(), session.max_concurrent_downloads());
+    println!("  peak disk buffer {:.1}", session.peak_buffer().to_mbytes());
+    assert!(session.jitter_violations(1e-9).is_empty(), "playback is jitter-free");
+    println!("  playback verified jitter-free ✓");
+}

@@ -1,0 +1,56 @@
+//! §5.4's design exercise: choose the skyscraper width W by
+//! cross-examining latency against client storage — "we can control W, or
+//! the width of the skyscraper, to achieve the desired combination of
+//! storage bandwidth requirement, disk space requirement, and access
+//! latency."
+//!
+//! Run with: `cargo run --example width_tuning`
+
+use skyscraper_broadcasting::core::width::{candidate_widths, latency_for, min_width_for_latency};
+use skyscraper_broadcasting::prelude::*;
+
+fn main() {
+    let cfg = SystemConfig::paper_defaults(Mbps(600.0));
+    let k = Skyscraper::unbounded().channels_per_video(&cfg).unwrap();
+    println!("B = {:.0}, so K = {k} channels per video\n", cfg.server_bandwidth);
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "W", "latency (min)", "buffer (MB)", "client I/O"
+    );
+    for w in candidate_widths(k) {
+        let width = Width::capped(w).unwrap();
+        let m = Skyscraper::with_width(width).metrics(&cfg).unwrap();
+        println!(
+            "{:>8} {:>14.4} {:>14.1} {:>12.2}",
+            w,
+            m.access_latency.value(),
+            m.buffer_mbytes().value(),
+            m.client_io_bandwidth
+        );
+    }
+
+    // The inverse problem: the operator wants 15-second startup.
+    let target = Minutes(0.25);
+    let chosen = min_width_for_latency(cfg.video_length, k, target).unwrap();
+    let m = Skyscraper::with_width(chosen).metrics(&cfg).unwrap();
+    println!(
+        "\nsmallest width meeting a {:.2}-min target: {chosen} → latency {:.4}, buffer {:.1}",
+        target.value(),
+        m.access_latency.value(),
+        m.buffer_mbytes()
+    );
+    assert!(latency_for(cfg.video_length, k, chosen) <= target);
+
+    // And the paper's own pick for this regime.
+    println!(
+        "\n§5.4: \"if the network-I/O bandwidth is 600 Mbits/sec, each client needs only\n\
+         40 MBytes of buffer space in order to enjoy an access latency of about 0.1 minutes\""
+    );
+    let w52 = Skyscraper::with_width(Width::capped(52).unwrap()).metrics(&cfg).unwrap();
+    println!(
+        "reproduced: W=52 → latency {:.3} min, buffer {:.1} MB",
+        w52.access_latency.value(),
+        w52.buffer_mbytes().value()
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration: every scheme's plan is structurally valid and
+//! every simulated client session honours the scheme's analytic promises.
+
+use skyscraper_broadcasting::analysis::crosscheck::policy_for;
+use skyscraper_broadcasting::analysis::lineup::extended_lineup;
+use skyscraper_broadcasting::prelude::*;
+
+#[test]
+fn plans_validate_against_their_bandwidth_budget() {
+    for b in [100.0, 320.0, 600.0] {
+        let cfg = SystemConfig::paper_defaults(Mbps(b));
+        for id in extended_lineup() {
+            let scheme = id.build();
+            if let Ok(plan) = scheme.plan(&cfg) {
+                plan.validate(cfg.server_bandwidth)
+                    .unwrap_or_else(|e| panic!("{} at {b}: {e}", id.label()));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_feasible_scheme_serves_every_video_jitter_free() {
+    let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    for id in extended_lineup() {
+        let scheme = id.build();
+        let Ok(plan) = scheme.plan(&cfg) else { continue };
+        let metrics = scheme.metrics(&cfg).unwrap();
+        let policy = policy_for(id);
+        for video in 0..cfg.num_videos {
+            for i in 0..7 {
+                let arrival = Minutes(2.3 * i as f64 + 0.11 * video as f64);
+                let s = schedule_client(&plan, VideoId(video), arrival, cfg.display_rate, policy)
+                    .unwrap_or_else(|e| panic!("{} v{video}: {e}", id.label()));
+                assert!(
+                    s.jitter_violations(1e-6).is_empty(),
+                    "{} video {video} arrival {arrival}",
+                    id.label()
+                );
+                assert!(
+                    s.startup_latency().value() <= metrics.access_latency.value() + 1e-6,
+                    "{} latency promise broken",
+                    id.label()
+                );
+                s.validate(&plan).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn sb_slot_model_agrees_with_plan_driven_clients() {
+    // The exact integer model (sb-core) and the continuous plan-driven
+    // client (sb-sim) are independent implementations of §3.3; they must
+    // agree on every phase of a full hyperperiod.
+    let cfg = SystemConfig::paper_defaults(Mbps(120.0)); // K = 8
+    let scheme = Skyscraper::with_width(Width::capped(5).unwrap());
+    let plan = scheme.plan(&cfg).unwrap();
+    let frag = scheme.fragmentation(&cfg).unwrap();
+    let d1 = frag.slot.value();
+    let hyper = skyscraper_broadcasting::core::client::hyperperiod(&frag.units).unwrap();
+    let unit_mbits = cfg.display_rate.value() * d1 * 60.0;
+    for t0 in 0..hyper {
+        let slot = skyscraper_broadcasting::core::client::ClientTimeline::compute(&frag.units, t0);
+        let cont = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(d1 * t0 as f64),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        let expect = slot.peak_buffer_units() as f64 * unit_mbits;
+        let got = cont.peak_buffer().value();
+        assert!(
+            (got - expect).abs() < 1e-3 * unit_mbits,
+            "phase {t0}: slot {expect} vs continuous {got}"
+        );
+    }
+}
+
+#[test]
+fn infeasible_regimes_error_cleanly() {
+    let tiny = SystemConfig::paper_defaults(Mbps(10.0));
+    for id in extended_lineup() {
+        let scheme = id.build();
+        assert!(
+            scheme.metrics(&tiny).is_err(),
+            "{} should be infeasible at 10 Mb/s",
+            id.label()
+        );
+    }
+    // And the SchemeId label of an error case is still printable.
+    let err = Skyscraper::unbounded().metrics(&tiny).unwrap_err();
+    assert!(!err.to_string().is_empty());
+}

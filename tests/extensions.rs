@@ -1,0 +1,159 @@
+//! Integration tests for the beyond-paper extensions: heterogeneous
+//! catalogs, generalized series, pausing PPB clients, and packet replay —
+//! all driven through the public facade and the simulator.
+
+use skyscraper_broadcasting::core::custom::{
+    greedy_max_series, CustomSkyscraper, PhaseBudget, ValidatedSeries,
+};
+use skyscraper_broadcasting::core::heterogeneous::{plan_heterogeneous, HeteroVideo};
+use skyscraper_broadcasting::core::series;
+use skyscraper_broadcasting::prelude::*;
+use skyscraper_broadcasting::sim::e2e::{replay, PacketConfig};
+use skyscraper_broadcasting::sim::pausing::schedule_pausing_client;
+
+#[test]
+fn heterogeneous_plan_serves_all_lengths_through_the_simulator() {
+    let videos: Vec<HeteroVideo> = [95.0, 120.0, 150.0, 87.0]
+        .into_iter()
+        .map(|m| HeteroVideo { length: Minutes(m) })
+        .collect();
+    let hp = plan_heterogeneous(Mbps(120.0), Mbps(1.5), &videos, Width::capped(12).unwrap())
+        .unwrap();
+    hp.plan.validate(Mbps(120.0)).unwrap();
+    for (v, pv) in hp.per_video.iter().enumerate() {
+        for i in 0..6 {
+            let arrival = Minutes(4.1 * i as f64 + 0.3 * v as f64);
+            let s = schedule_client(
+                &hp.plan,
+                VideoId(v),
+                arrival,
+                Mbps(1.5),
+                ClientPolicy::LatestFeasible,
+            )
+            .unwrap();
+            assert!(s.jitter_violations(1e-6).is_empty(), "video {v}");
+            assert!(
+                s.startup_latency().value() <= pv.metrics.access_latency.value() + 1e-9,
+                "video {v}: {} > {}",
+                s.startup_latency(),
+                pv.metrics.access_latency
+            );
+            assert!(
+                s.peak_buffer().value() <= pv.metrics.buffer_requirement.value() * (1.0 + 1e-9),
+                "video {v}"
+            );
+            // Playback length matches the video's own length.
+            let played = s.playback_end().value() - s.playback_start.value();
+            assert!((played - videos[v].length.value()).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn custom_series_plan_runs_through_simulator_and_packet_replay() {
+    let units = vec![1, 2, 2, 3, 3, 4, 4, 5, 5, 6];
+    let scheme = CustomSkyscraper::new(
+        ValidatedSeries::new(units, PhaseBudget::default()).unwrap(),
+    );
+    let cfg = SystemConfig::paper_defaults(Mbps(150.0));
+    let metrics = scheme.metrics(&cfg).unwrap();
+    let plan = scheme.plan(&cfg).unwrap();
+    plan.validate(cfg.server_bandwidth).unwrap();
+    for i in 0..8 {
+        let arrival = Minutes(1.7 * i as f64);
+        let s = schedule_client(
+            &plan,
+            VideoId(1),
+            arrival,
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        assert!(s.jitter_violations(1e-6).is_empty());
+        assert!(s.max_concurrent_downloads() <= 2);
+        assert!(s.peak_buffer().value() <= metrics.buffer_requirement.value() * (1.0 + 1e-6));
+        // And the packet-level replay agrees.
+        let report = replay(&s, PacketConfig::default());
+        assert!(report.underruns.is_empty());
+    }
+}
+
+#[test]
+fn greedy_series_discovery_scales() {
+    // The K=11 search still lands exactly on the paper's series.
+    let found = greedy_max_series(11, PhaseBudget::ExhaustiveUpTo(60_000));
+    assert_eq!(found, series::series(11));
+}
+
+#[test]
+fn pausing_client_end_to_end() {
+    let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    let plan = PermutationPyramid::b().plan(&cfg).unwrap();
+    let analytic = PermutationPyramid::b().metrics(&cfg).unwrap();
+    let s = schedule_pausing_client(&plan, VideoId(0), Minutes(9.7), cfg.display_rate).unwrap();
+    assert!(s.is_jitter_free(1e-6));
+    assert!(s.single_tuner(1e-6));
+    assert!(s.peak_buffer().value() <= analytic.buffer_requirement.value());
+    assert!(s.mid_broadcast_joins() > 0);
+}
+
+#[test]
+fn fast_broadcasting_clients_meet_their_analytics() {
+    use skyscraper_broadcasting::pyramid::FastBroadcasting;
+    let cfg = SystemConfig::paper_defaults(Mbps(120.0)); // K = 8, N = 255
+    let scheme = FastBroadcasting;
+    let metrics = scheme.metrics(&cfg).unwrap();
+    let plan = scheme.plan(&cfg).unwrap();
+    plan.validate(cfg.server_bandwidth).unwrap();
+    let mut worst_latency: f64 = 0.0;
+    let mut worst_buffer: f64 = 0.0;
+    let mut worst_streams = 0usize;
+    for i in 0..40 {
+        let arrival = Minutes(1.3 * i as f64);
+        let s = schedule_client(
+            &plan,
+            VideoId(0),
+            arrival,
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap();
+        assert!(s.jitter_violations(1e-6).is_empty(), "arrival {arrival}");
+        worst_latency = worst_latency.max(s.startup_latency().value());
+        worst_buffer = worst_buffer.max(s.peak_buffer().value());
+        worst_streams = worst_streams.max(s.max_concurrent_downloads());
+    }
+    // Latency bound D/N holds and is (nearly) attained.
+    assert!(worst_latency <= metrics.access_latency.value() + 1e-9);
+    assert!(worst_latency >= metrics.access_latency.value() * 0.7);
+    // The (N−1)/2-slot buffer bound holds and is essentially attained.
+    assert!(
+        worst_buffer <= metrics.buffer_requirement.value() * 1.001,
+        "buffer {worst_buffer} vs {}",
+        metrics.buffer_requirement
+    );
+    assert!(worst_buffer >= metrics.buffer_requirement.value() * 0.9);
+    // FB's cost: many concurrent streams (up to K), far beyond SB's 2.
+    assert!(worst_streams > 2, "streams {worst_streams}");
+    assert!(worst_streams <= 8);
+}
+
+#[test]
+fn harmonic_bug_and_fix_through_the_facade() {
+    use skyscraper_broadcasting::pyramid::HarmonicBroadcasting;
+    use skyscraper_broadcasting::sim::receive_all::record_all;
+    let cfg = SystemConfig::paper_defaults(Mbps(60.0));
+    let scheme = HarmonicBroadcasting::original();
+    let plan = scheme.plan(&cfg).unwrap();
+    let slot = scheme.slot(&cfg).unwrap();
+    let mut bug_seen = false;
+    for i in 0..80 {
+        let arrival = Minutes(0.61 * i as f64);
+        let buggy = record_all(&plan, VideoId(0), arrival, cfg.display_rate, Minutes(0.0))
+            .unwrap();
+        bug_seen |= !buggy.is_jitter_free(1e-6);
+        let fixed = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
+        assert!(fixed.is_jitter_free(1e-6), "fix fails at {arrival}");
+    }
+    assert!(bug_seen, "the original HB bug must manifest somewhere");
+}

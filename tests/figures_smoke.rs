@@ -1,0 +1,55 @@
+//! Smoke tests over the figure/table regeneration pipeline — the same code
+//! paths the `sb-bench` binaries drive, exercised from the facade.
+
+use skyscraper_broadcasting::analysis::figures::{
+    figure5a, figure5b, figure6, figure7, figure8, figures1_to_4, storage_theorem_holds,
+};
+use skyscraper_broadcasting::analysis::lineup::{paper_lineup, PAPER_WIDTHS};
+use skyscraper_broadcasting::analysis::render::{render_figure, to_json};
+use skyscraper_broadcasting::analysis::sweep::paper_sweep;
+use skyscraper_broadcasting::analysis::tables::{evaluate_tables, table1_formulas, table2_rules};
+use skyscraper_broadcasting::core::series::Width;
+
+#[test]
+fn all_figures_generate_and_render() {
+    let ids = paper_lineup();
+    let rows = paper_sweep(&ids);
+    for fig in [
+        figure5a(&rows),
+        figure5b(&rows),
+        figure6(&rows, &ids),
+        figure7(&rows, &ids),
+        figure8(&rows, &ids),
+    ] {
+        assert!(!fig.series.is_empty(), "{} has no series", fig.id);
+        let txt = render_figure(&fig);
+        assert!(txt.lines().count() > 20, "{} renders too little", fig.id);
+        let json = to_json(&fig);
+        assert!(json.contains(&fig.id));
+    }
+}
+
+#[test]
+fn transition_demos_generate() {
+    let demos = figures1_to_4();
+    assert_eq!(demos.len(), 4);
+    for d in demos {
+        assert!(d.measured_peak_units <= d.bound_units);
+    }
+}
+
+#[test]
+fn tables_generate() {
+    assert_eq!(table1_formulas().len(), 3);
+    assert_eq!(table2_rules().len(), 5);
+    let rows = evaluate_tables(&paper_lineup(), &[320.0]);
+    assert_eq!(rows.len(), 9);
+}
+
+#[test]
+fn storage_theorem_across_paper_widths() {
+    for w in PAPER_WIDTHS {
+        // K = 21 is the B = 320 channel count.
+        assert!(storage_theorem_holds(21, Width::Capped(w)), "W={w}");
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end hybrid-system integration: Zipf workload → split → SB
+//! broadcast + MQL batching, with conservation and guarantee checks.
+
+use skyscraper_broadcasting::batching::{BatchPolicy, HybridConfig};
+use skyscraper_broadcasting::prelude::*;
+use skyscraper_broadcasting::sim::system::{Request, SystemSim};
+use skyscraper_broadcasting::workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
+
+fn workload(titles: usize, rate: f64, horizon: f64, seed: u64) -> Vec<sb_workload::WorkloadRequest> {
+    PoissonArrivals::new(rate, seed)
+        .with_patience(Patience::Exponential(Minutes(8.0)))
+        .generate(&ZipfPopularity::paper(titles), Minutes(horizon))
+}
+
+#[test]
+fn broadcast_guarantee_is_load_independent() {
+    // Triple the load: the broadcast half's worst latency must not move.
+    let catalog = Catalog::paper_defaults(60);
+    let cfg = HybridConfig {
+        total_bandwidth: Mbps(600.0),
+        popular: 10,
+        width: Width::capped(52).unwrap(),
+        policy: BatchPolicy::Mql,
+        broadcast_fraction: 0.5,
+    };
+    let light = cfg.run(&catalog, &workload(60, 1.0, 300.0, 7)).unwrap();
+    let heavy = cfg.run(&catalog, &workload(60, 9.0, 300.0, 7)).unwrap();
+    assert_eq!(light.broadcast_worst_latency, heavy.broadcast_worst_latency);
+    assert_eq!(light.broadcast_channels, heavy.broadcast_channels);
+    // The batching half, by contrast, degrades.
+    assert!(heavy.multicast.renege_rate() >= light.multicast.renege_rate());
+}
+
+#[test]
+fn simulated_hot_clients_respect_the_promise() {
+    let catalog = Catalog::paper_defaults(40);
+    let cfg = HybridConfig {
+        total_bandwidth: Mbps(450.0),
+        popular: 10,
+        width: Width::capped(12).unwrap(),
+        policy: BatchPolicy::Fcfs,
+        broadcast_fraction: 0.4,
+    };
+    let requests = workload(40, 4.0, 240.0, 11);
+    let report = cfg.run(&catalog, &requests).unwrap();
+    let plan = cfg.broadcast_plan(&catalog).unwrap();
+    plan.validate(Mbps(450.0 * 0.4)).unwrap();
+
+    let hot: Vec<Request> = requests
+        .iter()
+        .filter(|r| r.video < 10)
+        .map(|r| Request {
+            at: r.at,
+            video: VideoId(r.video),
+        })
+        .collect();
+    assert_eq!(hot.len(), report.broadcast_requests);
+    let stats = SystemSim::new(&plan, Mbps(1.5), ClientPolicy::LatestFeasible)
+        .run(&hot)
+        .unwrap();
+    assert_eq!(stats.sessions, hot.len());
+    assert!(stats.worst_latency <= report.broadcast_worst_latency);
+}
+
+#[test]
+fn mql_vs_fcfs_on_the_cold_tail() {
+    let catalog = Catalog::paper_defaults(80);
+    let requests = workload(80, 6.0, 400.0, 3);
+    let mk = |policy| HybridConfig {
+        total_bandwidth: Mbps(500.0),
+        popular: 10,
+        width: Width::capped(52).unwrap(),
+        policy,
+        broadcast_fraction: 0.6,
+    };
+    let mql = mk(BatchPolicy::Mql).run(&catalog, &requests).unwrap();
+    let fcfs = mk(BatchPolicy::Fcfs).run(&catalog, &requests).unwrap();
+    // Same split, same stream; MQL serves at least roughly as many.
+    assert_eq!(mql.multicast_channels, fcfs.multicast_channels);
+    assert!(
+        mql.multicast.served as f64 >= fcfs.multicast.served as f64 * 0.95,
+        "MQL {} vs FCFS {}",
+        mql.multicast.served,
+        fcfs.multicast.served
+    );
+}
+
+#[test]
+fn prime_time_peak_only_hurts_the_batching_tail() {
+    use skyscraper_broadcasting::workload::DiurnalArrivals;
+    // A Gaussian prime-time surge (4× base) centred mid-run.
+    let catalog = Catalog::paper_defaults(60);
+    let requests = DiurnalArrivals {
+        base_rate: 2.0,
+        peak_boost: 8.0,
+        peak_at: Minutes(300.0),
+        peak_width: Minutes(60.0),
+        patience: Patience::Exponential(Minutes(8.0)),
+        seed: 21,
+    }
+    .generate(
+        &skyscraper_broadcasting::workload::ZipfPopularity::paper(60),
+        Minutes(600.0),
+    );
+    let cfg = HybridConfig {
+        total_bandwidth: Mbps(600.0),
+        popular: 10,
+        width: Width::capped(52).unwrap(),
+        policy: BatchPolicy::Mql,
+        broadcast_fraction: 0.5,
+    };
+    let report = cfg.run(&catalog, &requests).unwrap();
+    // Broadcast titles keep their guarantee through the surge…
+    assert!(report.broadcast_worst_latency.value() < 0.2);
+    let impatient_rate =
+        report.broadcast_impatient as f64 / report.broadcast_requests.max(1) as f64;
+    assert!(impatient_rate < 0.05, "{impatient_rate}");
+    // …while the tail suffers: under the surge MQL reneges meaningfully.
+    assert!(report.multicast.reneged > 0);
+}
