@@ -152,10 +152,22 @@ pub fn probe_series(name: &str, units: &[u64], d: Minutes, phases: u64) -> Serie
 /// A1: probe all candidates at a given fragment count.
 #[must_use]
 pub fn series_ablation(k: usize, d: Minutes, phases: u64) -> Vec<SeriesReport> {
-    candidates(k)
-        .into_iter()
-        .map(|c| probe_series(&c.name, &c.units, d, phases))
-        .collect()
+    series_ablation_with(k, d, phases, &crate::runner::Runner::serial())
+}
+
+/// [`series_ablation`] on an explicit [`crate::runner::Runner`] —
+/// candidate series probed in parallel, output identical to serial.
+#[must_use]
+pub fn series_ablation_with(
+    k: usize,
+    d: Minutes,
+    phases: u64,
+    runner: &crate::runner::Runner,
+) -> Vec<SeriesReport> {
+    let cands = candidates(k);
+    runner.timed_map("ablation", &cands, |c| {
+        probe_series(&c.name, &c.units, d, phases)
+    })
 }
 
 /// A2: the marginal cost of latency, width to width: `(W, latency_min,
@@ -200,7 +212,10 @@ mod tests {
     #[test]
     fn paired_doubling_also_fails() {
         let reports = series_ablation(12, Minutes(120.0), 512);
-        let pd = reports.iter().find(|r| r.name == "paired-doubling").unwrap();
+        let pd = reports
+            .iter()
+            .find(|r| r.name == "paired-doubling")
+            .unwrap();
         assert!(!pd.usable());
     }
 

@@ -72,18 +72,47 @@ pub fn policy_for(id: SchemeId) -> ClientPolicy {
 ///
 /// Returns `None` where the scheme is infeasible.
 #[must_use]
-pub fn crosscheck(id: SchemeId, bandwidth: Mbps, horizon: Minutes, samples: usize) -> Option<CrossCheck> {
+pub fn crosscheck(
+    id: SchemeId,
+    bandwidth: Mbps,
+    horizon: Minutes,
+    samples: usize,
+) -> Option<CrossCheck> {
+    crosscheck_seeded(id, bandwidth, horizon, samples, 0)
+}
+
+/// [`crosscheck`] with a seeded arrival-phase offset: the workload-seed
+/// axis of [`crate::runner::Experiment`]. Seed 0 reproduces the legacy
+/// fixed grid; any other seed shifts every arrival by a deterministic
+/// fraction of the grid step, probing different broadcast phases.
+#[must_use]
+pub fn crosscheck_seeded(
+    id: SchemeId,
+    bandwidth: Mbps,
+    horizon: Minutes,
+    samples: usize,
+    seed: u64,
+) -> Option<CrossCheck> {
     let cfg = SystemConfig::paper_defaults(bandwidth);
     let scheme = id.build();
     let analytic = scheme.metrics(&cfg).ok()?;
     let plan = scheme.plan(&cfg).ok()?;
     let policy = policy_for(id);
+    let phase = if seed == 0 {
+        0.31
+    } else {
+        // splitmix-style scramble to a fraction in (0, 1)
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
 
     let mut worst_latency = 0.0f64;
     let mut peak_buffer = 0.0f64;
     let mut max_streams = 0usize;
     for i in 0..samples {
-        let arrival = Minutes(horizon.value() * (i as f64 + 0.31) / samples as f64);
+        let arrival = Minutes(horizon.value() * (i as f64 + phase) / samples as f64);
         let s = schedule_client(&plan, VideoId(0), arrival, cfg.display_rate, policy)
             .expect("feasible plan serves every arrival");
         debug_assert!(s.jitter_violations(1e-6).is_empty());
@@ -110,8 +139,31 @@ pub fn crosscheck_lineup(
     horizon: Minutes,
     samples: usize,
 ) -> Vec<CrossCheck> {
-    ids.iter()
-        .filter_map(|&id| crosscheck(id, bandwidth, horizon, samples))
+    crosscheck_lineup_with(
+        ids,
+        bandwidth,
+        horizon,
+        samples,
+        &crate::runner::Runner::serial(),
+    )
+}
+
+/// [`crosscheck_lineup`] on an explicit [`crate::runner::Runner`] —
+/// schemes checked in parallel, output identical to the serial path.
+#[must_use]
+pub fn crosscheck_lineup_with(
+    ids: &[SchemeId],
+    bandwidth: Mbps,
+    horizon: Minutes,
+    samples: usize,
+    runner: &crate::runner::Runner,
+) -> Vec<CrossCheck> {
+    runner
+        .timed_map("crosscheck", ids, |&id| {
+            crosscheck(id, bandwidth, horizon, samples)
+        })
+        .into_iter()
+        .flatten()
         .collect()
 }
 

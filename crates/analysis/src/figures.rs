@@ -119,7 +119,12 @@ pub fn figure6(rows: &[SweepRow], ids: &[SchemeId]) -> Figure {
         .map(|&id| curve(rows, id, |p| Some(p.metrics.io_mbytes_per_sec())))
         .collect();
     let b = 1.5 / 8.0; // display rate in MBytes/s
-    for (label, mult) in [("ref:b", 1.0), ("ref:4b", 4.0), ("ref:5b", 5.0), ("ref:50b", 50.0)] {
+    for (label, mult) in [
+        ("ref:b", 1.0),
+        ("ref:4b", 4.0),
+        ("ref:5b", 5.0),
+        ("ref:50b", 50.0),
+    ] {
         series.push(Series {
             label: label.into(),
             points: rows
@@ -216,32 +221,42 @@ fn worst_phase_demo(figure: &str, description: &str, units: &[u64], phases: u64)
 /// transition type.
 #[must_use]
 pub fn figures1_to_4() -> Vec<TransitionDemo> {
-    vec![
-        worst_phase_demo(
+    figures1_to_4_with(&crate::runner::Runner::serial())
+}
+
+/// [`figures1_to_4`] on an explicit [`crate::runner::Runner`] — the four
+/// transition cases probed in parallel, output identical to serial.
+#[must_use]
+pub fn figures1_to_4_with(runner: &crate::runner::Runner) -> Vec<TransitionDemo> {
+    let cases: [(&str, &str, Vec<u64>, u64); 4] = [
+        (
             "fig1",
             "Type 1 transition (1)->(2,2): even arrival buffers one unit, odd arrival none",
-            &Width::Unbounded.units(3),
+            Width::Unbounded.units(3),
             4,
         ),
-        worst_phase_demo(
+        (
             "fig2",
             "Type 2 transition (2,2)->(5,5): worst case 60*b*D1*2A = 4 units",
-            &Width::Unbounded.units(5),
+            Width::Unbounded.units(5),
             16,
         ),
-        worst_phase_demo(
+        (
             "fig3/fig4",
             "Type 3 transition (5,5)->(12,12): worst case bounded by 2A+1 = 11 units",
-            &Width::Unbounded.units(7),
+            Width::Unbounded.units(7),
             120,
         ),
-        worst_phase_demo(
+        (
             "section-4 conclusion",
             "Capped tail (X,X)->(W..W), W=12: global worst case 60*b*D1*(W-1)",
-            &Width::Capped(12).units(10),
+            Width::Capped(12).units(10),
             240,
         ),
-    ]
+    ];
+    runner.timed_map("fig1-4", &cases, |(figure, description, units, phases)| {
+        worst_phase_demo(figure, description, units, *phases)
+    })
 }
 
 /// The §4 storage theorem, checked numerically for one fragmentation:

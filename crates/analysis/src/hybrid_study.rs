@@ -80,6 +80,21 @@ impl Default for StudyConfig {
 /// fraction cannot sustain the popular set).
 #[must_use]
 pub fn throughput_study(cfg: StudyConfig, rates: &[f64]) -> Vec<ThroughputPoint> {
+    throughput_study_with(cfg, rates, &crate::runner::Runner::serial())
+}
+
+/// [`throughput_study`] on an explicit [`crate::runner::Runner`] — rate
+/// points simulated in parallel, output identical to the serial path
+/// (each point draws its workload from the same per-point seed).
+///
+/// # Panics
+/// Panics if the hybrid split is infeasible for `cfg`.
+#[must_use]
+pub fn throughput_study_with(
+    cfg: StudyConfig,
+    rates: &[f64],
+    runner: &crate::runner::Runner,
+) -> Vec<ThroughputPoint> {
     let catalog = Catalog::paper_defaults(cfg.titles);
     let popularity = ZipfPopularity::paper(cfg.titles);
     let pure_pool = (cfg.bandwidth.value() / 1.5).floor() as usize;
@@ -91,31 +106,29 @@ pub fn throughput_study(cfg: StudyConfig, rates: &[f64]) -> Vec<ThroughputPoint>
         broadcast_fraction: cfg.broadcast_fraction,
     };
 
-    rates
-        .iter()
-        .map(|&rate| {
-            let requests = PoissonArrivals::new(rate, cfg.seed)
-                .with_patience(Patience::Exponential(cfg.mean_patience))
-                .generate(&popularity, cfg.horizon);
+    runner.timed_map("hybrid-study", rates, |&rate| {
+        let requests = PoissonArrivals::new(rate, cfg.seed)
+            .with_patience(Patience::Exponential(cfg.mean_patience))
+            .generate(&popularity, cfg.horizon);
 
-            let pure = BatchingServer::new(pure_pool, BatchPolicy::Mql).run(&catalog, &requests);
+        let pure = BatchingServer::new(pure_pool, BatchPolicy::Mql).run(&catalog, &requests);
 
-            let h = hybrid.run(&catalog, &requests).expect("feasible hybrid split");
-            let hybrid_served = (h.broadcast_requests - h.broadcast_impatient)
-                + h.multicast.served;
-            let hybrid_reneged = h.broadcast_impatient + h.multicast.reneged;
+        let h = hybrid
+            .run(&catalog, &requests)
+            .expect("feasible hybrid split");
+        let hybrid_served = (h.broadcast_requests - h.broadcast_impatient) + h.multicast.served;
+        let hybrid_reneged = h.broadcast_impatient + h.multicast.reneged;
 
-            ThroughputPoint {
-                rate_per_minute: rate,
-                requests: requests.len(),
-                pure_served: pure.served,
-                pure_renege_rate: pure.renege_rate(),
-                hybrid_served,
-                hybrid_renege_rate: hybrid_reneged as f64 / requests.len().max(1) as f64,
-                broadcast_worst_latency: h.broadcast_worst_latency,
-            }
-        })
-        .collect()
+        ThroughputPoint {
+            rate_per_minute: rate,
+            requests: requests.len(),
+            pure_served: pure.served,
+            pure_renege_rate: pure.renege_rate(),
+            hybrid_served,
+            hybrid_renege_rate: hybrid_reneged as f64 / requests.len().max(1) as f64,
+            broadcast_worst_latency: h.broadcast_worst_latency,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +144,11 @@ mod tests {
         let heavy = &points[1];
         // Under light load both serve nearly everyone.
         assert!(light.pure_renege_rate < 0.1, "{}", light.pure_renege_rate);
-        assert!(light.hybrid_renege_rate < 0.1, "{}", light.hybrid_renege_rate);
+        assert!(
+            light.hybrid_renege_rate < 0.1,
+            "{}",
+            light.hybrid_renege_rate
+        );
         // Under heavy load the hybrid's broadcast half keeps the popular
         // majority served.
         assert!(

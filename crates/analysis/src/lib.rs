@@ -12,6 +12,7 @@
 //! | [`crosscheck`] | analytic-vs-simulated comparison for `EXPERIMENTS.md` |
 //! | [`ablation`] | beyond-paper studies: series shape and width sensitivity |
 //! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
+//! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
 //! prints one paper artifact (`fig5` … `fig8`, `table1`, `table2`,
@@ -25,9 +26,11 @@ pub mod figures;
 pub mod hybrid_study;
 pub mod lineup;
 pub mod render;
+pub mod runner;
 pub mod sweep;
 pub mod tables;
 
 pub use figures::Figure;
 pub use lineup::{paper_lineup, SchemeId};
+pub use runner::{Experiment, RunManifest, Runner};
 pub use sweep::{sweep_bandwidth, SweepRow};

@@ -81,7 +81,10 @@ pub const PAPER_WIDTHS: [u64; 4] = [2, 52, 1705, 54612];
 /// The full §5 lineup, in the order the paper's figure legends list them.
 #[must_use]
 pub fn paper_lineup() -> Vec<SchemeId> {
-    let mut v: Vec<SchemeId> = PAPER_WIDTHS.iter().map(|&w| SchemeId::Sb(Some(w))).collect();
+    let mut v: Vec<SchemeId> = PAPER_WIDTHS
+        .iter()
+        .map(|&w| SchemeId::Sb(Some(w)))
+        .collect();
     v.push(SchemeId::Sb(None));
     v.extend([SchemeId::PbA, SchemeId::PbB, SchemeId::PpbA, SchemeId::PpbB]);
     v

@@ -140,10 +140,16 @@ mod tests {
         let txt = render_figure(&toy_figure());
         assert!(txt.contains("# toy [t]"));
         // x=1 row has a value for `a` and a dash for `b`.
-        let row1 = txt.lines().find(|l| l.trim_start().starts_with('1')).unwrap();
+        let row1 = txt
+            .lines()
+            .find(|l| l.trim_start().starts_with('1'))
+            .unwrap();
         assert!(row1.contains("2.0000"));
         assert!(row1.contains('-'));
-        let row2 = txt.lines().find(|l| l.trim_start().starts_with('2')).unwrap();
+        let row2 = txt
+            .lines()
+            .find(|l| l.trim_start().starts_with('2'))
+            .unwrap();
         assert!(row2.contains("9.0000"));
     }
 
@@ -159,10 +165,8 @@ mod tests {
     fn formula_and_eval_render() {
         let f = render_formulas(&crate::tables::table1_formulas());
         assert!(f.contains("60*b*D1*(W-1)"));
-        let rows = crate::tables::evaluate_tables(
-            &[crate::lineup::SchemeId::Sb(Some(52))],
-            &[300.0],
-        );
+        let rows =
+            crate::tables::evaluate_tables(&[crate::lineup::SchemeId::Sb(Some(52))], &[300.0]);
         let t = render_evaluations(&rows);
         assert!(t.contains("SB:W=52"));
         assert!(t.contains("300"));

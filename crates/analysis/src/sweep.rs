@@ -15,6 +15,7 @@ use sb_core::scheme::SchemeMetrics;
 use sb_pyramid::{PermutationPyramid, PyramidBroadcasting};
 
 use crate::lineup::SchemeId;
+use crate::runner::{run_sweep, Experiment, Runner};
 
 /// Resolved design parameters, where the scheme has them (Figure 5's
 /// subject matter).
@@ -104,7 +105,9 @@ pub fn evaluate(id: SchemeId, cfg: &SystemConfig) -> Option<SchemePoint> {
             alpha: None,
         },
         SchemeId::Harmonic => DesignParams {
-            k: sb_pyramid::HarmonicBroadcasting::delayed().slots(cfg).ok()?,
+            k: sb_pyramid::HarmonicBroadcasting::delayed()
+                .slots(cfg)
+                .ok()?,
             p: None,
             alpha: None,
         },
@@ -123,24 +126,36 @@ pub fn evaluate(id: SchemeId, cfg: &SystemConfig) -> Option<SchemePoint> {
 /// Panics on a degenerate range or step.
 #[must_use]
 pub fn sweep_bandwidth(ids: &[SchemeId], from: f64, to: f64, step: f64) -> Vec<SweepRow> {
-    assert!(step > 0.0 && to >= from, "bad sweep range");
-    let mut rows = Vec::new();
-    let mut b = from;
-    while b <= to + 1e-9 {
-        let cfg = SystemConfig::paper_defaults(Mbps(b));
-        rows.push(SweepRow {
-            bandwidth: Mbps(b),
-            points: ids.iter().filter_map(|&id| evaluate(id, &cfg)).collect(),
-        });
-        b += step;
-    }
-    rows
+    sweep_bandwidth_with(ids, from, to, step, &Runner::serial())
+}
+
+/// [`sweep_bandwidth`] on an explicit [`Runner`] — bandwidths evaluated in
+/// parallel, output identical to the serial path.
+///
+/// # Panics
+/// Panics on a degenerate range or step.
+#[must_use]
+pub fn sweep_bandwidth_with(
+    ids: &[SchemeId],
+    from: f64,
+    to: f64,
+    step: f64,
+    runner: &Runner,
+) -> Vec<SweepRow> {
+    let exp = Experiment::over_range("sweep", ids.to_vec(), from, to, step);
+    run_sweep(&exp, runner)
 }
 
 /// The paper's sweep: 100–600 Mb/s in 20 Mb/s steps.
 #[must_use]
 pub fn paper_sweep(ids: &[SchemeId]) -> Vec<SweepRow> {
     sweep_bandwidth(ids, 100.0, 600.0, 20.0)
+}
+
+/// [`paper_sweep`] on an explicit [`Runner`].
+#[must_use]
+pub fn paper_sweep_with(ids: &[SchemeId], runner: &Runner) -> Vec<SweepRow> {
+    sweep_bandwidth_with(ids, 100.0, 600.0, 20.0, runner)
 }
 
 /// Find the smallest swept bandwidth at which `id` reaches an access

@@ -65,11 +65,13 @@ pub fn table2_rules() -> Vec<(String, String)> {
         ),
         (
             "PPB:a".into(),
-            "K = clamp(floor(B/(2*M*b)), 2, 7), x = B/(K*M*b), P = max(1, floor(x-2)), a = x - P".into(),
+            "K = clamp(floor(B/(2*M*b)), 2, 7), x = B/(K*M*b), P = max(1, floor(x-2)), a = x - P"
+                .into(),
         ),
         (
             "PPB:b".into(),
-            "K = clamp(floor(B/(3*M*b)), 2, 7), x = B/(K*M*b), P = max(2, floor(x-2)), a = x - P".into(),
+            "K = clamp(floor(B/(3*M*b)), 2, 7), x = B/(K*M*b), P = max(2, floor(x-2)), a = x - P"
+                .into(),
         ),
         (
             "SB".into(),
@@ -103,25 +105,39 @@ pub struct EvaluatedRow {
 /// Tables 1 & 2).
 #[must_use]
 pub fn evaluate_tables(ids: &[SchemeId], bandwidths: &[f64]) -> Vec<EvaluatedRow> {
-    let mut out = Vec::new();
-    for &b in bandwidths {
-        let cfg = SystemConfig::paper_defaults(Mbps(b));
-        for &id in ids {
-            if let Some(p) = evaluate(id, &cfg) {
-                out.push(EvaluatedRow {
-                    scheme: id.label(),
-                    bandwidth: b,
-                    k: p.params.k,
-                    p: p.params.p,
-                    alpha: p.params.alpha,
-                    io_mbps: p.metrics.client_io_bandwidth.value(),
-                    latency_min: p.metrics.access_latency.value(),
-                    buffer_mbytes: p.metrics.buffer_mbytes().value(),
-                });
-            }
-        }
-    }
-    out
+    evaluate_tables_with(ids, bandwidths, &crate::runner::Runner::serial())
+}
+
+/// [`evaluate_tables`] on an explicit [`crate::runner::Runner`] —
+/// bandwidths evaluated in parallel, row order identical to serial
+/// (bandwidth-major).
+#[must_use]
+pub fn evaluate_tables_with(
+    ids: &[SchemeId],
+    bandwidths: &[f64],
+    runner: &crate::runner::Runner,
+) -> Vec<EvaluatedRow> {
+    runner
+        .timed_map("tables", bandwidths, |&b| {
+            let cfg = SystemConfig::paper_defaults(Mbps(b));
+            ids.iter()
+                .filter_map(|&id| {
+                    evaluate(id, &cfg).map(|p| EvaluatedRow {
+                        scheme: id.label(),
+                        bandwidth: b,
+                        k: p.params.k,
+                        p: p.params.p,
+                        alpha: p.params.alpha,
+                        io_mbps: p.metrics.client_io_bandwidth.value(),
+                        latency_min: p.metrics.access_latency.value(),
+                        buffer_mbytes: p.metrics.buffer_mbytes().value(),
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]

@@ -89,8 +89,8 @@ impl HybridConfig {
 
         // Multicast half: whatever bandwidth is left over, in display-rate
         // channel units.
-        let leftover = self.total_bandwidth.value()
-            - broadcast_channels as f64 * display_rate.value();
+        let leftover =
+            self.total_bandwidth.value() - broadcast_channels as f64 * display_rate.value();
         let pool = (leftover / display_rate.value()).floor() as usize;
         if pool == 0 {
             return Err(sb_core::error::SchemeError::InsufficientBandwidth {
@@ -180,9 +180,7 @@ mod tests {
         let reqs = workload(60, 3.0, 600.0, 9);
         let report = config().run(&catalog, &reqs).unwrap();
         assert_eq!(
-            report.broadcast_requests
-                + report.multicast.served
-                + report.multicast.reneged,
+            report.broadcast_requests + report.multicast.served + report.multicast.reneged,
             reqs.len()
         );
         // Bandwidth split: broadcast channels + pool ≤ total / b.

@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(report.reneged, 0);
         assert_eq!(report.streams, 1);
         assert_eq!(report.mean_wait, Minutes(0.0));
-        assert_eq!(report.outcomes[0], ServiceOutcome::Served { at: Minutes(1.0) });
+        assert_eq!(
+            report.outcomes[0],
+            ServiceOutcome::Served { at: Minutes(1.0) }
+        );
     }
 
     #[test]
@@ -298,7 +301,10 @@ mod tests {
         let report = server.run(&catalog, &reqs);
         assert_eq!(report.served, 2);
         assert_eq!(report.reneged, 1);
-        assert_eq!(report.outcomes[1], ServiceOutcome::Reneged { at: Minutes(6.0) });
+        assert_eq!(
+            report.outcomes[1],
+            ServiceOutcome::Reneged { at: Minutes(6.0) }
+        );
         assert_eq!(
             report.outcomes[2],
             ServiceOutcome::Served { at: Minutes(120.0) }
@@ -321,9 +327,18 @@ mod tests {
         let fcfs = BatchingServer::new(1, BatchPolicy::Fcfs).run(&catalog, &reqs);
         let mql = BatchingServer::new(1, BatchPolicy::Mql).run(&catalog, &reqs);
         // FCFS serves video 1 first (oldest head), MQL serves video 2 first.
-        assert_eq!(fcfs.outcomes[1], ServiceOutcome::Served { at: Minutes(120.0) });
-        assert_eq!(mql.outcomes[2], ServiceOutcome::Served { at: Minutes(120.0) });
-        assert_eq!(mql.outcomes[1], ServiceOutcome::Served { at: Minutes(240.0) });
+        assert_eq!(
+            fcfs.outcomes[1],
+            ServiceOutcome::Served { at: Minutes(120.0) }
+        );
+        assert_eq!(
+            mql.outcomes[2],
+            ServiceOutcome::Served { at: Minutes(120.0) }
+        );
+        assert_eq!(
+            mql.outcomes[1],
+            ServiceOutcome::Served { at: Minutes(240.0) }
+        );
     }
 
     #[test]
@@ -420,10 +435,7 @@ mod tests {
     fn unsorted_requests_rejected() {
         let catalog = Catalog::paper_defaults(2);
         let server = BatchingServer::new(1, BatchPolicy::Fcfs);
-        let _ = server.run(
-            &catalog,
-            &[req(5.0, 0, 1.0), req(1.0, 1, 1.0)],
-        );
+        let _ = server.run(&catalog, &[req(5.0, 0, 1.0), req(1.0, 1, 1.0)]);
     }
 
     #[test]

@@ -24,7 +24,11 @@ fn bench_series(c: &mut Criterion) {
 
 fn bench_client_timeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("slot_client");
-    for (k, w) in [(10usize, Width::Capped(12)), (20, Width::Capped(52)), (40, Width::Capped(52))] {
+    for (k, w) in [
+        (10usize, Width::Capped(12)),
+        (20, Width::Capped(52)),
+        (40, Width::Capped(52)),
+    ] {
         let units = w.units(k);
         g.bench_with_input(
             BenchmarkId::new("schedule+buffer", format!("K{k}_{w}")),

@@ -16,7 +16,9 @@ use vod_units::{Mbps, Minutes, TickDuration, Ticks};
 
 fn bench_schedule_client(c: &mut Criterion) {
     let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-    let sb_plan = Skyscraper::with_width(Width::Capped(52)).plan(&cfg).unwrap();
+    let sb_plan = Skyscraper::with_width(Width::Capped(52))
+        .plan(&cfg)
+        .unwrap();
     let pb_plan = PyramidBroadcasting::a().plan(&cfg).unwrap();
     let mut g = c.benchmark_group("schedule_client");
     g.bench_function(BenchmarkId::new("sb_latest_feasible", 300), |b| {
@@ -48,7 +50,9 @@ fn bench_schedule_client(c: &mut Criterion) {
 
 fn bench_buffer_profile(c: &mut Criterion) {
     let cfg = SystemConfig::paper_defaults(Mbps(600.0));
-    let plan = Skyscraper::with_width(Width::Capped(52)).plan(&cfg).unwrap();
+    let plan = Skyscraper::with_width(Width::Capped(52))
+        .plan(&cfg)
+        .unwrap();
     let sched = schedule_client(
         &plan,
         VideoId(0),
@@ -99,7 +103,9 @@ fn bench_pausing_client(c: &mut Criterion) {
 
 fn bench_packet_replay(c: &mut Criterion) {
     let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-    let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
+    let plan = Skyscraper::with_width(Width::Capped(12))
+        .plan(&cfg)
+        .unwrap();
     let sched = schedule_client(
         &plan,
         VideoId(0),
@@ -107,7 +113,8 @@ fn bench_packet_replay(c: &mut Criterion) {
         cfg.display_rate,
         ClientPolicy::LatestFeasible,
     )
-    .unwrap();
+    .unwrap()
+    .trace();
     c.bench_function("packet_replay_2h_session", |b| {
         b.iter(|| sb_sim::e2e::replay(black_box(&sched), sb_sim::e2e::PacketConfig::default()))
     });

@@ -6,12 +6,12 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sb_batching::{BatchPolicy, BatchingServer};
 use sb_core::config::SystemConfig;
+use sb_core::plan::VideoId;
 use sb_core::scheme::BroadcastScheme;
 use sb_core::series::Width;
 use sb_core::Skyscraper;
 use sb_sim::policy::ClientPolicy;
 use sb_sim::system::{Request, SystemSim};
-use sb_core::plan::VideoId;
 use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
@@ -41,7 +41,9 @@ fn bench_batching_pool(c: &mut Criterion) {
 
 fn bench_system_sim(c: &mut Criterion) {
     let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-    let plan = Skyscraper::with_width(Width::Capped(52)).plan(&cfg).unwrap();
+    let plan = Skyscraper::with_width(Width::Capped(52))
+        .plan(&cfg)
+        .unwrap();
     let requests: Vec<Request> = (0..200)
         .map(|i| Request {
             at: Minutes(i as f64 * 0.13),

@@ -1,18 +1,19 @@
 //! Runs the beyond-paper ablations: series shape (A1), width sensitivity
 //! (A2), and the greedy rediscovery of the paper's series (A3).
 
-use sb_analysis::ablation::{series_ablation, width_ablation};
+use sb_analysis::ablation::{series_ablation_with, width_ablation};
 use sb_core::custom::{greedy_max_series, PhaseBudget};
 use vod_units::Minutes;
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     println!("A1: series-shape ablation (K=12, D=120 min, 1024 arrival phases)\n");
     println!(
         "{:<16} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9}",
         "series", "latency(min)", "conflicts", "jitter", "peak(u)", "usable", "loaders"
     );
-    let reports = series_ablation(12, Minutes(120.0), 1024);
+    let reports = series_ablation_with(12, Minutes(120.0), 1024, &runner);
     for r in &reports {
         println!(
             "{:<16} {:>12.4} {:>10} {:>10} {:>10} {:>9} {:>9}",
@@ -45,4 +46,5 @@ fn main() {
         found == paper
     );
     args.maybe_write_json(&(reports, rows, found));
+    args.finish(&runner);
 }

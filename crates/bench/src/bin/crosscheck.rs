@@ -1,12 +1,13 @@
 //! Analytic-vs-simulated cross-check for every scheme, at the paper's
 //! spotlight bandwidths. This is the data behind EXPERIMENTS.md.
 
-use sb_analysis::crosscheck::crosscheck_lineup;
+use sb_analysis::crosscheck::crosscheck_lineup_with;
 use sb_analysis::lineup::extended_lineup;
 use vod_units::{Mbps, Minutes};
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     let mut all = Vec::new();
     for b in [100.0, 320.0, 600.0] {
         println!("== B = {b} Mb/s ==");
@@ -21,7 +22,8 @@ fn main() {
             "ratio",
             "streams"
         );
-        let checks = crosscheck_lineup(&extended_lineup(), Mbps(b), Minutes(15.0), 120);
+        let checks =
+            crosscheck_lineup_with(&extended_lineup(), Mbps(b), Minutes(15.0), 120, &runner);
         for c in &checks {
             println!(
                 "{:<12} {:>14.4} {:>14.4} {:>7.3} {:>14.1} {:>14.1} {:>7.3} {:>8}",
@@ -39,4 +41,5 @@ fn main() {
         all.extend(checks);
     }
     args.maybe_write_json(&all);
+    args.finish(&runner);
 }

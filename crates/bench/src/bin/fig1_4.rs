@@ -2,11 +2,12 @@
 //! measured from the exact slot-level client model at the worst arrival
 //! phase for each transition type.
 
-use sb_analysis::figures::figures1_to_4;
+use sb_analysis::figures::figures1_to_4_with;
 
 fn main() {
     let args = sb_bench::Args::parse();
-    let demos = figures1_to_4();
+    let runner = args.runner();
+    let demos = figures1_to_4_with(&runner);
     for d in &demos {
         println!("== {} ==", d.figure);
         println!("{}", d.description);
@@ -22,4 +23,5 @@ fn main() {
         println!("\n");
     }
     args.maybe_write_json(&demos);
+    args.finish(&runner);
 }

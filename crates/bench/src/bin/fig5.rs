@@ -3,15 +3,17 @@
 use sb_analysis::figures::{figure5a, figure5b};
 use sb_analysis::lineup::paper_lineup;
 use sb_analysis::render::render_figure;
-use sb_analysis::sweep::paper_sweep;
+use sb_analysis::sweep::paper_sweep_with;
 
 fn main() {
     let args = sb_bench::Args::parse();
-    let rows = paper_sweep(&paper_lineup());
+    let runner = args.runner();
+    let rows = paper_sweep_with(&paper_lineup(), &runner);
     let a = figure5a(&rows);
     let b = figure5b(&rows);
     print!("{}", render_figure(&a));
     println!();
     print!("{}", render_figure(&b));
     args.maybe_write_json(&(a, b));
+    args.finish(&runner);
 }

@@ -3,12 +3,14 @@
 use sb_analysis::figures::figure6;
 use sb_analysis::lineup::paper_lineup;
 use sb_analysis::render::render_figure;
-use sb_analysis::sweep::paper_sweep;
+use sb_analysis::sweep::paper_sweep_with;
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     let ids = paper_lineup();
-    let fig = figure6(&paper_sweep(&ids), &ids);
+    let fig = figure6(&paper_sweep_with(&ids, &runner), &ids);
     print!("{}", render_figure(&fig));
     args.maybe_write_json(&fig);
+    args.finish(&runner);
 }

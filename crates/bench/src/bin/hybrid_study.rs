@@ -1,10 +1,11 @@
 //! Measures §1's throughput argument: hybrid (broadcast + batching) vs
 //! pure scheduled multicast at equal bandwidth, across arrival rates.
 
-use sb_analysis::hybrid_study::{throughput_study, StudyConfig};
+use sb_analysis::hybrid_study::{throughput_study_with, StudyConfig};
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     let cfg = StudyConfig::default();
     println!(
         "hybrid-vs-pure throughput: {} titles ({} broadcast), B = {:.0}, horizon {:.0} min, \
@@ -17,10 +18,16 @@ fn main() {
     );
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>13} {:>13} {:>14}",
-        "req/min", "requests", "pure served", "pure renege", "hybrid served", "hybrid renege", "guarantee(min)"
+        "req/min",
+        "requests",
+        "pure served",
+        "pure renege",
+        "hybrid served",
+        "hybrid renege",
+        "guarantee(min)"
     );
     let rates = [1.0, 2.0, 4.0, 6.0, 8.0, 12.0];
-    let points = throughput_study(cfg, &rates);
+    let points = throughput_study_with(cfg, &rates, &runner);
     for p in &points {
         println!(
             "{:>10.1} {:>10} {:>12} {:>11.1}% {:>13} {:>12.1}% {:>14.3}",
@@ -34,4 +41,5 @@ fn main() {
         );
     }
     args.maybe_write_json(&points);
+    args.finish(&runner);
 }

@@ -5,12 +5,13 @@
 
 use sb_analysis::lineup::landscape_lineup;
 use sb_analysis::render::render_evaluations;
-use sb_analysis::tables::evaluate_tables;
+use sb_analysis::tables::evaluate_tables_with;
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     println!("periodic-broadcast landscape at the paper's workload (M=10, D=120, b=1.5):\n");
-    let rows = evaluate_tables(&landscape_lineup(), &[100.0, 320.0, 600.0]);
+    let rows = evaluate_tables_with(&landscape_lineup(), &[100.0, 320.0, 600.0], &runner);
     print!("{}", render_evaluations(&rows));
     println!(
         "\nnote: FB needs K+1 display-rate tuners at the client; HB:delayed needs to\n\
@@ -18,4 +19,5 @@ fn main() {
          original HB's correctness bug, demonstrated)."
     );
     args.maybe_write_json(&rows);
+    args.finish(&runner);
 }

@@ -6,27 +6,30 @@ use sb_analysis::figures::{dominated, tradeoff_points};
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
+    let bandwidths = [200.0, 320.0, 600.0];
+    let per_b = runner.timed_map("pareto", &bandwidths, |&b| tradeoff_points(b));
     let mut all = Vec::new();
-    for b in [200.0, 320.0, 600.0] {
+    for (&b, points) in bandwidths.iter().zip(&per_b) {
         println!("== B = {b} Mb/s ==");
         println!(
             "{:<12} {:>14} {:>12} {:>10} {:>9}",
             "scheme", "latency(min)", "buffer(MB)", "io(Mb/s)", "frontier"
         );
-        let points = tradeoff_points(b);
-        for p in &points {
+        for p in points {
             println!(
                 "{:<12} {:>14.4} {:>12.1} {:>10.2} {:>9}",
                 p.scheme,
                 p.latency,
                 p.buffer_mb,
                 p.io_mbps,
-                if dominated(p, &points) { "" } else { "*" }
+                if dominated(p, points) { "" } else { "*" }
             );
         }
         println!();
-        all.push((b, points));
+        all.push((b, points.clone()));
     }
     println!("(* = on the latency/buffer Pareto frontier)");
     args.maybe_write_json(&all);
+    args.finish(&runner);
 }

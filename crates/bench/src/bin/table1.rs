@@ -3,14 +3,20 @@
 
 use sb_analysis::lineup::paper_lineup;
 use sb_analysis::render::{render_evaluations, render_formulas};
-use sb_analysis::tables::{evaluate_tables, table1_formulas};
+use sb_analysis::tables::{evaluate_tables_with, table1_formulas};
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     println!("Table 1: performance computation (as reconstructed; DESIGN.md section 3)\n");
     print!("{}", render_formulas(&table1_formulas()));
     println!("\nEvaluated at the paper's workload (M=10, D=120 min, b=1.5 Mb/s):\n");
-    let rows = evaluate_tables(&paper_lineup(), &[100.0, 200.0, 300.0, 320.0, 400.0, 500.0, 600.0]);
+    let rows = evaluate_tables_with(
+        &paper_lineup(),
+        &[100.0, 200.0, 300.0, 320.0, 400.0, 500.0, 600.0],
+        &runner,
+    );
     print!("{}", render_evaluations(&rows));
     args.maybe_write_json(&rows);
+    args.finish(&runner);
 }

@@ -3,16 +3,24 @@
 
 use sb_analysis::lineup::paper_lineup;
 use sb_analysis::render::render_evaluations;
-use sb_analysis::tables::{evaluate_tables, table2_rules};
+use sb_analysis::tables::{evaluate_tables_with, table2_rules};
 
 fn main() {
     let args = sb_bench::Args::parse();
+    let runner = args.runner();
     println!("Table 2: design parameter determination (as reconstructed; DESIGN.md section 3)\n");
     for (scheme, rule) in table2_rules() {
         println!("{scheme:7} {rule}");
     }
     println!("\nResolved parameters:\n");
-    let rows = evaluate_tables(&paper_lineup(), &[100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0, 600.0]);
+    let rows = evaluate_tables_with(
+        &paper_lineup(),
+        &[
+            100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0, 550.0, 600.0,
+        ],
+        &runner,
+    );
     print!("{}", render_evaluations(&rows));
     args.maybe_write_json(&rows);
+    args.finish(&runner);
 }

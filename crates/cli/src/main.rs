@@ -5,12 +5,19 @@
 //! sbcast metrics  --scheme all    --bandwidth 320       Table-1 metrics at one bandwidth
 //! sbcast client   --scheme SB:W=52 --bandwidth 300 --arrival 7.3
 //!                                                       one client session, with buffer profile
-//! sbcast sweep    [--from 100 --to 600 --step 20]       the Figures 6/7/8 data
+//! sbcast sweep    [--from 100 --to 600 --step 20 --threads 8 --samples 24]
+//!                                                       the Figures 6/7/8 data + crosschecks
 //! sbcast hybrid   --bandwidth 600 --titles 60 --rate 3  the §1 hybrid system
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
 //! `STAG`, or `all`.
+//!
+//! `sweep` and `hybrid` execute through [`sb_analysis::runner`]:
+//! `--threads N` sizes the worker pool (0 = one per core; stdout and
+//! `--json` output are byte-identical for every N), `--json <path>` writes
+//! the structured [`sb_analysis::runner::SweepReport`], and `--manifest
+//! <path>` writes per-stage wall-clock timings.
 
 #![forbid(unsafe_code)]
 
@@ -19,7 +26,7 @@ use std::process::ExitCode;
 
 use sb_analysis::lineup::{extended_lineup, SchemeId};
 use sb_analysis::render::{render_evaluations, render_figure};
-use sb_analysis::sweep::sweep_bandwidth;
+use sb_analysis::runner::{run_experiment, Experiment, Runner};
 use sb_batching::{BatchPolicy, HybridConfig};
 use sb_core::config::SystemConfig;
 use sb_core::plan::VideoId;
@@ -31,8 +38,9 @@ use vod_units::{Mbps, Minutes};
 fn usage() -> &'static str {
     "usage: sbcast <plan|metrics|client|sweep|hybrid|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
-           --titles --popular --rate --horizon --width --seed\n\
-           --units 1,2,2,5,5 --k 10 --lengths 95,120,150"
+           --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
+           --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
+           --threads N --samples N --json PATH --manifest PATH"
 }
 
 fn parse_scheme(name: &str) -> Option<SchemeId> {
@@ -85,7 +93,10 @@ impl Opts {
     }
 
     fn get_str(&self, key: &str, default: &str) -> String {
-        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.0
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -107,7 +118,12 @@ fn cmd_plan(opts: &Opts) -> Result<(), String> {
         let scheme = id.build();
         match scheme.plan(&cfg) {
             Ok(plan) => {
-                println!("{}: {} channels, {} total", plan.scheme, plan.channels.len(), plan.total_bandwidth());
+                println!(
+                    "{}: {} channels, {} total",
+                    plan.scheme,
+                    plan.channels.len(),
+                    plan.total_bandwidth()
+                );
                 let mut by_rate: HashMap<String, usize> = HashMap::new();
                 for ch in &plan.channels {
                     *by_rate.entry(format!("{:.3}", ch.rate)).or_default() += 1;
@@ -120,7 +136,11 @@ fn cmd_plan(opts: &Opts) -> Result<(), String> {
                 let sizes = &plan.segment_sizes[0];
                 println!("  per-video fragments: {}", sizes.len());
                 for (i, s) in sizes.iter().enumerate().take(8) {
-                    println!("    segment {i}: {:.1} ({:.2} min at display rate)", s, s.value() / (1.5 * 60.0));
+                    println!(
+                        "    segment {i}: {:.1} ({:.2} min at display rate)",
+                        s,
+                        s.value() / (1.5 * 60.0)
+                    );
                 }
                 if sizes.len() > 8 {
                     println!("    … {} more", sizes.len() - 8);
@@ -153,7 +173,11 @@ fn cmd_client(opts: &Opts) -> Result<(), String> {
     let s = schedule_client(&plan, video, arrival, cfg.display_rate, policy)
         .map_err(|e| e.to_string())?;
     println!("scheme {}   arrival {:.3}", plan.scheme, arrival);
-    println!("playback starts {:.4} (latency {:.4})", s.playback_start, s.startup_latency());
+    println!(
+        "playback starts {:.4} (latency {:.4})",
+        s.playback_start,
+        s.startup_latency()
+    );
     println!("downloads:");
     for d in &s.downloads {
         println!(
@@ -165,10 +189,32 @@ fn cmd_client(opts: &Opts) -> Result<(), String> {
             d.rate
         );
     }
-    println!("peak buffer {:.1} = {:.1}", s.peak_buffer(), s.peak_buffer().to_mbytes());
+    println!(
+        "peak buffer {:.1} = {:.1}",
+        s.peak_buffer(),
+        s.peak_buffer().to_mbytes()
+    );
     println!("max concurrent streams {}", s.max_concurrent_downloads());
     let jv = s.jitter_violations(1e-9);
     println!("jitter violations: {}", jv.len());
+    Ok(())
+}
+
+/// Build the worker pool `--threads` asked for (default serial).
+fn runner_from(opts: &Opts) -> Result<Runner, String> {
+    Ok(Runner::new(opts.get_usize("threads", 1)?))
+}
+
+/// Print per-stage timings to stderr and honour `--manifest`. Timings
+/// never touch stdout, so results stay byte-identical across `--threads`.
+fn finish_runner(opts: &Opts, runner: &Runner) -> Result<(), String> {
+    let manifest = runner.manifest();
+    eprint!("{}", manifest.summary());
+    if let Some(path) = opts.0.get("manifest") {
+        let json = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--manifest {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -176,18 +222,51 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let from = opts.get_f64("from", 100.0)?;
     let to = opts.get_f64("to", 600.0)?;
     let step = opts.get_f64("step", 20.0)?;
+    let samples = opts.get_usize("samples", 24)?;
+    let seed = opts.get_usize("seed", 0)? as u64;
     let ids = schemes_from(&opts.get_str("scheme", "all"))?;
-    let rows = sweep_bandwidth(&ids, from, to, step);
+    if !(step > 0.0 && to >= from) {
+        return Err(format!("bad sweep range: from {from} to {to} step {step}"));
+    }
+    let runner = runner_from(opts)?;
+    let exp = Experiment::over_range("sweep", ids.clone(), from, to, step).with_seed(seed);
+    let report = run_experiment(&exp, Minutes(15.0), samples, &runner);
     for (fig, name) in [
-        (sb_analysis::figures::figure7(&rows, &ids), "latency"),
-        (sb_analysis::figures::figure6(&rows, &ids), "disk bandwidth"),
-        (sb_analysis::figures::figure8(&rows, &ids), "storage"),
+        (sb_analysis::figures::figure7(&report.rows, &ids), "latency"),
+        (
+            sb_analysis::figures::figure6(&report.rows, &ids),
+            "disk bandwidth",
+        ),
+        (sb_analysis::figures::figure8(&report.rows, &ids), "storage"),
     ] {
         println!("--- {name} ---");
         print!("{}", render_figure(&fig));
         println!();
     }
-    Ok(())
+    if !report.checks.is_empty() {
+        let worst_latency = report
+            .checks
+            .iter()
+            .map(|c| c.latency_ratio())
+            .fold(0.0f64, f64::max);
+        let worst_buffer = report
+            .checks
+            .iter()
+            .map(|c| c.buffer_ratio())
+            .fold(0.0f64, f64::max);
+        println!(
+            "--- crosscheck: {} (scheme, bandwidth) points × {samples} simulated arrivals (seed {seed}) ---",
+            report.checks.len()
+        );
+        println!("worst simulated/analytic latency ratio: {worst_latency:.4} (must be <= 1)");
+        println!("worst simulated/analytic buffer  ratio: {worst_buffer:.4} (must be <= 1)");
+    }
+    if let Some(path) = opts.0.get("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_runner(opts, &runner)
 }
 
 fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
@@ -198,6 +277,54 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
     let horizon = opts.get_f64("horizon", 600.0)?;
     let width = opts.get_usize("width", 52)? as u64;
     let seed = opts.get_usize("seed", 42)? as u64;
+    if let Some(spec) = opts.0.get("rates") {
+        // Study mode: hybrid vs pure batching over a list of arrival
+        // rates, one simulated point per rate, through the runner.
+        let rates: Vec<f64> = spec
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|_| format!("bad rate `{t}`")))
+            .collect::<Result<_, _>>()?;
+        let runner = runner_from(opts)?;
+        let cfg = sb_analysis::hybrid_study::StudyConfig {
+            titles,
+            popular,
+            bandwidth: Mbps(b),
+            width,
+            broadcast_fraction: 0.5,
+            horizon: Minutes(horizon),
+            mean_patience: Minutes(8.0),
+            seed,
+        };
+        let points = sb_analysis::hybrid_study::throughput_study_with(cfg, &rates, &runner);
+        println!("hybrid vs pure batching: {titles} titles, {popular} broadcast, B = {b} Mb/s");
+        println!(
+            "{:>8} {:>9} {:>11} {:>12} {:>13} {:>14}",
+            "rate/min", "requests", "pure served", "pure renege", "hybrid served", "hybrid renege"
+        );
+        for p in &points {
+            println!(
+                "{:>8.1} {:>9} {:>11} {:>11.1}% {:>13} {:>13.1}%",
+                p.rate_per_minute,
+                p.requests,
+                p.pure_served,
+                p.pure_renege_rate * 100.0,
+                p.hybrid_served,
+                p.hybrid_renege_rate * 100.0
+            );
+        }
+        if let Some(first) = points.first() {
+            println!(
+                "broadcast worst latency (rate-independent): {:.3}",
+                first.broadcast_worst_latency
+            );
+        }
+        if let Some(path) = opts.0.get("json") {
+            let json = serde_json::to_string_pretty(&points).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        return finish_runner(opts, &runner);
+    }
     let catalog = Catalog::paper_defaults(titles);
     let requests = PoissonArrivals::new(rate, seed)
         .with_patience(Patience::Exponential(Minutes(8.0)))
@@ -243,7 +370,10 @@ fn cmd_series(opts: &Opts) -> Result<(), String> {
             Ok(()) => {
                 println!("series {units:?} is VALID for the two-loader client");
                 let total: u64 = units.iter().sum();
-                println!("  latency for a 120-min video: {:.4} min", 120.0 / total as f64);
+                println!(
+                    "  latency for a 120-min video: {:.4} min",
+                    120.0 / total as f64
+                );
             }
             Err(v) => println!("series {units:?} is INVALID: {v}"),
         }
@@ -253,7 +383,10 @@ fn cmd_series(opts: &Opts) -> Result<(), String> {
         let found = greedy_max_series(k, budget);
         println!("fastest two-loader-safe series of {k} fragments:");
         println!("  {found:?}");
-        println!("  (the paper's series: {:?})", sb_core::series::series(k.min(40)));
+        println!(
+            "  (the paper's series: {:?})",
+            sb_core::series::series(k.min(40))
+        );
         Ok(())
     }
 }
@@ -280,7 +413,10 @@ fn cmd_hetero(opts: &Opts) -> Result<(), String> {
         hp.channels_per_video,
         hp.plan.total_bandwidth()
     );
-    println!("{:>6} {:>12} {:>14} {:>12}", "video", "length(min)", "latency(min)", "buffer(MB)");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "video", "length(min)", "latency(min)", "buffer(MB)"
+    );
     for (v, pv) in hp.per_video.iter().enumerate() {
         println!(
             "{v:>6} {:>12.0} {:>14.4} {:>12.1}",
@@ -318,7 +454,10 @@ fn cmd_pausing(opts: &Opts) -> Result<(), String> {
     println!("  bursts               : {}", s.bursts.len());
     println!("  mid-broadcast joins  : {}", s.mid_broadcast_joins());
     println!("  pausing peak buffer  : {:.1}", s.peak_buffer_mbytes());
-    println!("  tune-at-start buffer : {:.1}", t.peak_buffer().to_mbytes());
+    println!(
+        "  tune-at-start buffer : {:.1}",
+        t.peak_buffer().to_mbytes()
+    );
     println!(
         "  Table-1 analytic     : {:.1}",
         scheme

@@ -208,7 +208,7 @@ mod tests {
         let ch2 = &plan.channels[2];
         assert!(ch2.rate.approx_eq(Mbps(0.5), 1e-12));
         assert!((ch2.period().value() - 3.0 * 4.0).abs() < 1e-9); // 3 slots × 4 min
-        // Aggregate per-video cost is b·H(30) ≪ 30·b.
+                                                                  // Aggregate per-video cost is b·H(30) ≪ 30·b.
         let per_video: f64 = plan.channels[..30].iter().map(|c| c.rate.value()).sum();
         assert!((per_video - 1.5 * harmonic(30)).abs() < 1e-9);
     }

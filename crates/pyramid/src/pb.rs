@@ -128,14 +128,12 @@ impl BroadcastScheme for PyramidBroadcasting {
         let p = self.params(cfg)?;
         let frag = GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)?;
         let m = cfg.num_videos as f64;
-        let kb_over_b =
-            p.k as f64 * cfg.display_rate.value() * m / cfg.server_bandwidth.value(); // M·K·b/B = 1/α
+        let kb_over_b = p.k as f64 * cfg.display_rate.value() * m / cfg.server_bandwidth.value(); // M·K·b/B = 1/α
         let latency = Minutes(frag.d1().value() * kb_over_b);
         let io = Mbps(cfg.display_rate.value() + 2.0 * p.channel_rate.value());
         let buffer_minutes = if p.k >= 2 {
             Minutes(
-                frag.duration(p.k - 2).value() * (1.0 - 1.0 / m)
-                    + frag.duration(p.k - 1).value(),
+                frag.duration(p.k - 2).value() * (1.0 - 1.0 / m) + frag.duration(p.k - 1).value(),
             )
         } else {
             Minutes(0.0)

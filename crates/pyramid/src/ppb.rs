@@ -134,9 +134,7 @@ impl PermutationPyramid {
             k,
             p,
             alpha,
-            subchannel_rate: Mbps(
-                cfg.server_bandwidth.value() / (k * cfg.num_videos * p) as f64,
-            ),
+            subchannel_rate: Mbps(cfg.server_bandwidth.value() / (k * cfg.num_videos * p) as f64),
         })
     }
 
@@ -155,13 +153,12 @@ impl BroadcastScheme for PermutationPyramid {
     fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
         let p = self.params(cfg)?;
         let frag = GeometricFragmentation::new(cfg.video_length, p.k, p.alpha)?;
-        let mkb_over_b = (p.k * cfg.num_videos) as f64 * cfg.display_rate.value()
-            / cfg.server_bandwidth.value();
+        let mkb_over_b =
+            (p.k * cfg.num_videos) as f64 * cfg.display_rate.value() / cfg.server_bandwidth.value();
         Ok(SchemeMetrics {
             access_latency: Minutes(frag.d1().value() * mkb_over_b),
             client_io_bandwidth: Mbps(cfg.display_rate.value() + p.subchannel_rate.value()),
-            buffer_requirement: cfg.display_rate
-                * Minutes(frag.last_two().value() * mkb_over_b),
+            buffer_requirement: cfg.display_rate * Minutes(frag.last_two().value() * mkb_over_b),
         })
     }
 

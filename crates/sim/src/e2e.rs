@@ -1,25 +1,28 @@
 //! End-to-end packet-level replay of a client session.
 //!
-//! The closed-form [`crate::schedule::ClientSchedule`] treats receptions
-//! as fluid flows. This module re-executes a session at *packet*
-//! granularity on the discrete-event [`crate::engine::Engine`]: each
-//! reception window is chopped into fixed-duration packets, every packet
-//! arrival is an engine event, the player's deadline for each byte is
-//! checked against actual cumulative deliveries, and the buffer peak is
-//! measured from the event sequence alone.
+//! The closed-form [`crate::trace::SessionTrace`] treats receptions as
+//! fluid flows. This module re-executes a session at *packet* granularity
+//! on the discrete-event [`crate::engine::Engine`]: each reception window
+//! is chopped into fixed-duration packets, every packet arrival is an
+//! engine event, the player's deadline for each byte is checked against
+//! actual cumulative deliveries, and the buffer peak is measured from the
+//! event sequence alone.
 //!
 //! Its purpose is defence in depth: the fluid model and the packet replay
 //! are *independent* accountings of the same session, so agreement (peak
 //! within one packet per concurrent stream, zero underruns) catches
-//! errors in either. It also gives the repository a concrete answer to
-//! "what does the set-top box actually see on the wire" — packets per
-//! second, instantaneous stream counts, burst boundaries.
+//! errors in either. Because the input is a trace, the replay works for
+//! every client model uniformly — tune-at-start downloads, PPB's
+//! mid-broadcast chunks, HB's wrap-around recordings — and it also gives
+//! the repository a concrete answer to "what does the set-top box
+//! actually see on the wire": packets per second, instantaneous stream
+//! counts, burst boundaries.
 
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbits, Minutes, Seconds, TickScale, Ticks};
 
 use crate::engine::Engine;
-use crate::schedule::ClientSchedule;
+use crate::trace::SessionTrace;
 
 /// Configuration of the packet replay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,13 +72,13 @@ impl PacketConfig {
 }
 
 /// Deterministic per-packet delay in `[0, jitter]` (splitmix-style hash of
-/// seed, segment and packet index).
-fn packet_jitter(seed: u64, segment: usize, idx: u64, jitter: u64) -> u64 {
+/// seed, stream and packet index).
+fn packet_jitter(seed: u64, stream: usize, idx: u64, jitter: u64) -> u64 {
     if jitter == 0 {
         return 0;
     }
     let mut x = seed
-        ^ (segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -105,21 +108,24 @@ pub struct E2eReport {
     pub peak_buffer: Mbits,
     /// Largest number of simultaneously active reception streams.
     pub max_streams: usize,
-    /// Underruns detected (empty for a correct schedule).
+    /// Underruns detected (empty for a correct trace).
     pub underruns: Vec<Underrun>,
 }
 
-/// Replay `schedule` at packet granularity.
+/// Replay `trace` at packet granularity.
 ///
 /// # Panics
-/// Panics if the schedule's times are not finite.
+/// Panics if the trace's times are not finite.
 #[must_use]
-pub fn replay(schedule: &ClientSchedule, cfg: PacketConfig) -> E2eReport {
+pub fn replay(trace: &SessionTrace, cfg: PacketConfig) -> E2eReport {
     #[derive(Clone, Copy)]
     enum Ev {
-        /// A packet of `bits` for `segment` (cumulative delivery bookkeeping
-        /// happens in the handler).
-        Packet { segment: usize, bits: f64 },
+        /// A packet of `bits` for reception stream `reception` (cumulative
+        /// delivery bookkeeping happens in the handler).
+        Packet {
+            reception: usize,
+            bits: f64,
+        },
         StreamStart,
         StreamEnd,
     }
@@ -127,12 +133,12 @@ pub fn replay(schedule: &ClientSchedule, cfg: PacketConfig) -> E2eReport {
     let scale = cfg.scale;
     let mut engine: Engine<Ev> = Engine::new();
 
-    // Enqueue every packet of every download window up front; the engine
+    // Enqueue every packet of every reception window up front; the engine
     // orders and replays them. Each window [start, end) at rate r becomes
     // ⌈window/packet⌉ packets, the last one short.
-    for (segment, d) in schedule.downloads.iter().enumerate() {
-        let start = scale.duration_from_seconds(Seconds(d.start.value() * 60.0));
-        let end = scale.duration_from_seconds(Seconds(d.end().value() * 60.0));
+    for (reception, rec) in trace.receptions.iter().enumerate() {
+        let start = scale.duration_from_seconds(Seconds(rec.start.value() * 60.0));
+        let end = scale.duration_from_seconds(Seconds(rec.end().value() * 60.0));
         engine.schedule_at(Ticks::ZERO + start, Ev::StreamStart);
         engine.schedule_at(Ticks::ZERO + end, Ev::StreamEnd);
         let window_ticks = (end.0).saturating_sub(start.0);
@@ -143,32 +149,38 @@ pub fn replay(schedule: &ClientSchedule, cfg: PacketConfig) -> E2eReport {
             let step = cfg.ticks_per_packet.min(start.0 + window_ticks - t);
             t += step;
             let upto = scale
-                .data_over(d.rate, vod_units::TickDuration(t - start.0))
+                .data_over(rec.rate, vod_units::TickDuration(t - start.0))
                 .value()
-                .min(d.size.value());
+                .min(rec.size.value());
             let bits = upto - delivered;
             delivered = upto;
             if bits > 0.0 {
-                let delay = packet_jitter(cfg.seed, segment, idx, cfg.jitter_ticks);
-                engine.schedule_at(Ticks(t + delay), Ev::Packet { segment, bits });
+                let delay = packet_jitter(cfg.seed, reception, idx, cfg.jitter_ticks);
+                engine.schedule_at(Ticks(t + delay), Ev::Packet { reception, bits });
             }
             idx += 1;
         }
     }
 
-    let b = schedule.display_rate.value();
+    let b = trace.display_rate.value();
     // The de-jitter buffer shifts every playback deadline later.
     let dejitter_min = cfg.dejitter_ticks as f64 / scale.ticks_per_second as f64 / 60.0;
-    let playback_start_min = schedule.playback_start.value() + dejitter_min;
-    let total: f64 = schedule.segment_sizes.iter().map(|s| s.value()).sum();
-    let playback_end_min = schedule.playback_end().value();
+    let playback_start_min = trace.playback_start.value() + dejitter_min;
+    let total: f64 = trace.segment_sizes.iter().map(|s| s.value()).sum();
+    let playback_end_min = trace.playback_end().value();
 
-    // Per-segment cumulative deliveries and playback offsets.
-    let n = schedule.segment_sizes.len();
-    let mut delivered_seg = vec![0.0f64; n];
+    // Per-reception cumulative deliveries, per-segment playback offsets,
+    // and each segment's reception streams (a segment may arrive as
+    // several content intervals — PPB chunks, HB wrap halves).
+    let n = trace.segment_sizes.len();
+    let mut delivered_rec = vec![0.0f64; trace.receptions.len()];
     let pb_start: Vec<f64> = (0..n)
-        .map(|i| schedule.playback_start_of(i).value() + dejitter_min)
+        .map(|i| trace.playback_start_of(i).value() + dejitter_min)
         .collect();
+    let mut streams_of_segment: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, rec) in trace.receptions.iter().enumerate() {
+        streams_of_segment[rec.segment].push(i);
+    }
 
     let mut packets = 0usize;
     let mut peak = 0.0f64;
@@ -185,33 +197,46 @@ pub fn replay(schedule: &ClientSchedule, cfg: PacketConfig) -> E2eReport {
         Ev::StreamEnd => {
             streams = streams.saturating_sub(1);
         }
-        Ev::Packet { segment, bits } => {
+        Ev::Packet { reception, bits } => {
             let now_min = scale.seconds(at.since(Ticks::ZERO)).value() / 60.0;
+            let segment = trace.receptions[reception].segment;
             // Underrun check: everything the player needed from this
             // segment *just before* this packet must already be there.
+            // `needed` is a content level; each reception stream owes the
+            // part of [0, needed) its content interval covers.
             let needed = ((now_min - pb_start[segment]) * b * 60.0)
-                .clamp(0.0, schedule.segment_sizes[segment].value());
-            // Packetization slack: a just-in-time fluid stream lags by up
-            // to one whole packet at its own rate, plus tick rounding of
-            // the window start. Two packets' worth is the agreed margin.
-            let rate = schedule.downloads[segment].rate.value();
+                .clamp(0.0, trace.segment_sizes[segment].value());
             let packet_seconds = cfg.ticks_per_packet as f64 / scale.ticks_per_second as f64;
-            let slack = 2.0 * rate * packet_seconds + 2.0 * b / scale.ticks_per_second as f64;
-            // Note: network jitter is NOT added to the slack — absorbing
-            // it is the de-jitter buffer's job; an undersized buffer must
-            // surface as an underrun.
-            if needed > delivered_seg[segment] + slack + 1e-9 {
+            let mut worst_short = 0.0f64;
+            for &k in &streams_of_segment[segment] {
+                let rec = &trace.receptions[k];
+                let owed = (needed - rec.content_offset.value()).clamp(0.0, rec.size.value());
+                // Packetization slack: a just-in-time fluid stream lags by
+                // up to one whole packet at its own rate, plus tick
+                // rounding of the window start. Two packets' worth is the
+                // agreed margin. Network jitter is NOT added — absorbing
+                // it is the de-jitter buffer's job; an undersized buffer
+                // must surface as an underrun.
+                let slack = 2.0 * rec.rate.value() * packet_seconds
+                    + 2.0 * b / scale.ticks_per_second as f64;
+                if owed > delivered_rec[k] + slack + 1e-9 {
+                    worst_short = worst_short.max(owed - delivered_rec[k]);
+                }
+            }
+            if worst_short > 0.0 {
                 underruns.push(Underrun {
                     segment,
                     at: Minutes(now_min),
-                    shortfall: Mbits(needed - delivered_seg[segment]),
+                    shortfall: Mbits(worst_short),
                 });
             }
-            delivered_seg[segment] += bits;
+            delivered_rec[reception] += bits;
             delivered_total += bits;
             packets += 1;
-            let consumed = ((now_min - playback_start_min) * b * 60.0)
-                .clamp(0.0, total.min((playback_end_min - playback_start_min) * b * 60.0));
+            let consumed = ((now_min - playback_start_min) * b * 60.0).clamp(
+                0.0,
+                total.min((playback_end_min - playback_start_min) * b * 60.0),
+            );
             peak = peak.max(delivered_total - consumed);
         }
     });
@@ -228,6 +253,7 @@ pub fn replay(schedule: &ClientSchedule, cfg: PacketConfig) -> E2eReport {
 mod tests {
     use super::*;
     use crate::policy::{schedule_client, ClientPolicy};
+    use crate::trace::{ClientModel, PausingClient, RecordingClient};
     use sb_core::config::SystemConfig;
     use sb_core::plan::VideoId;
     use sb_core::scheme::BroadcastScheme;
@@ -240,39 +266,44 @@ mod tests {
         plan: &sb_core::plan::ChannelPlan,
         policy: ClientPolicy,
         arrival: f64,
-    ) -> (ClientSchedule, E2eReport) {
-        let sched = schedule_client(
-            plan,
-            VideoId(0),
-            Minutes(arrival),
-            Mbps(1.5),
-            policy,
-        )
-        .unwrap();
-        let report = replay(&sched, PacketConfig::default());
-        (sched, report)
+    ) -> (SessionTrace, E2eReport) {
+        let trace = policy
+            .session(plan, VideoId(0), Minutes(arrival), Mbps(1.5))
+            .unwrap();
+        let report = replay(&trace, PacketConfig::default());
+        (trace, report)
     }
 
     /// One packet's worth of data per concurrently active stream, the
     /// agreed tolerance between fluid and packet accounting.
-    fn tolerance(report: &E2eReport, sched: &ClientSchedule) -> f64 {
+    fn tolerance(report: &E2eReport, trace: &SessionTrace) -> f64 {
         let packet_seconds = 0.1; // 10 ticks at 100 ticks/s
-        let max_rate: f64 = sched.downloads.iter().map(|d| d.rate.value()).fold(0.0, f64::max);
+        let max_rate: f64 = trace
+            .receptions
+            .iter()
+            .map(|r| r.rate.value())
+            .fold(0.0, f64::max);
         report.max_streams as f64 * max_rate * packet_seconds + 1.0
     }
 
     #[test]
     fn sb_replay_matches_fluid_model() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let plan = Skyscraper::with_width(Width::Capped(52)).plan(&cfg).unwrap();
+        let plan = Skyscraper::with_width(Width::Capped(52))
+            .plan(&cfg)
+            .unwrap();
         for arrival in [0.0, 3.7, 7.31, 11.9] {
-            let (sched, report) = replay_scheme(&plan, ClientPolicy::LatestFeasible, arrival);
-            assert!(report.underruns.is_empty(), "arrival {arrival}: {:?}", report.underruns);
+            let (trace, report) = replay_scheme(&plan, ClientPolicy::LatestFeasible, arrival);
+            assert!(
+                report.underruns.is_empty(),
+                "arrival {arrival}: {:?}",
+                report.underruns
+            );
             assert!(report.max_streams <= 2);
-            let fluid = sched.peak_buffer().value();
+            let fluid = trace.peak_buffer().value();
             let diff = (report.peak_buffer.value() - fluid).abs();
             assert!(
-                diff <= tolerance(&report, &sched),
+                diff <= tolerance(&report, &trace),
                 "arrival {arrival}: packet {} vs fluid {fluid}",
                 report.peak_buffer
             );
@@ -285,11 +316,11 @@ mod tests {
     fn pb_replay_matches_fluid_model() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
         let plan = PyramidBroadcasting::a().plan(&cfg).unwrap();
-        let (sched, report) = replay_scheme(&plan, ClientPolicy::PbEarliest, 4.4);
+        let (trace, report) = replay_scheme(&plan, ClientPolicy::PbEarliest, 4.4);
         assert!(report.underruns.is_empty());
         assert!(report.max_streams <= 2);
-        let diff = (report.peak_buffer.value() - sched.peak_buffer().value()).abs();
-        assert!(diff <= tolerance(&report, &sched));
+        let diff = (report.peak_buffer.value() - trace.peak_buffer().value()).abs();
+        assert!(diff <= tolerance(&report, &trace));
     }
 
     #[test]
@@ -299,29 +330,91 @@ mod tests {
             PermutationPyramid::b().plan(&cfg).unwrap(),
             StaggeredBroadcasting.plan(&cfg).unwrap(),
         ] {
-            let (sched, report) = replay_scheme(&plan, ClientPolicy::LatestFeasible, 2.2);
+            let (trace, report) = replay_scheme(&plan, ClientPolicy::LatestFeasible, 2.2);
             assert!(report.underruns.is_empty(), "{}", plan.scheme);
-            let diff = (report.peak_buffer.value() - sched.peak_buffer().value()).abs();
-            assert!(diff <= tolerance(&report, &sched), "{}", plan.scheme);
+            let diff = (report.peak_buffer.value() - trace.peak_buffer().value()).abs();
+            assert!(diff <= tolerance(&report, &trace), "{}", plan.scheme);
         }
     }
 
     #[test]
-    fn corrupted_schedule_is_caught() {
+    fn pausing_replay_is_underrun_free() {
+        // The replay consumes traces from any model: PPB's max-saving
+        // client streams dozens of mid-broadcast chunks, and the packet
+        // accounting still sees every byte arrive on time.
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        let plan = PermutationPyramid::b().plan(&cfg).unwrap();
+        let trace = PausingClient
+            .session(&plan, VideoId(0), Minutes(3.7), cfg.display_rate)
+            .unwrap();
+        let report = replay(&trace, PacketConfig::default());
+        assert!(
+            report.underruns.is_empty(),
+            "{:?}",
+            &report.underruns[..report.underruns.len().min(3)]
+        );
+        let diff = (report.peak_buffer.value() - trace.peak_buffer().value()).abs();
+        assert!(diff <= tolerance(&report, &trace));
+    }
+
+    #[test]
+    fn recording_replay_catches_the_hb_bug() {
+        // The HB wrap-around receptions starve at zero delay (the
+        // Pâris–Carter–Long bug) and play cleanly with the one-slot fix —
+        // at packet granularity, independent of the fluid analysis.
+        let cfg = SystemConfig::paper_defaults(Mbps(60.0));
+        let scheme = sb_pyramid::HarmonicBroadcasting::original();
+        let plan = scheme.plan(&cfg).unwrap();
+        let slot = scheme.slot(&cfg).unwrap();
+        // An arrival phase where the fluid check shows starvation.
+        let mut bug_seen = false;
+        for i in 0..12 {
+            let arrival = Minutes(slot.value() * i as f64 / 12.0 * 7.0);
+            let buggy = RecordingClient::default()
+                .session(&plan, VideoId(0), arrival, cfg.display_rate)
+                .unwrap();
+            let fixed = RecordingClient {
+                playback_delay: slot,
+            }
+            .session(&plan, VideoId(0), arrival, cfg.display_rate)
+            .unwrap();
+            let fixed_report = replay(&fixed, PacketConfig::default());
+            assert!(
+                fixed_report.underruns.is_empty(),
+                "arrival {arrival}: {:?}",
+                &fixed_report.underruns[..fixed_report.underruns.len().min(3)]
+            );
+            if !buggy.is_jitter_free(1e-6) {
+                let report = replay(&buggy, PacketConfig::default());
+                assert!(
+                    !report.underruns.is_empty(),
+                    "fluid model starves at arrival {arrival}, replay must too"
+                );
+                bug_seen = true;
+            }
+        }
+        assert!(bug_seen, "no starving phase sampled");
+    }
+
+    #[test]
+    fn corrupted_trace_is_caught() {
         // Push one reception past its deadline: the replay must flag it.
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
-        let mut sched = schedule_client(
+        let plan = Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap();
+        let mut trace = schedule_client(
             &plan,
             VideoId(0),
             Minutes(1.0),
             Mbps(1.5),
             ClientPolicy::LatestFeasible,
         )
-        .unwrap();
-        let last = sched.downloads.len() - 1;
-        sched.downloads[last].start = Minutes(sched.downloads[last].start.value() + 5.0);
-        let report = replay(&sched, PacketConfig::default());
+        .unwrap()
+        .trace();
+        let last = trace.receptions.len() - 1;
+        trace.receptions[last].start = Minutes(trace.receptions[last].start.value() + 5.0);
+        let report = replay(&trace, PacketConfig::default());
         assert!(
             !report.underruns.is_empty(),
             "a 5-minute-late segment must starve the player"
@@ -332,18 +425,21 @@ mod tests {
     #[test]
     fn jitter_within_dejitter_buffer_is_absorbed() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
-        let sched = schedule_client(
+        let plan = Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap();
+        let trace = schedule_client(
             &plan,
             VideoId(0),
             Minutes(5.2),
             Mbps(1.5),
             ClientPolicy::LatestFeasible,
         )
-        .unwrap();
+        .unwrap()
+        .trace();
         // 2 seconds of network jitter, correctly dimensioned buffer.
         for seed in 0..5 {
-            let report = replay(&sched, PacketConfig::with_jitter(200, seed));
+            let report = replay(&trace, PacketConfig::with_jitter(200, seed));
             assert!(
                 report.underruns.is_empty(),
                 "seed {seed}: {:?}",
@@ -355,19 +451,22 @@ mod tests {
     #[test]
     fn undersized_dejitter_buffer_underruns() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
-        let sched = schedule_client(
+        let plan = Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap();
+        let trace = schedule_client(
             &plan,
             VideoId(0),
             Minutes(5.2),
             Mbps(1.5),
             ClientPolicy::LatestFeasible,
         )
-        .unwrap();
+        .unwrap()
+        .trace();
         // Heavy jitter (30 s) with NO de-jitter buffer: must starve.
         let mut cfg_bad = PacketConfig::with_jitter(3000, 7);
         cfg_bad.dejitter_ticks = 0;
-        let report = replay(&sched, cfg_bad);
+        let report = replay(&trace, cfg_bad);
         assert!(
             !report.underruns.is_empty(),
             "3000 ticks of jitter with no buffer must underrun"
@@ -377,18 +476,21 @@ mod tests {
     #[test]
     fn finer_packets_converge_to_fluid() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let plan = Skyscraper::with_width(Width::Capped(12)).plan(&cfg).unwrap();
-        let sched = schedule_client(
+        let plan = Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap();
+        let trace = schedule_client(
             &plan,
             VideoId(0),
             Minutes(5.2),
             Mbps(1.5),
             ClientPolicy::LatestFeasible,
         )
-        .unwrap();
-        let fluid = sched.peak_buffer().value();
+        .unwrap()
+        .trace();
+        let fluid = trace.peak_buffer().value();
         let coarse = replay(
-            &sched,
+            &trace,
             PacketConfig {
                 scale: TickScale::new(100),
                 ticks_per_packet: 100,
@@ -396,7 +498,7 @@ mod tests {
             },
         );
         let fine = replay(
-            &sched,
+            &trace,
             PacketConfig {
                 scale: TickScale::new(1000),
                 ticks_per_packet: 10,
@@ -405,7 +507,13 @@ mod tests {
         );
         let err_coarse = (coarse.peak_buffer.value() - fluid).abs();
         let err_fine = (fine.peak_buffer.value() - fluid).abs();
-        assert!(err_fine <= err_coarse + 1e-9, "fine {err_fine} vs coarse {err_coarse}");
-        assert!(err_fine < 0.2, "fine-grained replay within 0.2 Mbit of fluid");
+        assert!(
+            err_fine <= err_coarse + 1e-9,
+            "fine {err_fine} vs coarse {err_coarse}"
+        );
+        assert!(
+            err_fine < 0.2,
+            "fine-grained replay within 0.2 Mbit of fluid"
+        );
     }
 }

@@ -51,7 +51,10 @@ pub struct Engine<E> {
     now: Ticks,
     seq: u64,
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    /// Ids of events that are scheduled and neither fired nor cancelled.
+    /// Cancellation only removes from this set; the heap entry is dropped
+    /// lazily when it surfaces.
+    live: HashSet<EventId>,
 }
 
 impl<E> Default for Engine<E> {
@@ -68,7 +71,7 @@ impl<E> Engine<E> {
             now: Ticks::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            live: HashSet::new(),
         }
     }
 
@@ -81,7 +84,7 @@ impl<E> Engine<E> {
     /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// Schedule `payload` at the absolute tick `at`.
@@ -101,6 +104,7 @@ impl<E> Engine<E> {
             id,
             payload,
         });
+        self.live.insert(id);
         self.seq += 1;
         id
     }
@@ -111,12 +115,14 @@ impl<E> Engine<E> {
     }
 
     /// Cancel a pending event. Returns `true` if it had not yet fired.
+    ///
+    /// Ids that never existed, already fired, or were already cancelled
+    /// all return `false` and leave the agenda untouched — so
+    /// [`Engine::pending`] stays exact no matter what callers pass in.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.seq {
-            return false;
-        }
-        // Only mark; the entry is skipped lazily on pop.
-        self.cancelled.insert(id)
+        // Only the live set changes; the heap entry is dropped lazily when
+        // it surfaces in `next`/`run_until`.
+        self.live.remove(&id)
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -127,8 +133,8 @@ impl<E> Engine<E> {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(Ticks, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
+            if !self.live.remove(&entry.id) {
+                continue; // cancelled; drop the stale entry
             }
             debug_assert!(entry.at >= self.now, "agenda went backwards");
             self.now = entry.at;
@@ -156,9 +162,8 @@ impl<E> Engine<E> {
             // Peek for the horizon check without consuming.
             let next_at = loop {
                 match self.heap.peek() {
-                    Some(e) if self.cancelled.contains(&e.id) => {
-                        let e = self.heap.pop().expect("peeked");
-                        self.cancelled.remove(&e.id);
+                    Some(e) if !self.live.contains(&e.id) => {
+                        self.heap.pop(); // cancelled; drop the stale entry
                     }
                     Some(e) => break Some(e.at),
                     None => break None,
@@ -223,6 +228,41 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut eng: Engine<()> = Engine::new();
         assert!(!eng.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false_and_pending_stays_exact() {
+        // Regression: cancelling an id that already fired used to be
+        // accepted, leaking a tombstone that made `pending()` underflow
+        // once the agenda drained.
+        let mut eng: Engine<&'static str> = Engine::new();
+        let a = eng.schedule_at(Ticks(1), "a");
+        eng.schedule_at(Ticks(2), "b");
+        assert_eq!(eng.pending(), 2);
+        let (_, p) = eng.next().expect("a fires");
+        assert_eq!(p, "a");
+        assert!(!eng.cancel(a), "cancelling a fired event must fail");
+        assert_eq!(eng.pending(), 1, "the refused cancel must not count");
+        let (_, p) = eng.next().expect("b fires");
+        assert_eq!(p, "b");
+        assert_eq!(eng.pending(), 0);
+        assert!(eng.next().is_none());
+        // And cancelling after exhaustion is still a clean no-op.
+        assert!(!eng.cancel(a));
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn cancelled_event_skipped_by_run_until_peek() {
+        let mut eng: Engine<u8> = Engine::new();
+        let a = eng.schedule_at(Ticks(1), 1);
+        eng.schedule_at(Ticks(2), 2);
+        eng.schedule_at(Ticks(100), 3);
+        assert!(eng.cancel(a));
+        let mut seen = Vec::new();
+        eng.run_until(Ticks(50), |_, _, p| seen.push(p));
+        assert_eq!(seen, vec![2]);
+        assert_eq!(eng.pending(), 1);
     }
 
     #[test]

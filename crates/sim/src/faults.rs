@@ -8,11 +8,13 @@
 //! arrives too late, playback **stalls** — the player pauses until the
 //! segment's delivery catches up, pushing every later deadline back.
 //!
-//! [`apply_losses`] rewrites a [`ClientSchedule`] under a [`LossModel`]
-//! and returns the stalls incurred. Tests assert the two invariants that
-//! make fault behaviour trustworthy: zero loss ⇒ identical schedule and no
-//! stalls; any loss ⇒ the repaired schedule is still starvation-free
-//! *after* accounting for the reported stalls.
+//! [`apply_losses`] rewrites a [`SessionTrace`] — from *any*
+//! [`crate::trace::ClientModel`]: tune-at-start, PPB pausing,
+//! Harmonic record-all — under a [`LossModel`] and returns the stalls
+//! incurred. Tests assert the two invariants that make fault behaviour
+//! trustworthy: zero loss ⇒ identical trace and no stalls; any loss ⇒ the
+//! repaired trace is still starvation-free *after* accounting for the
+//! reported stalls.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +23,7 @@ use vod_units::Minutes;
 
 use sb_core::plan::ChannelPlan;
 
-use crate::schedule::ClientSchedule;
+use crate::trace::SessionTrace;
 
 /// Decides which broadcast occurrences are lost.
 ///
@@ -65,7 +67,8 @@ impl LossModel {
         }
         // Derive a per-occurrence stream: deterministic, order-independent.
         let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ (channel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.seed
+                ^ (channel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ occ.wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
         rng.gen::<f64>() < self.drop_probability
@@ -77,16 +80,18 @@ impl LossModel {
 pub struct Stall {
     /// Segment whose lateness caused the stall.
     pub segment: usize,
+    /// Index (within the trace) of the reception that slipped too far.
+    pub reception: usize,
     /// How long the player froze.
     pub duration: Minutes,
 }
 
-/// The outcome of replaying a schedule under losses.
+/// The outcome of replaying a session under losses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StallReport {
-    /// The repaired schedule (later receptions, shifted playback).
-    pub schedule: ClientSchedule,
-    /// Stalls in playback order.
+    /// The repaired trace (later receptions, shifted playback).
+    pub trace: SessionTrace,
+    /// Stalls in playback (deadline) order.
     pub stalls: Vec<Stall>,
 }
 
@@ -98,88 +103,108 @@ impl StallReport {
     }
 }
 
-/// Which occurrence index of `channel`'s cycle contains the broadcast
-/// starting at `start`?
-fn occurrence_index(plan: &ChannelPlan, channel: usize, start: Minutes) -> u64 {
+/// Which occurrence index of `channel`'s cycle contains the reception
+/// starting at `start` into content offset `offset_minutes` (minutes of
+/// cycle time past the broadcast beginning)? A mid-broadcast reception —
+/// a PPB chunk, the tail half of an HB recording — starts
+/// `offset_minutes` after its occurrence's cycle start, so subtracting it
+/// recovers the occurrence for every client model uniformly.
+fn occurrence_index(
+    plan: &ChannelPlan,
+    channel: usize,
+    start: Minutes,
+    offset_minutes: f64,
+) -> u64 {
     let ch = &plan.channels[channel];
     let period = ch.period().value();
-    (((start.value() - ch.phase.value()) / period) + 0.5).floor().max(0.0) as u64
+    (((start.value() - offset_minutes - ch.phase.value()) / period) + 0.5)
+        .floor()
+        .max(0.0) as u64
 }
 
-/// Replay `schedule` under `losses`: every reception whose occurrence is
-/// lost slips to the next surviving occurrence on the same channel, and
-/// playback stalls whenever a segment thereby misses its (shifted)
-/// deadline.
+/// Indices of the trace's receptions in playback-deadline order of their
+/// first byte — the order stalls propagate in.
+fn deadline_order(trace: &SessionTrace) -> Vec<usize> {
+    let b = trace.display_rate.value() * 60.0;
+    let mut order: Vec<usize> = (0..trace.receptions.len()).collect();
+    order.sort_by(|&i, &j| {
+        let key = |k: usize| {
+            let r = &trace.receptions[k];
+            trace.playback_start_of(r.segment).value() + r.content_offset.value() / b
+        };
+        key(i).partial_cmp(&key(j)).expect("finite deadlines")
+    });
+    order
+}
+
+/// Replay `trace` under `losses`: every reception whose occurrence is
+/// lost slips whole cycle periods to the next surviving occurrence on the
+/// same channel, and playback stalls whenever a reception thereby misses
+/// its (shifted) deadline.
 ///
 /// Gives up (still reports, with a final giant stall) after
-/// `MAX_RETRIES` consecutive lost occurrences of one segment.
+/// `MAX_RETRIES` consecutive lost occurrences of one reception.
 #[must_use]
-pub fn apply_losses(
-    plan: &ChannelPlan,
-    schedule: &ClientSchedule,
-    losses: &LossModel,
-) -> StallReport {
+pub fn apply_losses(plan: &ChannelPlan, trace: &SessionTrace, losses: &LossModel) -> StallReport {
     const MAX_RETRIES: u64 = 1_000;
-    let mut out = schedule.clone();
+    let mut out = trace.clone();
     let mut stalls = Vec::new();
     // Accumulated playback shift from stalls so far.
     let mut shift = 0.0f64;
 
-    for i in 0..out.downloads.len() {
-        let d = out.downloads[i];
-        let ch = &plan.channels[d.channel];
+    for i in deadline_order(trace) {
+        let rec = out.receptions[i];
+        let ch = &plan.channels[rec.channel];
         let period = ch.period().value();
-        let mut occ = occurrence_index(plan, d.channel, d.start);
-        let mut start = d.start.value();
+        let offset_minutes = rec.content_offset.value() / (rec.rate.value() * 60.0);
+        let mut occ = occurrence_index(plan, rec.channel, rec.start, offset_minutes);
+        let mut start = rec.start.value();
         let mut retries = 0;
-        while losses.is_lost(d.channel, occ) && retries < MAX_RETRIES {
+        while losses.is_lost(rec.channel, occ) && retries < MAX_RETRIES {
             occ += 1;
             start += period;
             retries += 1;
         }
-        out.downloads[i].start = Minutes(start);
+        out.receptions[i].start = Minutes(start);
 
-        // The deadline this segment must meet, in the *shifted* timeline.
-        let required = schedule.required_start(i, d.rate).value() + shift;
+        // The deadline this reception must meet, in the *shifted* timeline.
+        let required = trace.required_start(i).value() + shift;
         if start > required + 1e-9 {
             let pause = start - required;
             shift += pause;
             stalls.push(Stall {
-                segment: i,
+                segment: rec.segment,
+                reception: i,
                 duration: Minutes(pause),
             });
         }
     }
-    // Apply the accumulated shift… stalls delay playback of later
-    // segments. We fold the total shift into playback_start of the
-    // repaired schedule only when the very first segment slipped; per-
-    // segment shifts are captured in the stall list (the ClientSchedule
-    // type models unstalled playback, so jitter checks on the repaired
-    // schedule must add the stall shifts — see `jitter_free_with_stalls`).
-    StallReport {
-        schedule: out,
-        stalls,
-    }
+    // Stalls delay playback of later content; the SessionTrace type models
+    // unstalled playback, so jitter checks on the repaired trace must add
+    // the stall shifts — see `jitter_free_with_stalls`.
+    StallReport { trace: out, stalls }
 }
 
-/// Starvation check for a repaired schedule: every reception start must be
+/// Starvation check for a repaired trace: every reception start must be
 /// within tolerance of its deadline *after* crediting the stalls that
-/// precede it.
+/// precede it (in deadline order, including its own).
 #[must_use]
 pub fn jitter_free_with_stalls(report: &StallReport, tol: f64) -> bool {
     let mut shift = 0.0f64;
     let mut stall_iter = report.stalls.iter().peekable();
-    for (i, d) in report.schedule.downloads.iter().enumerate() {
+    for i in deadline_order(&report.trace) {
+        // Stalls are recorded in the same deadline order, so crediting
+        // them as their reception comes up replays `apply_losses` exactly.
         while let Some(s) = stall_iter.peek() {
-            if s.segment <= i {
+            if s.reception == i {
                 shift += s.duration.value();
                 stall_iter.next();
             } else {
                 break;
             }
         }
-        let required = report.schedule.required_start(i, d.rate).value() + shift;
-        if d.start.value() > required + tol {
+        let required = report.trace.required_start(i).value() + shift;
+        if report.trace.receptions[i].start.value() > required + tol {
             return false;
         }
     }
@@ -190,6 +215,7 @@ pub fn jitter_free_with_stalls(report: &StallReport, tol: f64) -> bool {
 mod tests {
     use super::*;
     use crate::policy::{schedule_client, ClientPolicy};
+    use crate::trace::{ClientModel, PausingClient, RecordingClient};
     use sb_core::config::SystemConfig;
     use sb_core::plan::VideoId;
     use sb_core::scheme::BroadcastScheme;
@@ -215,9 +241,10 @@ mod tests {
             cfg.display_rate,
             ClientPolicy::LatestFeasible,
         )
-        .unwrap();
+        .unwrap()
+        .trace();
         let r = apply_losses(&plan, &s, &LossModel::lossless());
-        assert_eq!(r.schedule, s);
+        assert_eq!(r.trace, s);
         assert!(r.stalls.is_empty());
         assert!(jitter_free_with_stalls(&r, 1e-9));
     }
@@ -232,7 +259,8 @@ mod tests {
             cfg.display_rate,
             ClientPolicy::LatestFeasible,
         )
-        .unwrap();
+        .unwrap()
+        .trace();
         let mut any_stall = false;
         for seed in 0..20 {
             let model = LossModel {
@@ -242,12 +270,48 @@ mod tests {
             let r = apply_losses(&plan, &s, &model);
             assert!(jitter_free_with_stalls(&r, 1e-6), "seed {seed}");
             // Receptions only ever slip later, never earlier.
-            for (orig, repaired) in s.downloads.iter().zip(&r.schedule.downloads) {
+            for (orig, repaired) in s.receptions.iter().zip(&r.trace.receptions) {
                 assert!(repaired.start >= orig.start);
             }
             any_stall |= !r.stalls.is_empty();
         }
         assert!(any_stall, "30% loss over 20 seeds must stall at least once");
+    }
+
+    #[test]
+    fn pausing_and_recording_traces_survive_losses() {
+        // The same loss pipeline accepts every client model: a PPB
+        // max-saving session (mid-broadcast chunks) and an HB record-all
+        // session (wrap-around receptions) both repair consistently.
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        let ppb = sb_pyramid::PermutationPyramid::b().plan(&cfg).unwrap();
+        let ppb_trace = PausingClient
+            .session(&ppb, VideoId(0), Minutes(3.7), cfg.display_rate)
+            .unwrap();
+
+        let hb_cfg = SystemConfig::paper_defaults(Mbps(60.0));
+        let hb_scheme = sb_pyramid::HarmonicBroadcasting::delayed();
+        let hb = hb_scheme.plan(&hb_cfg).unwrap();
+        let slot = hb_scheme.slot(&hb_cfg).unwrap();
+        let hb_trace = RecordingClient {
+            playback_delay: slot,
+        }
+        .session(&hb, VideoId(0), Minutes(2.1), hb_cfg.display_rate)
+        .unwrap();
+
+        for (plan, trace) in [(&ppb, &ppb_trace), (&hb, &hb_trace)] {
+            for seed in 0..10 {
+                let model = LossModel {
+                    drop_probability: 0.25,
+                    seed,
+                };
+                let r = apply_losses(plan, trace, &model);
+                assert!(jitter_free_with_stalls(&r, 1e-6), "seed {seed}");
+                for (orig, repaired) in trace.receptions.iter().zip(&r.trace.receptions) {
+                    assert!(repaired.start >= orig.start);
+                }
+            }
+        }
     }
 
     #[test]

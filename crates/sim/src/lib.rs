@@ -21,12 +21,13 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`engine`] | a small, deterministic discrete-event engine (tick clock, binary-heap agenda) |
-//! | [`schedule`] | client schedules: downloads, playback, buffer profiles, jitter checks |
+//! | [`trace`] | the unified [`trace::SessionTrace`] every client model produces, and the [`trace::ClientModel`] trait |
+//! | [`schedule`] | client schedules: downloads, playback, and conversion to traces |
 //! | [`policy`] | per-scheme client policies (latest-feasible, PB's eager prefetch, live) |
 //! | [`pausing`] | PPB's "max-saving" mid-broadcast-retuning client |
 //! | [`receive_all`] | Harmonic Broadcasting's record-everything client (and its famous bug) |
-//! | [`faults`] | broadcast-loss injection and stall accounting |
-//! | [`system`] | many-client system simulation driven by the engine |
+//! | [`faults`] | broadcast-loss injection and stall accounting over traces |
+//! | [`system`] | many-client system simulation driven by the engine, generic over client models |
 //!
 //! ## Example: measure a Skyscraper client empirically
 //!
@@ -66,12 +67,16 @@ pub mod policy;
 pub mod receive_all;
 pub mod schedule;
 pub mod system;
+pub mod trace;
 
 pub use e2e::{replay, E2eReport, PacketConfig};
 pub use engine::{Engine, EventId};
-pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use faults::{LossModel, StallReport};
+pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use policy::{schedule_client, ClientPolicy};
 pub use receive_all::{record_all, RecordingSchedule};
 pub use schedule::{ClientSchedule, Download, JitterViolation};
 pub use system::{SystemReport, SystemSim};
+pub use trace::{
+    ClientModel, PausingClient, Reception, RecordingClient, SessionTrace, TraceViolation,
+};

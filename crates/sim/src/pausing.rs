@@ -36,6 +36,7 @@ use vod_units::{MBytes, Mbits, Mbps, Minutes};
 use sb_core::plan::{BroadcastItem, ChannelPlan, VideoId};
 
 use crate::policy::PolicyError;
+use crate::trace::{Reception, SessionTrace};
 
 /// How many pieces each replica-phase window is subdivided into. The
 /// client's retune lattice has spacing `δ = T/P` in time; `m` chunks per
@@ -51,6 +52,8 @@ pub struct Burst {
     pub segment: usize,
     /// Chunk index within the fragment (0-based).
     pub chunk: usize,
+    /// The subchannel replica delivering this chunk.
+    pub channel: usize,
     /// Wall-clock start, minutes.
     pub start: Minutes,
     /// Burst duration, minutes.
@@ -109,59 +112,49 @@ impl PausingSchedule {
         Minutes(self.playback_start.value() - self.arrival.value())
     }
 
+    /// The session as a scheme-agnostic [`SessionTrace`]: one
+    /// [`Reception`] per burst, carrying the chunk's content interval. All
+    /// buffer and jitter accounting lives on the trace.
+    #[must_use]
+    pub fn trace(&self) -> SessionTrace {
+        SessionTrace {
+            arrival: self.arrival,
+            playback_start: self.playback_start,
+            display_rate: self.display_rate,
+            segment_sizes: self.segment_sizes.clone(),
+            receptions: self
+                .bursts
+                .iter()
+                .map(|b| Reception {
+                    segment: b.segment,
+                    channel: b.channel,
+                    start: b.start,
+                    duration: b.duration,
+                    rate: b.rate,
+                    content_offset: b.content_offset,
+                    size: b.size,
+                })
+                .collect(),
+        }
+    }
+
     /// Starvation check: every content byte must be received no later
-    /// than it is consumed. For a burst at rate `r ≥ b`, it suffices that
-    /// the burst starts no later than the deadline of its first byte.
+    /// than it is consumed (exact per-byte check on the trace).
     #[must_use]
     pub fn is_jitter_free(&self, tol: f64) -> bool {
-        let b = self.display_rate.value();
-        self.bursts.iter().all(|burst| {
-            let pb = self.playback_start_of(burst.segment).value();
-            let deadline = pb + burst.content_offset.value() / (b * 60.0);
-            burst.rate.value() >= b - 1e-12 && burst.start.value() <= deadline + tol
-        })
+        self.trace().is_jitter_free(tol)
     }
 
     /// `true` when no two bursts overlap (the client has a single tuner).
     #[must_use]
     pub fn single_tuner(&self, tol: f64) -> bool {
-        let mut sorted: Vec<(f64, f64)> = self
-            .bursts
-            .iter()
-            .map(|b| (b.start.value(), b.end().value()))
-            .collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        sorted.windows(2).all(|w| w[0].1 <= w[1].0 + tol)
+        self.trace().single_tuner(tol)
     }
 
     /// Peak buffer occupancy (received − consumed), in Mbits.
     #[must_use]
     pub fn peak_buffer(&self) -> Mbits {
-        let mut points: Vec<f64> = vec![self.playback_start.value(), self.playback_end().value()];
-        for b in &self.bursts {
-            points.push(b.start.value());
-            points.push(b.end().value());
-        }
-        points.sort_by(f64::total_cmp);
-        points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-
-        let total: f64 = self.segment_sizes.iter().map(|s| s.value()).sum();
-        let mut peak = 0.0f64;
-        for &t in &points {
-            let received: f64 = self
-                .bursts
-                .iter()
-                .map(|b| {
-                    let active = (t - b.start.value()).clamp(0.0, b.duration.value());
-                    b.rate.value() * active * 60.0
-                })
-                .sum();
-            let played = (t - self.playback_start.value())
-                .clamp(0.0, self.playback_end().value() - self.playback_start.value());
-            let consumed = (self.display_rate.value() * played * 60.0).min(total);
-            peak = peak.max(received - consumed);
-        }
-        Mbits(peak.max(0.0))
+        self.trace().peak_buffer()
     }
 
     /// Peak buffer in the paper's Figure-8 unit.
@@ -216,11 +209,19 @@ pub fn schedule_pausing_client(
         bursts: Vec::new(),
     };
 
-    // Fragment 0 is consumed live from its broadcast: one burst, chunk 0.
-    let ch0 = carriers0[0];
+    // Fragment 0 is consumed live from its broadcast: one burst, chunk 0,
+    // from the replica whose broadcast starts at playback_start.
+    let ch0 = carriers0
+        .iter()
+        .find(|c| {
+            c.next_start_of(first, arrival)
+                .is_some_and(|s| s.approx_eq(playback_start, 1e-9))
+        })
+        .unwrap_or(&carriers0[0]);
     sched.bursts.push(Burst {
         segment: 0,
         chunk: 0,
+        channel: ch0.id,
         start: playback_start,
         duration: (sizes[0] / ch0.rate).to_minutes(),
         rate: ch0.rate,
@@ -240,6 +241,7 @@ pub fn schedule_pausing_client(
         rate: Mbps,
         offset: Mbits,
         size: Mbits,
+        replicas: Vec<usize>, // carrier channel ids, sorted by phase
     }
     let mut pending: Vec<PendingChunk> = Vec::new();
     #[allow(clippy::needless_range_loop)] // `segment` is an identifier, not just an index
@@ -251,6 +253,11 @@ pub fn schedule_pausing_client(
         }
         let p = carriers.len();
         let rate = carriers[0].rate;
+        // Replica `j` (in phase order) has phase `j·δ`; lattice point
+        // `origin + k·δ` is served by replica `k mod p`.
+        let mut by_phase: Vec<_> = carriers.iter().map(|c| (c.phase.value(), c.id)).collect();
+        by_phase.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let replicas: Vec<usize> = by_phase.into_iter().map(|(_, id)| id).collect();
         let on_air = (sizes[segment] / rate).to_minutes().value();
         let delta = on_air / p as f64;
         let chunks = p * SUBDIVISIONS;
@@ -272,6 +279,7 @@ pub fn schedule_pausing_client(
                 rate,
                 offset,
                 size: chunk_size,
+                replicas: replicas.clone(),
             });
         }
     }
@@ -309,9 +317,11 @@ pub fn schedule_pausing_client(
         };
         occupied.push((start, start + c.duration));
         occupied.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let replica = (k as i64).rem_euclid(c.replicas.len() as i64) as usize;
         sched.bursts.push(Burst {
             segment: c.segment,
             chunk: c.chunk,
+            channel: c.replicas[replica],
             start: Minutes(start),
             duration: Minutes(c.duration),
             rate: c.rate,
@@ -346,8 +356,7 @@ mod tests {
         let (cfg, plan, _) = setup(320.0);
         for i in 0..40 {
             let arrival = Minutes(30.0 * i as f64 / 40.0);
-            let s =
-                schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
+            let s = schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
             assert!(s.is_jitter_free(1e-6), "arrival {arrival}");
             assert!(s.single_tuner(1e-6), "arrival {arrival}");
             // Total received equals the video.
@@ -368,8 +377,7 @@ mod tests {
         let mut worst_start = 0.0f64;
         for i in 0..60 {
             let arrival = Minutes(30.0 * i as f64 / 60.0);
-            let p = schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate)
-                .unwrap();
+            let p = schedule_pausing_client(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
             worst_pausing = worst_pausing.max(p.peak_buffer().value());
             let t = schedule_client(
                 &plan,
@@ -396,8 +404,7 @@ mod tests {
         // §2's criticism, measured: the schedule is full of mid-broadcast
         // joins, unlike the tune-at-start client which has none.
         let (cfg, plan, _) = setup(320.0);
-        let s = schedule_pausing_client(&plan, VideoId(0), Minutes(3.7), cfg.display_rate)
-            .unwrap();
+        let s = schedule_pausing_client(&plan, VideoId(0), Minutes(3.7), cfg.display_rate).unwrap();
         assert!(
             s.mid_broadcast_joins() > 0,
             "expected mid-broadcast tunings, got a trivial schedule"
@@ -424,8 +431,7 @@ mod tests {
         let scheme = PermutationPyramid::a();
         let plan = scheme.plan(&cfg).unwrap();
         let analytic = scheme.metrics(&cfg).unwrap().buffer_requirement;
-        let s = schedule_pausing_client(&plan, VideoId(1), Minutes(5.0), cfg.display_rate)
-            .unwrap();
+        let s = schedule_pausing_client(&plan, VideoId(1), Minutes(5.0), cfg.display_rate).unwrap();
         assert!(s.is_jitter_free(1e-6));
         assert!(s.single_tuner(1e-6));
         let t = schedule_client(

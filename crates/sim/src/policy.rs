@@ -86,8 +86,8 @@ pub fn schedule_client(
 
     // Playback start: earliest catchable broadcast of segment 0.
     let first = BroadcastItem { video, segment: 0 };
-    let (first_ch, first_start) = earliest_start(plan, first, arrival)
-        .ok_or(PolicyError::MissingSegment(0))?;
+    let (first_ch, first_start) =
+        earliest_start(plan, first, arrival).ok_or(PolicyError::MissingSegment(0))?;
 
     let mut sched = ClientSchedule {
         arrival,
@@ -116,9 +116,7 @@ pub fn schedule_client(
                 for ch in plan.channels_for(item) {
                     let deadline = sched.required_start(segment, ch.rate);
                     if let Some(s) = ch.prev_start_of(item, deadline) {
-                        if s.value() >= arrival.value() - 1e-9
-                            && best.is_none_or(|(_, b)| s > b)
-                        {
+                        if s.value() >= arrival.value() - 1e-9 && best.is_none_or(|(_, b)| s > b) {
                             best = Some((ch.id, s));
                         }
                     }
@@ -358,5 +356,4 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, PolicyError::UnknownVideo(VideoId(99)));
     }
-
 }

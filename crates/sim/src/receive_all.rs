@@ -23,12 +23,15 @@ use vod_units::{MBytes, Mbits, Mbps, Minutes};
 use sb_core::plan::{BroadcastItem, ChannelPlan, VideoId};
 
 use crate::policy::PolicyError;
+use crate::trace::{Reception, SessionTrace};
 
 /// Reception of one segment by the recording client.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Recording {
     /// The segment.
     pub segment: usize,
+    /// The plan channel carrying it.
+    pub channel: usize,
     /// Channel rate.
     pub rate: Mbps,
     /// Segment size.
@@ -71,11 +74,52 @@ pub struct RecordingSchedule {
 }
 
 impl RecordingSchedule {
-    /// Playback start of segment `s`, minutes after tune-in.
-    fn playback_offset(&self, s: usize) -> f64 {
-        let b = self.display_rate.value() * 60.0;
-        let prefix: f64 = self.recordings[..s].iter().map(|r| r.size.value()).sum();
-        (self.playback_start.value() - self.tune_in.value()) + prefix / b
+    /// The session as a scheme-agnostic [`SessionTrace`]. A recording
+    /// caught mid-cycle wraps: the tail of the segment (content past the
+    /// tune-in phase `y*`) arrives first, then the head `[0, y*)` on the
+    /// cycle's next pass — so each recording becomes up to two contiguous
+    /// [`Reception`]s. All buffer and jitter accounting lives on the
+    /// trace; its per-reception lateness check reproduces exactly the
+    /// piecewise evaluation the Pâris–Carter–Long analysis calls for.
+    #[must_use]
+    pub fn trace(&self) -> SessionTrace {
+        let mut receptions = Vec::with_capacity(self.recordings.len() * 2);
+        for r in &self.recordings {
+            let phase = r.phase_at_tune_in.value();
+            let y_star = (phase * r.rate.value() * 60.0).clamp(0.0, r.size.value());
+            let tail = r.size.value() - y_star;
+            if tail > 0.0 {
+                // Content [y*, size) arrives over [tune_in, tune_in + (T − phase)).
+                receptions.push(Reception {
+                    segment: r.segment,
+                    channel: r.channel,
+                    start: self.tune_in,
+                    duration: Minutes(tail / (r.rate.value() * 60.0)),
+                    rate: r.rate,
+                    content_offset: Mbits(y_star),
+                    size: Mbits(tail),
+                });
+            }
+            if y_star > 0.0 {
+                // Content [0, y*) arrives once the cycle wraps back around.
+                receptions.push(Reception {
+                    segment: r.segment,
+                    channel: r.channel,
+                    start: Minutes(self.tune_in.value() + r.period.value() - phase),
+                    duration: Minutes(phase),
+                    rate: r.rate,
+                    content_offset: Mbits(0.0),
+                    size: Mbits(y_star),
+                });
+            }
+        }
+        SessionTrace {
+            arrival: self.arrival,
+            playback_start: self.playback_start,
+            display_rate: self.display_rate,
+            segment_sizes: self.recordings.iter().map(|r| r.size).collect(),
+            receptions,
+        }
     }
 
     /// The worst lateness over every byte of every segment: how long after
@@ -83,22 +127,7 @@ impl RecordingSchedule {
     /// everything on time). This is the §HB bug, quantified in minutes.
     #[must_use]
     pub fn worst_shortfall(&self) -> f64 {
-        let b = self.display_rate.value() * 60.0; // Mbits per minute
-        let mut worst = f64::NEG_INFINITY;
-        for (s, r) in self.recordings.iter().enumerate() {
-            let pb = self.playback_offset(s);
-            let z = r.size.value();
-            // lateness(y) = avail(y) − (pb + y/b) is piecewise linear in y
-            // with positive slope (rate < b) and one wrap discontinuity at
-            // y* where the channel cycle passed tune-in; evaluate at the
-            // ends of both pieces.
-            let y_star = (r.phase_at_tune_in.value() * r.rate.value() * 60.0).clamp(0.0, z);
-            for y in [0.0, (y_star - 1e-9).max(0.0), y_star, z] {
-                let lateness = r.available_after(y) - (pb + y / b);
-                worst = worst.max(lateness);
-            }
-        }
-        worst
+        self.trace().worst_lateness()
     }
 
     /// `true` when no byte misses its deadline (within `tol` minutes).
@@ -119,25 +148,7 @@ impl RecordingSchedule {
     /// is linear).
     #[must_use]
     pub fn peak_buffer(&self) -> Mbits {
-        let b = self.display_rate.value() * 60.0;
-        let total: f64 = self.recordings.iter().map(|r| r.size.value()).sum();
-        let play0 = self.playback_start.value() - self.tune_in.value();
-        let play_end = play0 + total / b;
-        let mut points: Vec<f64> = vec![0.0, play0, play_end];
-        points.extend(self.recordings.iter().map(|r| r.period.value()));
-        points.sort_by(f64::total_cmp);
-        points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let mut peak = 0.0f64;
-        for &t in &points {
-            let received: f64 = self
-                .recordings
-                .iter()
-                .map(|r| r.rate.value() * 60.0 * t.min(r.period.value()))
-                .sum();
-            let consumed = ((t - play0).max(0.0) * b).min(total);
-            peak = peak.max(received - consumed);
-        }
-        Mbits(peak.max(0.0))
+        self.trace().peak_buffer()
     }
 
     /// Peak buffer in Figure-8 units.
@@ -185,6 +196,7 @@ pub fn record_all(
         let phase = (tune_in.value() - ch.phase.value()).rem_euclid(period.value());
         recordings.push(Recording {
             segment,
+            channel: ch.id,
             rate: ch.rate,
             size,
             period,
@@ -226,8 +238,7 @@ mod tests {
         let mut starving_phases = 0;
         for i in 0..60 {
             let arrival = Minutes(slot.value() * i as f64 / 60.0 * 7.0);
-            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, Minutes(0.0))
-                .unwrap();
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, Minutes(0.0)).unwrap();
             let short = s.worst_shortfall();
             worst = worst.max(short);
             if short > 1e-6 {
@@ -239,7 +250,10 @@ mod tests {
             "original HB must starve somewhere; worst shortfall {worst:.4} min"
         );
         // The classical bound: the shortfall never exceeds one slot time.
-        assert!(worst <= slot.value() + 1e-6, "shortfall {worst} vs slot {slot}");
+        assert!(
+            worst <= slot.value() + 1e-6,
+            "shortfall {worst} vs slot {slot}"
+        );
     }
 
     #[test]
@@ -277,8 +291,14 @@ mod tests {
     #[test]
     fn receive_rate_is_harmonic() {
         let (cfg, plan, _) = setup();
-        let s = record_all(&plan, VideoId(0), Minutes(1.0), cfg.display_rate, Minutes(0.0))
-            .unwrap();
+        let s = record_all(
+            &plan,
+            VideoId(0),
+            Minutes(1.0),
+            cfg.display_rate,
+            Minutes(0.0),
+        )
+        .unwrap();
         let h30 = sb_pyramid::harmonic::harmonic(30);
         assert!((s.total_receive_rate().value() - 1.5 * h30).abs() < 1e-9);
     }

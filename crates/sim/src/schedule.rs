@@ -23,6 +23,8 @@ use vod_units::{Mbits, Mbps, Minutes};
 
 use sb_core::plan::{BroadcastItem, ChannelPlan};
 
+use crate::trace::{Reception, SessionTrace};
+
 /// One contiguous reception of a segment from a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Download {
@@ -120,60 +122,59 @@ impl ClientSchedule {
         }
     }
 
+    /// The session as a scheme-agnostic [`SessionTrace`]: one
+    /// [`Reception`] per download, covering its whole segment. All buffer,
+    /// jitter and concurrency accounting lives on the trace.
+    #[must_use]
+    pub fn trace(&self) -> SessionTrace {
+        SessionTrace {
+            arrival: self.arrival,
+            playback_start: self.playback_start,
+            display_rate: self.display_rate,
+            segment_sizes: self.segment_sizes.clone(),
+            receptions: self
+                .downloads
+                .iter()
+                .map(|d| Reception {
+                    segment: d.item.segment,
+                    channel: d.channel,
+                    start: d.start,
+                    duration: (d.size / d.rate).to_minutes(),
+                    rate: d.rate,
+                    content_offset: Mbits(0.0),
+                    size: d.size,
+                })
+                .collect(),
+        }
+    }
+
     /// All segments whose reception starts too late for starvation-free
     /// playback, within a relative tolerance `tol` (in minutes).
     #[must_use]
     pub fn jitter_violations(&self, tol: f64) -> Vec<JitterViolation> {
-        let mut out = Vec::new();
-        for (i, d) in self.downloads.iter().enumerate() {
-            let required = self.required_start(i, d.rate);
-            if d.start.value() > required.value() + tol {
-                out.push(JitterViolation {
-                    segment: i,
-                    playback_start: self.playback_start_of(i),
-                    required_start: required,
-                    actual_start: d.start,
-                });
-            }
-        }
-        out
+        self.trace()
+            .violations(tol)
+            .into_iter()
+            .map(|v| JitterViolation {
+                segment: v.segment,
+                playback_start: v.playback_start,
+                required_start: v.required_start,
+                actual_start: v.actual_start,
+            })
+            .collect()
     }
 
     /// Maximum number of simultaneously active receptions.
     #[must_use]
     pub fn max_concurrent_downloads(&self) -> usize {
-        let mut events: Vec<(f64, i32)> = Vec::with_capacity(self.downloads.len() * 2);
-        for d in &self.downloads {
-            events.push((d.start.value(), 1));
-            events.push((d.end().value() - 1e-9, -1));
-        }
-        events.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        let mut cur = 0;
-        let mut max = 0;
-        for (_, delta) in events {
-            cur += delta;
-            max = max.max(cur);
-        }
-        max as usize
+        self.trace().max_concurrent_receptions()
     }
 
     /// Peak aggregate reception rate across concurrent downloads — the
     /// "receiving" half of the client's disk-bandwidth requirement.
     #[must_use]
     pub fn peak_concurrent_receive_rate(&self) -> Mbps {
-        let mut events: Vec<(f64, f64)> = Vec::with_capacity(self.downloads.len() * 2);
-        for d in &self.downloads {
-            events.push((d.start.value(), d.rate.value()));
-            events.push((d.end().value() - 1e-9, -d.rate.value()));
-        }
-        events.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        let mut cur = 0.0f64;
-        let mut max = 0.0f64;
-        for (_, delta) in events {
-            cur += delta;
-            max = max.max(cur);
-        }
-        Mbps(max)
+        self.trace().peak_concurrent_receive_rate()
     }
 
     /// The buffer-occupancy curve as `(time, Mbits)` vertices: total data
@@ -181,42 +182,13 @@ impl ClientSchedule {
     /// (download starts/ends, playback start/end).
     #[must_use]
     pub fn buffer_profile(&self) -> Vec<(Minutes, Mbits)> {
-        let mut points: Vec<f64> = vec![self.playback_start.value(), self.playback_end().value()];
-        for d in &self.downloads {
-            points.push(d.start.value());
-            points.push(d.end().value());
-        }
-        points.sort_by(f64::total_cmp);
-        points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-
-        let total: f64 = self.segment_sizes.iter().map(|s| s.value()).sum();
-        points
-            .iter()
-            .map(|&t| {
-                let received: f64 = self
-                    .downloads
-                    .iter()
-                    .map(|d| {
-                        let active = (t - d.start.value())
-                            .clamp(0.0, d.end().value() - d.start.value());
-                        d.rate.value() * active * 60.0
-                    })
-                    .sum();
-                let played = (t - self.playback_start.value())
-                    .clamp(0.0, self.playback_end().value() - self.playback_start.value());
-                let consumed = (self.display_rate.value() * played * 60.0).min(total);
-                (Minutes(t), Mbits((received - consumed).max(0.0)))
-            })
-            .collect()
+        self.trace().buffer_profile()
     }
 
     /// Peak of the buffer-occupancy curve.
     #[must_use]
     pub fn peak_buffer(&self) -> Mbits {
-        self.buffer_profile()
-            .into_iter()
-            .map(|(_, b)| b)
-            .fold(Mbits::ZERO, Mbits::max)
+        self.trace().peak_buffer()
     }
 
     /// Structural sanity: one download per segment, in order, matching the
@@ -244,7 +216,10 @@ impl ClientSchedule {
                 .get(d.channel)
                 .ok_or_else(|| format!("download {i} uses unknown channel {}", d.channel))?;
             if !ch.rate.approx_eq(d.rate, 1e-9) {
-                return Err(format!("download {i} rate mismatch with channel {}", d.channel));
+                return Err(format!(
+                    "download {i} rate mismatch with channel {}",
+                    d.channel
+                ));
             }
         }
         Ok(())

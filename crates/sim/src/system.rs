@@ -7,6 +7,13 @@
 //! latencies the population experiences, how much buffer the worst client
 //! of the day needed. [`SystemSim`] drives a stream of arrivals through
 //! the [`crate::engine`] and aggregates exactly those statistics.
+//!
+//! The simulation is scheme-agnostic: any [`ClientModel`] — a
+//! [`crate::policy::ClientPolicy`] for the tune-at-start schemes, a
+//! [`crate::trace::PausingClient`] for PPB's max-saving client, a
+//! [`crate::trace::RecordingClient`] for Harmonic Broadcasting — plugs
+//! into the same [`SystemSim`], because every model reduces its sessions
+//! to the common [`crate::trace::SessionTrace`].
 
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbits, Mbps, Minutes, TickScale, Ticks};
@@ -14,7 +21,8 @@ use vod_units::{Mbits, Mbps, Minutes, TickScale, Ticks};
 use sb_core::plan::{ChannelPlan, VideoId};
 
 use crate::engine::Engine;
-use crate::policy::{schedule_client, ClientPolicy, PolicyError};
+use crate::policy::PolicyError;
+use crate::trace::ClientModel;
 
 /// One viewer request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,18 +64,19 @@ enum Ev {
 pub struct SystemSim<'a> {
     plan: &'a ChannelPlan,
     display_rate: Mbps,
-    policy: ClientPolicy,
+    model: Box<dyn ClientModel + 'a>,
     scale: TickScale,
 }
 
 impl<'a> SystemSim<'a> {
-    /// Create a simulation against `plan`.
+    /// Create a simulation against `plan`, driving clients through any
+    /// [`ClientModel`].
     #[must_use]
-    pub fn new(plan: &'a ChannelPlan, display_rate: Mbps, policy: ClientPolicy) -> Self {
+    pub fn new(plan: &'a ChannelPlan, display_rate: Mbps, model: impl ClientModel + 'a) -> Self {
         Self {
             plan,
             display_rate,
-            policy,
+            model: Box::new(model),
             scale: TickScale::default(),
         }
     }
@@ -106,7 +115,10 @@ impl<'a> SystemSim<'a> {
                 if error.is_some() {
                     return;
                 }
-                match schedule_client(self.plan, r.video, r.at, self.display_rate, self.policy) {
+                match self
+                    .model
+                    .session(self.plan, r.video, r.at, self.display_rate)
+                {
                     Ok(s) => {
                         sessions += 1;
                         active += 1;
@@ -163,6 +175,7 @@ impl<'a> SystemSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::ClientPolicy;
     use sb_core::config::SystemConfig;
     use sb_core::scheme::BroadcastScheme;
     use sb_core::series::Width;

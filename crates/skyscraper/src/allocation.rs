@@ -175,7 +175,11 @@ mod tests {
     fn uniform_popularity_recovers_the_even_split() {
         let p = vec![1.0; 8];
         let greedy = allocate_channels(80, &p, Minutes(120.0), Width::Capped(12)).unwrap();
-        assert!(greedy.channels.iter().all(|&k| k == 10), "{:?}", greedy.channels);
+        assert!(
+            greedy.channels.iter().all(|&k| k == 10),
+            "{:?}",
+            greedy.channels
+        );
         let even = even_allocation(80, &p, Minutes(120.0), Width::Capped(12)).unwrap();
         assert_eq!(greedy.channels, even.channels);
     }

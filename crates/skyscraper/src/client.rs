@@ -186,7 +186,11 @@ impl ClientTimeline {
     /// Slot at which the last download completes.
     #[must_use]
     pub fn downloads_end(&self) -> u64 {
-        self.downloads.iter().map(GroupDownload::end).max().unwrap_or(self.t0)
+        self.downloads
+            .iter()
+            .map(GroupDownload::end)
+            .max()
+            .unwrap_or(self.t0)
     }
 
     /// Slot at which playback completes.
@@ -560,19 +564,19 @@ mod tests {
     fn storage_claim_exhaustive_small() {
         // §4's conclusion: worst case over phases = W_eff − 1 units.
         for (k, width) in [
-            (5, Width::Unbounded),   // W_eff = 5
-            (7, Width::Unbounded),   // W_eff = 12
-            (9, Width::Capped(5)),   // W_eff = 5
-            (9, Width::Capped(2)),   // W_eff = 2
-            (8, Width::Capped(12)),  // W_eff = 12
-            (4, Width::Capped(52)),  // short video: W_eff = 5
-            (3, Width::Unbounded),   // W_eff = 2
-            (1, Width::Unbounded),   // single segment: no buffering at all
+            (5, Width::Unbounded),  // W_eff = 5
+            (7, Width::Unbounded),  // W_eff = 12
+            (9, Width::Capped(5)),  // W_eff = 5
+            (9, Width::Capped(2)),  // W_eff = 2
+            (8, Width::Capped(12)), // W_eff = 12
+            (4, Width::Capped(52)), // short video: W_eff = 5
+            (3, Width::Unbounded),  // W_eff = 2
+            (1, Width::Unbounded),  // single segment: no buffering at all
         ] {
             let units = width.units(k);
             let w_eff = width.effective(k);
-            let worst = worst_case_peak_buffer_units(&units, 100_000)
-                .expect("hyperperiod small enough");
+            let worst =
+                worst_case_peak_buffer_units(&units, 100_000).expect("hyperperiod small enough");
             assert_eq!(
                 worst,
                 w_eff - 1,
@@ -583,7 +587,11 @@ mod tests {
 
     #[test]
     fn sampled_matches_exhaustive_where_feasible() {
-        for (k, width) in [(7, Width::Unbounded), (9, Width::Capped(5)), (11, Width::Capped(12))] {
+        for (k, width) in [
+            (7, Width::Unbounded),
+            (9, Width::Capped(5)),
+            (11, Width::Capped(12)),
+        ] {
             let units = width.units(k);
             let exact = worst_case_peak_buffer_units(&units, 10_000_000).unwrap();
             let sampled = sampled_worst_case_peak_buffer_units(&units, 64);
@@ -635,7 +643,10 @@ mod tests {
         let needed = loaders_needed(&doubling, 8, 512);
         assert!(needed.is_some(), "some loader count must suffice");
         let l = needed.unwrap();
-        assert!(l > 2, "doubling must need more than the paper's 2 loaders, got {l}");
+        assert!(
+            l > 2,
+            "doubling must need more than the paper's 2 loaders, got {l}"
+        );
         // And the paper's series needs exactly 2 (1 only works for W=1).
         let paper = Width::Unbounded.units(8);
         assert_eq!(loaders_needed(&paper, 8, 512), Some(2));

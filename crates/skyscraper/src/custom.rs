@@ -97,7 +97,10 @@ impl Default for PhaseBudget {
 }
 
 /// Check a unit vector against the two-loader client model.
-pub fn validate_units(units: &[u64], budget: PhaseBudget) -> core::result::Result<(), SeriesViolation> {
+pub fn validate_units(
+    units: &[u64],
+    budget: PhaseBudget,
+) -> core::result::Result<(), SeriesViolation> {
     if units.is_empty() || units.contains(&0) {
         return Err(SeriesViolation::Degenerate);
     }
@@ -138,7 +141,12 @@ fn sampled_phases(units: &[u64], n: u64) -> Vec<u64> {
     let mut distinct: Vec<u64> = units.to_vec();
     distinct.sort_unstable();
     distinct.dedup();
-    let window = distinct.last().copied().unwrap_or(1).saturating_mul(4).max(16);
+    let window = distinct
+        .last()
+        .copied()
+        .unwrap_or(1)
+        .saturating_mul(4)
+        .max(16);
     let mut phases = Vec::new();
     for &u in &distinct {
         let mut m = 0u64;
@@ -170,7 +178,9 @@ impl ValidatedSeries {
                 what: match v {
                     SeriesViolation::Degenerate => "degenerate series",
                     SeriesViolation::FirstUnitNotOne => "series must start with unit 1",
-                    SeriesViolation::NotNondecreasing { .. } => "series units must be non-decreasing",
+                    SeriesViolation::NotNondecreasing { .. } => {
+                        "series units must be non-decreasing"
+                    }
                     SeriesViolation::GroupsShareParity { .. } => {
                         "consecutive groups must alternate parity"
                     }
@@ -340,10 +350,7 @@ impl BroadcastScheme for CustomSkyscraper {
         let (k, _slot) = self.fragmentation(cfg)?;
         // Build per-video channels exactly like the stock scheme, but from
         // the custom units.
-        let frag = Fragmentation::from_units(
-            cfg.video_length,
-            self.series.units().to_vec(),
-        )?;
+        let frag = Fragmentation::from_units(cfg.video_length, self.series.units().to_vec())?;
         let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
         let mut channels = Vec::with_capacity(cfg.num_videos * k);
         for v in 0..cfg.num_videos {
@@ -472,9 +479,8 @@ mod tests {
     fn custom_scheme_with_gentle_series() {
         // A deliberately conservative series: worse latency, tiny buffer.
         let units = vec![1, 2, 2, 3, 3, 4, 4, 5, 5, 6];
-        let custom = CustomSkyscraper::new(
-            ValidatedSeries::new(units, PhaseBudget::default()).unwrap(),
-        );
+        let custom =
+            CustomSkyscraper::new(ValidatedSeries::new(units, PhaseBudget::default()).unwrap());
         let cfg = SystemConfig::paper_defaults(vod_units::Mbps(150.0));
         let m = custom.metrics(&cfg).unwrap();
         let stock = crate::Skyscraper::unbounded().metrics(&cfg).unwrap();
@@ -497,7 +503,10 @@ mod tests {
 
     #[test]
     fn greedy_respects_requested_length() {
-        assert_eq!(greedy_max_series(0, PhaseBudget::default()), Vec::<u64>::new());
+        assert_eq!(
+            greedy_max_series(0, PhaseBudget::default()),
+            Vec::<u64>::new()
+        );
         assert_eq!(greedy_max_series(1, PhaseBudget::default()), vec![1]);
         assert_eq!(greedy_max_series(2, PhaseBudget::default()), vec![1, 2]);
         let six = greedy_max_series(6, PhaseBudget::default());

@@ -79,7 +79,10 @@ impl fmt::Display for SchemeError {
                 write!(f, "invalid system configuration: {what}")
             }
             SchemeError::TooManySegments { requested, max } => {
-                write!(f, "{requested} segments requested, implementation supports {max}")
+                write!(
+                    f,
+                    "{requested} segments requested, implementation supports {max}"
+                )
             }
         }
     }

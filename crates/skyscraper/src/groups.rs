@@ -144,11 +144,18 @@ impl GroupTransition {
     /// (A odd), nor a cap (`to < ` the uncapped successor).
     #[must_use]
     pub fn classify(from: u64, to: u64) -> Self {
-        assert!(from >= 1 && to > from, "groups must strictly grow: {from} → {to}");
+        assert!(
+            from >= 1 && to > from,
+            "groups must strictly grow: {from} → {to}"
+        );
         if from == 1 && to == 2 {
             return GroupTransition::Initial;
         }
-        let uncapped = if from % 2 == 0 { 2 * from + 1 } else { 2 * from + 2 };
+        let uncapped = if from % 2 == 0 {
+            2 * from + 1
+        } else {
+            2 * from + 2
+        };
         if to == uncapped {
             if from % 2 == 0 {
                 GroupTransition::EvenToOdd { a: from }

@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn per_video_slots_scale_with_length() {
         // B = 150 over 5 videos → K = 20 each.
-        let hp = plan_heterogeneous(Mbps(150.0), Mbps(1.5), &catalog(), Width::Capped(52))
-            .unwrap();
+        let hp = plan_heterogeneous(Mbps(150.0), Mbps(1.5), &catalog(), Width::Capped(52)).unwrap();
         assert_eq!(hp.channels_per_video, 20);
         hp.plan.validate(Mbps(150.0)).unwrap();
         // Latency proportional to length: video 2 (150 min) worst.
@@ -179,13 +178,22 @@ mod tests {
 
     #[test]
     fn homogeneous_special_case_matches_skyscraper() {
-        let videos = vec![HeteroVideo { length: Minutes(120.0) }; 10];
-        let hp = plan_heterogeneous(Mbps(300.0), Mbps(1.5), &videos, Width::Capped(52))
-            .unwrap();
+        let videos = vec![
+            HeteroVideo {
+                length: Minutes(120.0)
+            };
+            10
+        ];
+        let hp = plan_heterogeneous(Mbps(300.0), Mbps(1.5), &videos, Width::Capped(52)).unwrap();
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let homo = Skyscraper::with_width(Width::Capped(52)).metrics(&cfg).unwrap();
+        let homo = Skyscraper::with_width(Width::Capped(52))
+            .metrics(&cfg)
+            .unwrap();
         for m in &hp.per_video {
-            assert!(m.metrics.access_latency.approx_eq(homo.access_latency, 1e-12));
+            assert!(m
+                .metrics
+                .access_latency
+                .approx_eq(homo.access_latency, 1e-12));
             assert!(m
                 .metrics
                 .buffer_requirement
@@ -198,8 +206,7 @@ mod tests {
     fn clients_of_every_length_are_jitter_free() {
         // Exercise the slot model per video: schedules remain correct at
         // each video's own slot granularity.
-        let hp = plan_heterogeneous(Mbps(105.0), Mbps(1.5), &catalog(), Width::Capped(12))
-            .unwrap();
+        let hp = plan_heterogeneous(Mbps(105.0), Mbps(1.5), &catalog(), Width::Capped(12)).unwrap();
         for pv in &hp.per_video {
             let units = Width::Capped(12).units(hp.channels_per_video);
             for t0 in [0u64, 1, 5, 11] {

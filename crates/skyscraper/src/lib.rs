@@ -81,8 +81,8 @@ pub mod width;
 
 pub use allocation::{allocate_channels, even_allocation, Allocation};
 pub use client::{ClientTimeline, GroupDownload, LoaderId};
-pub use custom::{greedy_max_series, CustomSkyscraper, PhaseBudget, ValidatedSeries};
 pub use config::SystemConfig;
+pub use custom::{greedy_max_series, CustomSkyscraper, PhaseBudget, ValidatedSeries};
 pub use error::SchemeError;
 pub use fragment::Fragmentation;
 pub use groups::{GroupTransition, TransmissionGroup};

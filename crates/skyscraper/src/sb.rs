@@ -97,7 +97,9 @@ impl BroadcastScheme for Skyscraper {
         let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
         let mut channels = Vec::with_capacity(cfg.num_videos * frag.k);
         for v in 0..cfg.num_videos {
-            let sizes: Vec<_> = (0..frag.k).map(|i| frag.size(i, cfg.display_rate)).collect();
+            let sizes: Vec<_> = (0..frag.k)
+                .map(|i| frag.size(i, cfg.display_rate))
+                .collect();
             for (i, &size) in sizes.iter().enumerate() {
                 channels.push(LogicalChannel {
                     id: channels.len(),
@@ -133,7 +135,10 @@ mod tests {
     fn k_rule_matches_paper() {
         // B = 300, b = 1.5, M = 10 → K = 20.
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        assert_eq!(Skyscraper::unbounded().channels_per_video(&cfg).unwrap(), 20);
+        assert_eq!(
+            Skyscraper::unbounded().channels_per_video(&cfg).unwrap(),
+            20
+        );
         // B = 100 → K = ⌊6.66⌋ = 6.
         let cfg = SystemConfig::paper_defaults(Mbps(100.0));
         assert_eq!(Skyscraper::unbounded().channels_per_video(&cfg).unwrap(), 6);
@@ -172,20 +177,42 @@ mod tests {
         let m = Skyscraper::with_width(Width::Capped(52))
             .metrics(&cfg)
             .unwrap();
-        assert!((m.access_latency.value() - 0.1).abs() < 0.03, "{}", m.access_latency);
+        assert!(
+            (m.access_latency.value() - 0.1).abs() < 0.03,
+            "{}",
+            m.access_latency
+        );
         let buf = m.buffer_mbytes();
-        assert!((buf.value() - 40.0).abs() < 8.0, "expected ≈40 MB, got {buf}");
+        assert!(
+            (buf.value() - 40.0).abs() < 8.0,
+            "expected ≈40 MB, got {buf}"
+        );
         assert_eq!(m.client_io_bandwidth, Mbps(4.5)); // 3b
     }
 
     #[test]
     fn io_bandwidth_rule() {
         let b = Mbps(1.5);
-        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(1), 20, b), Mbps(1.5));
-        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(52), 1, b), Mbps(1.5));
-        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(2), 20, b), Mbps(3.0));
-        assert_eq!(Skyscraper::client_io_bandwidth(Width::Capped(52), 3, b), Mbps(3.0));
-        assert_eq!(Skyscraper::client_io_bandwidth(Width::Unbounded, 20, b), Mbps(4.5));
+        assert_eq!(
+            Skyscraper::client_io_bandwidth(Width::Capped(1), 20, b),
+            Mbps(1.5)
+        );
+        assert_eq!(
+            Skyscraper::client_io_bandwidth(Width::Capped(52), 1, b),
+            Mbps(1.5)
+        );
+        assert_eq!(
+            Skyscraper::client_io_bandwidth(Width::Capped(2), 20, b),
+            Mbps(3.0)
+        );
+        assert_eq!(
+            Skyscraper::client_io_bandwidth(Width::Capped(52), 3, b),
+            Mbps(3.0)
+        );
+        assert_eq!(
+            Skyscraper::client_io_bandwidth(Width::Unbounded, 20, b),
+            Mbps(4.5)
+        );
     }
 
     #[test]
@@ -207,7 +234,9 @@ mod tests {
         // so W=∞ and W=52 coincide everywhere.
         let cfg = SystemConfig::paper_defaults(Mbps(150.0));
         let unb = Skyscraper::unbounded().metrics(&cfg).unwrap();
-        let w52 = Skyscraper::with_width(Width::Capped(52)).metrics(&cfg).unwrap();
+        let w52 = Skyscraper::with_width(Width::Capped(52))
+            .metrics(&cfg)
+            .unwrap();
         assert_eq!(unb.buffer_requirement, w52.buffer_requirement);
         assert_eq!(unb.access_latency, w52.access_latency);
     }
@@ -215,8 +244,12 @@ mod tests {
     #[test]
     fn buffer_scales_like_w_minus_one() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
-        let m2 = Skyscraper::with_width(Width::Capped(2)).metrics(&cfg).unwrap();
-        let m5 = Skyscraper::with_width(Width::Capped(5)).metrics(&cfg).unwrap();
+        let m2 = Skyscraper::with_width(Width::Capped(2))
+            .metrics(&cfg)
+            .unwrap();
+        let m5 = Skyscraper::with_width(Width::Capped(5))
+            .metrics(&cfg)
+            .unwrap();
         // D₁ differs, but buffer ratio ≈ (5−1)/(2−1) × (D₁ ratio).
         let d1_2 = m2.access_latency.value();
         let d1_5 = m5.access_latency.value();

@@ -124,10 +124,7 @@ mod tests {
         // §5.4: at B = 600 Mb/s (K = 40), W = 52 gives ≈ 0.1 min latency.
         let k = 40;
         let l = latency_for(Minutes(120.0), k, Width::Capped(52));
-        assert!(
-            (l.value() - 0.1).abs() < 0.05,
-            "expected ≈0.1 min, got {l}"
-        );
+        assert!((l.value() - 0.1).abs() < 0.05, "expected ≈0.1 min, got {l}");
         // … so asking for 0.15 min should select a width ≤ 52.
         let w = min_width_for_latency(Minutes(120.0), k, Minutes(0.15)).unwrap();
         match w {

@@ -369,7 +369,11 @@ impl Add<TickDuration> for Ticks {
     type Output = Ticks;
     #[inline]
     fn add(self, rhs: TickDuration) -> Ticks {
-        Ticks(self.0.checked_add(rhs.0).expect("simulation clock overflow"))
+        Ticks(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation clock overflow"),
+        )
     }
 }
 

@@ -20,7 +20,10 @@ fn main() {
         ("paper (skyscraper)", series::series(10)),
         ("gentle arithmetic", vec![1, 2, 2, 3, 3, 4, 4, 5, 5, 6]),
         ("doubling (invalid)", (0..10).map(|i| 1u64 << i).collect()),
-        ("overgrown (invalid)", vec![1, 2, 2, 7, 7, 16, 16, 33, 33, 68]),
+        (
+            "overgrown (invalid)",
+            vec![1, 2, 2, 7, 7, 16, 16, 33, 33, 68],
+        ),
     ];
 
     for (name, units) in &candidates {

@@ -20,7 +20,8 @@ fn main() {
         cfg.display_rate,
         ClientPolicy::LatestFeasible,
     )
-    .unwrap();
+    .unwrap()
+    .trace();
 
     println!(
         "{:>12} {:>10} {:>16} {:>18}",

@@ -20,7 +20,11 @@ fn main() {
     let requests = PoissonArrivals::new(6.0, 2026)
         .with_patience(Patience::Exponential(Minutes(8.0)))
         .generate(&popularity, Minutes(600.0));
-    println!("workload: {} requests over 600 min, {} titles", requests.len(), titles);
+    println!(
+        "workload: {} requests over 600 min, {} titles",
+        requests.len(),
+        titles
+    );
     println!(
         "top-10 titles draw {:.1}% of demand (Zipf θ = 0.271)",
         popularity.top_share(10) * 100.0
@@ -37,7 +41,10 @@ fn main() {
 
     println!("\n== broadcast half (Skyscraper, 10 titles) ==");
     println!("channels          : {}", report.broadcast_channels);
-    println!("worst-case latency: {:.3} — guaranteed, load-independent", report.broadcast_worst_latency);
+    println!(
+        "worst-case latency: {:.3} — guaranteed, load-independent",
+        report.broadcast_worst_latency
+    );
     println!("requests served   : {}", report.broadcast_requests);
     println!(
         "viewers too impatient even for that: {} ({:.2}%)",
@@ -48,9 +55,16 @@ fn main() {
     println!("\n== multicast half (MQL batching, 50 titles) ==");
     println!("channels   : {}", report.multicast_channels);
     println!("served     : {}", report.multicast.served);
-    println!("reneged    : {} ({:.1}%)", report.multicast.reneged, report.multicast.renege_rate() * 100.0);
+    println!(
+        "reneged    : {} ({:.1}%)",
+        report.multicast.reneged,
+        report.multicast.renege_rate() * 100.0
+    );
     println!("mean wait  : {:.2}", report.multicast.mean_wait);
-    println!("mean batch : {:.2} viewers per stream", report.multicast.mean_batch_size);
+    println!(
+        "mean batch : {:.2} viewers per stream",
+        report.multicast.mean_batch_size
+    );
 
     // Drive actual broadcast clients for the hot half and verify the
     // worst observed latency against the guarantee.
@@ -58,14 +72,23 @@ fn main() {
     let hot: Vec<Request> = requests
         .iter()
         .filter(|r| r.video < 10)
-        .map(|r| Request { at: r.at, video: VideoId(r.video) })
+        .map(|r| Request {
+            at: r.at,
+            video: VideoId(r.video),
+        })
         .collect();
     let sim = SystemSim::new(&plan, Mbps(1.5), ClientPolicy::LatestFeasible);
     let stats = sim.run(&hot).expect("plan serves all hot titles");
     println!("\n== simulated broadcast clients ==");
     println!("sessions              : {}", stats.sessions);
-    println!("mean / worst latency  : {:.3} / {:.3}", stats.mean_latency, stats.worst_latency);
-    println!("worst client buffer   : {:.1}", stats.worst_buffer.to_mbytes());
+    println!(
+        "mean / worst latency  : {:.3} / {:.3}",
+        stats.mean_latency, stats.worst_latency
+    );
+    println!(
+        "worst client buffer   : {:.1}",
+        stats.worst_buffer.to_mbytes()
+    );
     println!("peak concurrent views : {}", stats.peak_active_sessions);
     assert!(stats.worst_latency <= report.broadcast_worst_latency);
     println!("\nevery simulated wait stayed within the guarantee ✓");

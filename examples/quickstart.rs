@@ -16,7 +16,10 @@ fn main() {
     // Analytic metrics: what every client is promised.
     let metrics = scheme.metrics(&cfg).expect("feasible configuration");
     println!("scheme           : {}", BroadcastScheme::name(&scheme));
-    println!("channels per video: {}", scheme.channels_per_video(&cfg).unwrap());
+    println!(
+        "channels per video: {}",
+        scheme.channels_per_video(&cfg).unwrap()
+    );
     println!("worst-case latency: {:.3}", metrics.access_latency);
     println!("client I/O        : {:.2}", metrics.client_io_bandwidth);
     println!(
@@ -44,9 +47,23 @@ fn main() {
     .expect("every video in the plan is watchable");
 
     println!("\nviewer arrives at 7.300 min:");
-    println!("  playback starts {:.4} (waited {:.4})", session.playback_start, session.startup_latency());
-    println!("  receives {} fragments on {} concurrent streams at most", session.downloads.len(), session.max_concurrent_downloads());
-    println!("  peak disk buffer {:.1}", session.peak_buffer().to_mbytes());
-    assert!(session.jitter_violations(1e-9).is_empty(), "playback is jitter-free");
+    println!(
+        "  playback starts {:.4} (waited {:.4})",
+        session.playback_start,
+        session.startup_latency()
+    );
+    println!(
+        "  receives {} fragments on {} concurrent streams at most",
+        session.downloads.len(),
+        session.max_concurrent_downloads()
+    );
+    println!(
+        "  peak disk buffer {:.1}",
+        session.peak_buffer().to_mbytes()
+    );
+    assert!(
+        session.jitter_violations(1e-9).is_empty(),
+        "playback is jitter-free"
+    );
     println!("  playback verified jitter-free ✓");
 }

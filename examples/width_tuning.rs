@@ -12,7 +12,10 @@ use skyscraper_broadcasting::prelude::*;
 fn main() {
     let cfg = SystemConfig::paper_defaults(Mbps(600.0));
     let k = Skyscraper::unbounded().channels_per_video(&cfg).unwrap();
-    println!("B = {:.0}, so K = {k} channels per video\n", cfg.server_bandwidth);
+    println!(
+        "B = {:.0}, so K = {k} channels per video\n",
+        cfg.server_bandwidth
+    );
 
     println!(
         "{:>8} {:>14} {:>14} {:>12}",
@@ -47,7 +50,9 @@ fn main() {
         "\n§5.4: \"if the network-I/O bandwidth is 600 Mbits/sec, each client needs only\n\
          40 MBytes of buffer space in order to enjoy an access latency of about 0.1 minutes\""
     );
-    let w52 = Skyscraper::with_width(Width::capped(52).unwrap()).metrics(&cfg).unwrap();
+    let w52 = Skyscraper::with_width(Width::capped(52).unwrap())
+        .metrics(&cfg)
+        .unwrap();
     println!(
         "reproduced: W=52 → latency {:.3} min, buffer {:.1} MB",
         w52.access_latency.value(),

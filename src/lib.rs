@@ -30,8 +30,8 @@ pub use vod_units as units;
 
 /// The things almost every program wants in scope.
 pub mod prelude {
-    pub use sb_core::prelude::*;
     pub use sb_core::plan::VideoId;
+    pub use sb_core::prelude::*;
     pub use sb_pyramid::{PermutationPyramid, PyramidBroadcasting, StaggeredBroadcasting};
     pub use sb_sim::policy::{schedule_client, ClientPolicy};
     pub use vod_units::{MBytes, Mbits, Mbps, Minutes, Seconds};

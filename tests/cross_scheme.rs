@@ -4,6 +4,20 @@
 use skyscraper_broadcasting::analysis::crosscheck::policy_for;
 use skyscraper_broadcasting::analysis::lineup::extended_lineup;
 use skyscraper_broadcasting::prelude::*;
+use skyscraper_broadcasting::pyramid::HarmonicBroadcasting;
+use skyscraper_broadcasting::sim::faults::apply_losses;
+use skyscraper_broadcasting::sim::system::Request;
+use skyscraper_broadcasting::sim::trace::{ClientModel, PausingClient, RecordingClient};
+use skyscraper_broadcasting::sim::{schedule_pausing_client, LossModel, SystemSim};
+
+/// Deterministic splitmix64, for seeded "random" arrival offsets.
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) as f64 / u64::MAX as f64
+}
 
 #[test]
 fn plans_validate_against_their_bandwidth_budget() {
@@ -24,7 +38,9 @@ fn every_feasible_scheme_serves_every_video_jitter_free() {
     let cfg = SystemConfig::paper_defaults(Mbps(320.0));
     for id in extended_lineup() {
         let scheme = id.build();
-        let Ok(plan) = scheme.plan(&cfg) else { continue };
+        let Ok(plan) = scheme.plan(&cfg) else {
+            continue;
+        };
         let metrics = scheme.metrics(&cfg).unwrap();
         let policy = policy_for(id);
         for video in 0..cfg.num_videos {
@@ -93,4 +109,149 @@ fn infeasible_regimes_error_cleanly() {
     // And the SchemeId label of an error case is still printable.
     let err = Skyscraper::unbounded().metrics(&tiny).unwrap_err();
     assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn trace_metrics_match_legacy_schedules_at_random_arrivals() {
+    // The unified SessionTrace (reached through the ClientModel trait) and
+    // the legacy per-scheme schedule types must agree *exactly* on peak
+    // buffer and start-up latency — the trace is now the one buffer
+    // accounting, so any drift means a conversion bug.
+    let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    let mut rng = 0x5EED_u64;
+    for id in extended_lineup() {
+        let scheme = id.build();
+        let Ok(plan) = scheme.plan(&cfg) else {
+            continue;
+        };
+        let policy = policy_for(id);
+        for _ in 0..8 {
+            let arrival = Minutes(60.0 * splitmix(&mut rng));
+            let legacy = schedule_client(&plan, VideoId(0), arrival, cfg.display_rate, policy)
+                .unwrap_or_else(|e| panic!("{}: {e}", id.label()));
+            let trace = policy
+                .session(&plan, VideoId(0), arrival, cfg.display_rate)
+                .unwrap();
+            trace.validate(&plan).unwrap();
+            assert_eq!(
+                legacy.peak_buffer(),
+                trace.peak_buffer(),
+                "{} arrival {arrival}: peak buffer drifted",
+                id.label()
+            );
+            assert_eq!(
+                legacy.startup_latency(),
+                trace.startup_latency(),
+                "{} arrival {arrival}: latency drifted",
+                id.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn pausing_and_recording_traces_match_their_legacy_types() {
+    // Same exact-equality property for the two non-tune-at-start clients.
+    let ppb_cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    let ppb_plan = PermutationPyramid::b().plan(&ppb_cfg).unwrap();
+    let hb_cfg = SystemConfig::paper_defaults(Mbps(60.0));
+    let hb = HarmonicBroadcasting::original();
+    let hb_plan = hb.plan(&hb_cfg).unwrap();
+    let slot = hb.slot(&hb_cfg).unwrap();
+    let mut rng = 0xFACE_u64;
+    for _ in 0..8 {
+        let arrival = Minutes(60.0 * splitmix(&mut rng));
+
+        let legacy =
+            schedule_pausing_client(&ppb_plan, VideoId(0), arrival, ppb_cfg.display_rate).unwrap();
+        let trace = PausingClient
+            .session(&ppb_plan, VideoId(0), arrival, ppb_cfg.display_rate)
+            .unwrap();
+        assert_eq!(legacy.peak_buffer(), trace.peak_buffer());
+        assert_eq!(legacy.startup_latency(), trace.startup_latency());
+
+        let recorder = RecordingClient {
+            playback_delay: slot,
+        };
+        let legacy = skyscraper_broadcasting::sim::record_all(
+            &hb_plan,
+            VideoId(0),
+            arrival,
+            hb_cfg.display_rate,
+            slot,
+        )
+        .unwrap();
+        let trace = recorder
+            .session(&hb_plan, VideoId(0), arrival, hb_cfg.display_rate)
+            .unwrap();
+        assert_eq!(legacy.peak_buffer(), trace.peak_buffer());
+        assert_eq!(
+            legacy.playback_start.value() - legacy.arrival.value(),
+            trace.startup_latency().value()
+        );
+    }
+}
+
+#[test]
+fn system_sim_and_loss_model_accept_every_client_model() {
+    // The acceptance gate of this refactor: SystemSim and the loss
+    // pipeline take a PPB pausing client and a Harmonic record-all client
+    // through the *same* ClientModel entry point the SB policy uses.
+    let requests: Vec<Request> = (0..6)
+        .map(|i| Request {
+            at: Minutes(3.7 * i as f64),
+            video: VideoId(0),
+        })
+        .collect();
+    let losses = LossModel {
+        drop_probability: 0.05,
+        seed: 11,
+    };
+
+    // SB through a ClientPolicy.
+    let sb_cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    let sb_plan = Skyscraper::with_width(Width::capped(52).unwrap())
+        .plan(&sb_cfg)
+        .unwrap();
+    let report = SystemSim::new(&sb_plan, sb_cfg.display_rate, ClientPolicy::LatestFeasible)
+        .run(&requests)
+        .unwrap();
+    assert_eq!(report.sessions, requests.len());
+
+    // PPB through the pausing client.
+    let ppb_plan = PermutationPyramid::b().plan(&sb_cfg).unwrap();
+    let report = SystemSim::new(&ppb_plan, sb_cfg.display_rate, PausingClient)
+        .run(&requests)
+        .unwrap();
+    assert_eq!(report.sessions, requests.len());
+
+    // Harmonic through the record-everything client.
+    let hb_cfg = SystemConfig::paper_defaults(Mbps(60.0));
+    let hb = HarmonicBroadcasting::original();
+    let hb_plan = hb.plan(&hb_cfg).unwrap();
+    let recorder = RecordingClient {
+        playback_delay: hb.slot(&hb_cfg).unwrap(),
+    };
+    let report = SystemSim::new(&hb_plan, hb_cfg.display_rate, recorder)
+        .run(&requests)
+        .unwrap();
+    assert_eq!(report.sessions, requests.len());
+
+    // And the loss pipeline consumes each model's trace uniformly.
+    for (plan, rate, model) in [
+        (
+            &sb_plan,
+            sb_cfg.display_rate,
+            Box::new(ClientPolicy::LatestFeasible) as Box<dyn ClientModel>,
+        ),
+        (&ppb_plan, sb_cfg.display_rate, Box::new(PausingClient)),
+        (&hb_plan, hb_cfg.display_rate, Box::new(recorder)),
+    ] {
+        let trace = model.session(plan, VideoId(0), Minutes(4.1), rate).unwrap();
+        let stalls = apply_losses(plan, &trace, &losses);
+        assert!(stalls.total_stall().value() >= 0.0);
+        let clean = apply_losses(plan, &trace, &LossModel::lossless());
+        assert!(clean.stalls.is_empty());
+        assert_eq!(clean.trace, trace);
+    }
 }

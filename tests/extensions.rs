@@ -17,8 +17,8 @@ fn heterogeneous_plan_serves_all_lengths_through_the_simulator() {
         .into_iter()
         .map(|m| HeteroVideo { length: Minutes(m) })
         .collect();
-    let hp = plan_heterogeneous(Mbps(120.0), Mbps(1.5), &videos, Width::capped(12).unwrap())
-        .unwrap();
+    let hp =
+        plan_heterogeneous(Mbps(120.0), Mbps(1.5), &videos, Width::capped(12).unwrap()).unwrap();
     hp.plan.validate(Mbps(120.0)).unwrap();
     for (v, pv) in hp.per_video.iter().enumerate() {
         for i in 0..6 {
@@ -52,9 +52,8 @@ fn heterogeneous_plan_serves_all_lengths_through_the_simulator() {
 #[test]
 fn custom_series_plan_runs_through_simulator_and_packet_replay() {
     let units = vec![1, 2, 2, 3, 3, 4, 4, 5, 5, 6];
-    let scheme = CustomSkyscraper::new(
-        ValidatedSeries::new(units, PhaseBudget::default()).unwrap(),
-    );
+    let scheme =
+        CustomSkyscraper::new(ValidatedSeries::new(units, PhaseBudget::default()).unwrap());
     let cfg = SystemConfig::paper_defaults(Mbps(150.0));
     let metrics = scheme.metrics(&cfg).unwrap();
     let plan = scheme.plan(&cfg).unwrap();
@@ -73,7 +72,7 @@ fn custom_series_plan_runs_through_simulator_and_packet_replay() {
         assert!(s.max_concurrent_downloads() <= 2);
         assert!(s.peak_buffer().value() <= metrics.buffer_requirement.value() * (1.0 + 1e-6));
         // And the packet-level replay agrees.
-        let report = replay(&s, PacketConfig::default());
+        let report = replay(&s.trace(), PacketConfig::default());
         assert!(report.underruns.is_empty());
     }
 }
@@ -149,8 +148,7 @@ fn harmonic_bug_and_fix_through_the_facade() {
     let mut bug_seen = false;
     for i in 0..80 {
         let arrival = Minutes(0.61 * i as f64);
-        let buggy = record_all(&plan, VideoId(0), arrival, cfg.display_rate, Minutes(0.0))
-            .unwrap();
+        let buggy = record_all(&plan, VideoId(0), arrival, cfg.display_rate, Minutes(0.0)).unwrap();
         bug_seen |= !buggy.is_jitter_free(1e-6);
         let fixed = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
         assert!(fixed.is_jitter_free(1e-6), "fix fails at {arrival}");

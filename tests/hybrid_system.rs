@@ -6,7 +6,12 @@ use skyscraper_broadcasting::prelude::*;
 use skyscraper_broadcasting::sim::system::{Request, SystemSim};
 use skyscraper_broadcasting::workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 
-fn workload(titles: usize, rate: f64, horizon: f64, seed: u64) -> Vec<sb_workload::WorkloadRequest> {
+fn workload(
+    titles: usize,
+    rate: f64,
+    horizon: f64,
+    seed: u64,
+) -> Vec<sb_workload::WorkloadRequest> {
     PoissonArrivals::new(rate, seed)
         .with_patience(Patience::Exponential(Minutes(8.0)))
         .generate(&ZipfPopularity::paper(titles), Minutes(horizon))

@@ -75,7 +75,8 @@ fn sb_wins_all_three_metrics_vs_ppb() {
                 let m = sb(w).metrics(&c).unwrap();
                 m.access_latency <= ppb.access_latency
                     && m.buffer_requirement <= ppb.buffer_requirement
-                    && m.client_io_bandwidth.value() <= ppb.client_io_bandwidth.value() * 1.05 + 1e-9
+                    && m.client_io_bandwidth.value()
+                        <= ppb.client_io_bandwidth.value() * 1.05 + 1e-9
             });
             assert!(
                 dominating.is_some(),
@@ -125,5 +126,8 @@ fn linear_vs_superlinear_latency_scaling() {
     let sb_300 = Skyscraper::unbounded().metrics(&cfg(300.0)).unwrap();
     let sb_600 = Skyscraper::unbounded().metrics(&cfg(600.0)).unwrap();
     let gain_sb = sb_300.access_latency.value() / sb_600.access_latency.value();
-    assert!(gain_sb > 100.0, "uncapped SB gain {gain_sb} (exponential in K)");
+    assert!(
+        gain_sb > 100.0,
+        "uncapped SB gain {gain_sb} (exponential in K)"
+    );
 }

@@ -1,0 +1,243 @@
+//! A minimal, dependency-free stand-in for `criterion`, sufficient for
+//! this workspace's benches and usable offline.
+//!
+//! It keeps the upstream macro/API surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`) but replaces the
+//! statistical machinery with a quick fixed-budget timer: each benchmark
+//! is warmed up briefly, then timed and reported as mean ns/iter on
+//! stdout. Good enough to compare hot paths locally; not a substitute
+//! for upstream criterion's rigor.
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// When set (by `criterion_main!` seeing cargo's `--test` flag), each
+/// benchmark body runs exactly once, untimed — mirroring upstream's
+/// "smoke test" mode under `cargo test`.
+pub static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A parameterized id, rendered as `name/parameter` like upstream.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called in a loop against a small fixed budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            black_box(f());
+            self.total = Duration::ZERO;
+            self.iters = 0;
+            return;
+        }
+        // Warm-up: a few untimed calls.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, label: &str, b: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    if b.iters == 0 {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            println!("{full}: ok (test mode)");
+        } else {
+            println!("{full}: no iterations recorded");
+        }
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    println!("{full}: {ns:.0} ns/iter ({} iters)", b.iters);
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let label = id.into_label();
+        f(&mut b);
+        report(None, &label, &b);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let label = id.into_label();
+        f(&mut b);
+        report(Some(&self.name), &label, &b);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let label = id.into_label();
+        f(&mut b, input);
+        report(Some(&self.name), &label, &b);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; the stub has
+    /// already printed them).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for one or more [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                $crate::TEST_MODE.store(true, ::std::sync::atomic::Ordering::Relaxed);
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.bench_function(BenchmarkId::new("to", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input("with_input", &50u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        c.bench_function("loose", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample(&mut c);
+    }
+}
