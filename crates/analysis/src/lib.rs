@@ -12,6 +12,7 @@
 //! | [`crosscheck`] | analytic-vs-simulated comparison for `EXPERIMENTS.md` |
 //! | [`ablation`] | beyond-paper studies: series shape and width sensitivity |
 //! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
+//! | [`control_study`] | static-vs-dynamic channel allocation under a popularity shift |
 //! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod control_study;
 pub mod crosscheck;
 pub mod figures;
 pub mod hybrid_study;

@@ -23,10 +23,11 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbps, Minutes};
 
-use crate::crosscheck::{crosscheck_seeded, CrossCheck};
+use crate::crosscheck::{crosscheck_seeded, crosscheck_seeded_recorded, CrossCheck};
 use crate::lineup::SchemeId;
 use crate::sweep::{evaluate, SweepRow};
 use sb_core::config::SystemConfig;
+use sb_metrics::{Registry, Snapshot};
 
 /// A named evaluation grid: which schemes, at which bandwidths, under
 /// which workload seed.
@@ -319,6 +320,34 @@ pub fn run_crosscheck(
         .collect()
 }
 
+/// [`run_crosscheck`] additionally collecting a merged metrics
+/// [`Snapshot`]. Each grid cell records into its own private
+/// [`Registry`]; the per-cell snapshots are merged *in grid (index)
+/// order*, so both the checks and the snapshot are byte-identical for
+/// every thread count.
+#[must_use]
+pub fn run_crosscheck_instrumented(
+    exp: &Experiment,
+    horizon: Minutes,
+    samples: usize,
+    runner: &Runner,
+) -> (Vec<CrossCheck>, Snapshot) {
+    let grid = exp.grid();
+    let stage = format!("{}:sim", exp.name);
+    let cells: Vec<(Option<CrossCheck>, Snapshot)> = runner.timed_map(&stage, &grid, |&(id, b)| {
+        let mut reg = Registry::new();
+        let check = crosscheck_seeded_recorded(id, Mbps(b), horizon, samples, exp.seed, &mut reg);
+        (check, reg.snapshot())
+    });
+    let mut checks = Vec::new();
+    let mut snapshot = Snapshot::default();
+    for (check, snap) in cells {
+        checks.extend(check);
+        snapshot.merge(&snap);
+    }
+    (checks, snapshot)
+}
+
 /// Analytic sweep plus empirical cross-check, as one serializable report —
 /// the `sbcast sweep --json` payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -352,6 +381,32 @@ pub fn run_experiment(
         rows,
         checks,
     }
+}
+
+/// [`run_experiment`] additionally returning the merged metrics snapshot
+/// of the empirical half. The [`SweepReport`] is byte-identical to the
+/// uninstrumented one; the snapshot is empty for analytic-only runs.
+#[must_use]
+pub fn run_experiment_instrumented(
+    exp: &Experiment,
+    horizon: Minutes,
+    samples: usize,
+    runner: &Runner,
+) -> (SweepReport, Snapshot) {
+    let rows = run_sweep(exp, runner);
+    let (checks, snapshot) = if samples > 0 {
+        run_crosscheck_instrumented(exp, horizon, samples, runner)
+    } else {
+        (Vec::new(), Snapshot::default())
+    };
+    (
+        SweepReport {
+            experiment: exp.clone(),
+            rows,
+            checks,
+        },
+        snapshot,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! Sweeps the popularity-shift scenario: static vs dynamic channel
+//! control at increasing arrival rates, same workloads on both sides.
+
+use sb_analysis::control_study::{shift_study, ShiftStudyConfig};
+
+fn main() {
+    let args = sb_bench::Args::parse();
+    let runner = args.runner();
+    let base = ShiftStudyConfig::paper_defaults();
+    println!(
+        "static vs dynamic control: {} titles ({} broadcast slots), B = {:.0}, \
+         shift at {:.0} min (rotate {}), horizon {:.0} min\n",
+        base.control.titles,
+        base.control.hot_slots,
+        base.control.total_bandwidth.value(),
+        base.shift_at.value(),
+        base.rotate,
+        base.horizon.value()
+    );
+    println!(
+        "{:>8} {:>12} {:>13} {:>13} {:>14} {:>8}",
+        "req/min", "static lat", "dynamic lat", "static srv", "dynamic srv", "swaps"
+    );
+    let rates = [2.0, 4.0, 6.0, 8.0];
+    let mut studies = Vec::new();
+    let mut metrics = sb_metrics::Snapshot::default();
+    for &rate in &rates {
+        let cfg = ShiftStudyConfig {
+            rate,
+            ..base.clone()
+        };
+        let (study, snapshot) = shift_study(&cfg, &runner).expect("feasible control split");
+        let swaps: usize = study
+            .cells
+            .iter()
+            .map(|c| c.dynamic_report.swaps_committed)
+            .sum();
+        println!(
+            "{:>8.1} {:>12.3} {:>13.3} {:>13} {:>14} {:>8}",
+            rate,
+            study.static_mean_latency.value(),
+            study.dynamic_mean_latency.value(),
+            study.static_served,
+            study.dynamic_served,
+            swaps
+        );
+        metrics.merge(&snapshot);
+        studies.push(study);
+    }
+    println!(
+        "\nmetrics: {} requests observed, {} reallocations, {} rejections, {} defections",
+        metrics.counter_total("control_requests_total"),
+        metrics.counter_total("control_reallocations_total"),
+        metrics.counter_total("control_rejected_total"),
+        metrics.counter_total("control_defections_total"),
+    );
+    args.maybe_write_json(&studies);
+    args.finish(&runner);
+}

@@ -8,6 +8,9 @@
 //! sbcast sweep    [--from 100 --to 600 --step 20 --threads 8 --samples 24]
 //!                                                       the Figures 6/7/8 data + crosschecks
 //! sbcast hybrid   --bandwidth 600 --titles 60 --rate 3  the §1 hybrid system
+//! sbcast control  --bandwidth 300 --shift-at 150 --rotate 20
+//!                                                       static vs dynamic channel
+//!                                                       control under a popularity shift
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
@@ -36,11 +39,13 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
-           --threads N --samples N --json PATH --manifest PATH"
+           --shift-at --rotate --tick --half-life --hysteresis --ceiling --retry\n\
+           --patience --fraction --seeds 11,23,47\n\
+           --threads N --samples N --json PATH --metrics PATH --manifest PATH"
 }
 
 fn parse_scheme(name: &str) -> Option<SchemeId> {
@@ -358,6 +363,63 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Static vs dynamic channel control under a popularity shift: the same
+/// request streams through [`sb_control::ControlledSim`] twice, once per
+/// [`sb_control::ControlPolicy`].
+fn cmd_control(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::control_study::{render_shift_study, shift_study, ShiftStudyConfig};
+    use sb_control::ControlConfig;
+
+    let titles = opts.get_usize("titles", 40)?;
+    let control = ControlConfig {
+        titles,
+        hot_slots: opts.get_usize("popular", 8)?,
+        total_bandwidth: Mbps(opts.get_f64("bandwidth", 300.0)?),
+        broadcast_fraction: opts.get_f64("fraction", 0.6)?,
+        width: Width::capped_lossy(opts.get_usize("width", 52)? as u64),
+        batch: BatchPolicy::Mql,
+        tick: Minutes(opts.get_f64("tick", 15.0)?),
+        half_life: Minutes(opts.get_f64("half-life", 45.0)?),
+        hysteresis: opts.get_f64("hysteresis", 0.1)?,
+        admission_ceiling: opts.get_f64("ceiling", 3.0)?,
+        admission_retry: match opts.0.get("retry") {
+            None => None,
+            Some(v) => Some(Minutes(
+                v.parse()
+                    .map_err(|_| format!("--retry: bad number `{v}`"))?,
+            )),
+        },
+    };
+    let seeds: Vec<u64> = opts
+        .get_str("seeds", "11,23,47")
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|_| format!("bad seed `{t}`")))
+        .collect::<Result<_, _>>()?;
+    let cfg = ShiftStudyConfig {
+        control,
+        rate: opts.get_f64("rate", 6.0)?,
+        horizon: Minutes(opts.get_f64("horizon", 600.0)?),
+        shift_at: Minutes(opts.get_f64("shift-at", 150.0)?),
+        rotate: opts.get_usize("rotate", titles / 2)?,
+        mean_patience: Minutes(opts.get_f64("patience", 45.0)?),
+        seeds,
+    };
+    let runner = runner_from(opts)?;
+    let (study, snapshot) = shift_study(&cfg, &runner).map_err(|e| e.to_string())?;
+    print!("{}", render_shift_study(&study));
+    if let Some(path) = opts.0.get("json") {
+        let json = serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = opts.0.get("metrics") {
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_runner(opts, &runner)
+}
+
 fn cmd_series(opts: &Opts) -> Result<(), String> {
     use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
     let budget = PhaseBudget::ExhaustiveUpTo(100_000);
@@ -481,6 +543,7 @@ fn main() -> ExitCode {
         "client" => cmd_client(&opts),
         "sweep" => cmd_sweep(&opts),
         "hybrid" => cmd_hybrid(&opts),
+        "control" => cmd_control(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

@@ -1,0 +1,125 @@
+//! Admission control for the batching pool.
+//!
+//! The broadcast half is load-independent — its latency bound holds no
+//! matter how many clients tune in. The batching pool is not: under
+//! overload its queues grow without bound, every waiter's latency
+//! degrades, and most of them renege anyway after having wasted queue
+//! residency. Classic admission control trades those doomed admissions
+//! for an explicit, immediate answer: *reject* (turn the viewer away now)
+//! or *defer* (ask them to retry shortly, keeping their original patience
+//! deadline).
+//!
+//! The load signal is the **projected channel load**: busy channels plus
+//! queued requests (plus the candidate itself), over the pool size. Queued
+//! requests are an upper bound on the backlog — batching may serve several
+//! waiters of one title with a single stream — so the ceiling is
+//! calibrated in units of "pool-service worth of work", typically a few
+//! multiples of 1.0.
+
+use serde::{Deserialize, Serialize};
+use vod_units::Minutes;
+
+/// What the controller tells an arriving pool request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionDecision {
+    /// Join the queue.
+    Admit,
+    /// Come back after this delay; the original patience deadline stands.
+    Defer(Minutes),
+    /// Turned away outright.
+    Reject,
+}
+
+/// Threshold rule on the projected pool load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    /// Maximum admissible projected load (see [module docs](self)).
+    pub ceiling: f64,
+    /// If set, over-ceiling requests are deferred by this much instead of
+    /// rejected (they still reject once the retry would pass their
+    /// patience deadline).
+    pub retry: Option<Minutes>,
+}
+
+impl AdmissionControl {
+    /// A reject-only controller with the given load ceiling.
+    ///
+    /// # Panics
+    /// Panics if the ceiling is not positive and finite.
+    #[must_use]
+    pub fn new(ceiling: f64) -> Self {
+        assert!(
+            ceiling.is_finite() && ceiling > 0.0,
+            "admission ceiling must be positive and finite, got {ceiling}"
+        );
+        Self {
+            ceiling,
+            retry: None,
+        }
+    }
+
+    /// Defer over-ceiling requests by `delay` instead of rejecting.
+    #[must_use]
+    pub fn with_retry(mut self, delay: Minutes) -> Self {
+        self.retry = Some(delay);
+        self
+    }
+
+    /// The projected load if one more request joins: busy channels plus
+    /// queued requests plus the candidate, over the pool size.
+    #[must_use]
+    pub fn projected_load(busy: usize, queued: usize, pool: usize) -> f64 {
+        (busy + queued + 1) as f64 / pool.max(1) as f64
+    }
+
+    /// Decide for a request arriving when `busy` of `pool` channels are
+    /// streaming and `queued` requests wait.
+    #[must_use]
+    pub fn decide(&self, busy: usize, queued: usize, pool: usize) -> AdmissionDecision {
+        if Self::projected_load(busy, queued, pool) <= self.ceiling {
+            AdmissionDecision::Admit
+        } else {
+            match self.retry {
+                Some(delay) => AdmissionDecision::Defer(delay),
+                None => AdmissionDecision::Reject,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_under_the_ceiling() {
+        let a = AdmissionControl::new(2.0);
+        // (5 busy + 4 queued + 1) / 5 = 2.0: exactly at the ceiling.
+        assert_eq!(a.decide(5, 4, 5), AdmissionDecision::Admit);
+        assert_eq!(a.decide(0, 0, 5), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn rejects_over_the_ceiling() {
+        let a = AdmissionControl::new(2.0);
+        assert_eq!(a.decide(5, 5, 5), AdmissionDecision::Reject);
+    }
+
+    #[test]
+    fn defers_when_retry_is_configured() {
+        let a = AdmissionControl::new(1.0).with_retry(Minutes(3.0));
+        assert_eq!(a.decide(4, 2, 4), AdmissionDecision::Defer(Minutes(3.0)));
+        assert_eq!(a.decide(0, 0, 4), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn empty_pool_never_divides_by_zero() {
+        assert!(AdmissionControl::projected_load(0, 0, 0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling")]
+    fn non_positive_ceiling_is_rejected() {
+        let _ = AdmissionControl::new(0.0);
+    }
+}

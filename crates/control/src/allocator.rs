@@ -1,0 +1,345 @@
+//! Dynamic reassignment of skyscraper channel groups.
+//!
+//! The broadcast half of the hybrid owns `m` *slots*, each a complete
+//! K-channel skyscraper group periodically broadcasting one title. The
+//! allocator decides which title occupies which slot as popularity drifts,
+//! under two rules:
+//!
+//! * **Drain safety.** A swap never takes effect mid-cycle. Each slot has a
+//!   phase origin `since`; its first-fragment cycles start at
+//!   `since + j·D₁`. A swap planned at time `T` becomes *effective* at the
+//!   next cycle boundary strictly after `T`, so the cycle in flight — and
+//!   every client admitted against it — completes under the old title.
+//!   Clients admitted between `T` and the boundary still get the old title
+//!   (the committed assignment is what [`ChannelAllocator::slot_of`]
+//!   reports until maturity). No client's in-flight session is ever
+//!   truncated or re-pointed.
+//! * **Hysteresis.** A challenger displaces an incumbent only if
+//!   `score(challenger) > score(incumbent) · (1 + margin)`. Without the
+//!   margin, two titles oscillating around equal popularity would swap on
+//!   every tick, churning the schedule for no latency gain.
+//!
+//! Promotion and demotion are two faces of the same swap: the challenger
+//! is promoted from the batching pool into the slot, the incumbent is
+//! demoted back to the pool. Viewers already queued for the promoted title
+//! in the pool stay there and are served by the pool (their sessions are
+//! not invalidated either); only *new* arrivals see the broadcast.
+
+use vod_units::Minutes;
+
+/// A swap that has been planned but has not yet reached its cycle
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingSwap {
+    /// Title that will occupy the slot once the swap matures.
+    pub to: usize,
+    /// Absolute time at which the swap takes effect — always a cycle
+    /// boundary of the slot, strictly after the planning instant.
+    pub effective: Minutes,
+}
+
+/// One skyscraper channel group and its current occupant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    /// Title currently being broadcast (the *committed* assignment).
+    pub video: usize,
+    /// Phase origin: first-fragment cycles start at `since + j·D₁`.
+    pub since: Minutes,
+    /// The swap in flight, if any. At most one per slot.
+    pub pending: Option<PendingSwap>,
+}
+
+/// A swap recorded at planning time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedSwap {
+    /// Index of the affected slot.
+    pub slot: usize,
+    /// Incumbent title being demoted.
+    pub from: usize,
+    /// Challenger title being promoted.
+    pub to: usize,
+    /// When the swap will take effect.
+    pub effective: Minutes,
+}
+
+/// A swap that has matured and been committed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommittedSwap {
+    /// Index of the affected slot.
+    pub slot: usize,
+    /// Title that was demoted.
+    pub from: usize,
+    /// Title that was promoted.
+    pub to: usize,
+    /// The cycle boundary at which the swap took effect.
+    pub at: Minutes,
+}
+
+/// Assigns broadcast slots to titles with drain-safe, hysteretic swaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelAllocator {
+    slots: Vec<Slot>,
+    /// First-fragment cycle length `D₁` (= the SB access-latency bound).
+    period: f64,
+    /// Relative score margin a challenger must clear.
+    hysteresis: f64,
+}
+
+impl ChannelAllocator {
+    /// A fresh allocator broadcasting `initial` (one title per slot, all
+    /// phase origins at time zero).
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty or contains duplicates, the period is
+    /// not positive and finite, or the hysteresis margin is negative.
+    #[must_use]
+    pub fn new(initial: &[usize], period: Minutes, hysteresis: f64) -> Self {
+        assert!(!initial.is_empty(), "allocator needs at least one slot");
+        let p = period.value();
+        assert!(
+            p.is_finite() && p > 0.0,
+            "cycle period must be positive and finite, got {p}"
+        );
+        assert!(
+            hysteresis >= 0.0 && hysteresis.is_finite(),
+            "hysteresis margin must be non-negative and finite"
+        );
+        let mut seen = initial.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), initial.len(), "initial hot set has duplicates");
+        Self {
+            slots: initial
+                .iter()
+                .map(|&video| Slot {
+                    video,
+                    since: Minutes(0.0),
+                    pending: None,
+                })
+                .collect(),
+            period: p,
+            hysteresis,
+        }
+    }
+
+    /// Number of broadcast slots.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot currently (committed) broadcasting `video`, if any.
+    #[must_use]
+    pub fn slot_of(&self, video: usize) -> Option<usize> {
+        self.slots.iter().position(|s| s.video == video)
+    }
+
+    /// The committed hot set, in slot order.
+    #[must_use]
+    pub fn hot_videos(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.video).collect()
+    }
+
+    /// Wait until the next first-fragment cycle of `slot` starts, seen
+    /// from time `t`. Zero exactly on a boundary (the client catches the
+    /// cycle that starts this instant).
+    #[must_use]
+    pub fn wait_for(&self, slot: usize, t: Minutes) -> Minutes {
+        let rel = (t.value() - self.slots[slot].since.value()).rem_euclid(self.period);
+        if rel == 0.0 {
+            Minutes(0.0)
+        } else {
+            Minutes(self.period - rel)
+        }
+    }
+
+    /// The first cycle boundary of `slot` strictly after `now` — the
+    /// earliest instant a swap planned at `now` may take effect. Being
+    /// strict even on an exact boundary guarantees the cycle in flight
+    /// always completes under the old title.
+    #[must_use]
+    pub fn next_boundary(&self, slot: usize, now: Minutes) -> Minutes {
+        let since = self.slots[slot].since.value();
+        let elapsed = (now.value() - since).max(0.0);
+        let k = (elapsed / self.period).floor();
+        Minutes(since + (k + 1.0) * self.period)
+    }
+
+    /// Commit every pending swap whose effective time has been reached.
+    /// The slot's phase origin moves to the boundary, so the new title's
+    /// cycles are aligned with the moment it took over. Returns the
+    /// commits in slot order.
+    pub fn commit_matured(&mut self, now: Minutes) -> Vec<CommittedSwap> {
+        let mut out = Vec::new();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if let Some(p) = s.pending {
+                if p.effective.value() <= now.value() {
+                    out.push(CommittedSwap {
+                        slot: i,
+                        from: s.video,
+                        to: p.to,
+                        at: p.effective,
+                    });
+                    s.video = p.to;
+                    s.since = p.effective;
+                    s.pending = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Plan swaps toward the top-`slots()` titles of `scores`.
+    ///
+    /// Challengers (desired titles not already committed or in flight)
+    /// are paired strongest-first against demotable incumbents
+    /// weakest-first; each pair swaps only if the challenger clears the
+    /// hysteresis margin. Slots with a swap already in flight are left
+    /// alone. Deterministic: all ties break toward the lower index.
+    ///
+    /// # Panics
+    /// Panics if `scores` does not cover some committed or pending title.
+    pub fn plan(&mut self, now: Minutes, scores: &[f64]) -> Vec<PlannedSwap> {
+        let occupied: Vec<usize> = self
+            .slots
+            .iter()
+            .flat_map(|s| core::iter::once(s.video).chain(s.pending.iter().map(|p| p.to)))
+            .collect();
+
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        let desired: Vec<usize> = order.into_iter().take(self.slots.len()).collect();
+
+        // Challengers, strongest first.
+        let challengers: Vec<usize> = desired
+            .iter()
+            .copied()
+            .filter(|v| !occupied.contains(v))
+            .collect();
+        // Demotable incumbents, weakest first (ties toward lower slot).
+        let mut demotable: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].pending.is_none() && !desired.contains(&self.slots[i].video))
+            .collect();
+        demotable.sort_by(|&a, &b| {
+            scores[self.slots[a].video]
+                .partial_cmp(&scores[self.slots[b].video])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+
+        let mut out = Vec::new();
+        for (&to, &slot) in challengers.iter().zip(&demotable) {
+            let from = self.slots[slot].video;
+            // Strongest challenger vs weakest incumbent: if this pair
+            // fails the margin, every later pair fails it too.
+            if scores[to] <= scores[from] * (1.0 + self.hysteresis) {
+                break;
+            }
+            let effective = self.next_boundary(slot, now);
+            self.slots[slot].pending = Some(PendingSwap { to, effective });
+            out.push(PlannedSwap {
+                slot,
+                from,
+                to,
+                effective,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(hot: &[usize], period: f64, hyst: f64) -> ChannelAllocator {
+        ChannelAllocator::new(hot, Minutes(period), hyst)
+    }
+
+    #[test]
+    fn wait_wraps_the_cycle() {
+        let a = alloc(&[0, 1], 2.0, 0.0);
+        assert_eq!(a.wait_for(0, Minutes(0.0)), Minutes(0.0));
+        assert_eq!(a.wait_for(0, Minutes(0.5)), Minutes(1.5));
+        assert_eq!(a.wait_for(0, Minutes(2.0)), Minutes(0.0));
+        assert_eq!(a.wait_for(0, Minutes(3.5)), Minutes(0.5));
+    }
+
+    #[test]
+    fn swap_matures_only_at_the_next_cycle_boundary() {
+        let mut a = alloc(&[0, 1], 2.0, 0.0);
+        let scores = [0.0, 5.0, 10.0]; // title 2 should displace title 0
+        let planned = a.plan(Minutes(2.5), &scores);
+        assert_eq!(planned.len(), 1);
+        let p = planned[0];
+        assert_eq!((p.from, p.to), (0, 2));
+        // Planned at 2.5 within cycle [2, 4): effective at 4, not before.
+        assert_eq!(p.effective, Minutes(4.0));
+        // The in-flight cycle still belongs to the incumbent.
+        assert!(a.commit_matured(Minutes(3.9)).is_empty());
+        assert_eq!(a.slot_of(0), Some(0));
+        assert_eq!(a.slot_of(2), None);
+        // At the boundary the swap commits and re-phases the slot.
+        let committed = a.commit_matured(Minutes(4.0));
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].at, Minutes(4.0));
+        assert_eq!(a.slot_of(2), Some(0));
+        assert_eq!(a.slot_of(0), None);
+        assert_eq!(a.wait_for(0, Minutes(4.0)), Minutes(0.0));
+    }
+
+    #[test]
+    fn boundary_planning_still_drains_a_full_cycle() {
+        let mut a = alloc(&[0], 2.0, 0.0);
+        // Planning exactly on a boundary defers to the *next* one, so the
+        // cycle starting this instant is never cut short.
+        let planned = a.plan(Minutes(4.0), &[0.0, 1.0]);
+        assert_eq!(planned[0].effective, Minutes(6.0));
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_challengers() {
+        let mut a = alloc(&[0], 2.0, 0.2);
+        // 15% better: within the 20% margin, no swap.
+        assert!(a.plan(Minutes(1.0), &[1.0, 1.15]).is_empty());
+        // 25% better: clears it.
+        assert_eq!(a.plan(Minutes(1.0), &[1.0, 1.25]).len(), 1);
+    }
+
+    #[test]
+    fn one_swap_in_flight_per_slot() {
+        let mut a = alloc(&[0], 2.0, 0.0);
+        assert_eq!(a.plan(Minutes(0.5), &[0.0, 5.0, 1.0]).len(), 1);
+        // A stronger challenger arrives while the first swap drains: the
+        // slot is busy, nothing new is planned.
+        assert!(a.plan(Minutes(1.0), &[0.0, 5.0, 50.0]).is_empty());
+        a.commit_matured(Minutes(2.0));
+        assert_eq!(a.hot_videos(), vec![1]);
+        // Now the slot is free again and title 2 can challenge title 1.
+        assert_eq!(a.plan(Minutes(2.5), &[0.0, 5.0, 50.0]).len(), 1);
+    }
+
+    #[test]
+    fn strongest_challenger_takes_weakest_slot() {
+        let mut a = alloc(&[0, 1], 2.0, 0.0);
+        // Desired: {3, 2}; incumbents 0 (score 2) and 1 (score 1).
+        let planned = a.plan(Minutes(0.5), &[2.0, 1.0, 5.0, 9.0]);
+        assert_eq!(planned.len(), 2);
+        assert_eq!((planned[0].from, planned[0].to), (1, 3));
+        assert_eq!((planned[1].from, planned[1].to), (0, 2));
+    }
+
+    #[test]
+    fn incumbent_in_desired_set_is_never_demoted() {
+        let mut a = alloc(&[0, 1], 2.0, 0.0);
+        // Title 0 is still top-2: only title 1 should be displaced.
+        let planned = a.plan(Minutes(0.5), &[10.0, 0.1, 5.0]);
+        assert_eq!(planned.len(), 1);
+        assert_eq!((planned[0].from, planned[0].to), (1, 2));
+    }
+}

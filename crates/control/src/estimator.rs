@@ -1,0 +1,185 @@
+//! Sliding-window popularity estimation.
+//!
+//! The paper fixes the popular set offline from a Zipf model (§1). A real
+//! metropolitan server does not get that luxury: popularity drifts with
+//! release schedules and time of day, so the controller has to *estimate*
+//! it online from the request stream it actually observes.
+//!
+//! [`PopularityEstimator`] keeps one exponentially-decayed counter per
+//! title. On each observed request at time `t`, every counter is first
+//! scaled by `0.5^((t − t_last)/half_life)` and the requested title's
+//! counter is then incremented by one. The result behaves like a sliding
+//! window of width ≈ `half_life / ln 2` request-minutes: a title that
+//! stops being asked for loses half its score every `half_life` minutes,
+//! while a surging title overtakes it smoothly rather than on a cliff.
+//!
+//! Two properties the control plane relies on:
+//!
+//! * **Determinism** — the estimator is a pure fold over the (time-ordered)
+//!   request stream; no clocks, no randomness.
+//! * **Scale invariance of ranking** — decay multiplies *all* counters by
+//!   the same factor, so the ranking (and any ratio of two scores, which is
+//!   what the hysteresis test in [`crate::allocator`] uses) is unaffected
+//!   by how much idle time passed since the last observation.
+
+use vod_units::Minutes;
+
+/// Exponentially-decayed per-title request counter.
+///
+/// See the module docs for the decay model. Observations must arrive in
+/// non-decreasing time order (the simulation engine guarantees this);
+/// an observation timestamped before the previous one is counted without
+/// further decay rather than rewinding history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopularityEstimator {
+    /// Decay half-life in minutes.
+    half_life: f64,
+    /// Decayed request count per title, indexed by catalog rank.
+    counts: Vec<f64>,
+    /// Timestamp of the most recent decay, in minutes.
+    last: f64,
+}
+
+impl PopularityEstimator {
+    /// A fresh estimator over `titles` titles with the given half-life.
+    ///
+    /// # Panics
+    /// Panics if `titles` is zero or the half-life is not positive and
+    /// finite.
+    #[must_use]
+    pub fn new(titles: usize, half_life: Minutes) -> Self {
+        assert!(titles > 0, "estimator needs at least one title");
+        let hl = half_life.value();
+        assert!(
+            hl.is_finite() && hl > 0.0,
+            "half-life must be positive and finite, got {hl}"
+        );
+        Self {
+            half_life: hl,
+            counts: vec![0.0; titles],
+            last: 0.0,
+        }
+    }
+
+    /// Number of titles tracked.
+    #[must_use]
+    pub fn titles(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Record one request for `video` at time `at`.
+    ///
+    /// # Panics
+    /// Panics if `video` is out of range.
+    pub fn observe(&mut self, at: Minutes, video: usize) {
+        self.decay_to(at.value());
+        self.counts[video] += 1.0;
+    }
+
+    /// The decayed score of one title.
+    #[must_use]
+    pub fn score(&self, video: usize) -> f64 {
+        self.counts[video]
+    }
+
+    /// All decayed scores, indexed by title.
+    #[must_use]
+    pub fn scores(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Titles ordered by descending score, ties broken toward the lower
+    /// index (so an all-zero estimator ranks titles in catalog order).
+    #[must_use]
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.counts.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.counts[b]
+                .partial_cmp(&self.counts[a])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Scale every counter down for the time elapsed since the last
+    /// observation. A no-op for `at ≤ last` (out-of-order timestamps do
+    /// not rewind history).
+    fn decay_to(&mut self, at: f64) {
+        if at > self.last {
+            let factor = 0.5_f64.powf((at - self.last) / self.half_life);
+            for c in &mut self.counts {
+                *c *= factor;
+            }
+            self.last = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_half_life_halves_the_score() {
+        let mut est = PopularityEstimator::new(2, Minutes(10.0));
+        est.observe(Minutes(0.0), 0);
+        assert_eq!(est.score(0), 1.0);
+        est.observe(Minutes(10.0), 1);
+        assert!((est.score(0) - 0.5).abs() < 1e-12);
+        assert_eq!(est.score(1), 1.0);
+    }
+
+    #[test]
+    fn ranking_tracks_a_popularity_shift() {
+        let mut est = PopularityEstimator::new(3, Minutes(5.0));
+        // Title 0 is hot early…
+        for i in 0..10 {
+            est.observe(Minutes(f64::from(i)), 0);
+        }
+        assert_eq!(est.ranked()[0], 0);
+        // …then the audience moves to title 2.
+        for i in 0..10 {
+            est.observe(Minutes(30.0 + f64::from(i)), 2);
+        }
+        assert_eq!(est.ranked(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn zero_history_ranks_in_catalog_order() {
+        let est = PopularityEstimator::new(4, Minutes(1.0));
+        assert_eq!(est.ranked(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn decay_preserves_score_ratios() {
+        // Ranking and hysteresis ratios must be invariant under idle decay.
+        let mut est = PopularityEstimator::new(2, Minutes(7.0));
+        for _ in 0..4 {
+            est.observe(Minutes(1.0), 0);
+        }
+        est.observe(Minutes(1.0), 1);
+        let ratio_before = est.score(0) / est.score(1);
+        // A later observation of an unrelated title decays both. Seven
+        // half-lives → an exact power-of-two factor, so the arithmetic
+        // below is exact.
+        est.observe(Minutes(50.0), 1);
+        let ratio_after = est.score(0) / (est.score(1) - 1.0);
+        assert!((ratio_before - ratio_after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_order_observation_does_not_rewind() {
+        let mut est = PopularityEstimator::new(2, Minutes(10.0));
+        est.observe(Minutes(20.0), 0);
+        est.observe(Minutes(5.0), 1); // stale timestamp: counted, no decay
+        assert_eq!(est.score(0), 1.0);
+        assert_eq!(est.score(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn zero_half_life_is_rejected() {
+        let _ = PopularityEstimator::new(1, Minutes(0.0));
+    }
+}

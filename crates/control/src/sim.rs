@@ -1,0 +1,679 @@
+//! The controlled hybrid simulation: broadcast slots + batching pool under
+//! an online control plane.
+//!
+//! [`ControlledSim`] re-runs the §1 hybrid as a discrete-event simulation
+//! on [`sb_sim::Engine`], with three event kinds:
+//!
+//! * **Arrive** — a viewer requests a title. Hot titles (committed in the
+//!   [`ChannelAllocator`]) are served by the periodic broadcast: the wait
+//!   is the time to the slot's next first-fragment cycle, at most `D₁`.
+//!   Cold titles go through [`AdmissionControl`] into the per-title
+//!   batching queues.
+//! * **PoolDone** — a multicast stream finishes and frees a channel; the
+//!   dispatcher purges reneged waiters and serves the next batch under
+//!   the configured [`BatchPolicy`].
+//! * **Tick** — the periodic control event. The estimator's scores are
+//!   read, matured swaps commit, and (under [`ControlPolicy::Dynamic`])
+//!   new swaps are planned toward the current top-`m` titles.
+//!
+//! Under [`ControlPolicy::Static`] the tick never plans a swap, so the
+//! initial hot set `{0, …, m−1}` stays fixed — exactly the paper's
+//! offline split. The workload, the pool, the admission rule and every
+//! event timestamp are identical between the two policies; the *only*
+//! difference is whether reallocation happens. That makes static-vs-
+//! dynamic sweeps a controlled experiment.
+//!
+//! Everything is deterministic: the engine breaks timestamp ties FIFO,
+//! queues are per-title vectors ordered by arrival, and no clocks or
+//! randomness enter the control path.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes, TickDuration, TickScale, Ticks};
+
+use sb_batching::policy::Pending;
+use sb_batching::BatchPolicy;
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::Width;
+use sb_core::Skyscraper;
+use sb_metrics::Recorder;
+use sb_sim::Engine;
+use sb_workload::{Catalog, WorkloadRequest};
+
+use crate::admission::{AdmissionControl, AdmissionDecision};
+use crate::allocator::ChannelAllocator;
+use crate::estimator::PopularityEstimator;
+
+/// Whether the control plane may reassign broadcast slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlPolicy {
+    /// The paper's offline split: the initial hot set never changes.
+    Static,
+    /// Online reallocation: ticks plan hysteretic, drain-safe swaps
+    /// toward the estimator's current top titles.
+    Dynamic,
+}
+
+impl core::fmt::Display for ControlPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ControlPolicy::Static => write!(f, "static"),
+            ControlPolicy::Dynamic => write!(f, "dynamic"),
+        }
+    }
+}
+
+/// Configuration of the controlled hybrid server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlConfig {
+    /// Catalog size (titles are popularity ranks `0..titles`).
+    pub titles: usize,
+    /// Number of broadcast slots `m` (each a K-channel skyscraper group).
+    pub hot_slots: usize,
+    /// Total server network-I/O bandwidth.
+    pub total_bandwidth: Mbps,
+    /// Fraction of bandwidth reserved for the broadcast half, in `(0, 1)`.
+    pub broadcast_fraction: f64,
+    /// Skyscraper width cap for the broadcast half.
+    pub width: Width,
+    /// Batch-selection policy for the pool.
+    pub batch: BatchPolicy,
+    /// Control-tick period.
+    pub tick: Minutes,
+    /// Popularity-estimator decay half-life.
+    pub half_life: Minutes,
+    /// Hysteresis margin a challenger must clear to displace an incumbent.
+    pub hysteresis: f64,
+    /// Admission ceiling on projected pool load.
+    pub admission_ceiling: f64,
+    /// If set, over-ceiling requests retry after this delay instead of
+    /// being rejected outright.
+    pub admission_retry: Option<Minutes>,
+}
+
+impl ControlConfig {
+    /// A paper-flavoured default: 40 titles, 8 broadcast slots, W = 52,
+    /// MQL pool, 15-minute ticks, 45-minute half-life, 10% hysteresis,
+    /// reject-only admission at 3× pool load.
+    #[must_use]
+    pub fn paper_defaults(total_bandwidth: Mbps) -> Self {
+        Self {
+            titles: 40,
+            hot_slots: 8,
+            total_bandwidth,
+            broadcast_fraction: 0.6,
+            width: Width::Capped(52),
+            batch: BatchPolicy::Mql,
+            tick: Minutes(15.0),
+            half_life: Minutes(45.0),
+            hysteresis: 0.1,
+            admission_ceiling: 3.0,
+            admission_retry: None,
+        }
+    }
+}
+
+/// What came out of a controlled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlReport {
+    /// The policy that produced this report.
+    pub policy: ControlPolicy,
+    /// Total requests offered.
+    pub requests: usize,
+    /// Requests served by the broadcast half.
+    pub served_broadcast: usize,
+    /// Requests served by the batching pool.
+    pub served_pool: usize,
+    /// Requests whose patience ran out (either half).
+    pub defected: usize,
+    /// Requests turned away by admission control.
+    pub rejected: usize,
+    /// Defer events issued by admission control (not terminal: a deferred
+    /// request is later served, defects, or is rejected).
+    pub deferred: usize,
+    /// Slot swaps planned by the allocator.
+    pub swaps_planned: usize,
+    /// Slot swaps that matured and committed.
+    pub swaps_committed: usize,
+    /// Mean access latency over served requests.
+    pub mean_latency: Minutes,
+    /// 95th-percentile access latency over served requests.
+    pub p95_latency: Minutes,
+    /// Worst access latency over served requests.
+    pub worst_latency: Minutes,
+    /// The committed hot set at the end of the run, in slot order.
+    pub final_hot: Vec<usize>,
+    /// Channels (display-rate streams) held by the broadcast half.
+    pub broadcast_channels: usize,
+    /// Channels in the batching pool.
+    pub pool_channels: usize,
+    /// First-fragment cycle length `D₁` (= worst-case broadcast wait).
+    pub cycle: Minutes,
+}
+
+impl ControlReport {
+    /// Every offered request ends served, defected, or rejected.
+    #[must_use]
+    pub fn accounted(&self) -> usize {
+        self.served_broadcast + self.served_pool + self.defected + self.rejected
+    }
+}
+
+/// A waiter in a pool queue.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    /// Original arrival time (latency is measured from here, so deferral
+    /// delay counts against the system).
+    arrival: f64,
+    /// Absolute patience deadline.
+    deadline: f64,
+}
+
+/// Engine event payloads.
+enum Ev {
+    /// Request `idx` arrives; `fresh` is false for admission retries.
+    Arrive { idx: usize, fresh: bool },
+    /// A pool stream finished, freeing a channel.
+    PoolDone,
+    /// Periodic control tick.
+    Tick,
+}
+
+/// The controlled hybrid simulation (see [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlledSim {
+    cfg: ControlConfig,
+    /// First-fragment cycle / worst-case broadcast wait `D₁`.
+    d1: Minutes,
+    /// Video length `D` (pool service time).
+    video_length: Minutes,
+    broadcast_channels: usize,
+    pool: usize,
+}
+
+impl ControlledSim {
+    /// Size the broadcast half and the pool for `cfg` against `catalog`.
+    ///
+    /// Fails like the offline hybrid does: the broadcast fraction must
+    /// sustain at least one SB channel per slot and leave a non-empty
+    /// pool.
+    pub fn new(cfg: ControlConfig, catalog: &Catalog) -> Result<Self> {
+        assert!(
+            cfg.titles > 0 && cfg.hot_slots > 0 && cfg.hot_slots <= cfg.titles,
+            "need 0 < hot_slots <= titles"
+        );
+        assert!(
+            cfg.titles <= catalog.len(),
+            "catalog smaller than configured title count"
+        );
+        assert!(
+            cfg.broadcast_fraction > 0.0 && cfg.broadcast_fraction < 1.0,
+            "broadcast fraction must be in (0, 1)"
+        );
+        let v0 = catalog.get(0).expect("non-empty catalog");
+        let sb_cfg = SystemConfig {
+            server_bandwidth: Mbps(cfg.total_bandwidth.value() * cfg.broadcast_fraction),
+            num_videos: cfg.hot_slots,
+            video_length: v0.length,
+            display_rate: v0.display_rate,
+        };
+        let scheme = Skyscraper::with_width(cfg.width);
+        let metrics = scheme.metrics(&sb_cfg)?;
+        let k = scheme.channels_per_video(&sb_cfg)?;
+        let broadcast_channels = k * cfg.hot_slots;
+        let leftover =
+            cfg.total_bandwidth.value() - broadcast_channels as f64 * v0.display_rate.value();
+        let pool = (leftover / v0.display_rate.value()).floor() as usize;
+        if pool == 0 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            });
+        }
+        Ok(Self {
+            cfg,
+            d1: metrics.access_latency,
+            video_length: v0.length,
+            broadcast_channels,
+            pool,
+        })
+    }
+
+    /// Worst-case broadcast wait `D₁` (also the reallocation cycle).
+    #[must_use]
+    pub fn cycle(&self) -> Minutes {
+        self.d1
+    }
+
+    /// Channels in the batching pool.
+    #[must_use]
+    pub fn pool_channels(&self) -> usize {
+        self.pool
+    }
+
+    /// Run the request stream under `policy`, recording metrics into
+    /// `rec`.
+    ///
+    /// Requests must be in non-decreasing arrival order (workload
+    /// generators produce them that way).
+    #[allow(clippy::too_many_lines)]
+    pub fn run(
+        &self,
+        requests: &[WorkloadRequest],
+        policy: ControlPolicy,
+        rec: &mut dyn Recorder,
+    ) -> ControlReport {
+        let scale = TickScale::default();
+        let at_ticks = |m: f64| Ticks::ZERO + scale.duration_from_minutes(Minutes(m));
+
+        let mut est = PopularityEstimator::new(self.cfg.titles, self.cfg.half_life);
+        let initial: Vec<usize> = (0..self.cfg.hot_slots).collect();
+        let mut alloc = ChannelAllocator::new(&initial, self.d1, self.cfg.hysteresis);
+        let mut adm = AdmissionControl::new(self.cfg.admission_ceiling);
+        adm.retry = self.cfg.admission_retry;
+
+        let mut eng: Engine<Ev> = Engine::new();
+        let mut horizon = 0.0_f64;
+        for (idx, r) in requests.iter().enumerate() {
+            eng.schedule_at(at_ticks(r.at.value()), Ev::Arrive { idx, fresh: true });
+            horizon = horizon.max(r.at.value());
+        }
+        let tick = self.cfg.tick.value();
+        assert!(tick > 0.0 && tick.is_finite(), "tick must be positive");
+        let mut t = tick;
+        while t <= horizon {
+            eng.schedule_at(at_ticks(t), Ev::Tick);
+            t += tick;
+        }
+
+        // Pool state.
+        let mut free = self.pool;
+        let mut queues: Vec<Vec<Waiter>> = vec![Vec::new(); self.cfg.titles];
+        let mut total_queued = 0usize;
+
+        // Outcome accumulators.
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut served_broadcast = 0usize;
+        let mut served_pool = 0usize;
+        let mut defected = 0usize;
+        let mut rejected = 0usize;
+        let mut deferred = 0usize;
+        let mut swaps_planned = 0usize;
+        let mut swaps_committed = 0usize;
+
+        let video_length = self.video_length.value();
+        let pool = self.pool;
+        let batch = self.cfg.batch;
+
+        // Purge reneged waiters, then serve batches while channels and
+        // candidates last. Defined as a closure-shaped helper so both
+        // Arrive and PoolDone share it.
+        let dispatch = |eng: &mut Engine<Ev>,
+                        now: f64,
+                        free: &mut usize,
+                        queues: &mut Vec<Vec<Waiter>>,
+                        total_queued: &mut usize,
+                        served_pool: &mut usize,
+                        defected: &mut usize,
+                        latencies: &mut Vec<f64>,
+                        rec: &mut dyn Recorder| {
+            for q in queues.iter_mut() {
+                let before = q.len();
+                q.retain(|w| w.deadline >= now);
+                let gone = before - q.len();
+                if gone > 0 {
+                    *total_queued -= gone;
+                    *defected += gone;
+                    rec.incr(
+                        "control_defections_total",
+                        &[("class", "pool")],
+                        gone as u64,
+                    );
+                }
+            }
+            while *free > 0 {
+                let views: Vec<Vec<Pending>> = queues
+                    .iter()
+                    .map(|q| {
+                        q.iter()
+                            .map(|w| Pending {
+                                arrival: Minutes(w.arrival),
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let Some(v) = batch.choose(&views) else { break };
+                let q = core::mem::take(&mut queues[v]);
+                *total_queued -= q.len();
+                *free -= 1;
+                let vl = v.to_string();
+                rec.incr("control_batches_total", &[("video", &vl)], 1);
+                for w in q {
+                    let wait = now - w.arrival;
+                    *served_pool += 1;
+                    latencies.push(wait);
+                    rec.observe("control_latency_minutes", &[("class", "pool")], wait);
+                }
+                eng.schedule_at(
+                    Ticks::ZERO + scale.duration_from_minutes(Minutes(now + video_length)),
+                    Ev::PoolDone,
+                );
+            }
+        };
+
+        eng.run(|eng, at, ev| {
+            let engine_now = scale.minutes(TickDuration(at.0)).value();
+            match ev {
+                Ev::Arrive { idx, fresh } => {
+                    let r = &requests[idx];
+                    // Fresh arrivals use the exact arrival time; retries
+                    // use the (tick-rounded) engine clock.
+                    let now = if fresh { r.at.value() } else { engine_now };
+                    let matured = alloc.commit_matured(Minutes(now)).len();
+                    if matured > 0 {
+                        swaps_committed += matured;
+                        rec.incr(
+                            "control_reallocations_total",
+                            &[("kind", "committed")],
+                            matured as u64,
+                        );
+                    }
+                    if fresh {
+                        est.observe(r.at, r.video);
+                        let vl = r.video.to_string();
+                        rec.incr("control_requests_total", &[("video", &vl)], 1);
+                    }
+                    let deadline = r.at.value() + r.patience.value();
+                    if let Some(slot) = alloc.slot_of(r.video) {
+                        // Broadcast service: wait for the slot's next
+                        // first-fragment cycle.
+                        let start = now + alloc.wait_for(slot, Minutes(now)).value();
+                        if start > deadline {
+                            defected += 1;
+                            rec.incr("control_defections_total", &[("class", "broadcast")], 1);
+                        } else {
+                            let wait = start - r.at.value();
+                            served_broadcast += 1;
+                            latencies.push(wait);
+                            rec.observe("control_latency_minutes", &[("class", "broadcast")], wait);
+                        }
+                    } else if now > deadline {
+                        // A retry that outlived its patience.
+                        defected += 1;
+                        rec.incr("control_defections_total", &[("class", "pool")], 1);
+                    } else {
+                        match adm.decide(pool - free, total_queued, pool) {
+                            AdmissionDecision::Admit => {
+                                let w = Waiter {
+                                    arrival: r.at.value(),
+                                    deadline,
+                                };
+                                // Keep the queue sorted by arrival so FCFS
+                                // sees the true head even after retries.
+                                let pos =
+                                    queues[r.video].partition_point(|x| x.arrival <= w.arrival);
+                                queues[r.video].insert(pos, w);
+                                total_queued += 1;
+                                dispatch(
+                                    eng,
+                                    now,
+                                    &mut free,
+                                    &mut queues,
+                                    &mut total_queued,
+                                    &mut served_pool,
+                                    &mut defected,
+                                    &mut latencies,
+                                    rec,
+                                );
+                            }
+                            AdmissionDecision::Defer(delay) => {
+                                let retry_at = now + delay.value();
+                                if retry_at < deadline {
+                                    deferred += 1;
+                                    rec.incr("control_deferrals_total", &[], 1);
+                                    eng.schedule_at(
+                                        at_ticks(retry_at),
+                                        Ev::Arrive { idx, fresh: false },
+                                    );
+                                } else {
+                                    rejected += 1;
+                                    rec.incr("control_rejected_total", &[], 1);
+                                }
+                            }
+                            AdmissionDecision::Reject => {
+                                rejected += 1;
+                                rec.incr("control_rejected_total", &[], 1);
+                            }
+                        }
+                    }
+                }
+                Ev::PoolDone => {
+                    free += 1;
+                    dispatch(
+                        eng,
+                        engine_now,
+                        &mut free,
+                        &mut queues,
+                        &mut total_queued,
+                        &mut served_pool,
+                        &mut defected,
+                        &mut latencies,
+                        rec,
+                    );
+                }
+                Ev::Tick => {
+                    let now = Minutes(engine_now);
+                    let matured = alloc.commit_matured(now).len();
+                    if matured > 0 {
+                        swaps_committed += matured;
+                        rec.incr(
+                            "control_reallocations_total",
+                            &[("kind", "committed")],
+                            matured as u64,
+                        );
+                    }
+                    if policy == ControlPolicy::Dynamic {
+                        let planned = alloc.plan(now, est.scores()).len();
+                        if planned > 0 {
+                            swaps_planned += planned;
+                            rec.incr(
+                                "control_reallocations_total",
+                                &[("kind", "planned")],
+                                planned as u64,
+                            );
+                        }
+                    }
+                    rec.gauge_max("control_peak_queue_depth", &[], total_queued as f64);
+                    rec.gauge_max("control_peak_pool_busy", &[], (pool - free) as f64);
+                }
+            }
+        });
+
+        // Every queue drains before the agenda does: a busy channel always
+        // has a PoolDone ahead, and each PoolDone re-dispatches.
+        debug_assert_eq!(total_queued, 0, "waiters left queued after exhaustion");
+        defected += total_queued; // defensive: account for them anyway
+
+        let stats = eng.stats();
+        rec.incr(
+            "engine_events_total",
+            &[("kind", "scheduled")],
+            stats.scheduled,
+        );
+        rec.incr("engine_events_total", &[("kind", "fired")], stats.fired);
+        rec.incr(
+            "engine_events_total",
+            &[("kind", "cancelled")],
+            stats.cancelled,
+        );
+
+        latencies.sort_by(f64::total_cmp);
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                let i = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len());
+                latencies[i - 1]
+            }
+        };
+
+        ControlReport {
+            policy,
+            requests: requests.len(),
+            served_broadcast,
+            served_pool,
+            defected,
+            rejected,
+            deferred,
+            swaps_planned,
+            swaps_committed,
+            mean_latency: Minutes(mean),
+            p95_latency: Minutes(pct(0.95)),
+            worst_latency: Minutes(latencies.last().copied().unwrap_or(0.0)),
+            final_hot: alloc.hot_videos(),
+            broadcast_channels: self.broadcast_channels,
+            pool_channels: self.pool,
+            cycle: self.d1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_metrics::{NullRecorder, Registry};
+    use sb_workload::{Patience, PoissonArrivals, PopularityShift, ZipfPopularity};
+
+    fn shifted_workload(
+        titles: usize,
+        rate: f64,
+        horizon: f64,
+        shift_at: f64,
+        rotate: usize,
+        seed: u64,
+    ) -> Vec<WorkloadRequest> {
+        PopularityShift {
+            arrivals: PoissonArrivals::new(rate, seed)
+                .with_patience(Patience::Exponential(Minutes(30.0))),
+            shift_at: Minutes(shift_at),
+            rotate,
+        }
+        .generate(&ZipfPopularity::paper(titles), Minutes(horizon))
+    }
+
+    fn sim(bandwidth: f64) -> ControlledSim {
+        let cfg = ControlConfig::paper_defaults(Mbps(bandwidth));
+        let catalog = Catalog::paper_defaults(cfg.titles);
+        ControlledSim::new(cfg, &catalog).unwrap()
+    }
+
+    #[test]
+    fn accounting_adds_up_under_both_policies() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 3.0, 400.0, 200.0, 13, 5);
+        for policy in [ControlPolicy::Static, ControlPolicy::Dynamic] {
+            let report = sim.run(&reqs, policy, &mut NullRecorder);
+            assert_eq!(report.accounted(), reqs.len(), "{policy}");
+        }
+    }
+
+    #[test]
+    fn static_policy_never_reallocates() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 3.0, 400.0, 200.0, 13, 7);
+        let report = sim.run(&reqs, ControlPolicy::Static, &mut NullRecorder);
+        assert_eq!(report.swaps_planned, 0);
+        assert_eq!(report.swaps_committed, 0);
+        assert_eq!(report.final_hot, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dynamic_policy_tracks_the_shift() {
+        let sim = sim(300.0);
+        // Rotate the head of the Zipf right out of the initial hot set.
+        let reqs = shifted_workload(40, 6.0, 500.0, 120.0, 20, 11);
+        let report = sim.run(&reqs, ControlPolicy::Dynamic, &mut NullRecorder);
+        assert!(report.swaps_committed > 0, "no swaps committed");
+        // The post-shift favourites are ranks 20.. (old rank r now arrives
+        // as (r + 20) % 40); the final hot set should have moved there.
+        let moved = report
+            .final_hot
+            .iter()
+            .filter(|&&v| (20..28).contains(&v))
+            .count();
+        assert!(moved >= 4, "final hot set {:?}", report.final_hot);
+    }
+
+    #[test]
+    fn broadcast_wait_never_exceeds_the_cycle() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 4.0, 300.0, 150.0, 10, 3);
+        for policy in [ControlPolicy::Static, ControlPolicy::Dynamic] {
+            let mut reg = Registry::new();
+            let _ = sim.run(&reqs, policy, &mut reg);
+            let snap = reg.snapshot();
+            let h = snap
+                .histogram("control_latency_minutes", "class=broadcast")
+                .expect("broadcast latency recorded");
+            // Broadcast waits are bounded by D₁ (fresh arrivals); only
+            // deferred pool arrivals could see more, and they are class=pool.
+            assert!(h.count > 0);
+            assert!(
+                h.sum / h.count as f64 <= sim.cycle().value(),
+                "mean broadcast wait above the cycle bound"
+            );
+        }
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let sim = sim(240.0);
+        let reqs = shifted_workload(40, 5.0, 300.0, 150.0, 15, 29);
+        let mut r1 = Registry::new();
+        let mut r2 = Registry::new();
+        let a = sim.run(&reqs, ControlPolicy::Dynamic, &mut r1);
+        let b = sim.run(&reqs, ControlPolicy::Dynamic, &mut r2);
+        assert_eq!(a, b);
+        assert_eq!(r1.snapshot(), r2.snapshot());
+    }
+
+    #[test]
+    fn admission_rejects_under_overload() {
+        let cfg = ControlConfig {
+            admission_ceiling: 1.5,
+            ..ControlConfig::paper_defaults(Mbps(200.0))
+        };
+        let catalog = Catalog::paper_defaults(cfg.titles);
+        let sim = ControlledSim::new(cfg, &catalog).unwrap();
+        // Patient viewers + heavy load: queues build until the ceiling.
+        let reqs = PoissonArrivals::new(8.0, 17)
+            .with_patience(Patience::Infinite)
+            .generate(&ZipfPopularity::paper(40), Minutes(400.0));
+        let report = sim.run(&reqs, ControlPolicy::Static, &mut NullRecorder);
+        assert!(report.rejected > 0, "ceiling never triggered");
+        assert_eq!(report.accounted(), reqs.len());
+    }
+
+    #[test]
+    fn deferral_retries_instead_of_rejecting() {
+        let cfg = ControlConfig {
+            admission_ceiling: 1.5,
+            admission_retry: Some(Minutes(5.0)),
+            ..ControlConfig::paper_defaults(Mbps(200.0))
+        };
+        let catalog = Catalog::paper_defaults(cfg.titles);
+        let sim = ControlledSim::new(cfg, &catalog).unwrap();
+        let reqs = PoissonArrivals::new(8.0, 17)
+            .with_patience(Patience::Exponential(Minutes(40.0)))
+            .generate(&ZipfPopularity::paper(40), Minutes(400.0));
+        let report = sim.run(&reqs, ControlPolicy::Static, &mut NullRecorder);
+        assert!(report.deferred > 0, "no deferrals issued");
+        assert_eq!(report.accounted(), reqs.len());
+    }
+}

@@ -1,0 +1,478 @@
+//! The metric store: labeled families of counters, gauges and histograms,
+//! and the serializable [`Snapshot`] they export.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Default histogram bucket upper bounds (minutes-scale quantities).
+///
+/// A final `+∞` bucket is always implied, so `counts.len()` is
+/// `bounds.len() + 1`.
+pub const DEFAULT_BUCKETS: [f64; 10] = [0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 120.0];
+
+/// What kind of instrument a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// High-water mark, merged by `max`.
+    Gauge,
+    /// Fixed-bucket distribution with exact count and sum.
+    Histogram,
+}
+
+/// A histogram over fixed bucket bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramValue {
+    /// Bucket upper bounds, strictly increasing; a `+∞` bucket is implied.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramValue {
+    /// An empty histogram over the given bounds.
+    ///
+    /// # Panics
+    /// Panics unless `bounds` is non-empty, finite and strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ — merging histograms of
+    /// different shapes is a programming error, not data.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Exact mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One series' current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramValue),
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    kind: MetricKind,
+    buckets: Vec<f64>,
+    series: BTreeMap<String, MetricValue>,
+}
+
+/// The in-process metric store.
+///
+/// Plain value semantics by design: no interior mutability, no
+/// global state. Each simulation shard owns its registry; cross-shard
+/// aggregation happens through [`Snapshot::merge`] in a caller-chosen
+/// (index) order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    families: BTreeMap<String, Family>,
+}
+
+/// Canonical label-set key: `k=v` pairs joined by `,` in caller order.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-declare histogram bucket bounds for `name` (otherwise
+    /// [`DEFAULT_BUCKETS`] apply on first observation).
+    ///
+    /// # Panics
+    /// Panics if `name` already exists with a different kind or bounds.
+    pub fn declare_histogram(&mut self, name: &str, bounds: &[f64]) {
+        let f = self.families.entry(name.to_string()).or_insert(Family {
+            kind: MetricKind::Histogram,
+            buckets: bounds.to_vec(),
+            series: BTreeMap::new(),
+        });
+        assert_eq!(f.kind, MetricKind::Histogram, "{name} is not a histogram");
+        assert_eq!(f.buckets, bounds, "{name} re-declared with other bounds");
+    }
+
+    fn family(&mut self, name: &str, kind: MetricKind) -> &mut Family {
+        let f = self.families.entry(name.to_string()).or_insert(Family {
+            kind,
+            buckets: DEFAULT_BUCKETS.to_vec(),
+            series: BTreeMap::new(),
+        });
+        assert_eq!(f.kind, kind, "metric {name} used as two different kinds");
+        f
+    }
+
+    /// Add `by` to the counter `name{labels}`.
+    pub fn incr(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        let key = label_key(labels);
+        let f = self.family(name, MetricKind::Counter);
+        match f.series.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += by,
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Raise the gauge `name{labels}` to `v` if `v` is higher.
+    pub fn gauge_max(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = label_key(labels);
+        let f = self.family(name, MetricKind::Gauge);
+        match f
+            .series
+            .entry(key)
+            .or_insert(MetricValue::Gauge(f64::NEG_INFINITY))
+        {
+            MetricValue::Gauge(g) => *g = g.max(v),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Record `v` into the histogram `name{labels}`.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = label_key(labels);
+        let f = self.family(name, MetricKind::Histogram);
+        let bounds = f.buckets.clone();
+        match f
+            .series
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(HistogramValue::new(&bounds)))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            _ => unreachable!("kind checked by family()"),
+        }
+    }
+
+    /// Export the registry as a serializable, mergeable [`Snapshot`].
+    /// Families and series appear in sorted-name order — the same bytes
+    /// however the registry was filled.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            families: self
+                .families
+                .iter()
+                .map(|(name, f)| FamilySnapshot {
+                    name: name.clone(),
+                    kind: f.kind,
+                    series: f
+                        .series
+                        .iter()
+                        .map(|(labels, value)| SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: value.clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One series inside a [`FamilySnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Canonical label string (`k=v` pairs joined by `,`).
+    pub labels: String,
+    /// The series value.
+    pub value: MetricValue,
+}
+
+/// One metric family inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySnapshot {
+    /// Family name.
+    pub name: String,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// Series in sorted label order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// A point-in-time export of a [`Registry`]: sorted, serializable, and
+/// mergeable. Merging is commutative for counters and gauges and
+/// order-independent for histograms of equal bounds, but callers should
+/// still merge in a deterministic (index) order so float sums accumulate
+/// identically run to run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Families in sorted name order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl Snapshot {
+    /// Fold `other` into `self`: counters add, gauges take the max,
+    /// histograms add bucket-wise. Families or series present on one side
+    /// only are kept as-is.
+    ///
+    /// # Panics
+    /// Panics when the same series has different kinds or histogram
+    /// bounds on the two sides.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for of in &other.families {
+            match self.families.binary_search_by(|f| f.name.cmp(&of.name)) {
+                Err(pos) => self.families.insert(pos, of.clone()),
+                Ok(pos) => {
+                    let f = &mut self.families[pos];
+                    assert_eq!(f.kind, of.kind, "family {} has two kinds", f.name);
+                    for os in &of.series {
+                        match f.series.binary_search_by(|s| s.labels.cmp(&os.labels)) {
+                            Err(pos) => f.series.insert(pos, os.clone()),
+                            Ok(pos) => match (&mut f.series[pos].value, &os.value) {
+                                (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                                (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = a.max(*b),
+                                (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                                    a.merge(b);
+                                }
+                                _ => panic!("series {}{{{}}} has two kinds", f.name, os.labels),
+                            },
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge an ordered sequence of snapshots (index order = determinism).
+    #[must_use]
+    pub fn merged(parts: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        let mut out = Snapshot::default();
+        for p in parts {
+            out.merge(&p);
+        }
+        out
+    }
+
+    /// Look up a family by name.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families
+            .binary_search_by(|f| f.name.cmp(&name.to_string()))
+            .ok()
+            .map(|i| &self.families[i])
+    }
+
+    /// A counter series' value, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &str) -> Option<u64> {
+        match self.series_value(name, labels)? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Sum of every series of a counter family (0 when absent).
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.family(name).map_or(0, |f| {
+            f.series
+                .iter()
+                .map(|s| match &s.value {
+                    MetricValue::Counter(c) => *c,
+                    _ => 0,
+                })
+                .sum()
+        })
+    }
+
+    /// A histogram series, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &str) -> Option<&HistogramValue> {
+        match self.series_value(name, labels)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn series_value(&self, name: &str, labels: &str) -> Option<&MetricValue> {
+        let f = self.family(name)?;
+        f.series
+            .binary_search_by(|s| s.labels.as_str().cmp(labels))
+            .ok()
+            .map(|i| &f.series[i].value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let mut r = Registry::new();
+        r.incr("sessions", &[("video", "2")], 1);
+        r.incr("sessions", &[("video", "0")], 2);
+        r.incr("sessions", &[("video", "2")], 3);
+        let s = r.snapshot();
+        let f = s.family("sessions").unwrap();
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].labels, "video=0");
+        assert_eq!(s.counter("sessions", "video=2"), Some(4));
+        assert_eq!(s.counter_total("sessions"), 6);
+    }
+
+    #[test]
+    fn gauge_is_high_water_mark() {
+        let mut r = Registry::new();
+        r.gauge_max("peak", &[], 3.0);
+        r.gauge_max("peak", &[], 1.0);
+        let s = r.snapshot();
+        assert_eq!(
+            s.family("peak").unwrap().series[0].value,
+            MetricValue::Gauge(3.0)
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_mean() {
+        let mut h = HistogramValue::new(&[1.0, 10.0]);
+        for v in [0.5, 0.9, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 14.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_bytes_independent_of_insertion_order() {
+        let mut a = Registry::new();
+        a.incr("x", &[("v", "1")], 1);
+        a.incr("y", &[], 1);
+        let mut b = Registry::new();
+        b.incr("y", &[], 1);
+        b.incr("x", &[("v", "1")], 1);
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_maxes_gauges() {
+        let mut a = Registry::new();
+        a.incr("c", &[], 1);
+        a.gauge_max("g", &[], 2.0);
+        a.observe("h", &[], 0.2);
+        let mut b = Registry::new();
+        b.incr("c", &[], 2);
+        b.gauge_max("g", &[], 1.0);
+        b.observe("h", &[], 7.0);
+        b.incr("only_b", &[], 5);
+        let merged = Snapshot::merged([a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.counter("c", ""), Some(3));
+        assert_eq!(merged.counter("only_b", ""), Some(5));
+        assert_eq!(
+            merged.family("g").unwrap().series[0].value,
+            MetricValue::Gauge(2.0)
+        );
+        let h = merged.histogram("h", "").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 7.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_order_of_equal_shards_is_immaterial() {
+        let mut a = Registry::new();
+        a.observe("h", &[], 1.0);
+        let mut b = Registry::new();
+        b.observe("h", &[], 2.0);
+        let ab = Snapshot::merged([a.snapshot(), b.snapshot()]);
+        let ba = Snapshot::merged([b.snapshot(), a.snapshot()]);
+        assert_eq!(
+            serde_json::to_string(&ab).unwrap(),
+            serde_json::to_string(&ba).unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut r = Registry::new();
+        r.incr("c", &[("k", "v")], 3);
+        r.observe("h", &[], 0.3);
+        r.gauge_max("g", &[], 9.5);
+        let s = r.snapshot();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "two different kinds")]
+    fn kind_confusion_panics() {
+        let mut r = Registry::new();
+        r.incr("m", &[], 1);
+        r.observe("m", &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must match")]
+    fn histogram_bound_mismatch_panics() {
+        let mut a = HistogramValue::new(&[1.0]);
+        let b = HistogramValue::new(&[2.0]);
+        a.merge(&b);
+    }
+}

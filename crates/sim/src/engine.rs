@@ -46,6 +46,21 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifetime counters of an [`Engine`]'s agenda traffic.
+///
+/// Deterministic for a deterministic run, so they can be exported into a
+/// metrics snapshot: `scheduled == fired + cancelled + pending` holds at
+/// every instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events that fired.
+    pub fired: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+}
+
 /// The discrete-event engine: a clock plus an agenda of pending events.
 pub struct Engine<E> {
     now: Ticks,
@@ -55,6 +70,7 @@ pub struct Engine<E> {
     /// Cancellation only removes from this set; the heap entry is dropped
     /// lazily when it surfaces.
     live: HashSet<EventId>,
+    stats: EngineStats,
 }
 
 impl<E> Default for Engine<E> {
@@ -72,7 +88,14 @@ impl<E> Engine<E> {
             seq: 0,
             heap: BinaryHeap::new(),
             live: HashSet::new(),
+            stats: EngineStats::default(),
         }
+    }
+
+    /// Lifetime agenda counters (scheduled / fired / cancelled).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// The current simulation time.
@@ -106,6 +129,7 @@ impl<E> Engine<E> {
         });
         self.live.insert(id);
         self.seq += 1;
+        self.stats.scheduled += 1;
         id
     }
 
@@ -122,7 +146,11 @@ impl<E> Engine<E> {
     pub fn cancel(&mut self, id: EventId) -> bool {
         // Only the live set changes; the heap entry is dropped lazily when
         // it surfaces in `next`/`run_until`.
-        self.live.remove(&id)
+        let removed = self.live.remove(&id);
+        if removed {
+            self.stats.cancelled += 1;
+        }
+        removed
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -138,6 +166,7 @@ impl<E> Engine<E> {
             }
             debug_assert!(entry.at >= self.now, "agenda went backwards");
             self.now = entry.at;
+            self.stats.fired += 1;
             return Some((entry.at, entry.payload));
         }
         None
@@ -275,6 +304,26 @@ mod tests {
         assert_eq!(seen, vec![1]);
         assert_eq!(eng.pending(), 1);
         assert_eq!(eng.now(), Ticks(1));
+    }
+
+    #[test]
+    fn stats_conserve_scheduled_events() {
+        let mut eng: Engine<u8> = Engine::new();
+        let a = eng.schedule_at(Ticks(1), 1);
+        eng.schedule_at(Ticks(2), 2);
+        eng.schedule_at(Ticks(9), 3);
+        assert!(eng.cancel(a));
+        assert!(!eng.cancel(a), "double-cancel must not double-count");
+        eng.run_until(Ticks(5), |_, _, _| {});
+        let s = eng.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.fired, 1);
+        assert_eq!(
+            s.scheduled,
+            s.fired + s.cancelled + eng.pending() as u64,
+            "conservation: every scheduled event is fired, cancelled or pending"
+        );
     }
 
     #[test]

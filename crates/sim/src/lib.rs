@@ -70,7 +70,7 @@ pub mod system;
 pub mod trace;
 
 pub use e2e::{replay, E2eReport, PacketConfig};
-pub use engine::{Engine, EventId};
+pub use engine::{Engine, EngineStats, EventId};
 pub use faults::{LossModel, StallReport};
 pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use policy::{schedule_client, ClientPolicy};

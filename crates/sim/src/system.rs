@@ -15,6 +15,7 @@
 //! into the same [`SystemSim`], because every model reduces its sessions
 //! to the common [`crate::trace::SessionTrace`].
 
+use sb_metrics::{NullRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbits, Mbps, Minutes, TickScale, Ticks};
 
@@ -92,6 +93,28 @@ impl<'a> SystemSim<'a> {
     ///
     /// Requests need not be sorted; the engine orders them.
     pub fn run(&self, requests: &[Request]) -> Result<SystemReport, PolicyError> {
+        self.run_recorded(requests, &mut NullRecorder)
+    }
+
+    /// [`SystemSim::run`], additionally streaming per-video and
+    /// per-channel series into `rec`:
+    ///
+    /// * `sim_sessions_total{video}` — sessions served (counter);
+    /// * `sim_latency_minutes{video}` — startup latencies (histogram);
+    /// * `sim_peak_buffer_mbits{video}` — per-session peak buffer
+    ///   occupancy (histogram);
+    /// * `sim_channel_busy_minutes{channel}` — reception durations, whose
+    ///   sum is the channel's busy time (histogram);
+    /// * `sim_peak_active_sessions` — high-water mark (gauge);
+    /// * `engine_events_total{kind}` — agenda traffic (counters).
+    ///
+    /// The returned report is identical to [`SystemSim::run`]'s: the
+    /// recorder observes the simulation, it never steers it.
+    pub fn run_recorded(
+        &self,
+        requests: &[Request],
+        rec: &mut dyn Recorder,
+    ) -> Result<SystemReport, PolicyError> {
         let mut engine: Engine<Ev> = Engine::new();
         for &r in requests {
             engine.schedule_at(
@@ -130,6 +153,19 @@ impl<'a> SystemSim<'a> {
                         worst_buffer = worst_buffer.max(s.peak_buffer());
                         let end = s.playback_end();
                         delivered += end.value() - s.playback_start.value();
+                        let video = r.video.0.to_string();
+                        let vl: &[(&str, &str)] = &[("video", &video)];
+                        rec.incr("sim_sessions_total", vl, 1);
+                        rec.observe("sim_latency_minutes", vl, lat.value());
+                        rec.observe("sim_peak_buffer_mbits", vl, s.peak_buffer().value());
+                        for rx in &s.receptions {
+                            let channel = rx.channel.to_string();
+                            rec.observe(
+                                "sim_channel_busy_minutes",
+                                &[("channel", &channel)],
+                                rx.duration.value(),
+                            );
+                        }
                         eng.schedule_at(
                             Ticks::ZERO + self.scale.duration_from_minutes(end),
                             Ev::Finish,
@@ -145,6 +181,15 @@ impl<'a> SystemSim<'a> {
 
         if let Some(e) = error {
             return Err(e);
+        }
+        rec.gauge_max("sim_peak_active_sessions", &[], peak_active as f64);
+        let stats = engine.stats();
+        for (kind, n) in [
+            ("scheduled", stats.scheduled),
+            ("fired", stats.fired),
+            ("cancelled", stats.cancelled),
+        ] {
+            rec.incr("engine_events_total", &[("kind", kind)], n);
         }
         latencies.sort_by(f64::total_cmp);
         let percentile = |q: f64| -> Minutes {
@@ -221,6 +266,32 @@ mod tests {
         let report = sim.run(&requests_grid(500, 1, 50.0)).unwrap();
         let ratio = report.mean_latency.value() / d1;
         assert!((ratio - 0.5).abs() < 0.05, "mean/worst = {ratio:.3}");
+    }
+
+    #[test]
+    fn recorded_run_matches_bare_run_and_fills_registry() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let scheme = Skyscraper::with_width(Width::Capped(52));
+        let plan = scheme.plan(&cfg).unwrap();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let requests = requests_grid(60, 10, 30.0);
+        let bare = sim.run(&requests).unwrap();
+        let mut reg = sb_metrics::Registry::new();
+        let recorded = sim.run_recorded(&requests, &mut reg).unwrap();
+        assert_eq!(bare, recorded, "recording must not steer the simulation");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("sim_sessions_total"), 60);
+        // 60 sessions over 10 videos → 10 per-video latency series.
+        assert_eq!(snap.family("sim_latency_minutes").unwrap().series.len(), 10);
+        // Every session's reception time lands on some channel series.
+        assert!(snap.family("sim_channel_busy_minutes").is_some());
+        assert_eq!(
+            snap.counter("engine_events_total", "kind=fired"),
+            Some(120),
+            "one Arrive and one Finish per session"
+        );
+        let lat = snap.histogram("sim_latency_minutes", "video=0").unwrap();
+        assert!(lat.count > 0 && lat.mean() <= bare.worst_latency.value());
     }
 
     #[test]

@@ -194,5 +194,23 @@ mod tests {
                 prop_assert!(latency_for(d, k, best) > target);
             }
         }
+
+        #[test]
+        fn latency_shrinks_with_more_channels(k in 1usize..=79) {
+            // Prefix sums strictly increase in k, so D₁ strictly decreases:
+            // each extra channel per video buys latency.
+            let d = Minutes(120.0);
+            for w in [Width::Unbounded, Width::Capped(52), Width::Capped(2)] {
+                prop_assert!(latency_for(d, k + 1, w) < latency_for(d, k, w));
+            }
+        }
+
+        #[test]
+        fn candidates_are_sorted_series_values(k in 1usize..=80) {
+            let cands = candidate_widths(k);
+            prop_assert!(cands.windows(2).all(|p| p[0] < p[1]));
+            prop_assert!(cands.iter().all(|&w| crate::series::is_series_value(w)));
+            prop_assert_eq!(*cands.last().unwrap(), unit(k));
+        }
     }
 }

@@ -21,6 +21,6 @@ pub mod arrivals;
 pub mod catalog;
 pub mod zipf;
 
-pub use arrivals::{DiurnalArrivals, Patience, PoissonArrivals, WorkloadRequest};
+pub use arrivals::{DiurnalArrivals, Patience, PoissonArrivals, PopularityShift, WorkloadRequest};
 pub use catalog::{Catalog, Video};
 pub use zipf::ZipfPopularity;

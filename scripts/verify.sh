@@ -16,4 +16,13 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo doc --no-deps (warnings denied, first-party crates)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p skyscraper-broadcasting -p vod-units -p sb-core -p sb-pyramid \
+    -p sb-sim -p sb-workload -p sb-batching -p sb-metrics -p sb-control \
+    -p sb-analysis -p sb-cli -p sb-bench
+
+echo "==> popularity-shift smoke (static vs dynamic control)"
+cargo run -q -p sb-cli --bin sbcast -- control --horizon 300 --seeds 11 --threads 2
+
 echo "verify: OK"

@@ -11,6 +11,10 @@
 //!   reneging;
 //! * [`batching`] — scheduled multicast for the unpopular
 //!   tail, and the §1 hybrid server;
+//! * [`control`] — the online control plane: popularity
+//!   estimation, dynamic channel reallocation, admission control;
+//! * [`metrics`] — the deterministic counters/gauges/histograms
+//!   registry the simulators report into;
 //! * [`analysis`] — every figure and table of the paper's
 //!   evaluation, regenerated;
 //! * [`units`] — the physical-quantity newtypes underneath it
@@ -22,7 +26,9 @@
 
 pub use sb_analysis as analysis;
 pub use sb_batching as batching;
+pub use sb_control as control;
 pub use sb_core as core;
+pub use sb_metrics as metrics;
 pub use sb_pyramid as pyramid;
 pub use sb_sim as sim;
 pub use sb_workload as workload;

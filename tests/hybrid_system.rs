@@ -100,6 +100,7 @@ fn prime_time_peak_only_hurts_the_batching_tail() {
         peak_boost: 8.0,
         peak_at: Minutes(300.0),
         peak_width: Minutes(60.0),
+        day: None,
         patience: Patience::Exponential(Minutes(8.0)),
         seed: 21,
     }
