@@ -13,6 +13,7 @@
 //! | [`ablation`] | beyond-paper studies: series shape and width sensitivity |
 //! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
 //! | [`control_study`] | static-vs-dynamic channel allocation under a popularity shift |
+//! | [`resilience_study`] | schemes under bursty loss/outages and the control plane's recovery |
 //! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
@@ -28,6 +29,7 @@ pub mod figures;
 pub mod hybrid_study;
 pub mod lineup;
 pub mod render;
+pub mod resilience_study;
 pub mod runner;
 pub mod sweep;
 pub mod tables;

@@ -1,0 +1,76 @@
+//! The fault study, swept over burstiness: every scheme under i.i.d.
+//! and Gilbert–Elliott loss at equal mean rates plus a mid-run outage,
+//! and the control plane's recovery under the same script. Emits
+//! `BENCH_resilience.json` unless `--json` names another path.
+
+use std::path::PathBuf;
+
+use sb_analysis::resilience_study::{resilience_study, ResilienceStudyConfig};
+
+fn main() {
+    let mut args = sb_bench::Args::parse();
+    if args.json.is_none() {
+        args.json = Some(PathBuf::from("BENCH_resilience.json"));
+    }
+    let runner = args.runner();
+    let base = ResilienceStudyConfig::paper_defaults();
+    println!(
+        "fault study: B = {:.0} Mb/s, {} sessions/cell over {:.0} min, \
+         loss rates {:?}, outage on channel {} at {:.0}+{:.0} min\n",
+        base.bandwidth.value(),
+        base.samples,
+        base.horizon.value(),
+        base.loss_rates,
+        base.script.outages[0].channel,
+        base.script.outages[0].start.value(),
+        base.script.outages[0].duration.value(),
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>13}",
+        "burst len", "iid stall", "burst stall", "truncated", "static lat", "dynamic lat"
+    );
+    let mut studies = Vec::new();
+    let mut metrics = sb_metrics::Snapshot::default();
+    for &burst_len in &[2.0, 4.0, 8.0] {
+        let cfg = ResilienceStudyConfig {
+            burst_len,
+            ..base.clone()
+        };
+        let (study, snapshot) = resilience_study(&cfg, &runner).expect("valid default config");
+        // Stall-policy damage (tally 0) summed across cells, per loss kind.
+        let stall_of = |kind: sb_analysis::resilience_study::LossKind| -> f64 {
+            study
+                .cells
+                .iter()
+                .filter(|c| c.kind == kind)
+                .map(|c| c.tallies[0].stall_minutes)
+                .sum()
+        };
+        let truncated: usize = study
+            .cells
+            .iter()
+            .flat_map(|c| c.tallies.iter())
+            .map(|t| t.truncated_sessions)
+            .sum();
+        println!(
+            "{:>10.1} {:>12.2} {:>12.2} {:>12} {:>12.3} {:>13.3}",
+            burst_len,
+            stall_of(sb_analysis::resilience_study::LossKind::Iid),
+            stall_of(sb_analysis::resilience_study::LossKind::Burst),
+            truncated,
+            study.static_mean_latency.value(),
+            study.dynamic_mean_latency.value(),
+        );
+        metrics.merge(&snapshot);
+        studies.push(study);
+    }
+    println!(
+        "\nmetrics: {} outages, {} sessions repaired, {} redirected, {} burst slips",
+        metrics.counter_total("resilience_outages_total"),
+        metrics.counter_total("resilience_repaired_sessions_total"),
+        metrics.counter_total("resilience_redirected_total"),
+        metrics.counter_total("resilience_burst_slips_total"),
+    );
+    args.maybe_write_json(&studies);
+    args.finish(&runner);
+}

@@ -11,6 +11,8 @@
 //! sbcast control  --bandwidth 300 --shift-at 150 --rotate 20
 //!                                                       static vs dynamic channel
 //!                                                       control under a popularity shift
+//! sbcast resilience --horizon 200 --seeds 7 --threads 2 the fault study: schemes under
+//!                                                       bursty loss/outages + recovery
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
@@ -39,12 +41,15 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
-           --shift-at --rotate --tick --half-life --hysteresis --ceiling --retry\n\
+           --shift-at --rotate --tick --half-life --hysteresis --ceiling\n\
+           --retry --retry-factor --retry-attempts\n\
            --patience --fraction --seeds 11,23,47\n\
+           --loss-rates 0.01,0.05 --burst-len 4\n\
+           --outage-channel --outage-start --outage-duration\n\
            --threads N --samples N --json PATH --metrics PATH --manifest PATH"
 }
 
@@ -366,6 +371,23 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
 /// Static vs dynamic channel control under a popularity shift: the same
 /// request streams through [`sb_control::ControlledSim`] twice, once per
 /// [`sb_control::ControlPolicy`].
+/// Parse the admission-backoff flags: `--retry <base-minutes>` enables
+/// deferral; `--retry-factor` (default 2) and `--retry-attempts`
+/// (default 5) shape the exponential schedule.
+fn parse_backoff(opts: &Opts) -> Result<Option<sb_control::Backoff>, String> {
+    let Some(base) = opts.0.get("retry") else {
+        return Ok(None);
+    };
+    let base: f64 = base
+        .parse()
+        .map_err(|_| format!("--retry: bad number `{base}`"))?;
+    let factor = opts.get_f64("retry-factor", 2.0)?;
+    let attempts = opts.get_usize("retry-attempts", 5)? as u32;
+    sb_control::Backoff::new(Minutes(base), factor, attempts)
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
 fn cmd_control(opts: &Opts) -> Result<(), String> {
     use sb_analysis::control_study::{render_shift_study, shift_study, ShiftStudyConfig};
     use sb_control::ControlConfig;
@@ -382,13 +404,7 @@ fn cmd_control(opts: &Opts) -> Result<(), String> {
         half_life: Minutes(opts.get_f64("half-life", 45.0)?),
         hysteresis: opts.get_f64("hysteresis", 0.1)?,
         admission_ceiling: opts.get_f64("ceiling", 3.0)?,
-        admission_retry: match opts.0.get("retry") {
-            None => None,
-            Some(v) => Some(Minutes(
-                v.parse()
-                    .map_err(|_| format!("--retry: bad number `{v}`"))?,
-            )),
-        },
+        admission_retry: parse_backoff(opts)?,
     };
     let seeds: Vec<u64> = opts
         .get_str("seeds", "11,23,47")
@@ -407,6 +423,59 @@ fn cmd_control(opts: &Opts) -> Result<(), String> {
     let runner = runner_from(opts)?;
     let (study, snapshot) = shift_study(&cfg, &runner).map_err(|e| e.to_string())?;
     print!("{}", render_shift_study(&study));
+    if let Some(path) = opts.0.get("json") {
+        let json = serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = opts.0.get("metrics") {
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_runner(opts, &runner)
+}
+
+/// The fault study: every scheme under i.i.d. and bursty loss at equal
+/// mean rates plus a mid-run channel outage, and the control plane's
+/// recovery from the same script under static vs dynamic control.
+fn cmd_resilience(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::resilience_study::{
+        render_resilience_study, resilience_study, ResilienceStudyConfig,
+    };
+    use sb_resilience::{ChannelOutage, FaultScript};
+
+    let mut cfg = ResilienceStudyConfig::paper_defaults();
+    cfg.bandwidth = Mbps(opts.get_f64("bandwidth", 320.0)?);
+    cfg.horizon = Minutes(opts.get_f64("horizon", 200.0)?);
+    cfg.samples = opts.get_usize("samples", 24)?;
+    cfg.burst_len = opts.get_f64("burst-len", 4.0)?;
+    if let Some(spec) = opts.0.get("loss-rates") {
+        cfg.loss_rates = spec
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|_| format!("bad loss rate `{t}`")))
+            .collect::<Result<_, _>>()?;
+    }
+    cfg.seeds = opts
+        .get_str("seeds", "11,23,47")
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|_| format!("bad seed `{t}`")))
+        .collect::<Result<_, _>>()?;
+    cfg.script = FaultScript {
+        outages: vec![ChannelOutage {
+            channel: opts.get_usize("outage-channel", 0)?,
+            start: Minutes(opts.get_f64("outage-start", 60.0)?),
+            duration: Minutes(opts.get_f64("outage-duration", 25.0)?),
+        }],
+        ..FaultScript::none()
+    };
+    cfg.rate = opts.get_f64("rate", 6.0)?;
+    cfg.mean_patience = Minutes(opts.get_f64("patience", 45.0)?);
+    cfg.control.admission_retry = parse_backoff(opts)?;
+
+    let runner = runner_from(opts)?;
+    let (study, snapshot) = resilience_study(&cfg, &runner).map_err(|e| e.to_string())?;
+    print!("{}", render_resilience_study(&study));
     if let Some(path) = opts.0.get("json") {
         let json = serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
@@ -544,6 +613,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "hybrid" => cmd_hybrid(&opts),
         "control" => cmd_control(&opts),
+        "resilience" => cmd_resilience(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

@@ -1,0 +1,66 @@
+//! End-to-end smoke tests for the `sbcast` binary: bad input must exit
+//! nonzero with a one-line error on stderr, never a panic backtrace.
+
+use std::process::Command;
+
+fn sbcast(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sbcast"))
+        .args(args)
+        .output()
+        .expect("spawn sbcast")
+}
+
+fn assert_clean_failure(out: &std::process::Output) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "expected nonzero exit");
+    assert!(
+        stderr.contains("error:") || stderr.contains("usage:"),
+        "stderr should explain the failure, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "bad input must not panic: {stderr}"
+    );
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = sbcast(&[]);
+    assert_clean_failure(&out);
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = sbcast(&["frobnicate"]);
+    assert_clean_failure(&out);
+}
+
+#[test]
+fn bad_flag_value_fails_cleanly() {
+    let out = sbcast(&["plan", "--bandwidth", "not-a-number"]);
+    assert_clean_failure(&out);
+}
+
+#[test]
+fn dangling_flag_fails_cleanly() {
+    let out = sbcast(&["metrics", "--bandwidth"]);
+    assert_clean_failure(&out);
+}
+
+#[test]
+fn bad_resilience_config_fails_cleanly() {
+    // Loss rate above 1: rejected by up-front validation, not a panic.
+    let out = sbcast(&["resilience", "--loss-rates", "1.5", "--samples", "1"]);
+    assert_clean_failure(&out);
+    // An outage naming a slot the control half does not have.
+    let out = sbcast(&["resilience", "--outage-channel", "99", "--samples", "1"]);
+    assert_clean_failure(&out);
+}
+
+#[test]
+fn plan_succeeds_on_defaults() {
+    let out = sbcast(&["plan"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("channels"));
+}

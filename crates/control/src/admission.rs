@@ -9,6 +9,13 @@
 //! or *defer* (ask them to retry shortly, keeping their original patience
 //! deadline).
 //!
+//! Deferral follows a bounded **exponential backoff** ([`Backoff`]): the
+//! first retry comes after `base`, each further one `factor`× later, and
+//! after `max_attempts` tries the request is rejected outright. The old
+//! single fixed delay is the `factor = 1` special case
+//! ([`Backoff::fixed`]); the cap keeps an overloaded system from carrying
+//! an unbounded retry population.
+//!
 //! The load signal is the **projected channel load**: busy channels plus
 //! queued requests (plus the candidate itself), over the pool size. Queued
 //! requests are an upper bound on the backlog — batching may serve several
@@ -18,6 +25,73 @@
 
 use serde::{Deserialize, Serialize};
 use vod_units::Minutes;
+
+use sb_core::error::{Result, SchemeError};
+
+/// Bounded exponential backoff for deferred admissions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Minutes,
+    /// Multiplier applied per further retry (`1.0` = fixed delay).
+    pub factor: f64,
+    /// Retries allowed before the request is rejected outright.
+    pub max_attempts: u32,
+}
+
+impl Backoff {
+    /// A backoff schedule: retry after `base`, then `base·factor`, then
+    /// `base·factor²`, …, giving up after `max_attempts` retries.
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless the base delay is positive
+    /// and finite, the factor is at least 1 and finite, and at least one
+    /// attempt is allowed.
+    pub fn new(base: Minutes, factor: f64, max_attempts: u32) -> Result<Self> {
+        if !(base.value() > 0.0 && base.value().is_finite()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "backoff base delay must be positive and finite",
+            });
+        }
+        if !(factor >= 1.0 && factor.is_finite()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "backoff factor must be at least 1 and finite",
+            });
+        }
+        if max_attempts == 0 {
+            return Err(SchemeError::InvalidConfig {
+                what: "backoff needs at least one attempt",
+            });
+        }
+        Ok(Self {
+            base,
+            factor,
+            max_attempts,
+        })
+    }
+
+    /// The old fixed-delay behaviour: every retry waits `delay`, with a
+    /// generous attempt cap standing in for "unbounded".
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless the delay is positive and
+    /// finite.
+    pub fn fixed(delay: Minutes) -> Result<Self> {
+        Self::new(delay, 1.0, u32::MAX)
+    }
+
+    /// Delay before retry number `attempt` (0-based), or `None` once the
+    /// attempt budget is exhausted.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Option<Minutes> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        Some(Minutes(
+            self.base.value() * self.factor.powi(attempt as i32),
+        ))
+    }
+}
 
 /// What the controller tells an arriving pool request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,10 +109,10 @@ pub enum AdmissionDecision {
 pub struct AdmissionControl {
     /// Maximum admissible projected load (see [module docs](self)).
     pub ceiling: f64,
-    /// If set, over-ceiling requests are deferred by this much instead of
+    /// If set, over-ceiling requests back off and retry instead of being
     /// rejected (they still reject once the retry would pass their
-    /// patience deadline).
-    pub retry: Option<Minutes>,
+    /// patience deadline, or once the attempt budget runs out).
+    pub retry: Option<Backoff>,
 }
 
 impl AdmissionControl {
@@ -58,10 +132,10 @@ impl AdmissionControl {
         }
     }
 
-    /// Defer over-ceiling requests by `delay` instead of rejecting.
+    /// Defer over-ceiling requests on `backoff` instead of rejecting.
     #[must_use]
-    pub fn with_retry(mut self, delay: Minutes) -> Self {
-        self.retry = Some(delay);
+    pub fn with_retry(mut self, backoff: Backoff) -> Self {
+        self.retry = Some(backoff);
         self
     }
 
@@ -73,13 +147,22 @@ impl AdmissionControl {
     }
 
     /// Decide for a request arriving when `busy` of `pool` channels are
-    /// streaming and `queued` requests wait.
+    /// streaming and `queued` requests wait. `attempt` counts the retries
+    /// this request has already been through (0 for a fresh arrival); an
+    /// over-ceiling request defers while its backoff budget lasts and is
+    /// rejected after.
     #[must_use]
-    pub fn decide(&self, busy: usize, queued: usize, pool: usize) -> AdmissionDecision {
+    pub fn decide(
+        &self,
+        busy: usize,
+        queued: usize,
+        pool: usize,
+        attempt: u32,
+    ) -> AdmissionDecision {
         if Self::projected_load(busy, queued, pool) <= self.ceiling {
             AdmissionDecision::Admit
         } else {
-            match self.retry {
+            match self.retry.and_then(|b| b.delay(attempt)) {
                 Some(delay) => AdmissionDecision::Defer(delay),
                 None => AdmissionDecision::Reject,
             }
@@ -95,21 +178,44 @@ mod tests {
     fn admits_under_the_ceiling() {
         let a = AdmissionControl::new(2.0);
         // (5 busy + 4 queued + 1) / 5 = 2.0: exactly at the ceiling.
-        assert_eq!(a.decide(5, 4, 5), AdmissionDecision::Admit);
-        assert_eq!(a.decide(0, 0, 5), AdmissionDecision::Admit);
+        assert_eq!(a.decide(5, 4, 5, 0), AdmissionDecision::Admit);
+        assert_eq!(a.decide(0, 0, 5, 0), AdmissionDecision::Admit);
     }
 
     #[test]
     fn rejects_over_the_ceiling() {
         let a = AdmissionControl::new(2.0);
-        assert_eq!(a.decide(5, 5, 5), AdmissionDecision::Reject);
+        assert_eq!(a.decide(5, 5, 5, 0), AdmissionDecision::Reject);
     }
 
     #[test]
     fn defers_when_retry_is_configured() {
-        let a = AdmissionControl::new(1.0).with_retry(Minutes(3.0));
-        assert_eq!(a.decide(4, 2, 4), AdmissionDecision::Defer(Minutes(3.0)));
-        assert_eq!(a.decide(0, 0, 4), AdmissionDecision::Admit);
+        let a = AdmissionControl::new(1.0).with_retry(Backoff::fixed(Minutes(3.0)).unwrap());
+        assert_eq!(a.decide(4, 2, 4, 0), AdmissionDecision::Defer(Minutes(3.0)));
+        assert_eq!(a.decide(0, 0, 4, 0), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps_out() {
+        let b = Backoff::new(Minutes(2.0), 2.0, 3).unwrap();
+        assert_eq!(b.delay(0), Some(Minutes(2.0)));
+        assert_eq!(b.delay(1), Some(Minutes(4.0)));
+        assert_eq!(b.delay(2), Some(Minutes(8.0)));
+        assert_eq!(b.delay(3), None);
+
+        let a = AdmissionControl::new(1.0).with_retry(b);
+        assert_eq!(a.decide(4, 2, 4, 1), AdmissionDecision::Defer(Minutes(4.0)));
+        // Attempt budget exhausted: over-ceiling now rejects.
+        assert_eq!(a.decide(4, 2, 4, 3), AdmissionDecision::Reject);
+    }
+
+    #[test]
+    fn backoff_construction_validates() {
+        assert!(Backoff::new(Minutes(0.0), 2.0, 3).is_err());
+        assert!(Backoff::new(Minutes(1.0), 0.5, 3).is_err());
+        assert!(Backoff::new(Minutes(1.0), 2.0, 0).is_err());
+        assert!(Backoff::fixed(Minutes(-1.0)).is_err());
+        assert!(Backoff::new(Minutes(1.0), 1.0, 1).is_ok());
     }
 
     #[test]

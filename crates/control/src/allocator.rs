@@ -83,6 +83,10 @@ pub struct ChannelAllocator {
     period: f64,
     /// Relative score margin a challenger must clear.
     hysteresis: f64,
+    /// Slots currently out of service (channel outage). A down slot keeps
+    /// its committed occupant but serves nobody, plans nothing, and is
+    /// skipped by [`ChannelAllocator::slot_of`] until restored.
+    down: Vec<bool>,
 }
 
 impl ChannelAllocator {
@@ -119,6 +123,7 @@ impl ChannelAllocator {
                 .collect(),
             period: p,
             hysteresis,
+            down: vec![false; initial.len()],
         }
     }
 
@@ -128,10 +133,59 @@ impl ChannelAllocator {
         self.slots.len()
     }
 
-    /// The slot currently (committed) broadcasting `video`, if any.
+    /// The *servable* slot currently (committed) broadcasting `video`,
+    /// if any. A slot taken out of service by an outage is skipped — its
+    /// occupant is dark, not broadcast.
     #[must_use]
     pub fn slot_of(&self, video: usize) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.video == video)
+            .filter(|&i| !self.down[i])
+    }
+
+    /// The slot assigned to `video` regardless of service state — the
+    /// committed assignment, dark or not.
+    #[must_use]
+    pub fn slot_of_any(&self, video: usize) -> Option<usize> {
         self.slots.iter().position(|s| s.video == video)
+    }
+
+    /// `true` while `slot` is out of service.
+    #[must_use]
+    pub fn is_down(&self, slot: usize) -> bool {
+        self.down[slot]
+    }
+
+    /// Take `slot` out of service (channel outage). Any swap in flight is
+    /// cancelled — it can no longer drain safely — and returned so the
+    /// caller can account for the aborted reconfiguration. The committed
+    /// occupant keeps the slot; it is simply dark until
+    /// [`ChannelAllocator::restore`].
+    pub fn out_of_service(&mut self, slot: usize) -> Option<PendingSwap> {
+        self.down[slot] = true;
+        self.slots[slot].pending.take()
+    }
+
+    /// Bring `slot` back into service at `now`. The phase origin moves to
+    /// the restore instant — the dark period broadcast nothing, so cycles
+    /// restart fresh rather than pretending continuity.
+    pub fn restore(&mut self, slot: usize, now: Minutes) {
+        self.down[slot] = false;
+        self.slots[slot].since = now;
+    }
+
+    /// Cancel every pending swap (server restart: in-flight
+    /// reconfigurations do not survive a crash). Returns how many were
+    /// dropped.
+    pub fn cancel_all_pending(&mut self) -> usize {
+        let mut n = 0;
+        for s in &mut self.slots {
+            if s.pending.take().is_some() {
+                n += 1;
+            }
+        }
+        n
     }
 
     /// The committed hot set, in slot order.
@@ -222,8 +276,14 @@ impl ChannelAllocator {
             .filter(|v| !occupied.contains(v))
             .collect();
         // Demotable incumbents, weakest first (ties toward lower slot).
+        // Down slots are not demotable: a dark channel cannot drain a
+        // swap, so reconfiguration waits for restoration.
         let mut demotable: Vec<usize> = (0..self.slots.len())
-            .filter(|&i| self.slots[i].pending.is_none() && !desired.contains(&self.slots[i].video))
+            .filter(|&i| {
+                !self.down[i]
+                    && self.slots[i].pending.is_none()
+                    && !desired.contains(&self.slots[i].video)
+            })
             .collect();
         demotable.sort_by(|&a, &b| {
             scores[self.slots[a].video]
@@ -332,6 +392,49 @@ mod tests {
         assert_eq!(planned.len(), 2);
         assert_eq!((planned[0].from, planned[0].to), (1, 3));
         assert_eq!((planned[1].from, planned[1].to), (0, 2));
+    }
+
+    #[test]
+    fn outage_takes_the_slot_dark_and_cancels_its_swap() {
+        let mut a = alloc(&[0, 1], 2.0, 0.0);
+        // A swap is in flight on slot 0 when the outage hits.
+        let planned = a.plan(Minutes(0.5), &[0.0, 5.0, 9.0]);
+        assert_eq!(planned.len(), 1);
+        let slot = planned[0].slot;
+        let cancelled = a.out_of_service(slot);
+        assert_eq!(cancelled.map(|p| p.to), Some(2));
+        assert!(a.is_down(slot));
+        // Dark: the occupant is not servable, but the assignment stands.
+        assert_eq!(a.slot_of(a.hot_videos()[slot]), None);
+        assert_eq!(a.slot_of_any(a.hot_videos()[slot]), Some(slot));
+        // The cancelled swap never commits.
+        assert!(a.commit_matured(Minutes(10.0)).is_empty());
+        // A down slot is not demotable either: with slot 1's occupant in
+        // the desired set, the only demotable incumbent is dark, so the
+        // challenger has nowhere to land.
+        assert!(a.plan(Minutes(10.5), &[0.0, 5.0, 9.0]).is_empty());
+    }
+
+    #[test]
+    fn restore_rephases_the_slot_to_the_restore_instant() {
+        let mut a = alloc(&[0, 1], 2.0, 0.0);
+        a.out_of_service(1);
+        a.restore(1, Minutes(7.5));
+        assert!(!a.is_down(1));
+        assert_eq!(a.slot_of(1), Some(1));
+        // Cycles restart at the restore instant, not the old phase.
+        assert_eq!(a.wait_for(1, Minutes(7.5)), Minutes(0.0));
+        assert_eq!(a.wait_for(1, Minutes(8.0)), Minutes(1.5));
+    }
+
+    #[test]
+    fn restart_cancels_every_pending_swap() {
+        let mut a = alloc(&[0, 1], 2.0, 0.0);
+        let planned = a.plan(Minutes(0.5), &[0.0, 0.1, 5.0, 9.0]);
+        assert_eq!(planned.len(), 2);
+        assert_eq!(a.cancel_all_pending(), 2);
+        assert!(a.commit_matured(Minutes(10.0)).is_empty());
+        assert_eq!(a.hot_videos(), vec![0, 1]);
     }
 
     #[test]

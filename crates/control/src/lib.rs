@@ -25,7 +25,7 @@ pub mod allocator;
 pub mod estimator;
 pub mod sim;
 
-pub use admission::{AdmissionControl, AdmissionDecision};
+pub use admission::{AdmissionControl, AdmissionDecision, Backoff};
 pub use allocator::{ChannelAllocator, CommittedSwap, PendingSwap, PlannedSwap, Slot};
 pub use estimator::PopularityEstimator;
 pub use sim::{ControlConfig, ControlPolicy, ControlReport, ControlledSim};

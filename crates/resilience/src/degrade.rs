@@ -1,0 +1,397 @@
+//! Graceful degradation: what a client does when a repair misses its
+//! deadline.
+//!
+//! [`sb_sim::apply_losses`] always **stalls**: the player freezes for the
+//! full lateness and every later deadline shifts back. That is one policy
+//! among several a set-top box could adopt; [`replay`] generalizes the
+//! same repair loop over [`Degradation`]:
+//!
+//! - [`Degradation::Stall`] — freeze for the full lateness; bit-for-bit
+//!   the behaviour of [`sb_sim::apply_losses`] (pinned by test).
+//! - [`Degradation::SkipSegment`] — never freeze: a reception that
+//!   cannot make its deadline has its content skipped instead, playback
+//!   continues on time, and the skipped display minutes are accounted.
+//! - [`Degradation::QualityDrop`] — fall back to a half-rate rendition of
+//!   the late reception. Modelled coarsely: halving the rate requirement
+//!   lets playback resume after half the slip, so the player stalls for
+//!   `lateness / 2` and renders `lateness / 2` display minutes degraded.
+//!   (The full-quality first-byte deadline is binding for any reception
+//!   rate ≥ display rate, so a literal data-requirement halving would
+//!   never help; the half-split is the documented simplification.)
+//!
+//! Every path records through [`sb_metrics`] families
+//! (`degrade_stall_minutes`, `degrade_skipped_minutes`,
+//! `degrade_degraded_minutes`, `degrade_truncated`) so studies can
+//! compare policies without re-deriving the accounting.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use vod_units::Minutes;
+
+use sb_core::plan::ChannelPlan;
+use sb_metrics::Recorder;
+use sb_sim::faults::{deadline_order, occurrence_index, MAX_RETRIES};
+use sb_sim::{LossProcess, SessionTrace, Stall, StallReport};
+
+/// What a client does with a reception that misses its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// Freeze playback for the full lateness (the classic behaviour).
+    Stall,
+    /// Skip the late content; playback never freezes.
+    SkipSegment,
+    /// Drop to a half-rate rendition: stall half the lateness, render the
+    /// other half degraded.
+    QualityDrop,
+}
+
+impl Degradation {
+    /// Stable lowercase label, used for metric labels and CLI flags.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Degradation::Stall => "stall",
+            Degradation::SkipSegment => "skip",
+            Degradation::QualityDrop => "quality",
+        }
+    }
+
+    /// All policies, in presentation order.
+    #[must_use]
+    pub fn all() -> [Degradation; 3] {
+        [
+            Degradation::Stall,
+            Degradation::SkipSegment,
+            Degradation::QualityDrop,
+        ]
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Degradation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "stall" => Ok(Degradation::Stall),
+            "skip" => Ok(Degradation::SkipSegment),
+            "quality" => Ok(Degradation::QualityDrop),
+            other => Err(format!(
+                "unknown degradation policy `{other}` (expected stall, skip, or quality)"
+            )),
+        }
+    }
+}
+
+/// The outcome of replaying a session under losses with a degradation
+/// policy — [`StallReport`] plus the skip/quality ledgers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedReport {
+    /// The repaired trace (receptions slipped to surviving occurrences).
+    pub trace: SessionTrace,
+    /// Stalls in playback order (empty under `SkipSegment`).
+    pub stalls: Vec<Stall>,
+    /// `(reception index, display minutes skipped)` under `SkipSegment`.
+    pub skipped: Vec<(usize, Minutes)>,
+    /// `(reception index, display minutes degraded)` under `QualityDrop`.
+    pub degraded: Vec<(usize, Minutes)>,
+    /// Receptions the repair gave up on after [`MAX_RETRIES`].
+    pub truncated: Vec<usize>,
+}
+
+impl DegradedReport {
+    /// Total frozen time.
+    #[must_use]
+    pub fn total_stall(&self) -> Minutes {
+        Minutes(self.stalls.iter().map(|s| s.duration.value()).sum())
+    }
+
+    /// Total display minutes skipped.
+    #[must_use]
+    pub fn skipped_minutes(&self) -> Minutes {
+        Minutes(self.skipped.iter().map(|(_, m)| m.value()).sum())
+    }
+
+    /// Total display minutes rendered degraded.
+    #[must_use]
+    pub fn degraded_minutes(&self) -> Minutes {
+        Minutes(self.degraded.iter().map(|(_, m)| m.value()).sum())
+    }
+}
+
+/// Replay `trace` under `losses` with degradation `policy`, recording the
+/// outcome through `rec`.
+///
+/// The repair loop is the one in [`sb_sim::apply_losses`] — receptions
+/// slip whole periods to surviving occurrences, deadlines are checked in
+/// playback order against the shift accumulated so far — but lateness is
+/// resolved per `policy` instead of always stalling. With
+/// [`Degradation::Stall`] the result equals [`sb_sim::apply_losses`]
+/// field for field.
+pub fn replay<L: LossProcess + ?Sized>(
+    plan: &ChannelPlan,
+    trace: &SessionTrace,
+    losses: &L,
+    policy: Degradation,
+    rec: &mut dyn Recorder,
+) -> DegradedReport {
+    let mut out = trace.clone();
+    let mut stalls = Vec::new();
+    let mut skipped = Vec::new();
+    let mut degraded = Vec::new();
+    let mut truncated = Vec::new();
+    // Accumulated playback shift from stalls so far.
+    let mut shift = 0.0f64;
+    // Display minutes per Mbit of content.
+    let per_mbit = 1.0 / (trace.display_rate.value() * 60.0);
+
+    for i in deadline_order(trace) {
+        let r = out.receptions[i];
+        let ch = &plan.channels[r.channel];
+        let period = ch.period().value();
+        let offset_minutes = r.content_offset.value() / (r.rate.value() * 60.0);
+        let mut occ = occurrence_index(plan, r.channel, r.start, offset_minutes);
+        let mut start = r.start.value();
+        let mut retries = 0;
+        while losses.is_lost(r.channel, occ) && retries < MAX_RETRIES {
+            occ += 1;
+            start += period;
+            retries += 1;
+        }
+        if retries >= MAX_RETRIES {
+            truncated.push(i);
+            rec.incr("degrade_truncated", &[("policy", policy.label())], 1);
+        }
+        out.receptions[i].start = Minutes(start);
+
+        let required = trace.required_start(i).value() + shift;
+        let lateness = start - required;
+        if lateness <= 1e-9 {
+            continue;
+        }
+        match policy {
+            Degradation::Stall => {
+                shift += lateness;
+                stalls.push(Stall {
+                    segment: r.segment,
+                    reception: i,
+                    duration: Minutes(lateness),
+                });
+                rec.observe(
+                    "degrade_stall_minutes",
+                    &[("policy", policy.label())],
+                    lateness,
+                );
+            }
+            Degradation::SkipSegment => {
+                // Playback rolls on; the late content is simply dropped.
+                let skip = r.size.value() * per_mbit;
+                skipped.push((i, Minutes(skip)));
+                rec.observe(
+                    "degrade_skipped_minutes",
+                    &[("policy", policy.label())],
+                    skip,
+                );
+            }
+            Degradation::QualityDrop => {
+                // Half-rate rendition: half the slip becomes a stall, the
+                // other half plays degraded.
+                let pause = lateness / 2.0;
+                shift += pause;
+                stalls.push(Stall {
+                    segment: r.segment,
+                    reception: i,
+                    duration: Minutes(pause),
+                });
+                degraded.push((i, Minutes(pause)));
+                rec.observe(
+                    "degrade_stall_minutes",
+                    &[("policy", policy.label())],
+                    pause,
+                );
+                rec.observe(
+                    "degrade_degraded_minutes",
+                    &[("policy", policy.label())],
+                    pause,
+                );
+            }
+        }
+    }
+    DegradedReport {
+        trace: out,
+        stalls,
+        skipped,
+        degraded,
+        truncated,
+    }
+}
+
+/// Convert a [`DegradedReport`] produced under [`Degradation::Stall`]
+/// into the equivalent [`StallReport`] (they are the same data).
+#[must_use]
+pub fn as_stall_report(report: &DegradedReport) -> StallReport {
+    StallReport {
+        trace: report.trace.clone(),
+        stalls: report.stalls.clone(),
+        truncated: report.truncated.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::config::SystemConfig;
+    use sb_core::plan::VideoId;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_core::series::Width;
+    use sb_core::Skyscraper;
+    use sb_metrics::{NullRecorder, Registry};
+    use sb_sim::{apply_losses, jitter_free_with_stalls, ClientPolicy, LossModel};
+    use vod_units::Mbps;
+
+    fn setup() -> (ChannelPlan, SessionTrace) {
+        let cfg = SystemConfig::paper_defaults(Mbps(150.0));
+        let plan = Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap();
+        let trace = sb_sim::schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(3.3),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap()
+        .trace();
+        (plan, trace)
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in Degradation::all() {
+            assert_eq!(p.label().parse::<Degradation>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!("nonsense".parse::<Degradation>().is_err());
+    }
+
+    #[test]
+    fn stall_policy_matches_apply_losses_exactly() {
+        let (plan, trace) = setup();
+        for seed in 0..10 {
+            let losses = LossModel::new(0.3, seed).unwrap();
+            let classic = apply_losses(&plan, &trace, &losses);
+            let r = replay(
+                &plan,
+                &trace,
+                &losses,
+                Degradation::Stall,
+                &mut NullRecorder,
+            );
+            assert_eq!(as_stall_report(&r), classic, "seed {seed}");
+            assert!(r.skipped.is_empty());
+            assert!(r.degraded.is_empty());
+        }
+    }
+
+    #[test]
+    fn skip_policy_never_stalls_and_accounts_skipped_content() {
+        let (plan, trace) = setup();
+        let mut any_skip = false;
+        for seed in 0..10 {
+            let losses = LossModel::new(0.3, seed).unwrap();
+            let r = replay(
+                &plan,
+                &trace,
+                &losses,
+                Degradation::SkipSegment,
+                &mut NullRecorder,
+            );
+            assert!(r.stalls.is_empty(), "skip policy must never freeze");
+            let classic = apply_losses(&plan, &trace, &losses);
+            // Never freezing means later deadlines don't relax, so every
+            // reception the classic policy stalls for is skipped — and
+            // possibly more.
+            assert!(r.skipped.len() >= classic.stalls.len(), "seed {seed}");
+            any_skip |= !r.skipped.is_empty();
+            for (_, m) in &r.skipped {
+                assert!(m.value() > 0.0);
+            }
+        }
+        assert!(any_skip, "30% loss over 10 seeds must skip at least once");
+    }
+
+    #[test]
+    fn quality_drop_halves_the_stall_and_ledgers_the_rest() {
+        let (plan, trace) = setup();
+        for seed in 0..10 {
+            let losses = LossModel::new(0.3, seed).unwrap();
+            let q = replay(
+                &plan,
+                &trace,
+                &losses,
+                Degradation::QualityDrop,
+                &mut NullRecorder,
+            );
+            // Each stall is matched by an equal degraded allotment.
+            assert_eq!(q.stalls.len(), q.degraded.len());
+            for (s, (rec_idx, m)) in q.stalls.iter().zip(&q.degraded) {
+                assert_eq!(s.reception, *rec_idx);
+                assert!((s.duration.value() - m.value()).abs() < 1e-12);
+            }
+            // Halving each pause halves the relief later deadlines get,
+            // so latenesses grow relative to the classic timeline: total
+            // freeze lands between half the classic stall and all of it.
+            let classic = apply_losses(&plan, &trace, &losses).total_stall().value();
+            let quality = q.total_stall().value();
+            assert!(quality <= classic + 1e-9, "seed {seed}");
+            assert!(quality >= classic / 2.0 - 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn replay_records_metric_families() {
+        let (plan, trace) = setup();
+        let losses = LossModel::new(0.4, 3).unwrap();
+        let mut reg = Registry::new();
+        let stall = replay(&plan, &trace, &losses, Degradation::Stall, &mut reg);
+        let skip = replay(&plan, &trace, &losses, Degradation::SkipSegment, &mut reg);
+        let s = reg.snapshot();
+        if !stall.stalls.is_empty() {
+            let h = s
+                .histogram("degrade_stall_minutes", "policy=stall")
+                .unwrap();
+            assert_eq!(h.count as usize, stall.stalls.len());
+            assert!((h.sum - stall.total_stall().value()).abs() < 1e-9);
+        }
+        if !skip.skipped.is_empty() {
+            let h = s
+                .histogram("degrade_skipped_minutes", "policy=skip")
+                .unwrap();
+            assert_eq!(h.count as usize, skip.skipped.len());
+        }
+    }
+
+    #[test]
+    fn stall_replay_remains_starvation_free() {
+        let (plan, trace) = setup();
+        for seed in 0..10 {
+            let losses = LossModel::new(0.35, seed).unwrap();
+            let r = replay(
+                &plan,
+                &trace,
+                &losses,
+                Degradation::Stall,
+                &mut NullRecorder,
+            );
+            assert!(jitter_free_with_stalls(&as_stall_report(&r), 1e-6));
+        }
+    }
+}

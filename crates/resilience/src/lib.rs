@@ -1,0 +1,38 @@
+//! # sb-resilience — surviving faults end-to-end
+//!
+//! The paper assumes a lossless isochronous metropolitan network. This
+//! crate is the reproduction's answer to everything that assumption hides:
+//!
+//! - [`GilbertElliott`] — a two-state Markov **burst-loss** channel behind
+//!   the [`LossProcess`](sb_sim::LossProcess) trait, evaluated
+//!   order-independently per `(channel, occurrence)` via coupling from the
+//!   past, so it plugs into [`sb_sim::apply_losses`] without giving up
+//!   determinism or thread-count independence.
+//! - [`FaultScript`] — a declarative schedule of channel outages, server
+//!   restart epochs, bursty-loss episodes, and seeded client churn. The
+//!   control plane replays it as first-class events; [`ScriptedLoss`]
+//!   compiles its time windows down to the pure occurrence contract for
+//!   the loss pipeline.
+//! - [`Degradation`] — what a client does when a repair misses its
+//!   deadline: stall (the classic behaviour), skip the late content, or
+//!   drop to a half-rate rendition. [`replay`] generalizes the repair
+//!   loop over the policy and records each ledger through `sb-metrics`.
+//! - [`ResilienceOutcome`] — the recovery-side ledger a controlled run
+//!   reports: reallocations, repaired sessions, backoff retries, churn.
+//!
+//! Motivated by the channel-transition tolerance of CTIFB
+//! (arXiv:1711.08118) and the degraded-service regimes of the scalable
+//! distributed VoD bounds (arXiv:0804.0743); see `DESIGN.md` §9 for the
+//! recovery invariants.
+
+#![forbid(unsafe_code)]
+
+pub mod degrade;
+pub mod loss;
+pub mod script;
+
+pub use degrade::{as_stall_report, replay, Degradation, DegradedReport};
+pub use loss::GilbertElliott;
+pub use script::{
+    BurstEpisode, ChannelOutage, ChurnEvent, FaultScript, ResilienceOutcome, ScriptedLoss,
+};

@@ -1,0 +1,348 @@
+//! Gilbert–Elliott two-state burst loss, order-independent per occurrence.
+//!
+//! The classic Gilbert–Elliott channel is a two-state Markov chain — a
+//! *Good* state with a low loss probability and a *Bad* state with a high
+//! one — whose sojourn times produce the correlated loss bursts real
+//! metropolitan plants exhibit (the i.i.d. [`sb_sim::LossModel`] cannot).
+//!
+//! A Markov chain is inherently sequential, but the
+//! [`LossProcess`] contract demands a **pure function
+//! of `(channel, occurrence)`**: deterministic and independent of query
+//! order, so parallel replays stay byte-identical. We get both via a
+//! monotone *coupling-from-the-past* construction: each occurrence owns a
+//! seeded uniform triple `(v, u, w)`, the transition into occurrence `t`
+//! consumes `u_t`, and because the update rule is monotone, any step with
+//! `u < min(a, 1−b)` forces Bad and any with `u ≥ max(a, 1−b)` forces
+//! Good *regardless of the prior state*. Walking back from the queried
+//! occurrence to the nearest such coalescing step (or to occurrence 0,
+//! which starts from Good) pins the state exactly; a capped lookback
+//! falls back to the stationary distribution (drawn from `w`). The loss
+//! draw itself uses `v` — the **first** uniform in the stream, which is
+//! the same draw [`sb_sim::LossModel`] makes, so a Gilbert–Elliott channel
+//! with equal state loss probabilities degenerates *bitwise* to the
+//! Bernoulli model with the same seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sb_core::error::{Result, SchemeError};
+use sb_sim::LossProcess;
+
+/// Per-channel stream mixing constant (identical to `sb_sim::faults`, so
+/// the degenerate case matches the Bernoulli model bitwise).
+const CHANNEL_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Per-occurrence stream mixing constant (identical to `sb_sim::faults`).
+const OCCURRENCE_MIX: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// How many steps the coupling walks back before giving up and drawing
+/// the state from the stationary distribution. Coalescence happens with
+/// probability `min(a, 1−b) + 1 − max(a, 1−b)` per step, so for any
+/// non-degenerate chain the fallback is astronomically rare.
+const LOOKBACK_CAP: u64 = 4096;
+
+/// Channel state of the two-state chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Low-loss state.
+    Good,
+    /// High-loss (burst) state.
+    Bad,
+}
+
+/// A Gilbert–Elliott two-state burst-loss process.
+///
+/// Construct with [`GilbertElliott::new`] (validating every probability
+/// once) or the [`GilbertElliott::burst`] convenience. Implements
+/// [`LossProcess`], so [`sb_sim::apply_losses`] repairs sessions under it
+/// exactly as under the Bernoulli [`sb_sim::LossModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Transition probability Good → Bad per occurrence.
+    p_good_to_bad: f64,
+    /// Transition probability Bad → Good per occurrence.
+    p_bad_to_good: f64,
+    /// Loss probability while Good.
+    p_loss_good: f64,
+    /// Loss probability while Bad.
+    p_loss_bad: f64,
+    /// RNG seed for reproducibility.
+    seed: u64,
+}
+
+impl GilbertElliott {
+    /// A Gilbert–Elliott process with explicit transition and loss
+    /// probabilities.
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless both transition
+    /// probabilities lie strictly inside `(0, 1)` (an absorbing chain has
+    /// no bursts to model) and both loss probabilities lie in `[0, 1]`.
+    pub fn new(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        p_loss_good: f64,
+        p_loss_bad: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        let open_unit = |p: f64| p > 0.0 && p < 1.0;
+        if !open_unit(p_good_to_bad) || !open_unit(p_bad_to_good) {
+            return Err(SchemeError::InvalidConfig {
+                what: "Gilbert-Elliott transition probabilities must be within (0, 1)",
+            });
+        }
+        let closed_unit = |p: f64| (0.0..=1.0).contains(&p);
+        if !closed_unit(p_loss_good) || !closed_unit(p_loss_bad) {
+            return Err(SchemeError::InvalidConfig {
+                what: "Gilbert-Elliott loss probabilities must be within [0, 1]",
+            });
+        }
+        Ok(Self {
+            p_good_to_bad,
+            p_bad_to_good,
+            p_loss_good,
+            p_loss_bad,
+            seed,
+        })
+    }
+
+    /// A bursty channel described operationally: bursts last
+    /// `mean_burst_len` occurrences on average, separated by good spells
+    /// of `mean_gap_len` occurrences, and drop each occurrence inside a
+    /// burst with probability `loss_in_bad` (good spells are lossless).
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless both mean lengths exceed 1
+    /// occurrence and `loss_in_bad ∈ [0, 1]`.
+    pub fn burst(
+        mean_burst_len: f64,
+        mean_gap_len: f64,
+        loss_in_bad: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        let ok = mean_burst_len.is_finite()
+            && mean_burst_len > 1.0
+            && mean_gap_len.is_finite()
+            && mean_gap_len > 1.0;
+        if !ok {
+            return Err(SchemeError::InvalidConfig {
+                what: "Gilbert-Elliott mean burst and gap lengths must exceed one occurrence",
+            });
+        }
+        Self::new(
+            1.0 / mean_gap_len,
+            1.0 / mean_burst_len,
+            0.0,
+            loss_in_bad,
+            seed,
+        )
+    }
+
+    /// Stationary probability of the Bad state, `a / (a + b)`.
+    #[must_use]
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+    }
+
+    /// Long-run mean loss rate under the stationary distribution.
+    #[must_use]
+    pub fn mean_loss(&self) -> f64 {
+        let pi_bad = self.stationary_bad();
+        (1.0 - pi_bad) * self.p_loss_good + pi_bad * self.p_loss_bad
+    }
+
+    /// Mean burst (Bad-sojourn) length in occurrences, `1 / b`.
+    #[must_use]
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / self.p_bad_to_good
+    }
+
+    /// The RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The seeded uniform triple owned by `(channel, occ)`: loss draw
+    /// `v`, transition draw `u`, stationary-fallback draw `w`. `v` comes
+    /// first so the equal-loss-probability case reproduces
+    /// [`sb_sim::LossModel`]'s stream bitwise.
+    fn uniforms(&self, channel: usize, occ: u64) -> (f64, f64, f64) {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed
+                ^ (channel as u64).wrapping_mul(CHANNEL_MIX)
+                ^ occ.wrapping_mul(OCCURRENCE_MIX),
+        );
+        (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>())
+    }
+
+    /// Monotone transition update: the state *entered at* a step whose
+    /// transition uniform is `u`, given the state before it.
+    fn step(&self, prev: State, u: f64) -> State {
+        match prev {
+            State::Good => {
+                if u < self.p_good_to_bad {
+                    State::Bad
+                } else {
+                    State::Good
+                }
+            }
+            State::Bad => {
+                if u < 1.0 - self.p_bad_to_good {
+                    State::Bad
+                } else {
+                    State::Good
+                }
+            }
+        }
+    }
+
+    /// The chain state at occurrence `occ`, computed order-independently
+    /// by coupling from the past (see the module docs).
+    fn state_at(&self, channel: usize, occ: u64) -> State {
+        let coalesce_bad = self.p_good_to_bad.min(1.0 - self.p_bad_to_good);
+        let coalesce_good = self.p_good_to_bad.max(1.0 - self.p_bad_to_good);
+
+        // Walk back to the nearest step whose transition determines the
+        // state it enters regardless of history.
+        let mut anchor = occ;
+        let mut state = loop {
+            let (_, u, w) = self.uniforms(channel, anchor);
+            if u < coalesce_bad {
+                break State::Bad;
+            }
+            if u >= coalesce_good {
+                break State::Good;
+            }
+            if anchor == 0 {
+                // The chain starts Good before occurrence 0.
+                break self.step(State::Good, u);
+            }
+            if occ - anchor >= LOOKBACK_CAP {
+                // No coalescence inside the window (astronomically rare
+                // for any non-degenerate chain): draw this step's state
+                // from the stationary distribution instead.
+                break if w < self.stationary_bad() {
+                    State::Bad
+                } else {
+                    State::Good
+                };
+            }
+            anchor -= 1;
+        };
+
+        // Roll forward from the anchor to the queried occurrence.
+        while anchor < occ {
+            anchor += 1;
+            let (_, u, _) = self.uniforms(channel, anchor);
+            state = self.step(state, u);
+        }
+        state
+    }
+
+    /// `true` if occurrence `occ` on `channel` is lost (inherent mirror
+    /// of the [`LossProcess`] impl).
+    #[must_use]
+    pub fn is_lost(&self, channel: usize, occ: u64) -> bool {
+        let (v, _, _) = self.uniforms(channel, occ);
+        let p = match self.state_at(channel, occ) {
+            State::Good => self.p_loss_good,
+            State::Bad => self.p_loss_bad,
+        };
+        v < p
+    }
+}
+
+impl LossProcess for GilbertElliott {
+    fn is_lost(&self, channel: usize, occ: u64) -> bool {
+        GilbertElliott::is_lost(self, channel, occ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_sim::LossModel;
+
+    #[test]
+    fn construction_validates_probabilities() {
+        assert!(GilbertElliott::new(0.0, 0.5, 0.0, 1.0, 0).is_err());
+        assert!(GilbertElliott::new(0.5, 1.0, 0.0, 1.0, 0).is_err());
+        assert!(GilbertElliott::new(0.5, 0.5, -0.1, 1.0, 0).is_err());
+        assert!(GilbertElliott::new(0.5, 0.5, 0.0, 1.1, 0).is_err());
+        assert!(GilbertElliott::new(0.1, 0.5, 0.0, 0.9, 0).is_ok());
+        assert!(GilbertElliott::burst(1.0, 8.0, 0.9, 0).is_err());
+        assert!(GilbertElliott::burst(4.0, 16.0, 0.9, 0).is_ok());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_and_order_independent() {
+        let ge = GilbertElliott::new(0.05, 0.3, 0.01, 0.8, 9).unwrap();
+        // Query in forward order…
+        let forward: Vec<bool> = (0..500).map(|o| ge.is_lost(2, o)).collect();
+        // …then backwards and scattered: identical answers.
+        for occ in (0..500).rev() {
+            assert_eq!(ge.is_lost(2, occ), forward[occ as usize]);
+        }
+        for occ in [401, 3, 77, 499, 0, 250] {
+            assert_eq!(ge.is_lost(2, occ), forward[occ as usize]);
+        }
+    }
+
+    #[test]
+    fn equal_state_loss_probabilities_degenerate_to_bernoulli_bitwise() {
+        // With p_loss identical in both states the chain state is
+        // irrelevant and the loss draw is the same first uniform the
+        // Bernoulli model consumes — the two agree occurrence for
+        // occurrence, not just in rate.
+        let p = 0.22;
+        let ge = GilbertElliott::new(0.1, 0.4, p, p, 77).unwrap();
+        let bern = LossModel::new(p, 77).unwrap();
+        for ch in 0..4 {
+            for occ in 0..400 {
+                assert_eq!(
+                    ge.is_lost(ch, occ),
+                    bern.is_lost(ch, occ),
+                    "ch {ch} occ {occ}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_the_stationary_mean() {
+        let ge = GilbertElliott::new(0.05, 0.25, 0.01, 0.7, 4).unwrap();
+        let n = 20_000u64;
+        let lost = (0..n).filter(|&o| ge.is_lost(0, o)).count();
+        let rate = lost as f64 / n as f64;
+        let expect = ge.mean_loss();
+        assert!(
+            (rate - expect).abs() < 0.02,
+            "observed {rate}, stationary mean {expect}"
+        );
+    }
+
+    #[test]
+    fn losses_are_burstier_than_bernoulli_at_the_same_rate() {
+        // Conditional loss probability P(lost_{t+1} | lost_t) should
+        // noticeably exceed the marginal rate for a bursty chain.
+        let ge = GilbertElliott::burst(10.0, 90.0, 0.9, 5).unwrap();
+        let n = 40_000u64;
+        let seq: Vec<bool> = (0..n).map(|o| ge.is_lost(0, o)).collect();
+        let marginal = seq.iter().filter(|&&l| l).count() as f64 / n as f64;
+        let (mut after_loss, mut loss_after_loss) = (0usize, 0usize);
+        for w in seq.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    loss_after_loss += 1;
+                }
+            }
+        }
+        let conditional = loss_after_loss as f64 / after_loss as f64;
+        assert!(
+            conditional > 2.0 * marginal,
+            "conditional {conditional} vs marginal {marginal}: not bursty"
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Fault-injection scripts: outages, restarts, burst episodes, churn.
+//!
+//! A [`FaultScript`] is a declarative, fully deterministic description of
+//! everything that goes wrong during a run: channel outages (a physical
+//! channel dark for a window), server restart epochs, bursty-loss
+//! episodes (a [`GilbertElliott`] chain active only inside a time
+//! window), and seeded client churn (a fraction of waiting clients
+//! abandoning at an instant). The control plane consumes the script as
+//! first-class simulation events; the loss pipeline consumes it through
+//! [`ScriptedLoss`], which compiles the time-windowed parts down to the
+//! pure `(channel, occurrence)` contract of
+//! [`LossProcess`] — occurrence `occ` of channel `c`
+//! starts at `phase + occ · period`, so window membership is itself a
+//! pure function of the pair and replays stay order-independent.
+
+use serde::{Deserialize, Serialize};
+use vod_units::Minutes;
+
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::ChannelPlan;
+use sb_sim::LossProcess;
+
+use crate::loss::GilbertElliott;
+
+/// One channel dark for a window: every occurrence whose broadcast
+/// interval intersects `[start, start + duration)` is lost, and the
+/// control plane takes the slot out of service at `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelOutage {
+    /// Physical channel slot that fails.
+    pub channel: usize,
+    /// When the outage begins.
+    pub start: Minutes,
+    /// How long it lasts.
+    pub duration: Minutes,
+}
+
+impl ChannelOutage {
+    /// First instant the channel is live again.
+    #[must_use]
+    pub fn end(&self) -> Minutes {
+        Minutes(self.start.value() + self.duration.value())
+    }
+}
+
+/// A bursty-loss episode: a Gilbert–Elliott chain that applies only to
+/// occurrences starting inside `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstEpisode {
+    /// When the episode begins.
+    pub start: Minutes,
+    /// How long it lasts.
+    pub duration: Minutes,
+    /// The burst-loss chain active during the episode.
+    pub loss: GilbertElliott,
+}
+
+impl BurstEpisode {
+    /// First instant past the episode.
+    #[must_use]
+    pub fn end(&self) -> Minutes {
+        Minutes(self.start.value() + self.duration.value())
+    }
+}
+
+/// Seeded client abandonment: at `at`, each waiting client independently
+/// abandons with probability `fraction` (drawn from a stream seeded by
+/// `seed`, so the run stays reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the abandonment wave hits.
+    pub at: Minutes,
+    /// Per-client abandonment probability in `[0, 1]`.
+    pub fraction: f64,
+    /// Seed for the abandonment draws.
+    pub seed: u64,
+}
+
+/// Everything scripted to go wrong during one run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultScript {
+    /// Channel outages (slot dark for a window).
+    pub outages: Vec<ChannelOutage>,
+    /// Server restart epochs: pending reconfigurations are cancelled and
+    /// demand estimators reset, as after a crash-recovery.
+    pub restarts: Vec<Minutes>,
+    /// Time-windowed bursty-loss episodes.
+    pub bursts: Vec<BurstEpisode>,
+    /// Seeded client-abandonment waves.
+    pub churn: Vec<ChurnEvent>,
+}
+
+impl FaultScript {
+    /// The empty script: nothing goes wrong.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the script injects no faults at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.restarts.is_empty()
+            && self.bursts.is_empty()
+            && self.churn.is_empty()
+    }
+
+    /// Validate the script once, before a run consumes it.
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] if any window has a non-positive
+    /// duration, any event time is negative, or any churn fraction falls
+    /// outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        for o in &self.outages {
+            let ok = o.start.value() >= 0.0 && o.duration.value() > 0.0;
+            if !ok {
+                return Err(SchemeError::InvalidConfig {
+                    what: "fault script outages need a non-negative start and positive duration",
+                });
+            }
+        }
+        for b in &self.bursts {
+            let ok = b.start.value() >= 0.0 && b.duration.value() > 0.0;
+            if !ok {
+                return Err(SchemeError::InvalidConfig {
+                    what: "fault script burst episodes need a non-negative start and positive duration",
+                });
+            }
+        }
+        for r in &self.restarts {
+            if r.value() < 0.0 {
+                return Err(SchemeError::InvalidConfig {
+                    what: "fault script restart epochs must be non-negative",
+                });
+            }
+        }
+        for c in &self.churn {
+            if c.at.value() < 0.0 || !(0.0..=1.0).contains(&c.fraction) {
+                return Err(SchemeError::InvalidConfig {
+                    what: "fault script churn needs a non-negative time and fraction within [0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total minutes of `[start, end)` during which `channel` is dark.
+    #[must_use]
+    pub fn outage_overlap(&self, channel: usize, start: Minutes, end: Minutes) -> Minutes {
+        let total = self
+            .outages
+            .iter()
+            .filter(|o| o.channel == channel)
+            .map(|o| {
+                let lo = start.value().max(o.start.value());
+                let hi = end.value().min(o.end().value());
+                (hi - lo).max(0.0)
+            })
+            .sum();
+        Minutes(total)
+    }
+}
+
+/// What the control plane did about the scripted faults during one run —
+/// the recovery-side ledger [`ControlReport`](../../sb_control) carries.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceOutcome {
+    /// Outage windows processed.
+    pub outages: usize,
+    /// Allocator reconfigurations (out-of-service swaps + restorations)
+    /// triggered by outages.
+    pub reallocations: usize,
+    /// In-flight sessions repaired after losing their channel mid-run.
+    pub repaired_sessions: usize,
+    /// Admissions redirected to the on-demand pool because their
+    /// broadcast channel was dark.
+    pub redirected: usize,
+    /// Backoff retries performed by deferred admissions.
+    pub retries: usize,
+    /// Admissions rejected after exhausting their backoff attempts.
+    pub backoff_rejects: usize,
+    /// Waiting clients lost to churn events.
+    pub churned: usize,
+    /// Server restarts processed.
+    pub restarts: usize,
+    /// Repair stall time summed over sessions (minutes).
+    pub stall_minutes: f64,
+    /// Content skipped by `Degradation::SkipSegment` (display minutes).
+    pub skipped_minutes: f64,
+    /// Playback degraded by `Degradation::QualityDrop` (display minutes).
+    pub degraded_minutes: f64,
+}
+
+impl ResilienceOutcome {
+    /// `true` when the run saw no faults and took no recovery actions.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// A [`FaultScript`] compiled against a [`ChannelPlan`] into a pure
+/// `(channel, occurrence)` loss process layered over a base process.
+///
+/// An occurrence is lost if the base process drops it, **or** a burst
+/// episode covering its start time drops it, **or** its broadcast
+/// interval intersects an outage window on its channel.
+#[derive(Debug, Clone)]
+pub struct ScriptedLoss<'a, L: LossProcess + ?Sized> {
+    /// `(phase, period)` per logical channel, for occurrence timing.
+    timing: Vec<(f64, f64)>,
+    /// Outage windows, copied from the script.
+    outages: Vec<ChannelOutage>,
+    /// Burst episodes, copied from the script.
+    bursts: Vec<BurstEpisode>,
+    /// The always-on background loss process.
+    base: &'a L,
+}
+
+impl<'a, L: LossProcess + ?Sized> ScriptedLoss<'a, L> {
+    /// Compile `script` against `plan`, layering it over `base`.
+    #[must_use]
+    pub fn compile(plan: &ChannelPlan, script: &FaultScript, base: &'a L) -> Self {
+        Self {
+            timing: plan
+                .channels
+                .iter()
+                .map(|c| (c.phase.value(), c.period().value()))
+                .collect(),
+            outages: script.outages.clone(),
+            bursts: script.bursts.clone(),
+            base,
+        }
+    }
+
+    /// Start time of occurrence `occ` on `channel`, and its period.
+    fn occurrence_window(&self, channel: usize, occ: u64) -> (f64, f64) {
+        let (phase, period) = self.timing[channel];
+        (phase + occ as f64 * period, period)
+    }
+}
+
+impl<L: LossProcess + ?Sized> LossProcess for ScriptedLoss<'_, L> {
+    fn is_lost(&self, channel: usize, occ: u64) -> bool {
+        if self.base.is_lost(channel, occ) {
+            return true;
+        }
+        let (start, period) = self.occurrence_window(channel, occ);
+        for b in &self.bursts {
+            if start >= b.start.value() && start < b.end().value() && b.loss.is_lost(channel, occ) {
+                return true;
+            }
+        }
+        self.outages.iter().any(|o| {
+            o.channel == channel && start < o.end().value() && start + period > o.start.value()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::config::SystemConfig;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_core::series::Width;
+    use sb_core::Skyscraper;
+    use sb_sim::LossModel;
+    use vod_units::Mbps;
+
+    fn plan() -> ChannelPlan {
+        let cfg = SystemConfig::paper_defaults(Mbps(150.0));
+        Skyscraper::with_width(Width::Capped(12))
+            .plan(&cfg)
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_malformed_scripts() {
+        let ok = FaultScript {
+            outages: vec![ChannelOutage {
+                channel: 1,
+                start: Minutes(10.0),
+                duration: Minutes(30.0),
+            }],
+            restarts: vec![Minutes(50.0)],
+            bursts: vec![],
+            churn: vec![ChurnEvent {
+                at: Minutes(20.0),
+                fraction: 0.5,
+                seed: 1,
+            }],
+        };
+        assert!(ok.validate().is_ok());
+        assert!(!ok.is_empty());
+        assert!(FaultScript::none().validate().is_ok());
+        assert!(FaultScript::none().is_empty());
+
+        let bad_outage = FaultScript {
+            outages: vec![ChannelOutage {
+                channel: 0,
+                start: Minutes(5.0),
+                duration: Minutes(0.0),
+            }],
+            ..FaultScript::none()
+        };
+        assert!(bad_outage.validate().is_err());
+
+        let bad_churn = FaultScript {
+            churn: vec![ChurnEvent {
+                at: Minutes(5.0),
+                fraction: 1.5,
+                seed: 0,
+            }],
+            ..FaultScript::none()
+        };
+        assert!(bad_churn.validate().is_err());
+    }
+
+    #[test]
+    fn outage_overlap_measures_dark_time() {
+        let script = FaultScript {
+            outages: vec![ChannelOutage {
+                channel: 2,
+                start: Minutes(100.0),
+                duration: Minutes(40.0),
+            }],
+            ..FaultScript::none()
+        };
+        let m = |v: f64| Minutes(v);
+        assert_eq!(script.outage_overlap(2, m(0.0), m(90.0)).value(), 0.0);
+        assert_eq!(script.outage_overlap(2, m(110.0), m(120.0)).value(), 10.0);
+        assert_eq!(script.outage_overlap(2, m(0.0), m(500.0)).value(), 40.0);
+        assert_eq!(script.outage_overlap(3, m(0.0), m(500.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn scripted_loss_drops_occurrences_inside_an_outage() {
+        let p = plan();
+        let ch = 1usize;
+        let period = p.channels[ch].period().value();
+        let phase = p.channels[ch].phase.value();
+        // Outage covering occurrences 3 and 4 (offsets sit mid-cycle so
+        // float rounding cannot flip a boundary).
+        let script = FaultScript {
+            outages: vec![ChannelOutage {
+                channel: ch,
+                start: Minutes(phase + 3.05 * period),
+                duration: Minutes(1.9 * period),
+            }],
+            ..FaultScript::none()
+        };
+        let base = LossModel::lossless();
+        let scripted = ScriptedLoss::compile(&p, &script, &base);
+        for occ in 0..10u64 {
+            let dark = (3..=4).contains(&occ);
+            assert_eq!(scripted.is_lost(ch, occ), dark, "occ {occ}");
+            // Other channels are untouched.
+            assert!(!scripted.is_lost(ch + 1, occ));
+        }
+    }
+
+    #[test]
+    fn scripted_loss_layers_bursts_over_the_base_process() {
+        let p = plan();
+        let ch = 0usize;
+        let period = p.channels[ch].period().value();
+        let phase = p.channels[ch].phase.value();
+        // A certain-loss burst chain active only for occurrences 5..15
+        // (window edges sit mid-cycle to dodge float boundary rounding).
+        let burst = GilbertElliott::new(0.5, 0.5, 1.0, 1.0, 3).unwrap();
+        let script = FaultScript {
+            bursts: vec![BurstEpisode {
+                start: Minutes(phase + 4.5 * period),
+                duration: Minutes(10.0 * period),
+                loss: burst,
+            }],
+            ..FaultScript::none()
+        };
+        let base = LossModel::lossless();
+        let scripted = ScriptedLoss::compile(&p, &script, &base);
+        for occ in 0..20u64 {
+            let inside = (5..15).contains(&occ);
+            assert_eq!(scripted.is_lost(ch, occ), inside, "occ {occ}");
+        }
+    }
+}

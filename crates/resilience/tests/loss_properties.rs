@@ -1,0 +1,120 @@
+//! Property tests for the loss pipeline: random seeds and rates, every
+//! client model, both loss processes.
+//!
+//! Invariants:
+//! * the stalled timeline is always jitter-free once stalls are credited,
+//! * losses only ever push receptions *later* (never earlier),
+//! * [`Degradation::Stall`] replay equals [`apply_losses`] exactly,
+//! * Gilbert–Elliott with equal per-state loss probabilities degenerates
+//!   to the i.i.d. [`LossModel`], occurrence by occurrence.
+
+use proptest::prelude::*;
+use vod_units::Mbps;
+
+use sb_core::config::SystemConfig;
+use sb_core::plan::{ChannelPlan, VideoId};
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::Width;
+use sb_core::Skyscraper;
+use sb_metrics::NullRecorder;
+use sb_pyramid::{HarmonicBroadcasting, PermutationPyramid};
+use sb_resilience::{as_stall_report, replay, Degradation, GilbertElliott};
+use sb_sim::policy::ClientPolicy;
+use sb_sim::trace::{ClientModel, PausingClient, RecordingClient, SessionTrace};
+use sb_sim::{apply_losses, jitter_free_with_stalls, LossModel};
+
+/// Each client model paired with a plan it can actually receive:
+/// tune-at-start on SB, the pausing client on PPB, the recorder on HB.
+fn sessions(bandwidth: f64, arrival: f64) -> Vec<(ChannelPlan, SessionTrace)> {
+    let cfg = SystemConfig::paper_defaults(Mbps(bandwidth));
+    let mut out = Vec::new();
+    let cases: Vec<(Box<dyn BroadcastScheme>, Box<dyn ClientModel>)> = vec![
+        (
+            Box::new(Skyscraper::with_width(Width::Capped(52))),
+            Box::new(ClientPolicy::LatestFeasible),
+        ),
+        (Box::new(PermutationPyramid::a()), Box::new(PausingClient)),
+        (
+            Box::new(HarmonicBroadcasting::delayed()),
+            Box::new(RecordingClient::default()),
+        ),
+    ];
+    for (scheme, model) in cases {
+        let Ok(plan) = scheme.plan(&cfg) else {
+            continue;
+        };
+        let Ok(trace) = model.session(
+            &plan,
+            VideoId(0),
+            vod_units::Minutes(arrival),
+            cfg.display_rate,
+        ) else {
+            continue;
+        };
+        out.push((plan, trace));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under i.i.d. loss, every client model's damaged timeline is
+    /// jitter-free with stalls credited, and no reception moves earlier.
+    #[test]
+    fn iid_losses_stall_but_never_rewind(
+        p in 0.0f64..0.6,
+        seed in 0u64..1_000,
+        bandwidth in 250.0f64..500.0,
+        arrival in 0.0f64..40.0,
+    ) {
+        let losses = LossModel::new(p, seed).expect("p in range");
+        for (plan, trace) in sessions(bandwidth, arrival) {
+            let report = apply_losses(&plan, &trace, &losses);
+            prop_assert!(jitter_free_with_stalls(&report, 1e-6));
+            for (before, after) in trace.receptions.iter().zip(&report.trace.receptions) {
+                prop_assert!(after.start.value() >= before.start.value() - 1e-9);
+            }
+        }
+    }
+
+    /// The same invariants hold under bursty Gilbert–Elliott loss, and
+    /// the Stall-policy replay reproduces `apply_losses` exactly.
+    #[test]
+    fn bursty_losses_stall_but_never_rewind(
+        burst in 1.5f64..8.0,
+        gap in 4.0f64..60.0,
+        seed in 0u64..1_000,
+        bandwidth in 250.0f64..500.0,
+        arrival in 0.0f64..40.0,
+    ) {
+        let losses = GilbertElliott::burst(burst, gap, 1.0, seed).expect("means above 1");
+        for (plan, trace) in sessions(bandwidth, arrival) {
+            let report = apply_losses(&plan, &trace, &losses);
+            prop_assert!(jitter_free_with_stalls(&report, 1e-6));
+            for (before, after) in trace.receptions.iter().zip(&report.trace.receptions) {
+                prop_assert!(after.start.value() >= before.start.value() - 1e-9);
+            }
+            let replayed = replay(&plan, &trace, &losses, Degradation::Stall, &mut NullRecorder);
+            prop_assert_eq!(&as_stall_report(&replayed), &report);
+        }
+    }
+
+    /// Equal per-state loss probabilities make the burst structure
+    /// unobservable: the chain degenerates to the i.i.d. model with the
+    /// same seed, occurrence by occurrence.
+    #[test]
+    fn equal_state_probabilities_degenerate_to_bernoulli(
+        p in 0.0f64..1.0,
+        a in 0.05f64..0.95,
+        b in 0.05f64..0.95,
+        seed in 0u64..10_000,
+        channel in 0usize..8,
+    ) {
+        let ge = GilbertElliott::new(a, b, p, p, seed).expect("params in range");
+        let iid = LossModel::new(p, seed).expect("p in range");
+        for occ in 0..200u64 {
+            prop_assert_eq!(ge.is_lost(channel, occ), iid.is_lost(channel, occ));
+        }
+    }
+}

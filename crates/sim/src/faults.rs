@@ -8,9 +8,18 @@
 //! arrives too late, playback **stalls** — the player pauses until the
 //! segment's delivery catches up, pushing every later deadline back.
 //!
+//! The *decision* of which occurrences are lost is abstracted behind the
+//! [`LossProcess`] trait so richer channel models plug in without touching
+//! the repair logic: [`LossModel`] here is the i.i.d. Bernoulli process,
+//! and `sb-resilience` adds a Gilbert–Elliott burst-loss process plus
+//! scripted channel outages. Every implementation must be a **pure
+//! function of `(channel, occurrence)`** — deterministic and
+//! order-independent — so every client in a run sees the same losses and
+//! parallel replays stay byte-identical.
+//!
 //! [`apply_losses`] rewrites a [`SessionTrace`] — from *any*
 //! [`crate::trace::ClientModel`]: tune-at-start, PPB pausing,
-//! Harmonic record-all — under a [`LossModel`] and returns the stalls
+//! Harmonic record-all — under a loss process and returns the stalls
 //! incurred. Tests assert the two invariants that make fault behaviour
 //! trustworthy: zero loss ⇒ identical trace and no stalls; any loss ⇒ the
 //! repaired trace is still starvation-free *after* accounting for the
@@ -21,6 +30,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vod_units::Minutes;
 
+use sb_core::error::{Result, SchemeError};
 use sb_core::plan::ChannelPlan;
 
 use crate::trace::SessionTrace;
@@ -29,17 +39,49 @@ use crate::trace::SessionTrace;
 ///
 /// An occurrence is identified by `(channel, occurrence index)` where the
 /// index counts cycle repetitions of the channel since the epoch. The
-/// decision is a pure function of the seed, so every client in a run sees
-/// the same losses.
+/// decision must be a **pure function** of that pair (given the process's
+/// own configuration): deterministic, and independent of the order in
+/// which occurrences are queried. That contract is what keeps fault
+/// replays reproducible and thread-count-independent.
+pub trait LossProcess {
+    /// `true` if occurrence `occ` on `channel` is lost.
+    fn is_lost(&self, channel: usize, occ: u64) -> bool;
+}
+
+/// The i.i.d. Bernoulli loss process: every occurrence is lost
+/// independently with one fixed probability.
+///
+/// Construct with [`LossModel::new`] (which validates the probability
+/// once) or [`LossModel::lossless`]. The fields are private so an
+/// invalid probability can never reach the per-occurrence hot path —
+/// the old panicking check inside `is_lost` is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LossModel {
     /// Probability in `[0, 1]` that any given occurrence is lost.
-    pub drop_probability: f64,
+    drop_probability: f64,
     /// RNG seed for reproducibility.
-    pub seed: u64,
+    seed: u64,
 }
 
 impl LossModel {
+    /// A Bernoulli loss process dropping each occurrence with
+    /// `drop_probability`.
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless
+    /// `drop_probability ∈ [0, 1]` (and finite).
+    pub fn new(drop_probability: f64, seed: u64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&drop_probability) {
+            return Err(SchemeError::InvalidConfig {
+                what: "loss drop probability must be within [0, 1]",
+            });
+        }
+        Ok(Self {
+            drop_probability,
+            seed,
+        })
+    }
+
     /// A lossless model.
     #[must_use]
     pub fn lossless() -> Self {
@@ -49,15 +91,26 @@ impl LossModel {
         }
     }
 
-    /// `true` if occurrence `occ` on `channel` is lost.
-    ///
-    /// # Panics
-    /// Panics if `drop_probability` is outside `[0, 1]`.
+    /// The per-occurrence drop probability (validated at construction).
+    #[must_use]
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// The RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` if occurrence `occ` on `channel` is lost (inherent mirror
+    /// of the [`LossProcess`] impl, kept for call sites without the trait
+    /// in scope).
     #[must_use]
     pub fn is_lost(&self, channel: usize, occ: u64) -> bool {
-        assert!(
+        debug_assert!(
             (0.0..=1.0).contains(&self.drop_probability),
-            "drop probability must be in [0, 1]"
+            "construction validates the probability"
         );
         if self.drop_probability <= 0.0 {
             return false;
@@ -72,6 +125,12 @@ impl LossModel {
                 ^ occ.wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
         rng.gen::<f64>() < self.drop_probability
+    }
+}
+
+impl LossProcess for LossModel {
+    fn is_lost(&self, channel: usize, occ: u64) -> bool {
+        LossModel::is_lost(self, channel, occ)
     }
 }
 
@@ -93,6 +152,11 @@ pub struct StallReport {
     pub trace: SessionTrace,
     /// Stalls in playback (deadline) order.
     pub stalls: Vec<Stall>,
+    /// Receptions the repair **gave up** on: [`MAX_RETRIES`] consecutive
+    /// occurrences were lost, so the reported stall for that reception is
+    /// the give-up bound, not a real recovery. Empty on any realistic
+    /// loss rate; non-empty means the channel was effectively dead.
+    pub truncated: Vec<usize>,
 }
 
 impl StallReport {
@@ -101,7 +165,19 @@ impl StallReport {
     pub fn total_stall(&self) -> Minutes {
         Minutes(self.stalls.iter().map(|s| s.duration.value()).sum())
     }
+
+    /// `true` when the repair gave up on at least one reception (its
+    /// stall is a truncation bound, not a recovery).
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        !self.truncated.is_empty()
+    }
 }
+
+/// Consecutive lost occurrences of one reception after which the repair
+/// gives up: the reception is reported in [`StallReport::truncated`] and
+/// its (giant) slip still surfaces as an explicit [`Stall`].
+pub const MAX_RETRIES: u64 = 1_000;
 
 /// Which occurrence index of `channel`'s cycle contains the reception
 /// starting at `start` into content offset `offset_minutes` (minutes of
@@ -109,7 +185,8 @@ impl StallReport {
 /// a PPB chunk, the tail half of an HB recording — starts
 /// `offset_minutes` after its occurrence's cycle start, so subtracting it
 /// recovers the occurrence for every client model uniformly.
-fn occurrence_index(
+#[must_use]
+pub fn occurrence_index(
     plan: &ChannelPlan,
     channel: usize,
     start: Minutes,
@@ -124,7 +201,8 @@ fn occurrence_index(
 
 /// Indices of the trace's receptions in playback-deadline order of their
 /// first byte — the order stalls propagate in.
-fn deadline_order(trace: &SessionTrace) -> Vec<usize> {
+#[must_use]
+pub fn deadline_order(trace: &SessionTrace) -> Vec<usize> {
     let b = trace.display_rate.value() * 60.0;
     let mut order: Vec<usize> = (0..trace.receptions.len()).collect();
     order.sort_by(|&i, &j| {
@@ -142,13 +220,19 @@ fn deadline_order(trace: &SessionTrace) -> Vec<usize> {
 /// same channel, and playback stalls whenever a reception thereby misses
 /// its (shifted) deadline.
 ///
-/// Gives up (still reports, with a final giant stall) after
-/// `MAX_RETRIES` consecutive lost occurrences of one reception.
+/// Gives up after [`MAX_RETRIES`] consecutive lost occurrences of one
+/// reception: the reception keeps its maximally-slipped start (so the
+/// final giant stall is explicit in the report) **and** is listed in
+/// [`StallReport::truncated`].
 #[must_use]
-pub fn apply_losses(plan: &ChannelPlan, trace: &SessionTrace, losses: &LossModel) -> StallReport {
-    const MAX_RETRIES: u64 = 1_000;
+pub fn apply_losses<L: LossProcess + ?Sized>(
+    plan: &ChannelPlan,
+    trace: &SessionTrace,
+    losses: &L,
+) -> StallReport {
     let mut out = trace.clone();
     let mut stalls = Vec::new();
+    let mut truncated = Vec::new();
     // Accumulated playback shift from stalls so far.
     let mut shift = 0.0f64;
 
@@ -164,6 +248,9 @@ pub fn apply_losses(plan: &ChannelPlan, trace: &SessionTrace, losses: &LossModel
             occ += 1;
             start += period;
             retries += 1;
+        }
+        if retries >= MAX_RETRIES {
+            truncated.push(i);
         }
         out.receptions[i].start = Minutes(start);
 
@@ -182,7 +269,11 @@ pub fn apply_losses(plan: &ChannelPlan, trace: &SessionTrace, losses: &LossModel
     // Stalls delay playback of later content; the SessionTrace type models
     // unstalled playback, so jitter checks on the repaired trace must add
     // the stall shifts — see `jitter_free_with_stalls`.
-    StallReport { trace: out, stalls }
+    StallReport {
+        trace: out,
+        stalls,
+        truncated,
+    }
 }
 
 /// Starvation check for a repaired trace: every reception start must be
@@ -246,6 +337,7 @@ mod tests {
         let r = apply_losses(&plan, &s, &LossModel::lossless());
         assert_eq!(r.trace, s);
         assert!(r.stalls.is_empty());
+        assert!(r.truncated.is_empty());
         assert!(jitter_free_with_stalls(&r, 1e-9));
     }
 
@@ -263,12 +355,10 @@ mod tests {
         .trace();
         let mut any_stall = false;
         for seed in 0..20 {
-            let model = LossModel {
-                drop_probability: 0.3,
-                seed,
-            };
+            let model = LossModel::new(0.3, seed).unwrap();
             let r = apply_losses(&plan, &s, &model);
             assert!(jitter_free_with_stalls(&r, 1e-6), "seed {seed}");
+            assert!(!r.is_truncated(), "30% loss must never exhaust retries");
             // Receptions only ever slip later, never earlier.
             for (orig, repaired) in s.receptions.iter().zip(&r.trace.receptions) {
                 assert!(repaired.start >= orig.start);
@@ -301,10 +391,7 @@ mod tests {
 
         for (plan, trace) in [(&ppb, &ppb_trace), (&hb, &hb_trace)] {
             for seed in 0..10 {
-                let model = LossModel {
-                    drop_probability: 0.25,
-                    seed,
-                };
+                let model = LossModel::new(0.25, seed).unwrap();
                 let r = apply_losses(plan, trace, &model);
                 assert!(jitter_free_with_stalls(&r, 1e-6), "seed {seed}");
                 for (orig, repaired) in trace.receptions.iter().zip(&r.trace.receptions) {
@@ -316,10 +403,7 @@ mod tests {
 
     #[test]
     fn loss_model_is_deterministic() {
-        let m = LossModel {
-            drop_probability: 0.5,
-            seed: 7,
-        };
+        let m = LossModel::new(0.5, 7).unwrap();
         for ch in 0..5 {
             for occ in 0..50 {
                 assert_eq!(m.is_lost(ch, occ), m.is_lost(ch, occ));
@@ -327,31 +411,58 @@ mod tests {
         }
         // …and certain probabilities behave as advertised.
         assert!(!LossModel::lossless().is_lost(3, 14));
-        let always = LossModel {
-            drop_probability: 1.0,
-            seed: 0,
-        };
+        let always = LossModel::new(1.0, 0).unwrap();
         assert!(always.is_lost(0, 0));
     }
 
     #[test]
     fn drop_rate_is_roughly_honoured() {
-        let m = LossModel {
-            drop_probability: 0.25,
-            seed: 42,
-        };
+        let m = LossModel::new(0.25, 42).unwrap();
         let lost = (0..4000).filter(|&o| m.is_lost(1, o)).count();
         let rate = lost as f64 / 4000.0;
         assert!((rate - 0.25).abs() < 0.03, "observed {rate}");
     }
 
     #[test]
-    #[should_panic(expected = "drop probability")]
-    fn invalid_probability_panics() {
-        let m = LossModel {
-            drop_probability: 1.5,
-            seed: 0,
-        };
-        let _ = m.is_lost(0, 0);
+    fn invalid_probability_is_a_construction_error() {
+        // Validation happens once, at construction — not in the hot loop.
+        assert!(LossModel::new(1.5, 0).is_err());
+        assert!(LossModel::new(-0.1, 0).is_err());
+        assert!(LossModel::new(f64::NAN, 0).is_err());
+        assert!(LossModel::new(0.0, 0).is_ok());
+        assert!(LossModel::new(1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn certain_loss_truncates_with_an_explicit_giant_stall() {
+        let (cfg, plan) = sb_setup();
+        let s = schedule_client(
+            &plan,
+            VideoId(0),
+            Minutes(3.3),
+            cfg.display_rate,
+            ClientPolicy::LatestFeasible,
+        )
+        .unwrap()
+        .trace();
+        let r = apply_losses(&plan, &s, &LossModel::new(1.0, 0).unwrap());
+        // Every reception exhausts its retries…
+        assert_eq!(r.truncated.len(), s.receptions.len());
+        assert!(r.is_truncated());
+        // …and the give-up is an explicit giant stall, not a silent slip:
+        // the first reception alone slips MAX_RETRIES whole periods.
+        let shortest_period = plan
+            .channels
+            .iter()
+            .map(|c| c.period().value())
+            .fold(f64::INFINITY, f64::min);
+        assert!(!r.stalls.is_empty());
+        assert!(
+            r.total_stall().value() >= MAX_RETRIES as f64 * shortest_period,
+            "total stall {} must expose the truncation bound",
+            r.total_stall()
+        );
+        // The explicit-stall accounting still balances.
+        assert!(jitter_free_with_stalls(&r, 1e-6));
     }
 }

@@ -71,7 +71,9 @@ pub mod trace;
 
 pub use e2e::{replay, E2eReport, PacketConfig};
 pub use engine::{Engine, EngineStats, EventId};
-pub use faults::{LossModel, StallReport};
+pub use faults::{
+    apply_losses, jitter_free_with_stalls, LossModel, LossProcess, Stall, StallReport,
+};
 pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use policy::{schedule_client, ClientPolicy};
 pub use receive_all::{record_all, RecordingSchedule};

@@ -37,10 +37,7 @@ fn main() {
             let report = apply_losses(
                 &plan,
                 &session,
-                &LossModel {
-                    drop_probability: pct,
-                    seed,
-                },
+                &LossModel::new(pct, seed).expect("valid probability"),
             );
             stalls += report.stalls.len();
             stall_time += report.total_stall().value();

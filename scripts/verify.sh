@@ -20,9 +20,18 @@ echo "==> cargo doc --no-deps (warnings denied, first-party crates)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p skyscraper-broadcasting -p vod-units -p sb-core -p sb-pyramid \
     -p sb-sim -p sb-workload -p sb-batching -p sb-metrics -p sb-control \
-    -p sb-analysis -p sb-cli -p sb-bench
+    -p sb-resilience -p sb-analysis -p sb-cli -p sb-bench
 
 echo "==> popularity-shift smoke (static vs dynamic control)"
 cargo run -q -p sb-cli --bin sbcast -- control --horizon 300 --seeds 11 --threads 2
+
+echo "==> resilience smoke (fault study, determinism across reruns)"
+res_a="$(mktemp)"; res_b="$(mktemp)"
+trap 'rm -f "$res_a" "$res_b"' EXIT
+cargo run -q -p sb-cli --bin sbcast -- resilience --horizon 200 --seeds 7 --threads 2 \
+    2>/dev/null > "$res_a"
+cargo run -q -p sb-cli --bin sbcast -- resilience --horizon 200 --seeds 7 --threads 2 \
+    2>/dev/null > "$res_b"
+diff -u "$res_a" "$res_b"
 
 echo "verify: OK"

@@ -13,6 +13,8 @@
 //!   tail, and the §1 hybrid server;
 //! * [`control`] — the online control plane: popularity
 //!   estimation, dynamic channel reallocation, admission control;
+//! * [`resilience`] — bursty-loss channels, fault scripts,
+//!   and graceful-degradation policies;
 //! * [`metrics`] — the deterministic counters/gauges/histograms
 //!   registry the simulators report into;
 //! * [`analysis`] — every figure and table of the paper's
@@ -30,6 +32,7 @@ pub use sb_control as control;
 pub use sb_core as core;
 pub use sb_metrics as metrics;
 pub use sb_pyramid as pyramid;
+pub use sb_resilience as resilience;
 pub use sb_sim as sim;
 pub use sb_workload as workload;
 pub use vod_units as units;

@@ -203,10 +203,7 @@ fn system_sim_and_loss_model_accept_every_client_model() {
             video: VideoId(0),
         })
         .collect();
-    let losses = LossModel {
-        drop_probability: 0.05,
-        seed: 11,
-    };
+    let losses = LossModel::new(0.05, 11).expect("valid probability");
 
     // SB through a ClientPolicy.
     let sb_cfg = SystemConfig::paper_defaults(Mbps(320.0));
