@@ -14,6 +14,7 @@
 //! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
 //! | [`control_study`] | static-vs-dynamic channel allocation under a popularity shift |
 //! | [`resilience_study`] | schemes under bursty loss/outages and the control plane's recovery |
+//! | [`throughput`] | streaming-core throughput cells and the agenda-churn compaction stress |
 //! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
@@ -33,6 +34,7 @@ pub mod resilience_study;
 pub mod runner;
 pub mod sweep;
 pub mod tables;
+pub mod throughput;
 
 pub use figures::Figure;
 pub use lineup::{paper_lineup, SchemeId};

@@ -1,0 +1,49 @@
+//! Streaming-core throughput: per-scheme engine/agenda accounting plus
+//! the cancel-heavy churn stress. Emits `BENCH_throughput.json` unless
+//! `--json` names another path.
+//!
+//! The JSON is fully deterministic (simulated-time rates only), so runs
+//! with different `--threads` counts diff clean; wall-clock sessions/sec
+//! and events/sec go to stderr.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sb_analysis::throughput::{render_throughput, throughput_study, ThroughputConfig};
+
+fn main() {
+    let mut args = sb_bench::Args::parse();
+    if args.json.is_none() {
+        args.json = Some(PathBuf::from("BENCH_throughput.json"));
+    }
+    let runner = args.runner();
+    let cfg = ThroughputConfig::paper_defaults();
+    let t0 = Instant::now();
+    let (report, metrics) = throughput_study(&cfg, &runner).expect("valid default config");
+    let wall = t0.elapsed().as_secs_f64();
+
+    print!("{}", render_throughput(&report));
+    println!(
+        "metrics: {} engine events, {} sessions",
+        metrics.counter_total("engine_events_total"),
+        metrics.counter_total("sim_sessions_total"),
+    );
+    // Wall-clock rates are machine- and thread-dependent: stderr only,
+    // so stdout and the JSON artifact stay byte-identical across
+    // `--threads` counts.
+    let churn_events = report.churn.engine.fired + report.churn.engine.cancelled;
+    eprintln!(
+        "wall: {:.3}s, {:.0} sessions/sec, {:.0} events/sec, peak agenda {}",
+        wall,
+        report.total_sessions as f64 / wall,
+        (report.total_events_fired + churn_events) as f64 / wall,
+        report
+            .cells
+            .iter()
+            .map(|c| c.engine.peak_agenda)
+            .max()
+            .unwrap_or(0),
+    );
+    args.maybe_write_json(&report);
+    args.finish(&runner);
+}

@@ -13,6 +13,8 @@
 //!                                                       control under a popularity shift
 //! sbcast resilience --horizon 200 --seeds 7 --threads 2 the fault study: schemes under
 //!                                                       bursty loss/outages + recovery
+//! sbcast throughput --samples 300 --threads 4           streaming-core throughput +
+//!                                                       agenda-churn stress -> BENCH_throughput.json
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
@@ -41,7 +43,7 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
@@ -489,6 +491,49 @@ fn cmd_resilience(opts: &Opts) -> Result<(), String> {
     finish_runner(opts, &runner)
 }
 
+/// Streaming-core throughput: per-scheme engine/agenda accounting on the
+/// [`sb_sim::StreamingFold`] path plus the cancel-heavy churn stress.
+/// Writes `BENCH_throughput.json` (override with `--json`); the JSON and
+/// stdout are byte-identical across `--threads` counts, wall-clock rates
+/// go to stderr.
+fn cmd_throughput(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::throughput::{render_throughput, throughput_study, ThroughputConfig};
+
+    let mut cfg = ThroughputConfig::paper_defaults();
+    cfg.bandwidth = Mbps(opts.get_f64("bandwidth", cfg.bandwidth.value())?);
+    cfg.schemes = match opts.0.get("scheme") {
+        None => cfg.schemes,
+        Some(s) => schemes_from(s)?,
+    };
+    cfg.sessions = opts.get_usize("samples", cfg.sessions)?;
+    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
+    cfg.seed = opts.get_usize("seed", cfg.seed as usize)? as u64;
+    cfg.churn_cancels = opts.get_usize("churn-cancels", cfg.churn_cancels as usize)? as u64;
+
+    let runner = runner_from(opts)?;
+    let t0 = std::time::Instant::now();
+    let (report, snapshot) = throughput_study(&cfg, &runner).map_err(|e| e.to_string())?;
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", render_throughput(&report));
+    let churn_events = report.churn.engine.fired + report.churn.engine.cancelled;
+    eprintln!(
+        "wall: {:.3}s, {:.0} sessions/sec, {:.0} events/sec",
+        wall,
+        report.total_sessions as f64 / wall,
+        (report.total_events_fired + churn_events) as f64 / wall,
+    );
+    let path = opts.get_str("json", "BENCH_throughput.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    if let Some(path) = opts.0.get("metrics") {
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_runner(opts, &runner)
+}
+
 fn cmd_series(opts: &Opts) -> Result<(), String> {
     use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
     let budget = PhaseBudget::ExhaustiveUpTo(100_000);
@@ -614,6 +659,7 @@ fn main() -> ExitCode {
         "hybrid" => cmd_hybrid(&opts),
         "control" => cmd_control(&opts),
         "resilience" => cmd_resilience(&opts),
+        "throughput" => cmd_throughput(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

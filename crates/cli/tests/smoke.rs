@@ -64,3 +64,30 @@ fn plan_succeeds_on_defaults() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("channels"));
 }
+
+#[test]
+fn throughput_writes_json_and_is_thread_count_invariant() {
+    let dir = std::env::temp_dir().join(format!("sbcast-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut outs = Vec::new();
+    for threads in ["1", "2"] {
+        let json = dir.join(format!("thr-{threads}.json"));
+        let out = sbcast(&[
+            "throughput",
+            "--samples",
+            "20",
+            "--threads",
+            threads,
+            "--json",
+            json.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "throughput must run");
+        outs.push((out.stdout, std::fs::read(&json).unwrap()));
+    }
+    assert_eq!(outs[0].0, outs[1].0, "stdout must not depend on --threads");
+    assert_eq!(outs[0].1, outs[1].1, "JSON must not depend on --threads");
+    let json = String::from_utf8_lossy(&outs[0].1);
+    assert!(json.contains("peak_agenda"));
+    assert!(json.contains("churn"));
+    std::fs::remove_dir_all(&dir).ok();
+}

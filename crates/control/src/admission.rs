@@ -80,16 +80,31 @@ impl Backoff {
         Self::new(delay, 1.0, u32::MAX)
     }
 
+    /// The ceiling an exponential schedule saturates at: one day. Past
+    /// it, a "retry later" answer is indistinguishable from a rejection,
+    /// and the unclamped product overflows to `inf` within a few dozen
+    /// doublings anyway.
+    pub const MAX_DELAY: Minutes = Minutes(24.0 * 60.0);
+
     /// Delay before retry number `attempt` (0-based), or `None` once the
     /// attempt budget is exhausted.
+    ///
+    /// The schedule saturates: the delay never exceeds
+    /// `max(base, `[`Backoff::MAX_DELAY`]`)`, so a generous attempt
+    /// budget (e.g. [`Backoff::fixed`]'s `u32::MAX`) cannot drive the
+    /// product to `inf` or a multi-year deferral.
     #[must_use]
     pub fn delay(&self, attempt: u32) -> Option<Minutes> {
         if attempt >= self.max_attempts {
             return None;
         }
-        Some(Minutes(
-            self.base.value() * self.factor.powi(attempt as i32),
-        ))
+        // Clamp the exponent before the i32 cast (`attempt` may be huge
+        // under a fixed schedule) — factor ≥ 1, so past the clamp the
+        // raw product is far beyond the saturation point regardless.
+        let exp = attempt.min(1 << 16) as i32;
+        let raw = self.base.value() * self.factor.powi(exp);
+        let cap = Self::MAX_DELAY.value().max(self.base.value());
+        Some(Minutes(raw.min(cap)))
     }
 }
 
@@ -207,6 +222,29 @@ mod tests {
         assert_eq!(a.decide(4, 2, 4, 1), AdmissionDecision::Defer(Minutes(4.0)));
         // Attempt budget exhausted: over-ceiling now rejects.
         assert_eq!(a.decide(4, 2, 4, 3), AdmissionDecision::Reject);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_documented_max_delay() {
+        // Doubling from 2 minutes passes the one-day cap at attempt 10
+        // (2·2¹⁰ = 2048 > 1440); from there every delay is exactly the cap.
+        let b = Backoff::new(Minutes(2.0), 2.0, u32::MAX).unwrap();
+        assert_eq!(b.delay(9), Some(Minutes(1024.0)));
+        assert_eq!(b.delay(10), Some(Backoff::MAX_DELAY));
+        assert_eq!(b.delay(100), Some(Backoff::MAX_DELAY));
+        // Exponents that would overflow `powi` (or wrap the i32 cast)
+        // still saturate finitely.
+        let d = b.delay(u32::MAX - 1).unwrap();
+        assert!(d.value().is_finite());
+        assert_eq!(d, Backoff::MAX_DELAY);
+        // A fixed schedule is untouched by the cap.
+        let f = Backoff::fixed(Minutes(3.0)).unwrap();
+        assert_eq!(f.delay(u32::MAX - 1), Some(Minutes(3.0)));
+        // A base above the cap is honoured — saturation never shrinks
+        // the first delay.
+        let big = Backoff::new(Minutes(10_000.0), 2.0, 5).unwrap();
+        assert_eq!(big.delay(0), Some(Minutes(10_000.0)));
+        assert_eq!(big.delay(4), Some(Minutes(10_000.0)));
     }
 
     #[test]

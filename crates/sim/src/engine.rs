@@ -11,21 +11,79 @@
 //! domain logic. Determinism matters for reproducible experiments: two
 //! events scheduled for the same tick fire in the order they were
 //! scheduled, regardless of heap internals.
+//!
+//! ## The agenda: slab slots, generations, amortized compaction
+//!
+//! Event liveness is tracked in a **slab**: every scheduled event owns a
+//! slot (reused through a free list), and an [`EventId`] packs the slot
+//! index with the slot's **generation** — bumped every time the slot is
+//! freed — so a stale id can never alias a later event that happens to
+//! reuse the slot. Lookup, scheduling and cancellation are all O(1) with
+//! no hashing.
+//!
+//! Cancellation is **lazy**: the heap entry of a cancelled event stays in
+//! the agenda until it surfaces (or a compaction removes it). Lazy alone
+//! is unbounded — a workload that cancels most of what it schedules (fault
+//! scripts, allocator drain-swaps) grows the agenda forever even though
+//! almost nothing in it is live. So the engine **compacts**: whenever the
+//! stale entries outnumber the live ones (past a small floor that keeps
+//! tiny agendas out of the machinery), the heap is rebuilt from its live
+//! entries in O(n). Every stale entry is paid for at most twice — once
+//! when cancelled, once when compacted away — so the amortized cost stays
+//! O(log n) per operation and the agenda length is bounded by roughly 2×
+//! the live event count at all times (see [`Engine::agenda_len`]).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use vod_units::{TickDuration, Ticks};
 
 /// Handle to a scheduled event, usable for cancellation.
+///
+/// Packs a slab slot index with that slot's generation at scheduling
+/// time, so ids stay valid (as *rejected*, not misdelivered) after the
+/// slot is reused by a later event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        Self(u64::from(gen) << 32 | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One slab slot: the current generation plus whether an event lives here.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Bumped on every free; a heap entry is live iff its recorded
+    /// generation matches.
+    gen: u32,
+    /// `true` while a scheduled, un-fired, un-cancelled event owns the
+    /// slot.
+    occupied: bool,
+}
 
 struct Entry<E> {
     at: Ticks,
     seq: u64,
-    id: EventId,
+    slot: u32,
+    gen: u32,
     payload: E,
+}
+
+impl<E> Entry<E> {
+    fn is_live(&self, slots: &[Slot]) -> bool {
+        let s = slots[self.slot as usize];
+        s.occupied && s.gen == self.gen
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -51,7 +109,7 @@ impl<E> Ord for Entry<E> {
 /// Deterministic for a deterministic run, so they can be exported into a
 /// metrics snapshot: `scheduled == fired + cancelled + pending` holds at
 /// every instant.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Events ever scheduled.
     pub scheduled: u64,
@@ -59,17 +117,31 @@ pub struct EngineStats {
     pub fired: u64,
     /// Events cancelled before firing.
     pub cancelled: u64,
+    /// High-water mark of the agenda length (live + stale heap entries) —
+    /// the engine's memory footprint in events.
+    pub peak_agenda: u64,
+    /// Heap rebuilds that purged stale (lazily-cancelled) entries.
+    pub compactions: u64,
 }
+
+/// Agendas smaller than this never compact: below the floor the stale
+/// entries cost less than the rebuild bookkeeping.
+const COMPACT_FLOOR: usize = 32;
 
 /// The discrete-event engine: a clock plus an agenda of pending events.
 pub struct Engine<E> {
     now: Ticks,
+    /// Monotonic FIFO tie-break counter (never reused, unlike slots).
     seq: u64,
     heap: BinaryHeap<Entry<E>>,
-    /// Ids of events that are scheduled and neither fired nor cancelled.
-    /// Cancellation only removes from this set; the heap entry is dropped
-    /// lazily when it surfaces.
-    live: HashSet<EventId>,
+    /// Slab of event slots; `EventId`s index into it.
+    slots: Vec<Slot>,
+    /// Freed slot indices available for reuse.
+    free: Vec<u32>,
+    /// Live (scheduled, neither fired nor cancelled) events.
+    live: usize,
+    /// Cancelled events whose heap entries have not yet been dropped.
+    stale: usize,
     stats: EngineStats,
 }
 
@@ -87,12 +159,15 @@ impl<E> Engine<E> {
             now: Ticks::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            stale: 0,
             stats: EngineStats::default(),
         }
     }
 
-    /// Lifetime agenda counters (scheduled / fired / cancelled).
+    /// Lifetime agenda counters (scheduled / fired / cancelled / peaks).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.stats
@@ -104,10 +179,28 @@ impl<E> Engine<E> {
         self.now
     }
 
-    /// Number of pending (non-cancelled) events.
+    /// Number of pending (non-cancelled) events. O(1), exact across
+    /// cancellations and compactions.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.live
+    }
+
+    /// Current agenda length: live entries plus stale entries awaiting
+    /// lazy removal. Compaction keeps this bounded by roughly
+    /// `2 × pending()` (plus the compaction floor).
+    #[must_use]
+    pub fn agenda_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Free `slot`, invalidating every outstanding reference to it.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.occupied = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
     }
 
     /// Schedule `payload` at the absolute tick `at`.
@@ -120,17 +213,33 @@ impl<E> Engine<E> {
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        let id = EventId(self.seq);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].occupied = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("agenda outgrew u32 slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    occupied: true,
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
         self.heap.push(Entry {
             at,
             seq: self.seq,
-            id,
+            slot,
+            gen,
             payload,
         });
-        self.live.insert(id);
+        self.live += 1;
         self.seq += 1;
         self.stats.scheduled += 1;
-        id
+        self.stats.peak_agenda = self.stats.peak_agenda.max(self.heap.len() as u64);
+        EventId::new(slot, gen)
     }
 
     /// Schedule `payload` after a delay from now.
@@ -143,14 +252,45 @@ impl<E> Engine<E> {
     /// Ids that never existed, already fired, or were already cancelled
     /// all return `false` and leave the agenda untouched — so
     /// [`Engine::pending`] stays exact no matter what callers pass in.
+    ///
+    /// The heap entry is dropped lazily — either when it surfaces in
+    /// [`Engine::next`]/[`Engine::run_until`] or when stale entries
+    /// outnumber live ones and the agenda compacts.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Only the live set changes; the heap entry is dropped lazily when
-        // it surfaces in `next`/`run_until`.
-        let removed = self.live.remove(&id);
-        if removed {
-            self.stats.cancelled += 1;
+        let (slot, gen) = (id.slot(), id.gen());
+        match self.slots.get(slot as usize) {
+            Some(s) if s.occupied && s.gen == gen => {}
+            _ => return false,
         }
-        removed
+        self.release(slot);
+        self.stale += 1;
+        self.stats.cancelled += 1;
+        self.maybe_compact();
+        true
+    }
+
+    /// Rebuild the heap from its live entries once the stale ones
+    /// outnumber them. O(current agenda); amortized O(1) per cancel,
+    /// because at least half the entries paid for by the rebuild are
+    /// discarded by it.
+    fn maybe_compact(&mut self) {
+        if self.stale <= self.live || self.heap.len() < COMPACT_FLOOR {
+            return;
+        }
+        let slots = std::mem::take(&mut self.slots);
+        let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|e| e.is_live(&slots))
+            .collect();
+        self.slots = slots;
+        debug_assert_eq!(
+            entries.len(),
+            self.live,
+            "compaction must keep exactly the live set"
+        );
+        self.heap = BinaryHeap::from(entries);
+        self.stale = 0;
+        self.stats.compactions += 1;
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -161,9 +301,11 @@ impl<E> Engine<E> {
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(Ticks, E)> {
         while let Some(entry) = self.heap.pop() {
-            if !self.live.remove(&entry.id) {
+            if !entry.is_live(&self.slots) {
+                self.stale -= 1;
                 continue; // cancelled; drop the stale entry
             }
+            self.release(entry.slot);
             debug_assert!(entry.at >= self.now, "agenda went backwards");
             self.now = entry.at;
             self.stats.fired += 1;
@@ -191,8 +333,9 @@ impl<E> Engine<E> {
             // Peek for the horizon check without consuming.
             let next_at = loop {
                 match self.heap.peek() {
-                    Some(e) if !self.live.contains(&e.id) => {
+                    Some(e) if !e.is_live(&self.slots) => {
                         self.heap.pop(); // cancelled; drop the stale entry
+                        self.stale -= 1;
                     }
                     Some(e) => break Some(e.at),
                     None => break None,
@@ -256,7 +399,8 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut eng: Engine<()> = Engine::new();
-        assert!(!eng.cancel(EventId(42)));
+        assert!(!eng.cancel(EventId::new(42, 0)));
+        assert!(!eng.cancel(EventId::new(0, 7)));
     }
 
     #[test]
@@ -279,6 +423,23 @@ mod tests {
         // And cancelling after exhaustion is still a clean no-op.
         assert!(!eng.cancel(a));
         assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_a_slot_reuser() {
+        // Slot reuse must not let an old id reach the new tenant: the
+        // generation in the id has to mismatch.
+        let mut eng: Engine<&'static str> = Engine::new();
+        let a = eng.schedule_at(Ticks(1), "a");
+        assert!(eng.cancel(a));
+        // "b" reuses slot 0 at a later generation.
+        let b = eng.schedule_at(Ticks(2), "b");
+        assert!(!eng.cancel(a), "the stale id must not hit b");
+        assert_eq!(eng.pending(), 1);
+        let mut seen = Vec::new();
+        eng.run(|_, _, p| seen.push(p));
+        assert_eq!(seen, vec!["b"]);
+        assert!(!eng.cancel(b), "b already fired");
     }
 
     #[test]
@@ -319,11 +480,54 @@ mod tests {
         assert_eq!(s.scheduled, 3);
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.fired, 1);
+        assert_eq!(s.peak_agenda, 3);
         assert_eq!(
             s.scheduled,
             s.fired + s.cancelled + eng.pending() as u64,
             "conservation: every scheduled event is fired, cancelled or pending"
         );
+    }
+
+    #[test]
+    fn cancel_heavy_agenda_stays_bounded() {
+        // The unbounded-growth regression: schedule/cancel churn with a
+        // small live population. Before compaction the heap kept every
+        // cancelled entry until its (far-future) timestamp surfaced —
+        // 40 000 cancellations meant a 40 000-entry agenda. Now the heap
+        // length must stay within ~2× the live count.
+        let live_target = 100usize;
+        let mut eng: Engine<u64> = Engine::new();
+        let mut ids = std::collections::VecDeque::new();
+        for i in 0..live_target as u64 {
+            ids.push_back(eng.schedule_at(Ticks(1_000_000 + i), i));
+        }
+        let mut cancels = 0u64;
+        for i in 0..40_000u64 {
+            let id = ids.pop_front().expect("live population maintained");
+            assert!(eng.cancel(id));
+            cancels += 1;
+            ids.push_back(eng.schedule_at(Ticks(2_000_000 + i), i));
+            assert!(
+                eng.agenda_len() <= 2 * live_target + COMPACT_FLOOR,
+                "agenda {} after {} cancels",
+                eng.agenda_len(),
+                cancels
+            );
+        }
+        assert_eq!(cancels, 40_000);
+        let s = eng.stats();
+        assert!(s.compactions > 0, "churn at this scale must compact");
+        assert!(
+            s.peak_agenda <= (2 * live_target + COMPACT_FLOOR) as u64,
+            "peak agenda {}",
+            s.peak_agenda
+        );
+        assert_eq!(eng.pending(), live_target);
+        assert_eq!(s.scheduled, s.fired + s.cancelled + eng.pending() as u64);
+        // The survivors still fire in order.
+        let mut fired = 0usize;
+        eng.run(|_, _, _| fired += 1);
+        assert_eq!(fired, live_target);
     }
 
     #[test]
@@ -374,6 +578,61 @@ mod tests {
             fired.sort_unstable();
             expect.sort_unstable();
             prop_assert_eq!(fired, expect);
+        }
+
+        /// Conservation under arbitrary interleavings of schedule, cancel
+        /// (including bogus and repeated ids) and partial draining:
+        /// `scheduled == fired + cancelled + pending`, with the agenda
+        /// compacting rather than accumulating stale entries.
+        #[test]
+        fn conservation_under_cancel_heavy_churn(
+            ops in proptest::collection::vec(0u64..5000, 1..400),
+        ) {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut ids: Vec<EventId> = Vec::new();
+            let mut fired = 0u64;
+            for &raw in &ops {
+                let (op, x) = (raw % 10, raw / 10);
+                match op {
+                    // Weight cancels heavily (ops 0..=5): the regression
+                    // workload cancels most of what it schedules.
+                    0..=5 => {
+                        if !ids.is_empty() {
+                            let id = ids[x as usize % ids.len()];
+                            eng.cancel(id); // may be stale: must be a no-op then
+                        }
+                    }
+                    6..=8 => {
+                        ids.push(eng.schedule_at(Ticks(eng.now().0 + x), x));
+                    }
+                    _ => {
+                        if eng.next().is_some() {
+                            fired += 1;
+                        }
+                    }
+                }
+                let s = eng.stats();
+                prop_assert_eq!(
+                    s.scheduled,
+                    s.fired + s.cancelled + eng.pending() as u64,
+                    "conservation violated"
+                );
+                prop_assert_eq!(s.fired, fired);
+                prop_assert!(
+                    eng.agenda_len() <= 2 * eng.pending() + COMPACT_FLOOR,
+                    "agenda {} vs live {}",
+                    eng.agenda_len(),
+                    eng.pending()
+                );
+            }
+            // Draining fires exactly the still-pending events.
+            let before = eng.pending();
+            let mut drained = 0usize;
+            eng.run(|_, _, _| drained += 1);
+            prop_assert_eq!(drained, before);
+            prop_assert_eq!(eng.pending(), 0);
+            let s = eng.stats();
+            prop_assert_eq!(s.scheduled, s.fired + s.cancelled);
         }
     }
 }

@@ -27,6 +27,7 @@
 //! | [`pausing`] | PPB's "max-saving" mid-broadcast-retuning client |
 //! | [`receive_all`] | Harmonic Broadcasting's record-everything client (and its famous bug) |
 //! | [`faults`] | broadcast-loss injection and stall accounting over traces |
+//! | [`sink`] | the [`sink::TraceSink`] streaming fold: aggregate populations without retaining traces |
 //! | [`system`] | many-client system simulation driven by the engine, generic over client models |
 //!
 //! ## Example: measure a Skyscraper client empirically
@@ -66,6 +67,7 @@ pub mod pausing;
 pub mod policy;
 pub mod receive_all;
 pub mod schedule;
+pub mod sink;
 pub mod system;
 pub mod trace;
 
@@ -78,6 +80,7 @@ pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use policy::{schedule_client, ClientPolicy};
 pub use receive_all::{record_all, RecordingSchedule};
 pub use schedule::{ClientSchedule, Download, JitterViolation};
+pub use sink::{CollectTraces, NullSink, SessionSummary, StreamingFold, TraceSink};
 pub use system::{SystemReport, SystemSim};
 pub use trace::{
     ClientModel, PausingClient, Reception, RecordingClient, SessionTrace, TraceViolation,

@@ -23,6 +23,7 @@ use sb_core::plan::{ChannelPlan, VideoId};
 
 use crate::engine::Engine;
 use crate::policy::PolicyError;
+use crate::sink::{NullSink, TraceSink};
 use crate::trace::ClientModel;
 
 /// One viewer request.
@@ -115,6 +116,36 @@ impl<'a> SystemSim<'a> {
         requests: &[Request],
         rec: &mut dyn Recorder,
     ) -> Result<SystemReport, PolicyError> {
+        self.run_with_sink(requests, rec, &mut NullSink)
+    }
+
+    /// The streaming core: [`SystemSim::run_recorded`] handing every
+    /// finished [`crate::trace::SessionTrace`] to `sink` *before dropping
+    /// it*. Pass a [`crate::sink::StreamingFold`] to aggregate
+    /// latency/bandwidth statistics in O(1) memory per session, or a
+    /// [`crate::sink::CollectTraces`] when a consumer (packet replay,
+    /// fault re-injection) needs the materialized traces. The returned
+    /// [`SystemReport`] is identical whatever the sink — sinks observe,
+    /// they never steer.
+    pub fn run_with_sink(
+        &self,
+        requests: &[Request],
+        rec: &mut dyn Recorder,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SystemReport, PolicyError> {
+        self.run_instrumented(requests, rec, sink).map(|(r, _)| r)
+    }
+
+    /// [`SystemSim::run_with_sink`] additionally returning the engine's
+    /// [`crate::engine::EngineStats`] — agenda traffic and peaks, for
+    /// throughput benchmarking. The report half is identical to every
+    /// other run variant.
+    pub fn run_instrumented(
+        &self,
+        requests: &[Request],
+        rec: &mut dyn Recorder,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
         let mut engine: Engine<Ev> = Engine::new();
         for &r in requests {
             engine.schedule_at(
@@ -143,6 +174,7 @@ impl<'a> SystemSim<'a> {
                     .session(self.plan, r.video, r.at, self.display_rate)
                 {
                     Ok(s) => {
+                        sink.accept(&s);
                         sessions += 1;
                         active += 1;
                         peak_active = peak_active.max(active);
@@ -200,20 +232,23 @@ impl<'a> SystemSim<'a> {
                 Minutes(latencies[idx])
             }
         };
-        Ok(SystemReport {
-            sessions,
-            mean_latency: Minutes(if sessions > 0 {
-                latency_sum / sessions as f64
-            } else {
-                0.0
-            }),
-            p50_latency: percentile(0.5),
-            p95_latency: percentile(0.95),
-            worst_latency,
-            worst_buffer,
-            peak_active_sessions: peak_active,
-            delivered_minutes: Minutes(delivered),
-        })
+        Ok((
+            SystemReport {
+                sessions,
+                mean_latency: Minutes(if sessions > 0 {
+                    latency_sum / sessions as f64
+                } else {
+                    0.0
+                }),
+                p50_latency: percentile(0.5),
+                p95_latency: percentile(0.95),
+                worst_latency,
+                worst_buffer,
+                peak_active_sessions: peak_active,
+                delivered_minutes: Minutes(delivered),
+            },
+            stats,
+        ))
     }
 }
 
@@ -292,6 +327,49 @@ mod tests {
         );
         let lat = snap.histogram("sim_latency_minutes", "video=0").unwrap();
         assert!(lat.count > 0 && lat.mean() <= bare.worst_latency.value());
+    }
+
+    #[test]
+    fn sink_observes_without_steering_and_paths_agree_bitwise() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(52))
+            .plan(&cfg)
+            .unwrap();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let requests = requests_grid(60, 10, 30.0);
+        let bare = sim.run(&requests).unwrap();
+
+        let mut fold = crate::sink::StreamingFold::new();
+        let mut rec = sb_metrics::NullRecorder;
+        let folded = sim.run_with_sink(&requests, &mut rec, &mut fold).unwrap();
+        assert_eq!(bare, folded, "a sink must not steer the simulation");
+
+        let mut collect = crate::sink::CollectTraces::new();
+        let collected = sim
+            .run_with_sink(&requests, &mut rec, &mut collect)
+            .unwrap();
+        assert_eq!(bare, collected);
+        assert_eq!(collect.traces.len(), 60);
+
+        // The streaming fold and the materializing summary agree bitwise.
+        let a = fold.finish();
+        let b = collect.summarize();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // And they agree with the engine-side report where they overlap.
+        assert_eq!(a.sessions, bare.sessions);
+        assert_eq!(a.mean_latency, bare.mean_latency);
+        assert_eq!(a.p50_latency, bare.p50_latency);
+        assert_eq!(a.p95_latency, bare.p95_latency);
+        assert_eq!(a.worst_latency, bare.worst_latency);
+        assert_eq!(a.worst_buffer, bare.worst_buffer);
+        assert_eq!(a.delivered_minutes, bare.delivered_minutes);
+
+        // The materializing path still feeds the packet-level replay.
+        let e2e = crate::e2e::replay(&collect.traces[0], crate::e2e::PacketConfig::default());
+        assert!(e2e.underruns.is_empty());
     }
 
     #[test]

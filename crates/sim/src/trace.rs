@@ -352,6 +352,30 @@ pub trait ClientModel {
     ) -> Result<SessionTrace, PolicyError>;
 }
 
+impl<M: ClientModel + ?Sized> ClientModel for &M {
+    fn session(
+        &self,
+        plan: &ChannelPlan,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        (**self).session(plan, video, arrival, display_rate)
+    }
+}
+
+impl ClientModel for Box<dyn ClientModel + '_> {
+    fn session(
+        &self,
+        plan: &ChannelPlan,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        (**self).session(plan, video, arrival, display_rate)
+    }
+}
+
 impl ClientModel for ClientPolicy {
     fn session(
         &self,

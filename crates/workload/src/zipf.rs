@@ -34,13 +34,18 @@ impl ZipfPopularity {
         let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-s)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
-        let cdf = weights
+        let mut cdf = weights
             .iter()
             .map(|w| {
                 acc += w / total;
                 acc
             })
             .collect::<Vec<_>>();
+        // The accumulated tail lands at 1.0 ± a few ulp. Pin it to
+        // exactly 1.0: `sample` can then trust that every draw u < 1.0
+        // finds an index without an out-of-range clamp, and
+        // `top_share(n)` is exactly 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
         Self { exponent: s, cdf }
     }
 
@@ -89,19 +94,32 @@ impl ZipfPopularity {
     }
 
     /// Fraction of total demand captured by the `k` most popular titles.
+    ///
+    /// `k ≥ n` returns exactly `1.0` — the whole catalog captures all
+    /// demand — but asking is almost always a rank/count confusion, so
+    /// debug builds assert `k ≤ n` to surface the caller.
     #[must_use]
     pub fn top_share(&self, k: usize) -> f64 {
+        debug_assert!(
+            k <= self.cdf.len(),
+            "top_share: k = {k} exceeds the {}-title catalog",
+            self.cdf.len()
+        );
         if k == 0 {
             0.0
+        } else if k >= self.cdf.len() {
+            1.0
         } else {
-            self.cdf[(k - 1).min(self.cdf.len() - 1)]
+            self.cdf[k - 1]
         }
     }
 
     /// Draw a 0-based rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        // First index with cdf ≥ u.
+        // First index with cdf ≥ u. The constructor pins the final cdf
+        // entry to exactly 1.0, so u < 1.0 always lands in range; the
+        // `min` is plain defence, not a rounding crutch.
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
@@ -182,10 +200,25 @@ mod tests {
     fn top_share_edges() {
         let z = ZipfPopularity::paper(10);
         assert_eq!(z.top_share(0), 0.0);
-        assert!((z.top_share(10) - 1.0).abs() < 1e-12);
-        assert!((z.top_share(999) - 1.0).abs() < 1e-12);
+        // Exactly 1.0, not 1.0 ± ulp: the constructor pins the tail.
+        assert_eq!(z.top_share(10), 1.0);
         assert_eq!(z.len(), 10);
         assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the 10-title catalog")]
+    fn out_of_range_top_share_asserts_in_debug() {
+        let _ = ZipfPopularity::paper(10).top_share(999);
+    }
+
+    #[test]
+    fn final_cdf_entry_is_exactly_one() {
+        for n in [1, 7, 100, 999] {
+            let z = ZipfPopularity::paper(n);
+            assert_eq!(z.top_share(n), 1.0, "n = {n}");
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -27,11 +27,25 @@ cargo run -q -p sb-cli --bin sbcast -- control --horizon 300 --seeds 11 --thread
 
 echo "==> resilience smoke (fault study, determinism across reruns)"
 res_a="$(mktemp)"; res_b="$(mktemp)"
-trap 'rm -f "$res_a" "$res_b"' EXIT
+thr_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir"' EXIT
 cargo run -q -p sb-cli --bin sbcast -- resilience --horizon 200 --seeds 7 --threads 2 \
     2>/dev/null > "$res_a"
 cargo run -q -p sb-cli --bin sbcast -- resilience --horizon 200 --seeds 7 --threads 2 \
     2>/dev/null > "$res_b"
 diff -u "$res_a" "$res_b"
+
+echo "==> throughput smoke (streaming core, determinism across --threads 1/2/4)"
+for n in 1 2 4; do
+    cargo run -q -p sb-cli --bin sbcast -- throughput --samples 40 --threads "$n" \
+        --json "$thr_dir/thr-$n.json" 2>/dev/null > "$thr_dir/thr-$n.out"
+done
+test -s "$thr_dir/thr-1.json" || { echo "BENCH_throughput.json is empty"; exit 1; }
+grep -q '"peak_agenda"' "$thr_dir/thr-1.json"
+grep -q '"churn"' "$thr_dir/thr-1.json"
+diff -u "$thr_dir/thr-1.json" "$thr_dir/thr-2.json"
+diff -u "$thr_dir/thr-1.json" "$thr_dir/thr-4.json"
+diff -u "$thr_dir/thr-1.out" "$thr_dir/thr-2.out"
+diff -u "$thr_dir/thr-1.out" "$thr_dir/thr-4.out"
 
 echo "verify: OK"

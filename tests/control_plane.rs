@@ -56,7 +56,7 @@ fn dynamic_control_beats_static_under_a_popularity_shift() {
 fn static_policy_never_moves_a_channel() {
     let cfg = study_config();
     let catalog = Catalog::paper_defaults(cfg.control.titles);
-    let sim = ControlledSim::new(cfg.control.clone(), &catalog).unwrap();
+    let sim = ControlledSim::new(cfg.control, &catalog).unwrap();
     let reqs = shifted_requests(&cfg, 11);
     let mut rec = NullRecorder;
     let report = sim.run(&reqs, ControlPolicy::Static, &mut rec);
@@ -116,7 +116,7 @@ fn policies_are_distinguishable_inside_one_merged_snapshot() {
 fn a_rerun_into_a_fresh_registry_is_identical() {
     let cfg = study_config();
     let catalog = Catalog::paper_defaults(cfg.control.titles);
-    let sim = ControlledSim::new(cfg.control.clone(), &catalog).unwrap();
+    let sim = ControlledSim::new(cfg.control, &catalog).unwrap();
     let reqs = shifted_requests(&cfg, 23);
     let run = || {
         let mut reg = Registry::new();
