@@ -23,6 +23,7 @@ use vod_units::Minutes;
 use sb_control::{ControlConfig, ControlPolicy, ControlReport, ControlledSim};
 use sb_core::error::Result;
 use sb_metrics::{Recorder, Registry, Snapshot};
+use sb_sim::RunConfig;
 use sb_workload::{Catalog, Patience, PoissonArrivals, PopularityShift, ZipfPopularity};
 
 use crate::runner::Runner;
@@ -142,22 +143,26 @@ pub fn shift_study(cfg: &ShiftStudyConfig, runner: &Runner) -> Result<(ShiftStud
             .generate(&popularity, cfg.horizon);
 
             let mut reg = Registry::new();
-            let static_report = sim.run(
-                &requests,
-                ControlPolicy::Static,
-                &mut PolicyLabeled {
-                    inner: &mut reg,
-                    policy: "static",
-                },
-            );
-            let dynamic_report = sim.run(
-                &requests,
-                ControlPolicy::Dynamic,
-                &mut PolicyLabeled {
-                    inner: &mut reg,
-                    policy: "dynamic",
-                },
-            );
+            let static_report = sim
+                .execute(
+                    ControlPolicy::Static,
+                    RunConfig::new(&requests).recorder(&mut PolicyLabeled {
+                        inner: &mut reg,
+                        policy: "static",
+                    }),
+                )
+                .expect("the empty fault script is always valid")
+                .summary;
+            let dynamic_report = sim
+                .execute(
+                    ControlPolicy::Dynamic,
+                    RunConfig::new(&requests).recorder(&mut PolicyLabeled {
+                        inner: &mut reg,
+                        policy: "dynamic",
+                    }),
+                )
+                .expect("the empty fault script is always valid")
+                .summary;
             (
                 ShiftCell {
                     seed,

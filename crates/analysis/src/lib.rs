@@ -15,6 +15,7 @@
 //! | [`control_study`] | static-vs-dynamic channel allocation under a popularity shift |
 //! | [`resilience_study`] | schemes under bursty loss/outages and the control plane's recovery |
 //! | [`throughput`] | streaming-core throughput cells and the agenda-churn compaction stress |
+//! | [`scale_study`] | sharded scale-out: per-shard agenda footprint and sim-time rates vs `S` |
 //! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
@@ -32,6 +33,7 @@ pub mod lineup;
 pub mod render;
 pub mod resilience_study;
 pub mod runner;
+pub mod scale_study;
 pub mod sweep;
 pub mod tables;
 pub mod throughput;

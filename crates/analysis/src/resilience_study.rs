@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbps, Minutes};
 
-use sb_control::{ControlConfig, ControlPolicy, ControlReport, ControlledSim};
+use sb_control::{ControlConfig, ControlFaults, ControlPolicy, ControlReport, ControlledSim};
 use sb_core::config::SystemConfig;
 use sb_core::error::Result;
 use sb_core::plan::VideoId;
@@ -32,7 +32,7 @@ use sb_metrics::{Recorder, Registry, Snapshot};
 use sb_resilience::{replay, Degradation, FaultScript, GilbertElliott, ScriptedLoss};
 use sb_sim::policy::ClientPolicy;
 use sb_sim::trace::{ClientModel, PausingClient, RecordingClient};
-use sb_sim::{LossModel, LossProcess};
+use sb_sim::{LossModel, LossProcess, RunConfig};
 use sb_workload::{Catalog, Patience, PoissonArrivals, PopularityShift, ZipfPopularity};
 
 use crate::lineup::SchemeId;
@@ -394,16 +394,19 @@ pub fn resilience_study(
             .generate(&popularity, cfg.control_horizon);
             let mut reg = Registry::new();
             let mut run = |policy: ControlPolicy| {
-                sim.run_with_faults(
-                    &requests,
+                sim.execute(
                     policy,
-                    &cfg.script,
-                    Degradation::Stall,
-                    &mut Labeled {
-                        inner: &mut reg,
-                        extra: vec![("policy".to_string(), policy.to_string())],
-                    },
+                    RunConfig::new(&requests)
+                        .recorder(&mut Labeled {
+                            inner: &mut reg,
+                            extra: vec![("policy".to_string(), policy.to_string())],
+                        })
+                        .faults(ControlFaults {
+                            script: &cfg.script,
+                            degradation: Degradation::Stall,
+                        }),
                 )
+                .map(|o| o.summary)
             };
             let static_report = run(ControlPolicy::Static)?;
             let dynamic_report = run(ControlPolicy::Dynamic)?;

@@ -211,6 +211,11 @@ impl Runner {
         out
     }
 
+    /// The shared mapping core: [`sb_sim::parallel_map`] does the claiming
+    /// and reassembly, so a panicking cell surfaces as
+    /// `"<stage>: worker panicked on item <index>/<n>: <payload>"` instead
+    /// of an anonymous worker-join abort. Progress counters ride along in
+    /// the closure (stderr only — results never depend on them).
     fn map_inner<T: Sync, R: Send>(
         &self,
         items: &[T],
@@ -218,56 +223,21 @@ impl Runner {
         stage: Option<&str>,
     ) -> Vec<R> {
         let n = items.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            return items
-                .iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    let r = f(t);
-                    if self.progress {
-                        if let Some(s) = stage {
-                            eprint!("\r{s}: {}/{n} ", i + 1);
-                        }
-                    }
-                    r
-                })
-                .collect();
-        }
-        let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            local.push((i, f(&items[i])));
-                            if self.progress {
-                                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                                if let Some(s) = stage {
-                                    eprint!("\r{s}: {d}/{n} ");
-                                }
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("runner worker panicked"))
-                .collect()
+        let out = sb_sim::parallel_map(self.threads, stage.unwrap_or("map"), items, |_, t| {
+            let r = f(t);
+            if self.progress {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(s) = stage {
+                    eprint!("\r{s}: {d}/{n} ");
+                }
+            }
+            r
         });
         if self.progress && stage.is_some() {
             eprintln!();
         }
-        indexed.sort_unstable_by_key(|&(i, _)| i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        out
     }
 
     /// The manifest accumulated so far (stages recorded by
@@ -472,5 +442,29 @@ mod tests {
         let runner = Runner::new(4);
         let out: Vec<u8> = runner.map(&[] as &[u8], |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_cell_names_the_stage_and_grid_index() {
+        // Regression: the old pool surfaced worker deaths as an anonymous
+        // "runner worker panicked", losing which cell of which experiment
+        // blew up. The message must now carry both.
+        for threads in [1, 4] {
+            let runner = Runner::new(threads);
+            let items: Vec<u32> = (0..32).collect();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                runner.timed_map("bw-sweep", &items, |&x| {
+                    assert!(x != 13, "cell 13 exploded");
+                    x
+                })
+            }))
+            .expect_err("the panic must propagate");
+            let msg = err
+                .downcast_ref::<String>()
+                .expect("panic payload is a string");
+            assert!(msg.contains("bw-sweep"), "no stage label in: {msg}");
+            assert!(msg.contains("item 13/32"), "no grid index in: {msg}");
+            assert!(msg.contains("cell 13 exploded"), "payload lost in: {msg}");
+        }
     }
 }

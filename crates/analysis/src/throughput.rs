@@ -4,7 +4,7 @@
 //!
 //! * **System half** — for every scheme in the lineup, a fixed arrival
 //!   grid is driven through [`SystemSim`] on the streaming
-//!   ([`StreamingFold`]) path, and the engine's lifetime
+//!   ([`sb_sim::StreamingFold`]) path, and the engine's lifetime
 //!   [`EngineStats`] are captured: events scheduled / fired /
 //!   cancelled, the agenda's high-water mark, and how many compactions
 //!   the lazy-cancellation purge performed. Rates are reported per
@@ -29,11 +29,11 @@ use vod_units::{Mbps, Minutes, Ticks};
 use sb_core::config::SystemConfig;
 use sb_core::error::Result;
 use sb_core::plan::VideoId;
-use sb_metrics::{Registry, Snapshot};
+use sb_metrics::Snapshot;
 use sb_sim::policy::ClientPolicy;
 use sb_sim::system::{Request, SystemSim};
 use sb_sim::trace::{ClientModel, PausingClient, RecordingClient};
-use sb_sim::{Engine, EngineStats, SessionSummary, StreamingFold};
+use sb_sim::{Engine, EngineStats, RunConfig, SessionSummary};
 
 use crate::lineup::SchemeId;
 use crate::runner::Runner;
@@ -193,10 +193,9 @@ fn run_cell(cfg: &ThroughputConfig, id: SchemeId) -> Option<(ThroughputCell, Sna
         .collect();
 
     let sim = SystemSim::new(&plan, sys.display_rate, model_for(id));
-    let mut reg = Registry::new();
-    let mut fold = StreamingFold::new();
-    let (_, engine) = sim.run_instrumented(&requests, &mut reg, &mut fold).ok()?;
-    let summary = fold.finish();
+    let out = sim.execute(RunConfig::new(&requests)).ok()?;
+    let summary = out.fold;
+    let engine = out.stats;
 
     let sim_minutes = cfg.horizon.value() + sys.video_length.value();
     Some((
@@ -209,7 +208,7 @@ fn run_cell(cfg: &ThroughputConfig, id: SchemeId) -> Option<(ThroughputCell, Sna
             events_per_sim_minute: engine.fired as f64 / sim_minutes,
             summary,
         },
-        reg.snapshot(),
+        out.snapshot,
     ))
 }
 

@@ -12,6 +12,7 @@ use sb_core::series::Width;
 use sb_core::Skyscraper;
 use sb_sim::policy::ClientPolicy;
 use sb_sim::system::{Request, SystemSim};
+use sb_sim::RunConfig;
 use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
@@ -53,7 +54,7 @@ fn bench_system_sim(c: &mut Criterion) {
     c.bench_function("system_200_sb_clients", |b| {
         b.iter(|| {
             SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible)
-                .run(black_box(&requests))
+                .execute(RunConfig::new(black_box(&requests)))
                 .unwrap()
         })
     });

@@ -1,0 +1,45 @@
+//! Sharded scale-out: per-shard agenda footprint and simulated-time
+//! rates at `S ∈ {1, 2, 4, 8}`, a million-session grid per cell. Emits
+//! `BENCH_scale.json` unless `--json` names another path.
+//!
+//! `--shards <n>` picks the flagship pass's shard count and `--threads
+//! <n>` the worker pool — the JSON artifact and stdout are byte-identical
+//! for every combination (the determinism gate `scripts/verify.sh`
+//! diffs them); wall-clock sessions/sec go to stderr.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sb_analysis::scale_study::{render_scale, scale_study, ScaleConfig};
+
+fn main() {
+    let mut args = sb_bench::Args::parse();
+    if args.json.is_none() {
+        args.json = Some(PathBuf::from("BENCH_scale.json"));
+    }
+    let runner = args.runner();
+    let cfg = ScaleConfig::paper_defaults();
+    let t0 = Instant::now();
+    let (report, metrics) = scale_study(&cfg, args.shards, &runner).expect("valid default config");
+    let wall = t0.elapsed().as_secs_f64();
+
+    print!("{}", render_scale(&report));
+    println!(
+        "metrics: {} engine events, {} sessions",
+        metrics.counter_total("engine_events_total"),
+        metrics.counter_total("sim_sessions_total"),
+    );
+    // Wall-clock rates are machine- and thread-dependent: stderr only,
+    // so stdout and the JSON artifact stay byte-identical across
+    // `--shards` and `--threads`.
+    let grid_sessions: usize = report.cells.len() * report.total_sessions;
+    eprintln!(
+        "wall: {:.3}s at --shards {} --threads {}, {:.0} sessions/sec over the grid",
+        wall,
+        args.shards,
+        runner.threads(),
+        (grid_sessions + report.total_sessions) as f64 / wall,
+    );
+    args.maybe_write_json(&report);
+    args.finish(&runner);
+}

@@ -27,6 +27,10 @@ pub struct Args {
     pub manifest: Option<PathBuf>,
     /// `--progress`: live per-stage counters on stderr.
     pub progress: bool,
+    /// `--shards <n>`: shard count for scale-out binaries (default 1).
+    /// Results are byte-identical for every value; only wall-clock and
+    /// per-shard footprints (stderr) change.
+    pub shards: usize,
 }
 
 impl Args {
@@ -44,6 +48,7 @@ impl Args {
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = Args {
             threads: 1,
+            shards: 1,
             ..Args::default()
         };
         let mut it = args.into_iter();
@@ -61,10 +66,15 @@ impl Args {
                     let path = it.next().expect("--manifest requires a path");
                     out.manifest = Some(PathBuf::from(path));
                 }
+                "--shards" => {
+                    let n = it.next().expect("--shards requires a count");
+                    out.shards = n.parse().expect("--shards: not an integer");
+                    assert!(out.shards >= 1, "--shards must be at least 1");
+                }
                 "--progress" => out.progress = true,
                 other => panic!(
                     "unknown argument `{other}` (supported: --json <path> --threads <n> \
-                     --manifest <path> --progress)"
+                     --shards <n> --manifest <path> --progress)"
                 ),
             }
         }
@@ -135,5 +145,18 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn rejects_unknown_flags() {
         let _ = Args::parse_from(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn parses_shards_and_defaults_to_one() {
+        let a = Args::parse_from(["--shards", "4"].map(str::to_string));
+        assert_eq!(a.shards, 4);
+        assert_eq!(Args::parse_from(std::iter::empty()).shards, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards must be at least 1")]
+    fn rejects_zero_shards() {
+        let _ = Args::parse_from(["--shards", "0"].map(str::to_string));
     }
 }

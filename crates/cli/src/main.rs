@@ -15,15 +15,19 @@
 //!                                                       bursty loss/outages + recovery
 //! sbcast throughput --samples 300 --threads 4           streaming-core throughput +
 //!                                                       agenda-churn stress -> BENCH_throughput.json
+//! sbcast scale    --shards 4 --threads 4                sharded scale-out: agenda footprint
+//!                                                       and sim-time rates -> BENCH_scale.json
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
 //! `STAG`, or `all`.
 //!
-//! `sweep` and `hybrid` execute through [`sb_analysis::runner`]:
-//! `--threads N` sizes the worker pool (0 = one per core; stdout and
-//! `--json` output are byte-identical for every N), `--json <path>` writes
-//! the structured [`sb_analysis::runner::SweepReport`], and `--manifest
+//! The study subcommands (`sweep`, `hybrid`, `control`, `resilience`,
+//! `throughput`, `scale`) share one execution-flag parser: `--threads N`
+//! sizes the worker pool (must be ≥ 1; stdout and `--json` output are
+//! byte-identical for every N), `--shards N` picks the scale-out shard
+//! count (`scale` only; also result-invariant), `--seed` the workload
+//! seed, `--json <path>` writes the structured report, and `--manifest
 //! <path>` writes per-stage wall-clock timings.
 
 #![forbid(unsafe_code)]
@@ -43,7 +47,7 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
@@ -52,7 +56,8 @@ fn usage() -> &'static str {
            --patience --fraction --seeds 11,23,47\n\
            --loss-rates 0.01,0.05 --burst-len 4\n\
            --outage-channel --outage-start --outage-duration\n\
-           --threads N --samples N --json PATH --metrics PATH --manifest PATH"
+           --threads N --shards N --sessions N --videos N --samples N\n\
+           --json PATH --metrics PATH --manifest PATH"
 }
 
 fn parse_scheme(name: &str) -> Option<SchemeId> {
@@ -212,17 +217,83 @@ fn cmd_client(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Build the worker pool `--threads` asked for (default serial).
-fn runner_from(opts: &Opts) -> Result<Runner, String> {
-    Ok(Runner::new(opts.get_usize("threads", 1)?))
+/// The execution flags every study subcommand shares — `--threads`,
+/// `--seed`, `--shards`, `--json`, `--manifest` — parsed and validated
+/// by one routine so `sweep`, `control`, `resilience`, `throughput` and
+/// `scale` reject bad values with identical messages.
+struct CommonArgs {
+    /// Worker-pool size (validated ≥ 1; results never depend on it).
+    threads: usize,
+    /// `--seed`, when given (each study applies its own default).
+    seed: Option<u64>,
+    /// Shard count (validated ≥ 1; only `scale` accepts > 1).
+    shards: usize,
+    /// `--json <path>`: where to write the structured report.
+    json: Option<String>,
+    /// `--manifest <path>`: where to write per-stage wall timings.
+    manifest: Option<String>,
+}
+
+impl CommonArgs {
+    fn parse(opts: &Opts) -> Result<Self, String> {
+        let threads = opts.get_usize("threads", 1)?;
+        if threads == 0 {
+            return Err("--threads must be at least 1 (got 0)".into());
+        }
+        let shards = opts.get_usize("shards", 1)?;
+        if shards == 0 {
+            return Err("--shards must be at least 1 (got 0)".into());
+        }
+        let seed = match opts.0.get("seed") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("--seed: bad integer `{v}`"))?,
+            ),
+        };
+        Ok(Self {
+            threads,
+            seed,
+            shards,
+            json: opts.0.get("json").cloned(),
+            manifest: opts.0.get("manifest").cloned(),
+        })
+    }
+
+    /// The worker pool this invocation asked for.
+    fn runner(&self) -> Runner {
+        Runner::new(self.threads)
+    }
+
+    /// Studies that are not sharded refuse the scale-out flag instead of
+    /// silently ignoring it.
+    fn reject_shards(&self, cmd: &str) -> Result<(), String> {
+        if self.shards > 1 {
+            return Err(format!(
+                "--shards applies only to `scale` (got {} for `{cmd}`)",
+                self.shards
+            ));
+        }
+        Ok(())
+    }
+
+    /// Write `value` as pretty JSON if `--json` was given.
+    fn maybe_write_json<T: serde::Serialize>(&self, value: &T) -> Result<(), String> {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        Ok(())
+    }
 }
 
 /// Print per-stage timings to stderr and honour `--manifest`. Timings
 /// never touch stdout, so results stay byte-identical across `--threads`.
-fn finish_runner(opts: &Opts, runner: &Runner) -> Result<(), String> {
+fn finish_runner(common: &CommonArgs, runner: &Runner) -> Result<(), String> {
     let manifest = runner.manifest();
     eprint!("{}", manifest.summary());
-    if let Some(path) = opts.0.get("manifest") {
+    if let Some(path) = &common.manifest {
         let json = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("--manifest {path}: {e}"))?;
         eprintln!("wrote {path}");
@@ -235,12 +306,14 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let to = opts.get_f64("to", 600.0)?;
     let step = opts.get_f64("step", 20.0)?;
     let samples = opts.get_usize("samples", 24)?;
-    let seed = opts.get_usize("seed", 0)? as u64;
+    let common = CommonArgs::parse(opts)?;
+    common.reject_shards("sweep")?;
+    let seed = common.seed.unwrap_or(0);
     let ids = schemes_from(&opts.get_str("scheme", "all"))?;
     if !(step > 0.0 && to >= from) {
         return Err(format!("bad sweep range: from {from} to {to} step {step}"));
     }
-    let runner = runner_from(opts)?;
+    let runner = common.runner();
     let exp = Experiment::over_range("sweep", ids.clone(), from, to, step).with_seed(seed);
     let report = run_experiment(&exp, Minutes(15.0), samples, &runner);
     for (fig, name) in [
@@ -273,12 +346,8 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         println!("worst simulated/analytic latency ratio: {worst_latency:.4} (must be <= 1)");
         println!("worst simulated/analytic buffer  ratio: {worst_buffer:.4} (must be <= 1)");
     }
-    if let Some(path) = opts.0.get("json") {
-        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    finish_runner(opts, &runner)
+    common.maybe_write_json(&report)?;
+    finish_runner(&common, &runner)
 }
 
 fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
@@ -288,7 +357,9 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
     let rate = opts.get_f64("rate", 3.0)?;
     let horizon = opts.get_f64("horizon", 600.0)?;
     let width = opts.get_usize("width", 52)? as u64;
-    let seed = opts.get_usize("seed", 42)? as u64;
+    let common = CommonArgs::parse(opts)?;
+    common.reject_shards("hybrid")?;
+    let seed = common.seed.unwrap_or(42);
     if let Some(spec) = opts.0.get("rates") {
         // Study mode: hybrid vs pure batching over a list of arrival
         // rates, one simulated point per rate, through the runner.
@@ -296,7 +367,7 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
             .split(',')
             .map(|t| t.trim().parse().map_err(|_| format!("bad rate `{t}`")))
             .collect::<Result<_, _>>()?;
-        let runner = runner_from(opts)?;
+        let runner = common.runner();
         let cfg = sb_analysis::hybrid_study::StudyConfig {
             titles,
             popular,
@@ -330,12 +401,8 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
                 first.broadcast_worst_latency
             );
         }
-        if let Some(path) = opts.0.get("json") {
-            let json = serde_json::to_string_pretty(&points).map_err(|e| e.to_string())?;
-            std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
-            eprintln!("wrote {path}");
-        }
-        return finish_runner(opts, &runner);
+        common.maybe_write_json(&points)?;
+        return finish_runner(&common, &runner);
     }
     let catalog = Catalog::paper_defaults(titles);
     let requests = PoissonArrivals::new(rate, seed)
@@ -422,20 +489,18 @@ fn cmd_control(opts: &Opts) -> Result<(), String> {
         mean_patience: Minutes(opts.get_f64("patience", 45.0)?),
         seeds,
     };
-    let runner = runner_from(opts)?;
+    let common = CommonArgs::parse(opts)?;
+    common.reject_shards("control")?;
+    let runner = common.runner();
     let (study, snapshot) = shift_study(&cfg, &runner).map_err(|e| e.to_string())?;
     print!("{}", render_shift_study(&study));
-    if let Some(path) = opts.0.get("json") {
-        let json = serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    common.maybe_write_json(&study)?;
     if let Some(path) = opts.0.get("metrics") {
         let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    finish_runner(opts, &runner)
+    finish_runner(&common, &runner)
 }
 
 /// The fault study: every scheme under i.i.d. and bursty loss at equal
@@ -475,20 +540,18 @@ fn cmd_resilience(opts: &Opts) -> Result<(), String> {
     cfg.mean_patience = Minutes(opts.get_f64("patience", 45.0)?);
     cfg.control.admission_retry = parse_backoff(opts)?;
 
-    let runner = runner_from(opts)?;
+    let common = CommonArgs::parse(opts)?;
+    common.reject_shards("resilience")?;
+    let runner = common.runner();
     let (study, snapshot) = resilience_study(&cfg, &runner).map_err(|e| e.to_string())?;
     print!("{}", render_resilience_study(&study));
-    if let Some(path) = opts.0.get("json") {
-        let json = serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--json {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
+    common.maybe_write_json(&study)?;
     if let Some(path) = opts.0.get("metrics") {
         let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    finish_runner(opts, &runner)
+    finish_runner(&common, &runner)
 }
 
 /// Streaming-core throughput: per-scheme engine/agenda accounting on the
@@ -507,10 +570,12 @@ fn cmd_throughput(opts: &Opts) -> Result<(), String> {
     };
     cfg.sessions = opts.get_usize("samples", cfg.sessions)?;
     cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
-    cfg.seed = opts.get_usize("seed", cfg.seed as usize)? as u64;
     cfg.churn_cancels = opts.get_usize("churn-cancels", cfg.churn_cancels as usize)? as u64;
 
-    let runner = runner_from(opts)?;
+    let common = CommonArgs::parse(opts)?;
+    common.reject_shards("throughput")?;
+    cfg.seed = common.seed.unwrap_or(cfg.seed);
+    let runner = common.runner();
     let t0 = std::time::Instant::now();
     let (report, snapshot) = throughput_study(&cfg, &runner).map_err(|e| e.to_string())?;
     let wall = t0.elapsed().as_secs_f64();
@@ -522,7 +587,10 @@ fn cmd_throughput(opts: &Opts) -> Result<(), String> {
         report.total_sessions as f64 / wall,
         (report.total_events_fired + churn_events) as f64 / wall,
     );
-    let path = opts.get_str("json", "BENCH_throughput.json");
+    let path = common
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
     eprintln!("wrote {path}");
@@ -531,7 +599,52 @@ fn cmd_throughput(opts: &Opts) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    finish_runner(opts, &runner)
+    finish_runner(&common, &runner)
+}
+
+/// Sharded scale-out: per-shard agenda footprint and simulated-time
+/// rates at every grid shard count, a [`sb_analysis::scale_study`] run.
+/// Writes `BENCH_scale.json` (override with `--json`); stdout and the
+/// JSON are byte-identical for every `--shards` and `--threads`
+/// combination — the flagship pass contributes only shard-invariant
+/// fields. Wall-clock rates go to stderr.
+fn cmd_scale(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::scale_study::{render_scale, scale_study, ScaleConfig};
+
+    let mut cfg = ScaleConfig::paper_defaults();
+    cfg.bandwidth = Mbps(opts.get_f64("bandwidth", cfg.bandwidth.value())?);
+    cfg.sessions = opts.get_usize("sessions", cfg.sessions)?;
+    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
+    cfg.videos = opts.get_usize("videos", cfg.videos)?;
+
+    let common = CommonArgs::parse(opts)?;
+    cfg.seed = common.seed.unwrap_or(cfg.seed);
+    let runner = common.runner();
+    let t0 = std::time::Instant::now();
+    let (report, snapshot) =
+        scale_study(&cfg, common.shards, &runner).map_err(|e| e.to_string())?;
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", render_scale(&report));
+    eprintln!(
+        "wall: {:.3}s at --shards {} --threads {}, {:.0} sessions/sec over the grid",
+        wall,
+        common.shards,
+        runner.threads(),
+        (report.total_sessions * (report.cells.len() + 1)) as f64 / wall,
+    );
+    let path = common
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    if let Some(path) = opts.0.get("metrics") {
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_runner(&common, &runner)
 }
 
 fn cmd_series(opts: &Opts) -> Result<(), String> {
@@ -660,6 +773,7 @@ fn main() -> ExitCode {
         "control" => cmd_control(&opts),
         "resilience" => cmd_resilience(&opts),
         "throughput" => cmd_throughput(&opts),
+        "scale" => cmd_scale(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

@@ -66,6 +66,83 @@ fn plan_succeeds_on_defaults() {
 }
 
 #[test]
+fn every_study_subcommand_rejects_zero_threads_identically() {
+    for cmd in [
+        "sweep",
+        "hybrid",
+        "control",
+        "resilience",
+        "throughput",
+        "scale",
+    ] {
+        let out = sbcast(&[cmd, "--threads", "0"]);
+        assert_clean_failure(&out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error: --threads must be at least 1 (got 0)"),
+            "`{cmd}` must reject --threads 0 with the shared message, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn zero_shards_and_unsharded_commands_reject_the_shards_flag() {
+    let out = sbcast(&["scale", "--shards", "0"]);
+    assert_clean_failure(&out);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error: --shards must be at least 1 (got 0)")
+    );
+    for cmd in ["sweep", "hybrid", "control", "resilience", "throughput"] {
+        let out = sbcast(&[cmd, "--shards", "2"]);
+        assert_clean_failure(&out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--shards applies only to `scale`"),
+            "`{cmd}` must refuse --shards, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn scale_is_shard_and_thread_count_invariant() {
+    let dir = std::env::temp_dir().join(format!("sbcast-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut outs = Vec::new();
+    for (shards, threads) in [("1", "1"), ("2", "4"), ("4", "2")] {
+        let json = dir.join(format!("scale-{shards}-{threads}.json"));
+        let out = sbcast(&[
+            "scale",
+            "--sessions",
+            "2000",
+            "--horizon",
+            "200",
+            "--shards",
+            shards,
+            "--threads",
+            threads,
+            "--json",
+            json.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "scale must run at {shards}/{threads}");
+        outs.push((out.stdout, std::fs::read(&json).unwrap()));
+    }
+    for (stdout, json) in &outs[1..] {
+        assert_eq!(
+            &outs[0].0, stdout,
+            "stdout must not depend on --shards/--threads"
+        );
+        assert_eq!(
+            &outs[0].1, json,
+            "JSON must not depend on --shards/--threads"
+        );
+    }
+    let json = String::from_utf8_lossy(&outs[0].1);
+    assert!(json.contains("shard_peak_agenda"));
+    assert!(json.contains("sessions_per_sim_second"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn throughput_writes_json_and_is_thread_count_invariant() {
     let dir = std::env::temp_dir().join(format!("sbcast-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -47,9 +47,10 @@ use sb_core::error::{Result, SchemeError};
 use sb_core::scheme::BroadcastScheme;
 use sb_core::series::Width;
 use sb_core::Skyscraper;
-use sb_metrics::Recorder;
+use sb_metrics::{OpLog, Recorder, Registry, Snapshot, TeeRecorder};
 use sb_resilience::{Degradation, FaultScript, ResilienceOutcome};
-use sb_sim::Engine;
+use sb_sim::run::RunParts;
+use sb_sim::{parallel_map, shard_of, Engine, EngineStats, RunConfig};
 use sb_workload::{Catalog, WorkloadRequest};
 
 use crate::admission::{AdmissionControl, AdmissionDecision, Backoff};
@@ -217,6 +218,73 @@ enum Ev {
 /// first fragments before the client is counted as defected.
 const MAX_SLIPS: u64 = 64;
 
+/// The fault payload carried by [`RunConfig::faults`] into
+/// [`ControlledSim::execute`]: a fault script plus the repair-lateness
+/// policy that resolves it.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlFaults<'f> {
+    /// The script of outages, restarts, bursts and churn to replay.
+    pub script: &'f FaultScript,
+    /// How repair lateness is resolved for cut-into sessions.
+    pub degradation: Degradation,
+}
+
+/// What [`ControlledSim::execute`] accepts in the fault slot: either the
+/// default `()` (no faults, stall-repair — so a plain
+/// `RunConfig::new(requests)` compiles) or a [`ControlFaults`] bundle.
+pub trait IntoControlFaults {
+    /// The script and degradation this payload stands for; `quiet` is
+    /// the caller-owned empty script the fault-free case borrows.
+    fn resolve<'f>(&'f self, quiet: &'f FaultScript) -> (&'f FaultScript, Degradation);
+}
+
+impl IntoControlFaults for () {
+    fn resolve<'f>(&'f self, quiet: &'f FaultScript) -> (&'f FaultScript, Degradation) {
+        (quiet, Degradation::Stall)
+    }
+}
+
+impl IntoControlFaults for ControlFaults<'_> {
+    fn resolve<'f>(&'f self, _quiet: &'f FaultScript) -> (&'f FaultScript, Degradation) {
+        (self.script, self.degradation)
+    }
+}
+
+/// Everything a controlled run produces, whatever the slot combination —
+/// the control plane's analogue of [`sb_sim::RunOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlOutcome {
+    /// The control-plane report (identical to the historical
+    /// `ControlledSim::run` output when `shards(1)`).
+    pub summary: ControlReport,
+    /// Engine statistics, summed across shards; `peak_agenda` is the
+    /// maximum over shards.
+    pub stats: EngineStats,
+    /// Each shard's agenda high-water mark, in shard order
+    /// (`len == shards`).
+    pub shard_peak_agenda: Vec<u64>,
+    /// Snapshot of the run's private metrics registry, merged across
+    /// shards in shard order.
+    pub snapshot: Snapshot,
+    /// The merged popularity view: the end-of-run estimator score for
+    /// every global title, stitched from each owning shard's estimator
+    /// (`len == titles`).
+    pub popularity: Vec<f64>,
+}
+
+/// One control shard's raw results, pre-merge.
+struct ShardOut {
+    report: Option<ControlReport>,
+    /// Served-request latencies, minutes (sorted within the shard).
+    latencies: Vec<f64>,
+    /// End-of-run estimator scores, indexed by shard-local title.
+    scores: Vec<f64>,
+    stats: EngineStats,
+    snapshot: Snapshot,
+    ops: Option<OpLog>,
+    err: Option<SchemeError>,
+}
+
 /// The controlled hybrid simulation (see [module docs](self)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControlledSim {
@@ -225,6 +293,8 @@ pub struct ControlledSim {
     d1: Minutes,
     /// Video length `D` (pool service time).
     video_length: Minutes,
+    /// Title display rate (uniform across the catalog).
+    display_rate: Mbps,
     broadcast_channels: usize,
     pool: usize,
 }
@@ -248,6 +318,19 @@ impl ControlledSim {
                 what: "catalog smaller than configured title count",
             });
         }
+        let v0 = catalog.get(0).expect("non-empty catalog");
+        Self::sized(cfg, v0.length, v0.display_rate)
+    }
+
+    /// Size a server for `cfg` from the title parameters directly, with
+    /// no catalog in hand — the constructor the sharded executor uses
+    /// for its per-shard sub-servers.
+    fn sized(cfg: ControlConfig, video_length: Minutes, display_rate: Mbps) -> Result<Self> {
+        if cfg.titles == 0 || cfg.hot_slots == 0 || cfg.hot_slots > cfg.titles {
+            return Err(SchemeError::InvalidConfig {
+                what: "need 0 < hot_slots <= titles",
+            });
+        }
         if !(cfg.broadcast_fraction > 0.0 && cfg.broadcast_fraction < 1.0) {
             return Err(SchemeError::InvalidConfig {
                 what: "broadcast fraction must be in (0, 1)",
@@ -258,20 +341,19 @@ impl ControlledSim {
                 what: "control tick period must be positive and finite",
             });
         }
-        let v0 = catalog.get(0).expect("non-empty catalog");
         let sb_cfg = SystemConfig {
             server_bandwidth: Mbps(cfg.total_bandwidth.value() * cfg.broadcast_fraction),
             num_videos: cfg.hot_slots,
-            video_length: v0.length,
-            display_rate: v0.display_rate,
+            video_length,
+            display_rate,
         };
         let scheme = Skyscraper::with_width(cfg.width);
         let metrics = scheme.metrics(&sb_cfg)?;
         let k = scheme.channels_per_video(&sb_cfg)?;
         let broadcast_channels = k * cfg.hot_slots;
         let leftover =
-            cfg.total_bandwidth.value() - broadcast_channels as f64 * v0.display_rate.value();
-        let pool = (leftover / v0.display_rate.value()).floor() as usize;
+            cfg.total_bandwidth.value() - broadcast_channels as f64 * display_rate.value();
+        let pool = (leftover / display_rate.value()).floor() as usize;
         if pool == 0 {
             return Err(SchemeError::InsufficientBandwidth {
                 channels_per_video: 0,
@@ -281,7 +363,8 @@ impl ControlledSim {
         Ok(Self {
             cfg,
             d1: metrics.access_latency,
-            video_length: v0.length,
+            video_length,
+            display_rate,
             broadcast_channels,
             pool,
         })
@@ -304,13 +387,17 @@ impl ControlledSim {
     ///
     /// Requests must be in non-decreasing arrival order (workload
     /// generators produce them that way).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ControlledSim::execute(policy, RunConfig::new(requests).recorder(rec))`"
+    )]
     pub fn run(
         &self,
         requests: &[WorkloadRequest],
         policy: ControlPolicy,
         rec: &mut dyn Recorder,
     ) -> ControlReport {
-        self.run_with_faults(
+        self.run_faults_core(
             requests,
             policy,
             &FaultScript::none(),
@@ -318,6 +405,7 @@ impl ControlledSim {
             rec,
         )
         .expect("the empty fault script is always valid")
+        .0
     }
 
     /// Run the request stream under `policy` while `script` injects
@@ -335,7 +423,11 @@ impl ControlledSim {
     /// [`SchemeError::InvalidConfig`] if the script fails
     /// [`FaultScript::validate`] or an outage names a slot the
     /// configuration does not have.
-    #[allow(clippy::too_many_lines)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ControlledSim::execute(policy, RunConfig::new(requests)\
+                .faults(ControlFaults { script, degradation }))`"
+    )]
     pub fn run_with_faults(
         &self,
         requests: &[WorkloadRequest],
@@ -344,6 +436,24 @@ impl ControlledSim {
         degradation: Degradation,
         rec: &mut dyn Recorder,
     ) -> Result<ControlReport> {
+        Ok(self
+            .run_faults_core(requests, policy, script, degradation, rec)?
+            .0)
+    }
+
+    /// The single-server core behind every public entry point: runs the
+    /// event loop and returns, besides the report, the raw material the
+    /// sharded merge needs — the sorted served-latency population, the
+    /// end-of-run estimator scores, and the engine statistics.
+    #[allow(clippy::too_many_lines)]
+    fn run_faults_core(
+        &self,
+        requests: &[WorkloadRequest],
+        policy: ControlPolicy,
+        script: &FaultScript,
+        degradation: Degradation,
+        rec: &mut dyn Recorder,
+    ) -> Result<(ControlReport, Vec<f64>, Vec<f64>, EngineStats)> {
         script.validate()?;
         if script
             .outages
@@ -772,7 +882,7 @@ impl ControlledSim {
             }
         };
 
-        Ok(ControlReport {
+        let report = ControlReport {
             policy,
             requests: requests.len(),
             served_broadcast,
@@ -790,14 +900,332 @@ impl ControlledSim {
             pool_channels: self.pool,
             cycle: self.d1,
             resilience: res,
+        };
+        Ok((report, latencies, est.scores().to_vec(), stats))
+    }
+
+    /// Execute `cfg` under `policy` — the single entry point subsuming
+    /// the deprecated `run` / `run_with_faults` variants and adding
+    /// partitioned scale-out.
+    ///
+    /// With `shards(1)` (the default) this is exactly the historical
+    /// single-server run, bit for bit. With `shards(S)` the title space
+    /// is partitioned across `S` sub-servers — broadcast slot `i` goes to
+    /// shard `i % S`, cold titles by the seeded [`shard_of`] hash — each
+    /// with `hot_slots / S`-proportional bandwidth, its own allocator,
+    /// estimator, admission control and batching pool, run concurrently
+    /// on the deterministic pool and merged in shard order. The sharded
+    /// run is a *partitioned system model* (each shard batches and
+    /// admits over its own pool), so its report differs from `shards(1)`
+    /// by design; for a fixed `S` it is byte-identical for every thread
+    /// count.
+    ///
+    /// Slot semantics: the `recorder` slot receives the per-shard metric
+    /// streams replayed in shard order; the `sink` slot is ignored (the
+    /// control plane produces no session traces); the `faults` slot
+    /// carries a [`ControlFaults`] bundle — outages are routed to the
+    /// owning shard, restarts and churn waves reach every shard, and
+    /// burst-loss episodes apply to each shard's local slot indices.
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] on an invalid fault script, an
+    /// outage naming a missing slot, or `shards` exceeding `hot_slots`;
+    /// sizing errors if a shard's bandwidth share cannot sustain its
+    /// broadcast half plus a non-empty pool.
+    pub fn execute<F: IntoControlFaults>(
+        &self,
+        policy: ControlPolicy,
+        cfg: RunConfig<'_, WorkloadRequest, F>,
+    ) -> Result<ControlOutcome> {
+        let RunParts {
+            requests,
+            sink: _,
+            recorder,
+            faults,
+            shards,
+            threads,
+            seed,
+        } = cfg.into_parts();
+        let quiet = FaultScript::none();
+        let (script, degradation) = match &faults {
+            Some(f) => f.resolve(&quiet),
+            None => (&quiet, Degradation::Stall),
+        };
+        if shards == 1 {
+            let mut reg = Registry::new();
+            let (report, _, scores, stats) = match recorder {
+                Some(user) => {
+                    let mut tee = TeeRecorder {
+                        a: &mut reg,
+                        b: user,
+                    };
+                    self.run_faults_core(requests, policy, script, degradation, &mut tee)?
+                }
+                None => self.run_faults_core(requests, policy, script, degradation, &mut reg)?,
+            };
+            return Ok(ControlOutcome {
+                summary: report,
+                shard_peak_agenda: vec![stats.peak_agenda],
+                stats,
+                snapshot: reg.snapshot(),
+                popularity: scores,
+            });
+        }
+        self.execute_sharded(
+            policy,
+            requests,
+            recorder,
+            (shards, threads, seed),
+            script,
+            degradation,
+        )
+    }
+
+    /// The partitioned path behind [`ControlledSim::execute`];
+    /// `(shards, threads, seed)` are the scale-out knobs off the
+    /// [`RunConfig`].
+    #[allow(clippy::too_many_lines)]
+    fn execute_sharded(
+        &self,
+        policy: ControlPolicy,
+        requests: &[WorkloadRequest],
+        recorder: Option<&mut dyn Recorder>,
+        (shards, threads, seed): (usize, usize, u64),
+        script: &FaultScript,
+        degradation: Degradation,
+    ) -> Result<ControlOutcome> {
+        let m = self.cfg.hot_slots;
+        if shards > m {
+            return Err(SchemeError::InvalidConfig {
+                what: "more shards than broadcast slots",
+            });
+        }
+        script.validate()?;
+        if script.outages.iter().any(|o| o.channel >= m) {
+            return Err(SchemeError::InvalidConfig {
+                what: "fault script outage names a broadcast slot the config does not have",
+            });
+        }
+
+        // Partition the title space. Broadcast slot (= hot title) `i`
+        // goes to shard `i % S` and, because titles are visited in
+        // ascending order, lands on local ids `0..k_s` — exactly the
+        // sub-server's initial hot set. Cold titles hash via `shard_of`.
+        let mut titles_of: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut local_of: Vec<(usize, usize)> = Vec::with_capacity(self.cfg.titles);
+        for t in 0..self.cfg.titles {
+            let s = if t < m {
+                t % shards
+            } else {
+                shard_of(t as u64, seed, shards)
+            };
+            local_of.push((s, titles_of[s].len()));
+            titles_of[s].push(t);
+        }
+
+        // Size the sub-servers: shard `s` owns `k_s` of the `m` slots
+        // and gets the proportional bandwidth share, so its per-video
+        // broadcast bandwidth — and with it `D₁` — matches the whole
+        // server's.
+        let mut sims = Vec::with_capacity(shards);
+        for (s, shard_titles) in titles_of.iter().enumerate() {
+            let k_s = (0..m).filter(|i| i % shards == s).count();
+            let cfg_s = ControlConfig {
+                titles: shard_titles.len(),
+                hot_slots: k_s,
+                total_bandwidth: Mbps(self.cfg.total_bandwidth.value() * (k_s as f64 / m as f64)),
+                ..self.cfg
+            };
+            sims.push(Self::sized(cfg_s, self.video_length, self.display_rate)?);
+        }
+
+        // Route requests and outages to the owning shard; restarts and
+        // churn waves are server-wide and reach every shard.
+        let mut shard_reqs: Vec<Vec<WorkloadRequest>> = vec![Vec::new(); shards];
+        for r in requests {
+            let (s, local) = local_of[r.video];
+            shard_reqs[s].push(WorkloadRequest { video: local, ..*r });
+        }
+        let mut scripts: Vec<FaultScript> = (0..shards)
+            .map(|_| FaultScript {
+                restarts: script.restarts.clone(),
+                bursts: script.bursts.clone(),
+                churn: script.churn.clone(),
+                ..FaultScript::none()
+            })
+            .collect();
+        for o in &script.outages {
+            let mut routed = *o;
+            routed.channel = o.channel / shards;
+            scripts[o.channel % shards].outages.push(routed);
+        }
+
+        let want_ops = recorder.is_some();
+        let inputs: Vec<usize> = (0..shards).collect();
+        let mut outs: Vec<ShardOut> = parallel_map(threads, "control-shards", &inputs, |_, &s| {
+            let mut reg = Registry::new();
+            let mut ops = want_ops.then(OpLog::new);
+            let result = match ops.as_mut() {
+                Some(log) => {
+                    let mut tee = TeeRecorder {
+                        a: &mut reg,
+                        b: log,
+                    };
+                    sims[s].run_faults_core(
+                        &shard_reqs[s],
+                        policy,
+                        &scripts[s],
+                        degradation,
+                        &mut tee,
+                    )
+                }
+                None => sims[s].run_faults_core(
+                    &shard_reqs[s],
+                    policy,
+                    &scripts[s],
+                    degradation,
+                    &mut reg,
+                ),
+            };
+            match result {
+                Ok((report, latencies, scores, stats)) => ShardOut {
+                    report: Some(report),
+                    latencies,
+                    scores,
+                    stats,
+                    snapshot: reg.snapshot(),
+                    ops,
+                    err: None,
+                },
+                Err(e) => ShardOut {
+                    report: None,
+                    latencies: Vec::new(),
+                    scores: Vec::new(),
+                    stats: EngineStats::default(),
+                    snapshot: reg.snapshot(),
+                    ops,
+                    err: Some(e),
+                },
+            }
+        });
+        for out in &mut outs {
+            if let Some(e) = out.err.take() {
+                return Err(e);
+            }
+        }
+
+        // Merge, in shard order throughout. Counters add; the latency
+        // population concatenates and re-sorts; every shard replayed the
+        // same restart epochs, so that one counter takes the max rather
+        // than the sum.
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut summary = ControlReport {
+            policy,
+            requests: requests.len(),
+            served_broadcast: 0,
+            served_pool: 0,
+            defected: 0,
+            rejected: 0,
+            deferred: 0,
+            swaps_planned: 0,
+            swaps_committed: 0,
+            mean_latency: Minutes(0.0),
+            p95_latency: Minutes(0.0),
+            worst_latency: Minutes(0.0),
+            final_hot: vec![0; m],
+            broadcast_channels: 0,
+            pool_channels: 0,
+            cycle: sims[0].d1,
+            resilience: ResilienceOutcome::default(),
+        };
+        let mut stats = EngineStats::default();
+        let mut shard_peak_agenda = Vec::with_capacity(shards);
+        let mut snapshot = Snapshot::default();
+        for out in &outs {
+            let r = out.report.as_ref().expect("errors returned above");
+            summary.served_broadcast += r.served_broadcast;
+            summary.served_pool += r.served_pool;
+            summary.defected += r.defected;
+            summary.rejected += r.rejected;
+            summary.deferred += r.deferred;
+            summary.swaps_planned += r.swaps_planned;
+            summary.swaps_committed += r.swaps_committed;
+            summary.broadcast_channels += r.broadcast_channels;
+            summary.pool_channels += r.pool_channels;
+            let res = &mut summary.resilience;
+            res.outages += r.resilience.outages;
+            res.reallocations += r.resilience.reallocations;
+            res.repaired_sessions += r.resilience.repaired_sessions;
+            res.redirected += r.resilience.redirected;
+            res.retries += r.resilience.retries;
+            res.backoff_rejects += r.resilience.backoff_rejects;
+            res.churned += r.resilience.churned;
+            res.restarts = res.restarts.max(r.resilience.restarts);
+            res.stall_minutes += r.resilience.stall_minutes;
+            res.skipped_minutes += r.resilience.skipped_minutes;
+            res.degraded_minutes += r.resilience.degraded_minutes;
+            latencies.extend_from_slice(&out.latencies);
+            stats.scheduled += out.stats.scheduled;
+            stats.fired += out.stats.fired;
+            stats.cancelled += out.stats.cancelled;
+            stats.compactions += out.stats.compactions;
+            stats.peak_agenda = stats.peak_agenda.max(out.stats.peak_agenda);
+            shard_peak_agenda.push(out.stats.peak_agenda);
+            snapshot.merge(&out.snapshot);
+        }
+        for (i, slot) in summary.final_hot.iter_mut().enumerate() {
+            let s = i % shards;
+            let local_hot = out_report(&outs, s).final_hot[i / shards];
+            *slot = titles_of[s][local_hot];
+        }
+
+        latencies.sort_by(f64::total_cmp);
+        summary.mean_latency = Minutes(if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        });
+        summary.p95_latency = Minutes(if latencies.is_empty() {
+            0.0
+        } else {
+            let i = ((latencies.len() as f64 * 0.95).ceil() as usize).clamp(1, latencies.len());
+            latencies[i - 1]
+        });
+        summary.worst_latency = Minutes(latencies.last().copied().unwrap_or(0.0));
+
+        let mut popularity = vec![0.0; self.cfg.titles];
+        for (t, score) in popularity.iter_mut().enumerate() {
+            let (s, local) = local_of[t];
+            *score = outs[s].scores[local];
+        }
+
+        if let Some(rec) = recorder {
+            for out in &outs {
+                if let Some(log) = &out.ops {
+                    log.replay(rec);
+                }
+            }
+        }
+
+        Ok(ControlOutcome {
+            summary,
+            stats,
+            shard_peak_agenda,
+            snapshot,
+            popularity,
         })
     }
+}
+
+/// Shard `s`'s report, post-error-check.
+fn out_report(outs: &[ShardOut], s: usize) -> &ControlReport {
+    outs[s].report.as_ref().expect("errors returned above")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sb_metrics::{NullRecorder, Registry};
+    use sb_metrics::Registry;
     use sb_resilience::{ChannelOutage, ChurnEvent};
     use sb_workload::{Patience, PoissonArrivals, PopularityShift, ZipfPopularity};
 
@@ -824,12 +1252,34 @@ mod tests {
         ControlledSim::new(cfg, &catalog).unwrap()
     }
 
+    fn exec(sim: &ControlledSim, reqs: &[WorkloadRequest], policy: ControlPolicy) -> ControlReport {
+        sim.execute(policy, RunConfig::new(reqs)).unwrap().summary
+    }
+
+    fn exec_faults(
+        sim: &ControlledSim,
+        reqs: &[WorkloadRequest],
+        policy: ControlPolicy,
+        script: &FaultScript,
+        degradation: Degradation,
+    ) -> Result<ControlReport> {
+        Ok(sim
+            .execute(
+                policy,
+                RunConfig::new(reqs).faults(ControlFaults {
+                    script,
+                    degradation,
+                }),
+            )?
+            .summary)
+    }
+
     #[test]
     fn accounting_adds_up_under_both_policies() {
         let sim = sim(300.0);
         let reqs = shifted_workload(40, 3.0, 400.0, 200.0, 13, 5);
         for policy in [ControlPolicy::Static, ControlPolicy::Dynamic] {
-            let report = sim.run(&reqs, policy, &mut NullRecorder);
+            let report = exec(&sim, &reqs, policy);
             assert_eq!(report.accounted(), reqs.len(), "{policy}");
             assert!(
                 report.resilience.is_quiet(),
@@ -842,7 +1292,7 @@ mod tests {
     fn static_policy_never_reallocates() {
         let sim = sim(300.0);
         let reqs = shifted_workload(40, 3.0, 400.0, 200.0, 13, 7);
-        let report = sim.run(&reqs, ControlPolicy::Static, &mut NullRecorder);
+        let report = exec(&sim, &reqs, ControlPolicy::Static);
         assert_eq!(report.swaps_planned, 0);
         assert_eq!(report.swaps_committed, 0);
         assert_eq!(report.final_hot, (0..8).collect::<Vec<_>>());
@@ -853,7 +1303,7 @@ mod tests {
         let sim = sim(300.0);
         // Rotate the head of the Zipf right out of the initial hot set.
         let reqs = shifted_workload(40, 6.0, 500.0, 120.0, 20, 11);
-        let report = sim.run(&reqs, ControlPolicy::Dynamic, &mut NullRecorder);
+        let report = exec(&sim, &reqs, ControlPolicy::Dynamic);
         assert!(report.swaps_committed > 0, "no swaps committed");
         // The post-shift favourites are ranks 20.. (old rank r now arrives
         // as (r + 20) % 40); the final hot set should have moved there.
@@ -870,9 +1320,7 @@ mod tests {
         let sim = sim(300.0);
         let reqs = shifted_workload(40, 4.0, 300.0, 150.0, 10, 3);
         for policy in [ControlPolicy::Static, ControlPolicy::Dynamic] {
-            let mut reg = Registry::new();
-            let _ = sim.run(&reqs, policy, &mut reg);
-            let snap = reg.snapshot();
+            let snap = sim.execute(policy, RunConfig::new(&reqs)).unwrap().snapshot;
             let h = snap
                 .histogram("control_latency_minutes", "class=broadcast")
                 .expect("broadcast latency recorded");
@@ -890,12 +1338,13 @@ mod tests {
     fn reruns_are_bit_identical() {
         let sim = sim(240.0);
         let reqs = shifted_workload(40, 5.0, 300.0, 150.0, 15, 29);
-        let mut r1 = Registry::new();
-        let mut r2 = Registry::new();
-        let a = sim.run(&reqs, ControlPolicy::Dynamic, &mut r1);
-        let b = sim.run(&reqs, ControlPolicy::Dynamic, &mut r2);
+        let a = sim
+            .execute(ControlPolicy::Dynamic, RunConfig::new(&reqs))
+            .unwrap();
+        let b = sim
+            .execute(ControlPolicy::Dynamic, RunConfig::new(&reqs))
+            .unwrap();
         assert_eq!(a, b);
-        assert_eq!(r1.snapshot(), r2.snapshot());
     }
 
     #[test]
@@ -910,7 +1359,7 @@ mod tests {
         let reqs = PoissonArrivals::new(8.0, 17)
             .with_patience(Patience::Infinite)
             .generate(&ZipfPopularity::paper(40), Minutes(400.0));
-        let report = sim.run(&reqs, ControlPolicy::Static, &mut NullRecorder);
+        let report = exec(&sim, &reqs, ControlPolicy::Static);
         assert!(report.rejected > 0, "ceiling never triggered");
         assert_eq!(report.accounted(), reqs.len());
     }
@@ -927,7 +1376,7 @@ mod tests {
         let reqs = PoissonArrivals::new(8.0, 17)
             .with_patience(Patience::Exponential(Minutes(40.0)))
             .generate(&ZipfPopularity::paper(40), Minutes(400.0));
-        let report = sim.run(&reqs, ControlPolicy::Static, &mut NullRecorder);
+        let report = exec(&sim, &reqs, ControlPolicy::Static);
         assert!(report.deferred > 0, "no deferrals issued");
         assert_eq!(report.accounted(), reqs.len());
     }
@@ -946,15 +1395,14 @@ mod tests {
         let reqs = PoissonArrivals::new(10.0, 23)
             .with_patience(Patience::Infinite)
             .generate(&ZipfPopularity::paper(40), Minutes(400.0));
-        let report = sim
-            .run_with_faults(
-                &reqs,
-                ControlPolicy::Static,
-                &FaultScript::none(),
-                Degradation::Stall,
-                &mut NullRecorder,
-            )
-            .unwrap();
+        let report = exec_faults(
+            &sim,
+            &reqs,
+            ControlPolicy::Static,
+            &FaultScript::none(),
+            Degradation::Stall,
+        )
+        .unwrap();
         assert!(report.resilience.retries > 0, "no backoff retries");
         assert!(
             report.resilience.backoff_rejects > 0,
@@ -996,15 +1444,7 @@ mod tests {
             ..FaultScript::none()
         };
         for policy in [ControlPolicy::Static, ControlPolicy::Dynamic] {
-            let report = sim
-                .run_with_faults(
-                    &reqs,
-                    policy,
-                    &script,
-                    Degradation::Stall,
-                    &mut NullRecorder,
-                )
-                .unwrap();
+            let report = exec_faults(&sim, &reqs, policy, &script, Degradation::Stall).unwrap();
             assert_eq!(report.accounted(), reqs.len(), "{policy}");
             assert_eq!(report.resilience.outages, 1);
             assert!(
@@ -1032,7 +1472,7 @@ mod tests {
             ..FaultScript::none()
         };
         let run = |d: Degradation| {
-            sim.run_with_faults(&reqs, ControlPolicy::Static, &script, d, &mut NullRecorder)
+            exec_faults(&sim, &reqs, ControlPolicy::Static, &script, d)
                 .unwrap()
                 .resilience
         };
@@ -1067,27 +1507,25 @@ mod tests {
             }],
             ..FaultScript::none()
         };
-        let report = sim
-            .run_with_faults(
-                &reqs,
-                ControlPolicy::Static,
-                &script,
-                Degradation::Stall,
-                &mut NullRecorder,
-            )
-            .unwrap();
+        let report = exec_faults(
+            &sim,
+            &reqs,
+            ControlPolicy::Static,
+            &script,
+            Degradation::Stall,
+        )
+        .unwrap();
         assert!(report.resilience.churned > 0, "nobody churned");
         assert_eq!(report.accounted(), reqs.len());
         // Deterministic: same script, same churn.
-        let again = sim
-            .run_with_faults(
-                &reqs,
-                ControlPolicy::Static,
-                &script,
-                Degradation::Stall,
-                &mut NullRecorder,
-            )
-            .unwrap();
+        let again = exec_faults(
+            &sim,
+            &reqs,
+            ControlPolicy::Static,
+            &script,
+            Degradation::Stall,
+        )
+        .unwrap();
         assert_eq!(report, again);
     }
 
@@ -1099,15 +1537,14 @@ mod tests {
             restarts: vec![Minutes(130.0)],
             ..FaultScript::none()
         };
-        let report = sim
-            .run_with_faults(
-                &reqs,
-                ControlPolicy::Dynamic,
-                &script,
-                Degradation::Stall,
-                &mut NullRecorder,
-            )
-            .unwrap();
+        let report = exec_faults(
+            &sim,
+            &reqs,
+            ControlPolicy::Dynamic,
+            &script,
+            Degradation::Stall,
+        )
+        .unwrap();
         assert_eq!(report.resilience.restarts, 1);
         assert_eq!(report.accounted(), reqs.len());
         // Recovery continues after the restart: the shift still gets
@@ -1127,15 +1564,14 @@ mod tests {
             }],
             ..FaultScript::none()
         };
-        assert!(sim
-            .run_with_faults(
-                &reqs,
-                ControlPolicy::Static,
-                &bad_slot,
-                Degradation::Stall,
-                &mut NullRecorder
-            )
-            .is_err());
+        assert!(exec_faults(
+            &sim,
+            &reqs,
+            ControlPolicy::Static,
+            &bad_slot,
+            Degradation::Stall
+        )
+        .is_err());
         let bad_window = FaultScript {
             outages: vec![ChannelOutage {
                 channel: 0,
@@ -1144,14 +1580,123 @@ mod tests {
             }],
             ..FaultScript::none()
         };
-        assert!(sim
+        assert!(exec_faults(
+            &sim,
+            &reqs,
+            ControlPolicy::Static,
+            &bad_window,
+            Degradation::Stall
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_execute_bitwise() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 4.0, 300.0, 150.0, 10, 3);
+        let script = FaultScript {
+            outages: vec![ChannelOutage {
+                channel: 2,
+                start: Minutes(80.0),
+                duration: Minutes(30.0),
+            }],
+            ..FaultScript::none()
+        };
+        let mut reg = Registry::new();
+        let legacy = sim.run(&reqs, ControlPolicy::Dynamic, &mut reg);
+        let out = sim
+            .execute(ControlPolicy::Dynamic, RunConfig::new(&reqs))
+            .unwrap();
+        assert_eq!(legacy, out.summary);
+        assert_eq!(reg.snapshot(), out.snapshot);
+        let mut reg2 = Registry::new();
+        let legacy_faulted = sim
             .run_with_faults(
                 &reqs,
                 ControlPolicy::Static,
-                &bad_window,
-                Degradation::Stall,
-                &mut NullRecorder
+                &script,
+                Degradation::SkipSegment,
+                &mut reg2,
             )
-            .is_err());
+            .unwrap();
+        let faulted = sim
+            .execute(
+                ControlPolicy::Static,
+                RunConfig::new(&reqs).faults(ControlFaults {
+                    script: &script,
+                    degradation: Degradation::SkipSegment,
+                }),
+            )
+            .unwrap();
+        assert_eq!(legacy_faulted, faulted.summary);
+        assert_eq!(reg2.snapshot(), faulted.snapshot);
+    }
+
+    #[test]
+    fn sharded_control_partitions_and_is_thread_invariant() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 5.0, 400.0, 200.0, 13, 5);
+        for shards in [2, 4, 8] {
+            let base = sim
+                .execute(ControlPolicy::Dynamic, RunConfig::new(&reqs).shards(shards))
+                .unwrap();
+            assert_eq!(base.summary.accounted(), reqs.len(), "S={shards}");
+            assert_eq!(base.summary.final_hot.len(), 8);
+            assert_eq!(base.popularity.len(), 40);
+            assert_eq!(base.shard_peak_agenda.len(), shards);
+            // The hot partition keeps every slot owned by a real title.
+            let mut hot = base.summary.final_hot.clone();
+            hot.sort_unstable();
+            hot.dedup();
+            assert_eq!(hot.len(), 8, "duplicate titles across shards");
+            for threads in [2, 4] {
+                let out = sim
+                    .execute(
+                        ControlPolicy::Dynamic,
+                        RunConfig::new(&reqs).shards(shards).threads(threads),
+                    )
+                    .unwrap();
+                assert_eq!(base, out, "S={shards} T={threads} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_control_routes_faults_to_owning_shards() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 6.0, 400.0, 200.0, 13, 5);
+        let script = FaultScript {
+            outages: vec![ChannelOutage {
+                channel: 5,
+                start: Minutes(100.0),
+                duration: Minutes(60.0),
+            }],
+            restarts: vec![Minutes(220.0)],
+            ..FaultScript::none()
+        };
+        let out = sim
+            .execute(
+                ControlPolicy::Static,
+                RunConfig::new(&reqs).shards(4).faults(ControlFaults {
+                    script: &script,
+                    degradation: Degradation::Stall,
+                }),
+            )
+            .unwrap();
+        let res = &out.summary.resilience;
+        assert_eq!(res.outages, 1, "outage lands on exactly one shard");
+        assert_eq!(res.restarts, 1, "server-wide restart counted once");
+        assert_eq!(out.summary.accounted(), reqs.len());
+    }
+
+    #[test]
+    fn sharding_past_the_slot_count_errors() {
+        let sim = sim(300.0);
+        let reqs = shifted_workload(40, 3.0, 100.0, 50.0, 5, 1);
+        let err = sim
+            .execute(ControlPolicy::Static, RunConfig::new(&reqs).shards(16))
+            .unwrap_err();
+        assert!(matches!(err, SchemeError::InvalidConfig { .. }));
     }
 }

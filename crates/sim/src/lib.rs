@@ -29,6 +29,9 @@
 //! | [`faults`] | broadcast-loss injection and stall accounting over traces |
 //! | [`sink`] | the [`sink::TraceSink`] streaming fold: aggregate populations without retaining traces |
 //! | [`system`] | many-client system simulation driven by the engine, generic over client models |
+//! | [`run`] | the one run entry point: the [`run::RunConfig`] builder and [`run::RunOutcome`] |
+//! | [`shard`] | partitioned scale-out: seeded catalog sharding with byte-identical merge |
+//! | [`pool`] | the deterministic scoped worker pool (order-preserving, attributable panics) |
 //!
 //! ## Example: measure a Skyscraper client empirically
 //!
@@ -65,8 +68,11 @@ pub mod engine;
 pub mod faults;
 pub mod pausing;
 pub mod policy;
+pub mod pool;
 pub mod receive_all;
+pub mod run;
 pub mod schedule;
+pub mod shard;
 pub mod sink;
 pub mod system;
 pub mod trace;
@@ -78,8 +84,11 @@ pub use faults::{
 };
 pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use policy::{schedule_client, ClientPolicy};
+pub use pool::parallel_map;
 pub use receive_all::{record_all, RecordingSchedule};
+pub use run::{RunConfig, RunOutcome, RunParts};
 pub use schedule::{ClientSchedule, Download, JitterViolation};
+pub use shard::shard_of;
 pub use sink::{CollectTraces, NullSink, SessionSummary, StreamingFold, TraceSink};
 pub use system::{SystemReport, SystemSim};
 pub use trace::{

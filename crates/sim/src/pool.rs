@@ -1,0 +1,161 @@
+//! A deterministic scoped worker pool with attributable panics.
+//!
+//! The sharded simulation core and the `sb-analysis` experiment runner
+//! share one parallelism primitive: map a function over a slice on `N`
+//! scoped threads, reassemble results **by item index**, and — when a
+//! worker panics — say *which item* failed instead of surfacing a bare
+//! join error. Workers race through a shared atomic counter, so the
+//! schedule is nondeterministic but the output (and any panic message)
+//! is not: results are ordered by index, and when several items panic
+//! the lowest index wins.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Render a caught panic payload for re-raising.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map `f` over `items` on up to `threads` workers, preserving order.
+///
+/// * `threads == 0` means one worker per available core.
+/// * With one worker (or fewer than two items) this is the plain serial
+///   loop — the reference the parallel schedule must reproduce.
+/// * `f` receives `(item index, &item)`; results come back in item
+///   order whatever the interleaving, so callers are byte-identical for
+///   every thread count.
+///
+/// # Panics
+/// If `f` panics on any item, re-panics with a message naming `label`,
+/// the failing item's index, and the original payload. When several
+/// items fail, the *smallest* index is reported — deterministically,
+/// independent of which worker hit its panic first.
+pub fn parallel_map<T, U, F>(threads: usize, label: &str, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    let workers = threads.min(n);
+    type Caught = Box<dyn std::any::Any + Send>;
+    let run_one =
+        |i: usize| -> Result<U, Caught> { catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) };
+    let raise = |i: usize, payload: &Caught| -> ! {
+        panic!(
+            "{label}: worker panicked on item {i}/{n}: {}",
+            payload_text(payload.as_ref())
+        )
+    };
+
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match run_one(i) {
+                Ok(u) => out.push(u),
+                Err(p) => raise(i, &p),
+            }
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, Result<U, Caught>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = run_one(i);
+                        let failed = r.is_err();
+                        local.push((i, r));
+                        if failed {
+                            // Other items keep running on their workers;
+                            // this worker stops claiming new ones.
+                            break;
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool worker died outside catch_unwind"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    if let Some((i, Err(p))) = indexed.iter().find(|(_, r)| r.is_err()) {
+        raise(*i, p);
+    }
+    indexed
+        .into_iter()
+        .map(|(_, r)| r.unwrap_or_else(|_| unreachable!("errors raised above")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_preserved_for_every_worker_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = parallel_map(1, "square", &items, |_, &x| x * x);
+        for threads in [2, 3, 8] {
+            let par = parallel_map(threads, "square", &items, |_, &x| x * x);
+            assert_eq!(serial, par);
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let got = parallel_map(2, "tag", &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_zero_thread_inputs_are_fine() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(4, "none", &empty, |_, &b| b).is_empty());
+        let one = [7u8];
+        assert_eq!(parallel_map(0, "auto", &one, |_, &b| b + 1), [8]);
+    }
+
+    #[test]
+    fn panic_names_label_and_lowest_failing_index() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(threads, "grid-stage", &items, |_, &x| {
+                    assert!(x % 2 == 0 || x < 9, "odd cell {x} exploded");
+                    x
+                })
+            }))
+            .expect_err("a panic must propagate");
+            let msg = payload_text(caught.as_ref());
+            assert!(
+                msg.contains("grid-stage") && msg.contains("item 9/64"),
+                "panic must name the stage and the lowest failing index: {msg}"
+            );
+            assert!(msg.contains("odd cell 9 exploded"), "payload lost: {msg}");
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Sharded scale-out execution: partition one metropolitan system
+//! across `S` server shards, byte-identically.
+//!
+//! The paper sizes Skyscraper Broadcasting for a single server; the
+//! scalable-VoD line of work in `PAPERS.md` partitions the catalog
+//! across many. This module is that partitioned regime for every
+//! executor behind [`RunConfig`]: the catalog (and with it the arrival
+//! stream) is split by a seeded, stable hash of the video id, each
+//! shard runs its own engine + [`StreamingFold`] + metrics registry on
+//! the deterministic scoped pool, and the per-shard results are merged
+//! **in a canonical order** so that the outcome is bitwise identical
+//! for any shard count and any thread count.
+//!
+//! The determinism argument, in three parts (pinned by the
+//! `shard_invariance` proptest and `scripts/verify.sh`):
+//!
+//! 1. **Partition is a function of (video, seed) only.** A video's
+//!    shard never depends on the request stream, the thread schedule,
+//!    or the shard count of a previous run. Because every broadcast
+//!    channel in this workspace carries exactly one video, each metric
+//!    series (`…{video}`, `…{channel}`) lives on exactly one shard.
+//! 2. **Per-shard runs replay a subsequence of the global engine
+//!    order.** The engine pops by `(tick, schedule-seq)` and arrivals
+//!    are scheduled in slice order, so two requests on the same shard
+//!    fire in the same relative order as in the unsharded run.
+//! 3. **Merge = ordered replay.** Each shard captures one
+//!    `SessionScalars` per session — the exact floats the fold and
+//!    report consume, keyed by `(arrival tick, global request index)`.
+//!    A k-way merge over those keys reconstructs the global engine
+//!    order; replaying the scalars through [`StreamingFold::fold_scalars`]
+//!    and the report accumulators repeats the identical floating-point
+//!    operations in the identical order as `shards(1)`. Snapshots merge
+//!    in shard order (sums of disjoint series plus integer counters),
+//!    and the one global quantity a shard cannot see — peak
+//!    simultaneously-active sessions — is recomputed exactly from the
+//!    merged `(arrival, end)` intervals and patched in last (gauges
+//!    merge by `max`, and the global peak dominates every shard's).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sb_metrics::{OpLog, Recorder, Registry, Snapshot, TeeRecorder};
+use vod_units::{Mbits, Minutes};
+
+use crate::engine::EngineStats;
+use crate::policy::PolicyError;
+use crate::pool::parallel_map;
+use crate::run::{RunConfig, RunOutcome};
+use crate::sink::{CollectTraces, NullSink, StreamingFold, TeeSink, TraceSink};
+use crate::system::{Request, SystemReport, SystemSim};
+use crate::trace::SessionTrace;
+
+/// The shard owning `key` (a video id) under `seed`, for `shards`
+/// servers: a full-avalanche splitmix64 finalizer, so consecutive video
+/// ids spread evenly and the assignment is stable across runs,
+/// platforms and request streams.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn shard_of(key: u64, seed: u64, shards: usize) -> usize {
+    assert!(shards > 0, "no zero-shard systems");
+    let mut x = key ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// Per-session scalars captured inside a shard: everything the fold and
+/// the report read from a trace, plus the `(tick, idx)` merge key and
+/// the session's end tick for the global peak-active sweep. ~64 bytes
+/// of transient state per session — the sharded analogue of the
+/// streaming path's ~8 bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionScalars {
+    /// Arrival tick (engine time the session fired).
+    pub tick: u64,
+    /// Request index. Local to the shard slice inside `run_core`;
+    /// rewritten to the global index before merging.
+    pub idx: usize,
+    /// Tick at which playback ends (the `Finish` event's time).
+    pub end_tick: u64,
+    /// Startup latency, minutes.
+    pub latency: f64,
+    /// Peak client buffer, Mbits.
+    pub peak_buffer: f64,
+    /// Total payload received, Mbits.
+    pub total_received: f64,
+    /// Playback minutes delivered.
+    pub delivered: f64,
+    /// Peak concurrent receptions within the session.
+    pub max_streams: usize,
+}
+
+/// One shard's raw results, pre-merge.
+struct ShardOut {
+    scalars: Vec<SessionScalars>,
+    snapshot: Snapshot,
+    stats: EngineStats,
+    ops: Option<OpLog>,
+    traces: Option<Vec<SessionTrace>>,
+    err: Option<PolicyError>,
+}
+
+impl SystemSim<'_> {
+    /// Execute `cfg` — the single entry point subsuming the deprecated
+    /// `run` / `run_recorded` / `run_with_sink` / `run_instrumented`
+    /// variants and adding partitioned scale-out.
+    ///
+    /// The outcome (report, streamed fold, merged snapshot) is
+    /// byte-identical for every `shards(S)` and `threads(N)`; only
+    /// `stats.peak_agenda` (and the per-shard breakdown next to it)
+    /// legitimately shrinks as shards grow, which is the point of
+    /// sharding. With `shards(1)` this is exactly the historical serial
+    /// run, bit for bit.
+    ///
+    /// # Errors
+    /// Propagates the first [`PolicyError`] (in shard order) from any
+    /// shard, e.g. a request naming a video the plan does not carry.
+    pub fn execute(&self, cfg: RunConfig<'_, Request>) -> Result<RunOutcome, PolicyError> {
+        let parts = cfg.into_parts();
+        if parts.shards == 1 {
+            return self.execute_serial(parts.requests, parts.recorder, parts.sink);
+        }
+        self.execute_sharded(parts)
+    }
+
+    /// The unsharded fast path: one engine, traces streamed straight
+    /// through, nothing buffered.
+    fn execute_serial(
+        &self,
+        requests: &[Request],
+        recorder: Option<&mut dyn Recorder>,
+        sink: Option<&mut dyn TraceSink>,
+    ) -> Result<RunOutcome, PolicyError> {
+        let mut reg = Registry::new();
+        let mut fold = StreamingFold::new();
+        let (summary, stats) = match (recorder, sink) {
+            (None, None) => self.run_core(requests, &mut reg, &mut fold, None),
+            (Some(user), None) => {
+                let mut tee = TeeRecorder {
+                    a: &mut reg,
+                    b: user,
+                };
+                self.run_core(requests, &mut tee, &mut fold, None)
+            }
+            (None, Some(user)) => {
+                let mut tee = TeeSink {
+                    a: &mut fold,
+                    b: user,
+                };
+                self.run_core(requests, &mut reg, &mut tee, None)
+            }
+            (Some(user_rec), Some(user_sink)) => {
+                let mut rec = TeeRecorder {
+                    a: &mut reg,
+                    b: user_rec,
+                };
+                let mut tee = TeeSink {
+                    a: &mut fold,
+                    b: user_sink,
+                };
+                self.run_core(requests, &mut rec, &mut tee, None)
+            }
+        }?;
+        Ok(RunOutcome {
+            summary,
+            fold: fold.finish(),
+            shard_peak_agenda: vec![stats.peak_agenda],
+            stats,
+            snapshot: reg.snapshot(),
+        })
+    }
+
+    /// The partitioned path: one engine per shard on the deterministic
+    /// pool, then the ordered-replay merge described in the module docs.
+    fn execute_sharded(
+        &self,
+        parts: crate::run::RunParts<'_, Request, ()>,
+    ) -> Result<RunOutcome, PolicyError> {
+        let shards = parts.shards;
+        let mut shard_reqs: Vec<Vec<Request>> = vec![Vec::new(); shards];
+        let mut shard_idx: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, r) in parts.requests.iter().enumerate() {
+            let s = shard_of(r.video.0 as u64, parts.seed, shards);
+            shard_reqs[s].push(*r);
+            shard_idx[s].push(i);
+        }
+
+        let want_ops = parts.recorder.is_some();
+        let want_traces = parts.sink.is_some();
+        let outs: Vec<ShardOut> =
+            parallel_map(parts.threads, "sim-shards", &shard_reqs, |s, reqs| {
+                let mut reg = Registry::new();
+                let mut ops = want_ops.then(OpLog::new);
+                let mut collect = want_traces.then(CollectTraces::new);
+                let mut scalars: Vec<SessionScalars> = Vec::with_capacity(reqs.len());
+                let mut null_sink = NullSink;
+                let sink: &mut dyn TraceSink = match collect.as_mut() {
+                    Some(c) => c,
+                    None => &mut null_sink,
+                };
+                let result = match ops.as_mut() {
+                    Some(log) => {
+                        let mut tee = TeeRecorder {
+                            a: &mut reg,
+                            b: log,
+                        };
+                        self.run_core(reqs, &mut tee, sink, Some(&mut scalars))
+                    }
+                    None => self.run_core(reqs, &mut reg, sink, Some(&mut scalars)),
+                };
+                for sc in &mut scalars {
+                    sc.idx = shard_idx[s][sc.idx];
+                }
+                let (stats, err) = match result {
+                    Ok((_, stats)) => (stats, None),
+                    Err(e) => (EngineStats::default(), Some(e)),
+                };
+                ShardOut {
+                    scalars,
+                    snapshot: reg.snapshot(),
+                    stats,
+                    ops,
+                    traces: collect.map(|c| c.traces),
+                    err,
+                }
+            });
+        if let Some(e) = outs.iter().find_map(|o| o.err.clone()) {
+            return Err(e);
+        }
+
+        // Ordered replay: k-way merge by (arrival tick, global index)
+        // reconstructs the unsharded engine order exactly.
+        let mut fold = StreamingFold::new();
+        let mut sessions = 0usize;
+        let mut latency_sum = 0.0f64;
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut worst_latency = Minutes(0.0);
+        let mut worst_buffer = Mbits::ZERO;
+        let mut delivered = 0.0f64;
+        let mut peak_active = 0usize;
+        let mut ends: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let mut user_sink = parts.sink;
+        let mut cursors = vec![0usize; shards];
+        loop {
+            let mut best: Option<(u64, usize, usize)> = None;
+            for (s, out) in outs.iter().enumerate() {
+                if let Some(sc) = out.scalars.get(cursors[s]) {
+                    let key = (sc.tick, sc.idx, s);
+                    if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                        best = Some(key);
+                    }
+                }
+            }
+            let Some((tick, _, s)) = best else { break };
+            let sc = outs[s].scalars[cursors[s]];
+            if let Some(sink) = user_sink.as_deref_mut() {
+                if let Some(traces) = &outs[s].traces {
+                    sink.accept(&traces[cursors[s]]);
+                }
+            }
+            // Global active-session sweep. A `Finish` at tick T fires
+            // after every arrival at T (arrivals are scheduled first and
+            // the engine breaks ties by schedule order), so only ends
+            // *strictly* before this arrival leave the active set.
+            while ends.peek().is_some_and(|&Reverse(e)| e < tick) {
+                ends.pop();
+            }
+            ends.push(Reverse(sc.end_tick));
+            peak_active = peak_active.max(ends.len());
+            // The identical statements `run_core` executes per session.
+            fold.fold_scalars(
+                sc.latency,
+                sc.peak_buffer,
+                sc.total_received,
+                sc.delivered,
+                sc.max_streams,
+            );
+            sessions += 1;
+            latency_sum += sc.latency;
+            latencies.push(sc.latency);
+            worst_latency = worst_latency.max(Minutes(sc.latency));
+            worst_buffer = worst_buffer.max(Mbits(sc.peak_buffer));
+            delivered += sc.delivered;
+            cursors[s] += 1;
+        }
+
+        latencies.sort_by(f64::total_cmp);
+        let percentile = |q: f64| -> Minutes {
+            if latencies.is_empty() {
+                Minutes(0.0)
+            } else {
+                let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+                Minutes(latencies[idx])
+            }
+        };
+        let summary = SystemReport {
+            sessions,
+            mean_latency: Minutes(if sessions > 0 {
+                latency_sum / sessions as f64
+            } else {
+                0.0
+            }),
+            p50_latency: percentile(0.5),
+            p95_latency: percentile(0.95),
+            worst_latency,
+            worst_buffer,
+            peak_active_sessions: peak_active,
+            delivered_minutes: Minutes(delivered),
+        };
+
+        let mut stats = EngineStats::default();
+        let mut shard_peak_agenda = Vec::with_capacity(shards);
+        for out in &outs {
+            stats.scheduled += out.stats.scheduled;
+            stats.fired += out.stats.fired;
+            stats.cancelled += out.stats.cancelled;
+            stats.compactions += out.stats.compactions;
+            stats.peak_agenda = stats.peak_agenda.max(out.stats.peak_agenda);
+            shard_peak_agenda.push(out.stats.peak_agenda);
+        }
+
+        let mut snapshot = Snapshot::default();
+        for out in &outs {
+            snapshot.merge(&out.snapshot);
+        }
+        // Shards only saw their own peak; patch in the global one (gauge
+        // merge is `max`, and global ≥ every shard).
+        let mut extras = Registry::new();
+        extras.gauge_max("sim_peak_active_sessions", &[], peak_active as f64);
+        snapshot.merge(&extras.snapshot());
+
+        if let Some(rec) = parts.recorder {
+            for out in &outs {
+                if let Some(log) = &out.ops {
+                    log.replay(rec);
+                }
+            }
+            rec.gauge_max("sim_peak_active_sessions", &[], peak_active as f64);
+        }
+
+        Ok(RunOutcome {
+            summary,
+            fold: fold.finish(),
+            stats,
+            shard_peak_agenda,
+            snapshot,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ClientPolicy;
+    use crate::sink::SessionSummary;
+    use sb_core::config::SystemConfig;
+    use sb_core::plan::VideoId;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_core::series::Width;
+    use sb_core::Skyscraper;
+    use vod_units::Mbps;
+
+    #[test]
+    fn shard_of_is_stable_in_range_and_seed_sensitive() {
+        for shards in [1, 2, 4, 8] {
+            for v in 0..64u64 {
+                let a = shard_of(v, 17, shards);
+                assert_eq!(a, shard_of(v, 17, shards), "stable");
+                assert!(a < shards);
+            }
+        }
+        // A different seed shuffles at least one assignment.
+        assert!((0..64u64).any(|v| shard_of(v, 1, 8) != shard_of(v, 2, 8)));
+    }
+
+    fn lineup() -> (SystemConfig, sb_core::plan::ChannelPlan, Vec<Request>) {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(52))
+            .plan(&cfg)
+            .unwrap();
+        let requests: Vec<Request> = (0..240)
+            .map(|i| Request {
+                at: Minutes(45.0 * (i as f64 + 0.31) / 240.0),
+                video: VideoId(i % 10),
+            })
+            .collect();
+        (cfg, plan, requests)
+    }
+
+    fn outcome_key(o: &RunOutcome) -> (String, String, String, SessionSummary) {
+        (
+            serde_json::to_string(&o.summary).unwrap(),
+            serde_json::to_string(&o.fold).unwrap(),
+            serde_json::to_string(&o.snapshot).unwrap(),
+            o.fold.clone(),
+        )
+    }
+
+    #[test]
+    fn sharded_outcomes_are_bitwise_shard_and_thread_invariant() {
+        let (cfg, plan, requests) = lineup();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let base = sim.execute(RunConfig::new(&requests)).unwrap();
+        assert_eq!(base.summary.sessions, 240);
+        for shards in [2, 4, 8] {
+            for threads in [1, 4] {
+                let out = sim
+                    .execute(RunConfig::new(&requests).shards(shards).threads(threads))
+                    .unwrap();
+                assert_eq!(
+                    outcome_key(&base),
+                    outcome_key(&out),
+                    "S={shards} T={threads} diverged"
+                );
+                assert_eq!(out.shard_peak_agenda.len(), shards);
+                assert_eq!(
+                    out.stats.scheduled, base.stats.scheduled,
+                    "event totals are shard-invariant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_recorder_and_sink_slots_match_serial() {
+        let (cfg, plan, requests) = lineup();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let drive = |shards: usize| {
+            let mut reg = Registry::new();
+            let mut collect = CollectTraces::new();
+            let out = sim
+                .execute(
+                    RunConfig::new(&requests)
+                        .shards(shards)
+                        .threads(2)
+                        .recorder(&mut reg)
+                        .sink(&mut collect),
+                )
+                .unwrap();
+            (
+                serde_json::to_string(&reg.snapshot()).unwrap(),
+                serde_json::to_string(&collect.summarize()).unwrap(),
+                serde_json::to_string(&out.fold).unwrap(),
+            )
+        };
+        let serial = drive(1);
+        let sharded = drive(4);
+        assert_eq!(serial.0, sharded.0, "user recorder state diverged");
+        assert_eq!(serial.1, sharded.1, "user sink replay diverged");
+        // The traces the user sink saw summarize to the fold itself.
+        assert_eq!(serial.1, serial.2);
+    }
+
+    #[test]
+    fn unknown_video_errors_deterministically_when_sharded() {
+        let (cfg, plan, _) = lineup();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let requests = vec![
+            Request {
+                at: Minutes(0.0),
+                video: VideoId(3),
+            },
+            Request {
+                at: Minutes(1.0),
+                video: VideoId(99),
+            },
+        ];
+        let err = sim
+            .execute(RunConfig::new(&requests).shards(4))
+            .unwrap_err();
+        assert_eq!(err, PolicyError::UnknownVideo(VideoId(99)));
+    }
+}

@@ -127,6 +127,31 @@ impl StreamingFold {
         self.sessions
     }
 
+    /// Fold one session from its pre-extracted scalars — exactly the
+    /// operations [`TraceSink::accept`] performs, in the same order.
+    ///
+    /// The sharded runner captures these five scalars per session inside
+    /// each shard and replays them here in global engine order, which is
+    /// what makes an `S`-shard fold bitwise identical to the one-shard
+    /// streaming fold (see `sim::shard`).
+    pub fn fold_scalars(
+        &mut self,
+        latency: f64,
+        peak_buffer: f64,
+        total_received: f64,
+        delivered: f64,
+        max_streams: usize,
+    ) {
+        self.sessions += 1;
+        self.latency_sum += latency;
+        self.latencies.push(latency);
+        self.worst_latency = self.worst_latency.max(latency);
+        self.worst_buffer = self.worst_buffer.max(peak_buffer);
+        self.total_received += total_received;
+        self.delivered += delivered;
+        self.max_streams = self.max_streams.max(max_streams);
+    }
+
     /// Finish the fold into a [`SessionSummary`].
     #[must_use]
     pub fn finish(&self) -> SessionSummary {
@@ -155,15 +180,13 @@ impl StreamingFold {
 
 impl TraceSink for StreamingFold {
     fn accept(&mut self, trace: &SessionTrace) {
-        self.sessions += 1;
-        let lat = trace.startup_latency().value();
-        self.latency_sum += lat;
-        self.latencies.push(lat);
-        self.worst_latency = self.worst_latency.max(lat);
-        self.worst_buffer = self.worst_buffer.max(trace.peak_buffer().value());
-        self.total_received += trace.total_received().value();
-        self.delivered += trace.playback_end().value() - trace.playback_start.value();
-        self.max_streams = self.max_streams.max(trace.max_concurrent_receptions());
+        self.fold_scalars(
+            trace.startup_latency().value(),
+            trace.peak_buffer().value(),
+            trace.total_received().value(),
+            trace.playback_end().value() - trace.playback_start.value(),
+            trace.max_concurrent_receptions(),
+        );
     }
 
     fn accept_stalls(&mut self, report: &StallReport) {
@@ -173,6 +196,26 @@ impl TraceSink for StreamingFold {
         if report.is_truncated() {
             self.truncated_sessions += 1;
         }
+    }
+}
+
+/// Feeds every event to two sinks, `a` first. The run executor uses it
+/// to drive its internal [`StreamingFold`] and a caller-supplied sink
+/// off one trace stream.
+pub(crate) struct TeeSink<'s> {
+    pub(crate) a: &'s mut dyn TraceSink,
+    pub(crate) b: &'s mut dyn TraceSink,
+}
+
+impl TraceSink for TeeSink<'_> {
+    fn accept(&mut self, trace: &SessionTrace) {
+        self.a.accept(trace);
+        self.b.accept(trace);
+    }
+
+    fn accept_stalls(&mut self, report: &StallReport) {
+        self.a.accept_stalls(report);
+        self.b.accept_stalls(report);
     }
 }
 

@@ -23,6 +23,7 @@ use sb_core::plan::{ChannelPlan, VideoId};
 
 use crate::engine::Engine;
 use crate::policy::PolicyError;
+use crate::shard::SessionScalars;
 use crate::sink::{NullSink, TraceSink};
 use crate::trace::ClientModel;
 
@@ -56,9 +57,11 @@ pub struct SystemReport {
     pub delivered_minutes: Minutes,
 }
 
-/// Engine events for the system run.
+/// Engine events for the system run. `Arrive` carries the request's
+/// position in the run's slice so the sharded executor can key captured
+/// per-session scalars by a stable index.
 enum Ev {
-    Arrive(Request),
+    Arrive(usize),
     Finish,
 }
 
@@ -93,8 +96,13 @@ impl<'a> SystemSim<'a> {
     /// Run the request stream to completion and aggregate statistics.
     ///
     /// Requests need not be sorted; the engine orders them.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SystemSim::execute(RunConfig::new(requests))`"
+    )]
     pub fn run(&self, requests: &[Request]) -> Result<SystemReport, PolicyError> {
-        self.run_recorded(requests, &mut NullRecorder)
+        self.run_core(requests, &mut NullRecorder, &mut NullSink, None)
+            .map(|(r, _)| r)
     }
 
     /// [`SystemSim::run`], additionally streaming per-video and
@@ -111,12 +119,17 @@ impl<'a> SystemSim<'a> {
     ///
     /// The returned report is identical to [`SystemSim::run`]'s: the
     /// recorder observes the simulation, it never steers it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SystemSim::execute(RunConfig::new(requests).recorder(rec))`"
+    )]
     pub fn run_recorded(
         &self,
         requests: &[Request],
         rec: &mut dyn Recorder,
     ) -> Result<SystemReport, PolicyError> {
-        self.run_with_sink(requests, rec, &mut NullSink)
+        self.run_core(requests, rec, &mut NullSink, None)
+            .map(|(r, _)| r)
     }
 
     /// The streaming core: [`SystemSim::run_recorded`] handing every
@@ -127,30 +140,57 @@ impl<'a> SystemSim<'a> {
     /// fault re-injection) needs the materialized traces. The returned
     /// [`SystemReport`] is identical whatever the sink — sinks observe,
     /// they never steer.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SystemSim::execute(RunConfig::new(requests).recorder(rec).sink(sink))`"
+    )]
     pub fn run_with_sink(
         &self,
         requests: &[Request],
         rec: &mut dyn Recorder,
         sink: &mut dyn TraceSink,
     ) -> Result<SystemReport, PolicyError> {
-        self.run_instrumented(requests, rec, sink).map(|(r, _)| r)
+        self.run_core(requests, rec, sink, None).map(|(r, _)| r)
     }
 
     /// [`SystemSim::run_with_sink`] additionally returning the engine's
     /// [`crate::engine::EngineStats`] — agenda traffic and peaks, for
     /// throughput benchmarking. The report half is identical to every
     /// other run variant.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SystemSim::execute(RunConfig::new(requests).recorder(rec).sink(sink))` \
+                and read `RunOutcome::stats`"
+    )]
     pub fn run_instrumented(
         &self,
         requests: &[Request],
         rec: &mut dyn Recorder,
         sink: &mut dyn TraceSink,
     ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
+        self.run_core(requests, rec, sink, None)
+    }
+
+    /// The one simulation core every public entry point funnels into.
+    ///
+    /// Drives `requests` through the engine, streaming traces into
+    /// `sink` and metric events into `rec`. When `capture` is given,
+    /// additionally appends one [`SessionScalars`] per served session in
+    /// engine (pop) order — the sharded executor's raw material; the
+    /// captured floats are computed by the very statements that feed the
+    /// report, so a later replay repeats bit-identical operations.
+    pub(crate) fn run_core(
+        &self,
+        requests: &[Request],
+        rec: &mut dyn Recorder,
+        sink: &mut dyn TraceSink,
+        mut capture: Option<&mut Vec<SessionScalars>>,
+    ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
         let mut engine: Engine<Ev> = Engine::new();
-        for &r in requests {
+        for (pos, r) in requests.iter().enumerate() {
             engine.schedule_at(
                 Ticks::ZERO + self.scale.duration_from_minutes(r.at),
-                Ev::Arrive(r),
+                Ev::Arrive(pos),
             );
         }
 
@@ -164,11 +204,12 @@ impl<'a> SystemSim<'a> {
         let mut delivered = 0.0f64;
         let mut error: Option<PolicyError> = None;
 
-        engine.run(|eng, _at, ev| match ev {
-            Ev::Arrive(r) => {
+        engine.run(|eng, at, ev| match ev {
+            Ev::Arrive(pos) => {
                 if error.is_some() {
                     return;
                 }
+                let r = requests[pos];
                 match self
                     .model
                     .session(self.plan, r.video, r.at, self.display_rate)
@@ -184,7 +225,8 @@ impl<'a> SystemSim<'a> {
                         worst_latency = worst_latency.max(lat);
                         worst_buffer = worst_buffer.max(s.peak_buffer());
                         let end = s.playback_end();
-                        delivered += end.value() - s.playback_start.value();
+                        let session_delivered = end.value() - s.playback_start.value();
+                        delivered += session_delivered;
                         let video = r.video.0.to_string();
                         let vl: &[(&str, &str)] = &[("video", &video)];
                         rec.incr("sim_sessions_total", vl, 1);
@@ -198,10 +240,20 @@ impl<'a> SystemSim<'a> {
                                 rx.duration.value(),
                             );
                         }
-                        eng.schedule_at(
-                            Ticks::ZERO + self.scale.duration_from_minutes(end),
-                            Ev::Finish,
-                        );
+                        let end_at = Ticks::ZERO + self.scale.duration_from_minutes(end);
+                        if let Some(cap) = capture.as_deref_mut() {
+                            cap.push(SessionScalars {
+                                tick: at.0,
+                                idx: pos,
+                                end_tick: end_at.0,
+                                latency: lat.value(),
+                                peak_buffer: s.peak_buffer().value(),
+                                total_received: s.total_received().value(),
+                                delivered: session_delivered,
+                                max_streams: s.max_concurrent_receptions(),
+                            });
+                        }
+                        eng.schedule_at(end_at, Ev::Finish);
                     }
                     Err(e) => error = Some(e),
                 }
@@ -256,6 +308,7 @@ impl<'a> SystemSim<'a> {
 mod tests {
     use super::*;
     use crate::policy::ClientPolicy;
+    use crate::run::RunConfig;
     use sb_core::config::SystemConfig;
     use sb_core::scheme::BroadcastScheme;
     use sb_core::series::Width;
@@ -277,7 +330,8 @@ mod tests {
         let plan = scheme.plan(&cfg).unwrap();
         let metrics = scheme.metrics(&cfg).unwrap();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
-        let report = sim.run(&requests_grid(100, 10, 30.0)).unwrap();
+        let requests = requests_grid(100, 10, 30.0);
+        let report = sim.execute(RunConfig::new(&requests)).unwrap().summary;
         assert_eq!(report.sessions, 100);
         assert!(report.worst_latency.value() <= metrics.access_latency.value() + 1e-9);
         assert!(report.worst_buffer.value() <= metrics.buffer_requirement.value() * (1.0 + 1e-9));
@@ -298,7 +352,8 @@ mod tests {
         let plan = scheme.plan(&cfg).unwrap();
         let d1 = scheme.metrics(&cfg).unwrap().access_latency.value();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
-        let report = sim.run(&requests_grid(500, 1, 50.0)).unwrap();
+        let requests = requests_grid(500, 1, 50.0);
+        let report = sim.execute(RunConfig::new(&requests)).unwrap().summary;
         let ratio = report.mean_latency.value() / d1;
         assert!((ratio - 0.5).abs() < 0.05, "mean/worst = {ratio:.3}");
     }
@@ -310,9 +365,12 @@ mod tests {
         let plan = scheme.plan(&cfg).unwrap();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
         let requests = requests_grid(60, 10, 30.0);
-        let bare = sim.run(&requests).unwrap();
+        let bare = sim.execute(RunConfig::new(&requests)).unwrap().summary;
         let mut reg = sb_metrics::Registry::new();
-        let recorded = sim.run_recorded(&requests, &mut reg).unwrap();
+        let recorded = sim
+            .execute(RunConfig::new(&requests).recorder(&mut reg))
+            .unwrap()
+            .summary;
         assert_eq!(bare, recorded, "recording must not steer the simulation");
         let snap = reg.snapshot();
         assert_eq!(snap.counter_total("sim_sessions_total"), 60);
@@ -337,17 +395,20 @@ mod tests {
             .unwrap();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
         let requests = requests_grid(60, 10, 30.0);
-        let bare = sim.run(&requests).unwrap();
+        let bare = sim.execute(RunConfig::new(&requests)).unwrap().summary;
 
         let mut fold = crate::sink::StreamingFold::new();
-        let mut rec = sb_metrics::NullRecorder;
-        let folded = sim.run_with_sink(&requests, &mut rec, &mut fold).unwrap();
+        let folded = sim
+            .execute(RunConfig::new(&requests).sink(&mut fold))
+            .unwrap()
+            .summary;
         assert_eq!(bare, folded, "a sink must not steer the simulation");
 
         let mut collect = crate::sink::CollectTraces::new();
         let collected = sim
-            .run_with_sink(&requests, &mut rec, &mut collect)
-            .unwrap();
+            .execute(RunConfig::new(&requests).sink(&mut collect))
+            .unwrap()
+            .summary;
         assert_eq!(bare, collected);
         assert_eq!(collect.traces.len(), 60);
 
@@ -377,7 +438,7 @@ mod tests {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
         let plan = Skyscraper::unbounded().plan(&cfg).unwrap();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
-        let report = sim.run(&[]).unwrap();
+        let report = sim.execute(RunConfig::new(&[])).unwrap().summary;
         assert_eq!(report.sessions, 0);
         assert_eq!(report.peak_active_sessions, 0);
     }
@@ -387,12 +448,49 @@ mod tests {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
         let plan = Skyscraper::unbounded().plan(&cfg).unwrap();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
-        let err = sim
-            .run(&[Request {
-                at: Minutes(0.0),
-                video: VideoId(77),
-            }])
-            .unwrap_err();
+        let requests = [Request {
+            at: Minutes(0.0),
+            video: VideoId(77),
+        }];
+        let err = sim.execute(RunConfig::new(&requests)).unwrap_err();
         assert_eq!(err, PolicyError::UnknownVideo(VideoId(77)));
+    }
+
+    /// The deprecated variants are wrappers over the same core: each one
+    /// must reproduce `execute` bit for bit.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_execute_bitwise() {
+        let cfg = SystemConfig::paper_defaults(Mbps(300.0));
+        let plan = Skyscraper::with_width(Width::Capped(52))
+            .plan(&cfg)
+            .unwrap();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let requests = requests_grid(48, 10, 20.0);
+        let out = sim.execute(RunConfig::new(&requests)).unwrap();
+
+        assert_eq!(sim.run(&requests).unwrap(), out.summary);
+        let mut reg = sb_metrics::Registry::new();
+        assert_eq!(sim.run_recorded(&requests, &mut reg).unwrap(), out.summary);
+        assert_eq!(
+            serde_json::to_string(&reg.snapshot()).unwrap(),
+            serde_json::to_string(&out.snapshot).unwrap(),
+            "wrapper registry and execute snapshot must be the same bytes"
+        );
+        let mut fold = crate::sink::StreamingFold::new();
+        let (report, stats) = sim
+            .run_instrumented(&requests, &mut sb_metrics::NullRecorder, &mut fold)
+            .unwrap();
+        assert_eq!(report, out.summary);
+        assert_eq!(stats, out.stats);
+        assert_eq!(fold.finish(), out.fold);
+        let with_sink = sim
+            .run_with_sink(
+                &requests,
+                &mut sb_metrics::NullRecorder,
+                &mut crate::sink::NullSink,
+            )
+            .unwrap();
+        assert_eq!(with_sink, out.summary);
     }
 }

@@ -341,7 +341,11 @@ impl SessionTrace {
 /// pass a [`ClientPolicy`] for the tune-at-start schemes, a
 /// [`PausingClient`] for PPB's max-saving client, a [`RecordingClient`]
 /// for Harmonic Broadcasting.
-pub trait ClientModel {
+///
+/// `Sync` is a supertrait because the sharded executor shares one model
+/// across its shard workers; models are pure functions of their inputs
+/// (all implementors here are plain data), so this costs nothing.
+pub trait ClientModel: Sync {
     /// Compute the session for one client arrival.
     fn session(
         &self,

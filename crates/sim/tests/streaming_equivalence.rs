@@ -15,12 +15,11 @@ use sb_core::plan::{ChannelPlan, VideoId};
 use sb_core::scheme::BroadcastScheme;
 use sb_core::series::Width;
 use sb_core::Skyscraper;
-use sb_metrics::NullRecorder;
 use sb_pyramid::{HarmonicBroadcasting, PermutationPyramid};
 use sb_sim::policy::ClientPolicy;
 use sb_sim::system::{Request, SystemSim};
 use sb_sim::trace::{ClientModel, PausingClient, RecordingClient};
-use sb_sim::{apply_losses, CollectTraces, LossModel, StreamingFold, TraceSink};
+use sb_sim::{apply_losses, CollectTraces, LossModel, RunConfig, StreamingFold, TraceSink};
 use vod_units::{Mbps, Minutes};
 
 fn requests(n: usize, videos: usize, span: f64) -> Vec<Request> {
@@ -63,12 +62,14 @@ fn every_client_model_folds_bitwise_equal_to_materializing() {
     for (name, plan, model) in lineup() {
         let mut fold = StreamingFold::new();
         let folded = SystemSim::new(&plan, cfg.display_rate, model.as_ref())
-            .run_with_sink(&reqs, &mut NullRecorder, &mut fold)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            .execute(RunConfig::new(&reqs).sink(&mut fold))
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .summary;
         let mut collect = CollectTraces::new();
         let collected = SystemSim::new(&plan, cfg.display_rate, model.as_ref())
-            .run_with_sink(&reqs, &mut NullRecorder, &mut collect)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            .execute(RunConfig::new(&reqs).sink(&mut collect))
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .summary;
 
         // Sinks observe, they never steer: the reports agree.
         assert_eq!(folded, collected, "{name}: sink changed the report");

@@ -21,6 +21,8 @@ pub mod arrivals;
 pub mod catalog;
 pub mod zipf;
 
-pub use arrivals::{DiurnalArrivals, Patience, PoissonArrivals, PopularityShift, WorkloadRequest};
+pub use arrivals::{
+    DiurnalArrivals, GridArrivals, Patience, PoissonArrivals, PopularityShift, WorkloadRequest,
+};
 pub use catalog::{Catalog, Video};
 pub use zipf::ZipfPopularity;

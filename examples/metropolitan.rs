@@ -8,6 +8,7 @@
 use skyscraper_broadcasting::batching::{BatchPolicy, HybridConfig};
 use skyscraper_broadcasting::prelude::*;
 use skyscraper_broadcasting::sim::system::{Request, SystemSim};
+use skyscraper_broadcasting::sim::RunConfig;
 use skyscraper_broadcasting::workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 
 fn main() {
@@ -78,7 +79,10 @@ fn main() {
         })
         .collect();
     let sim = SystemSim::new(&plan, Mbps(1.5), ClientPolicy::LatestFeasible);
-    let stats = sim.run(&hot).expect("plan serves all hot titles");
+    let stats = sim
+        .execute(RunConfig::new(&hot))
+        .expect("plan serves all hot titles")
+        .summary;
     println!("\n== simulated broadcast clients ==");
     println!("sessions              : {}", stats.sessions);
     println!(

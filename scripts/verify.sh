@@ -48,4 +48,35 @@ diff -u "$thr_dir/thr-1.json" "$thr_dir/thr-4.json"
 diff -u "$thr_dir/thr-1.out" "$thr_dir/thr-2.out"
 diff -u "$thr_dir/thr-1.out" "$thr_dir/thr-4.out"
 
+echo "==> scale smoke (sharded core, determinism across --shards 1/2/4 x --threads 1/4)"
+scale_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir" "$scale_dir"' EXIT
+for s in 1 2 4; do
+    for n in 1 4; do
+        cargo run -q -p sb-cli --bin sbcast -- scale --sessions 3000 --horizon 300 \
+            --shards "$s" --threads "$n" \
+            --json "$scale_dir/scale-$s-$n.json" 2>/dev/null > "$scale_dir/scale-$s-$n.out"
+    done
+done
+test -s "$scale_dir/scale-1-1.json" || { echo "BENCH_scale.json is empty"; exit 1; }
+grep -q '"shard_peak_agenda"' "$scale_dir/scale-1-1.json"
+grep -q '"sessions_per_sim_second"' "$scale_dir/scale-1-1.json"
+for s in 1 2 4; do
+    for n in 1 4; do
+        diff -u "$scale_dir/scale-1-1.json" "$scale_dir/scale-$s-$n.json"
+        diff -u "$scale_dir/scale-1-1.out" "$scale_dir/scale-$s-$n.out"
+    done
+done
+
+echo "==> scale release smoke (>= 1M-session streaming cells)"
+./target/release/scale_bench --shards 4 --threads 4 \
+    --json "$scale_dir/scale-full.json" > "$scale_dir/scale-full.out" 2>/dev/null
+grep -q '"total_sessions": 1100000' "$scale_dir/scale-full.json"
+
+echo "==> doc lint (shipped docs name the shipped interfaces)"
+grep -q '^## 11\. Sharded scale-out and the one-RunConfig API' DESIGN.md
+grep -q 'shard_invariance' DESIGN.md
+grep -q 'sbcast -- scale' README.md
+grep -q 'BENCH_scale.json' README.md
+
 echo "verify: OK"

@@ -8,7 +8,7 @@ use skyscraper_broadcasting::analysis::control_study::{
 };
 use skyscraper_broadcasting::analysis::runner::Runner;
 use skyscraper_broadcasting::control::{ControlPolicy, ControlledSim};
-use skyscraper_broadcasting::metrics::{NullRecorder, Registry};
+use skyscraper_broadcasting::sim::RunConfig;
 use skyscraper_broadcasting::units::Minutes;
 use skyscraper_broadcasting::workload::arrivals::{Patience, PoissonArrivals, PopularityShift};
 use skyscraper_broadcasting::workload::catalog::Catalog;
@@ -58,8 +58,10 @@ fn static_policy_never_moves_a_channel() {
     let catalog = Catalog::paper_defaults(cfg.control.titles);
     let sim = ControlledSim::new(cfg.control, &catalog).unwrap();
     let reqs = shifted_requests(&cfg, 11);
-    let mut rec = NullRecorder;
-    let report = sim.run(&reqs, ControlPolicy::Static, &mut rec);
+    let report = sim
+        .execute(ControlPolicy::Static, RunConfig::new(&reqs))
+        .unwrap()
+        .summary;
     assert_eq!(report.swaps_planned, 0);
     assert_eq!(report.swaps_committed, 0);
     assert_eq!(
@@ -119,11 +121,12 @@ fn a_rerun_into_a_fresh_registry_is_identical() {
     let sim = ControlledSim::new(cfg.control, &catalog).unwrap();
     let reqs = shifted_requests(&cfg, 23);
     let run = || {
-        let mut reg = Registry::new();
-        let report = sim.run(&reqs, ControlPolicy::Dynamic, &mut reg);
+        let out = sim
+            .execute(ControlPolicy::Dynamic, RunConfig::new(&reqs))
+            .unwrap();
         (
-            serde_json::to_string(&report).unwrap(),
-            serde_json::to_string(&reg.snapshot()).unwrap(),
+            serde_json::to_string(&out.summary).unwrap(),
+            serde_json::to_string(&out.snapshot).unwrap(),
         )
     };
     assert_eq!(run(), run());

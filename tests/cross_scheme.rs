@@ -8,7 +8,7 @@ use skyscraper_broadcasting::pyramid::HarmonicBroadcasting;
 use skyscraper_broadcasting::sim::faults::apply_losses;
 use skyscraper_broadcasting::sim::system::Request;
 use skyscraper_broadcasting::sim::trace::{ClientModel, PausingClient, RecordingClient};
-use skyscraper_broadcasting::sim::{schedule_pausing_client, LossModel, SystemSim};
+use skyscraper_broadcasting::sim::{schedule_pausing_client, LossModel, RunConfig, SystemSim};
 
 /// Deterministic splitmix64, for seeded "random" arrival offsets.
 fn splitmix(state: &mut u64) -> f64 {
@@ -211,15 +211,17 @@ fn system_sim_and_loss_model_accept_every_client_model() {
         .plan(&sb_cfg)
         .unwrap();
     let report = SystemSim::new(&sb_plan, sb_cfg.display_rate, ClientPolicy::LatestFeasible)
-        .run(&requests)
-        .unwrap();
+        .execute(RunConfig::new(&requests))
+        .unwrap()
+        .summary;
     assert_eq!(report.sessions, requests.len());
 
     // PPB through the pausing client.
     let ppb_plan = PermutationPyramid::b().plan(&sb_cfg).unwrap();
     let report = SystemSim::new(&ppb_plan, sb_cfg.display_rate, PausingClient)
-        .run(&requests)
-        .unwrap();
+        .execute(RunConfig::new(&requests))
+        .unwrap()
+        .summary;
     assert_eq!(report.sessions, requests.len());
 
     // Harmonic through the record-everything client.
@@ -230,8 +232,9 @@ fn system_sim_and_loss_model_accept_every_client_model() {
         playback_delay: hb.slot(&hb_cfg).unwrap(),
     };
     let report = SystemSim::new(&hb_plan, hb_cfg.display_rate, recorder)
-        .run(&requests)
-        .unwrap();
+        .execute(RunConfig::new(&requests))
+        .unwrap()
+        .summary;
     assert_eq!(report.sessions, requests.len());
 
     // And the loss pipeline consumes each model's trace uniformly.

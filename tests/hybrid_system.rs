@@ -4,6 +4,7 @@
 use skyscraper_broadcasting::batching::{BatchPolicy, HybridConfig};
 use skyscraper_broadcasting::prelude::*;
 use skyscraper_broadcasting::sim::system::{Request, SystemSim};
+use skyscraper_broadcasting::sim::RunConfig;
 use skyscraper_broadcasting::workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 
 fn workload(
@@ -61,8 +62,9 @@ fn simulated_hot_clients_respect_the_promise() {
         .collect();
     assert_eq!(hot.len(), report.broadcast_requests);
     let stats = SystemSim::new(&plan, Mbps(1.5), ClientPolicy::LatestFeasible)
-        .run(&hot)
-        .unwrap();
+        .execute(RunConfig::new(&hot))
+        .unwrap()
+        .summary;
     assert_eq!(stats.sessions, hot.len());
     assert!(stats.worst_latency <= report.broadcast_worst_latency);
 }

@@ -7,9 +7,10 @@ use skyscraper_broadcasting::analysis::resilience_study::{
     resilience_study, ResilienceStudyConfig,
 };
 use skyscraper_broadcasting::analysis::Runner;
+use skyscraper_broadcasting::control::ControlFaults;
 use skyscraper_broadcasting::control::{ControlConfig, ControlPolicy, ControlledSim};
-use skyscraper_broadcasting::metrics::NullRecorder;
 use skyscraper_broadcasting::resilience::{ChannelOutage, Degradation, FaultScript};
+use skyscraper_broadcasting::sim::RunConfig;
 use skyscraper_broadcasting::units::{Mbps, Minutes};
 use skyscraper_broadcasting::workload::{
     Catalog, Patience, PoissonArrivals, PopularityShift, ZipfPopularity,
@@ -51,8 +52,15 @@ fn outage_recovery_completes_every_session_and_dynamic_wins() {
     for policy in [ControlPolicy::Static, ControlPolicy::Dynamic] {
         for degradation in [Degradation::Stall, Degradation::SkipSegment] {
             let r = sim
-                .run_with_faults(&requests, policy, &script, degradation, &mut NullRecorder)
-                .unwrap();
+                .execute(
+                    policy,
+                    RunConfig::new(&requests).faults(ControlFaults {
+                        script: &script,
+                        degradation,
+                    }),
+                )
+                .unwrap()
+                .summary;
             // Nobody starves: every offered request ends served,
             // defected, or rejected — none lost in the dark window.
             assert_eq!(r.accounted(), requests.len(), "{policy}/{degradation:?}");
