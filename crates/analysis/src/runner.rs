@@ -28,6 +28,7 @@ use crate::lineup::SchemeId;
 use crate::sweep::{evaluate, SweepRow};
 use sb_core::config::SystemConfig;
 use sb_metrics::{Registry, Snapshot};
+use sb_sim::AgendaKind;
 
 /// A named evaluation grid: which schemes, at which bandwidths, under
 /// which workload seed.
@@ -143,6 +144,7 @@ impl RunManifest {
 pub struct Runner {
     threads: usize,
     progress: bool,
+    agenda: AgendaKind,
     timings: Mutex<Vec<StageTiming>>,
 }
 
@@ -158,6 +160,7 @@ impl Runner {
         Self {
             threads,
             progress: false,
+            agenda: AgendaKind::Heap,
             timings: Mutex::new(Vec::new()),
         }
     }
@@ -175,10 +178,26 @@ impl Runner {
         self
     }
 
+    /// Select the engine event-store backend for every simulation this
+    /// runner drives (default [`AgendaKind::Heap`]). Purely an execution
+    /// knob: studies pass it through to [`sb_sim::RunConfig::agenda`], and
+    /// heap and wheel runs serialize to identical bytes.
+    #[must_use]
+    pub fn with_agenda(mut self, agenda: AgendaKind) -> Self {
+        self.agenda = agenda;
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured engine backend.
+    #[must_use]
+    pub fn agenda(&self) -> AgendaKind {
+        self.agenda
     }
 
     /// Map `f` over `items`, preserving order. With one thread (or one
@@ -400,6 +419,13 @@ mod tests {
     fn zero_threads_means_available_parallelism() {
         assert!(Runner::new(0).threads() >= 1);
         assert_eq!(Runner::serial().threads(), 1);
+    }
+
+    #[test]
+    fn agenda_defaults_to_heap_and_is_settable() {
+        assert_eq!(Runner::serial().agenda(), AgendaKind::Heap);
+        let r = Runner::new(2).with_agenda(AgendaKind::Wheel);
+        assert_eq!(r.agenda(), AgendaKind::Wheel);
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! before service starts — the behaviour §1 says bounded-latency broadcast
 //! improves.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use sb_metrics::{NullRecorder, Recorder};
+use sb_sim::MinQueue;
 use serde::{Deserialize, Serialize};
 use vod_units::Minutes;
 
@@ -75,7 +73,9 @@ pub struct BatchingServer {
     pub policy: BatchPolicy,
 }
 
-/// Wrapper ordering f64 times inside the completion heap.
+/// Wrapper giving finite f64 completion times a total order, so they can
+/// ride in the shared [`MinQueue`] (the same min-heap idiom the engine's
+/// heap agenda uses).
 #[derive(PartialEq)]
 struct T(f64);
 impl Eq for T {}
@@ -144,7 +144,7 @@ impl BatchingServer {
         let mut queues: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); n_videos];
         let mut outcomes: Vec<Option<ServiceOutcome>> = vec![None; requests.len()];
         // Completion times of busy channels.
-        let mut busy: BinaryHeap<Reverse<T>> = BinaryHeap::new();
+        let mut busy: MinQueue<T> = MinQueue::new();
         let mut free = self.channels;
         let mut streams = 0usize;
         let mut served = 0usize;
@@ -155,7 +155,7 @@ impl BatchingServer {
         let mut dispatch = |now: f64,
                             queues: &mut Vec<Vec<(f64, f64, usize)>>,
                             free: &mut usize,
-                            busy: &mut BinaryHeap<Reverse<T>>,
+                            busy: &mut MinQueue<T>,
                             outcomes: &mut Vec<Option<ServiceOutcome>>| {
             loop {
                 if *free == 0 {
@@ -200,7 +200,7 @@ impl BatchingServer {
                 }
                 *free -= 1;
                 let dur = catalog.get(v).expect("video in catalog").length.value();
-                busy.push(Reverse(T(now + dur)));
+                busy.push(T(now + dur));
             }
         };
 
@@ -208,7 +208,7 @@ impl BatchingServer {
         let mut peak_busy = 0usize;
         loop {
             let next_arrival = requests.get(i).map(|r| r.at.value());
-            let next_completion = busy.peek().map(|Reverse(T(t))| *t);
+            let next_completion = busy.peek().map(|&T(t)| t);
             match (next_arrival, next_completion) {
                 (None, None) => break,
                 (Some(a), c) if c.is_none_or(|c| a <= c) => {

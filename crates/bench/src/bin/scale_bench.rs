@@ -1,16 +1,20 @@
 //! Sharded scale-out: per-shard agenda footprint and simulated-time
-//! rates at `S ∈ {1, 2, 4, 8}`, a million-session grid per cell. Emits
-//! `BENCH_scale.json` unless `--json` names another path.
+//! rates at `S ∈ {1, 2, 4, 8}`, a million-session grid per cell (raise
+//! it with `--sessions`). Emits `BENCH_scale.json` unless `--json` names
+//! another path.
 //!
-//! `--shards <n>` picks the flagship pass's shard count and `--threads
-//! <n>` the worker pool — the JSON artifact and stdout are byte-identical
-//! for every combination (the determinism gate `scripts/verify.sh`
-//! diffs them); wall-clock sessions/sec go to stderr.
+//! `--shards <n>` picks the flagship pass's shard count, `--threads <n>`
+//! the worker pool and `--agenda heap|wheel` the engine backend — the
+//! JSON artifact and stdout are byte-identical for every combination
+//! (the determinism gate `scripts/verify.sh` diffs them). Wall-clock
+//! sessions/sec go to stderr and to the sibling nondeterministic
+//! `BENCH_wallclock.json`, which the byte-identity smokes exclude.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use sb_analysis::scale_study::{render_scale, scale_study, ScaleConfig};
+use sb_bench::{WallclockReport, WallclockRun};
 
 fn main() {
     let mut args = sb_bench::Args::parse();
@@ -18,7 +22,11 @@ fn main() {
         args.json = Some(PathBuf::from("BENCH_scale.json"));
     }
     let runner = args.runner();
-    let cfg = ScaleConfig::paper_defaults();
+    let mut cfg = ScaleConfig::paper_defaults();
+    if let Some(sessions) = args.sessions {
+        assert!(sessions >= 1, "--sessions must be at least 1");
+        cfg.sessions = sessions;
+    }
     let t0 = Instant::now();
     let (report, metrics) = scale_study(&cfg, args.shards, &runner).expect("valid default config");
     let wall = t0.elapsed().as_secs_f64();
@@ -31,15 +39,26 @@ fn main() {
     );
     // Wall-clock rates are machine- and thread-dependent: stderr only,
     // so stdout and the JSON artifact stay byte-identical across
-    // `--shards` and `--threads`.
+    // `--shards`, `--threads` and `--agenda`.
     let grid_sessions: usize = report.cells.len() * report.total_sessions;
+    let streamed = grid_sessions + report.total_sessions;
     eprintln!(
-        "wall: {:.3}s at --shards {} --threads {}, {:.0} sessions/sec over the grid",
+        "wall: {:.3}s at --shards {} --threads {} --agenda {}, {:.0} sessions/sec over the grid",
         wall,
         args.shards,
         runner.threads(),
-        (grid_sessions + report.total_sessions) as f64 / wall,
+        args.agenda.name(),
+        streamed as f64 / wall,
     );
+    // Grid events scale with the cells the same way sessions do: every
+    // cell fires the flagship's event count (shard-invariant), plus the
+    // flagship pass itself.
+    let events = report.total_events_fired * (report.cells.len() as u64 + 1);
+    WallclockReport::new(
+        "scale_bench",
+        vec![WallclockRun::new(args.agenda, streamed, events, wall)],
+    )
+    .write_beside(args.json.as_deref());
     args.maybe_write_json(&report);
     args.finish(&runner);
 }

@@ -3,13 +3,24 @@
 //! `--json` names another path.
 //!
 //! The JSON is fully deterministic (simulated-time rates only), so runs
-//! with different `--threads` counts diff clean; wall-clock sessions/sec
-//! and events/sec go to stderr.
+//! with different `--threads` counts diff clean. Wall-clock rates are
+//! machine truth, not simulation truth: they go to stderr and to the
+//! sibling `BENCH_wallclock.json` — one timed pass per engine backend
+//! (`--agenda` first, the other for comparison) — which the byte-identity
+//! smokes in `scripts/verify.sh` explicitly exclude.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use sb_analysis::runner::Runner;
 use sb_analysis::throughput::{render_throughput, throughput_study, ThroughputConfig};
+use sb_bench::{WallclockReport, WallclockRun};
+use sb_sim::AgendaKind;
+
+/// Events a study pass put through the engine, churn half included.
+fn pass_events(report: &sb_analysis::throughput::ThroughputReport) -> u64 {
+    report.total_events_fired + report.churn.engine.fired + report.churn.engine.cancelled
+}
 
 fn main() {
     let mut args = sb_bench::Args::parse();
@@ -31,12 +42,12 @@ fn main() {
     // Wall-clock rates are machine- and thread-dependent: stderr only,
     // so stdout and the JSON artifact stay byte-identical across
     // `--threads` counts.
-    let churn_events = report.churn.engine.fired + report.churn.engine.cancelled;
     eprintln!(
-        "wall: {:.3}s, {:.0} sessions/sec, {:.0} events/sec, peak agenda {}",
+        "wall: {:.3}s on {}, {:.0} sessions/sec, {:.0} events/sec, peak agenda {}",
         wall,
+        args.agenda.name(),
         report.total_sessions as f64 / wall,
-        (report.total_events_fired + churn_events) as f64 / wall,
+        pass_events(&report) as f64 / wall,
         report
             .cells
             .iter()
@@ -45,5 +56,47 @@ fn main() {
             .unwrap_or(0),
     );
     args.maybe_write_json(&report);
+
+    // The perf trajectory: re-time the same study on the other backend
+    // and write both rates beside the deterministic artifact. The
+    // comparison pass's report must serialize to the same bytes — the
+    // backend is an execution knob, never a result knob.
+    let other = match args.agenda {
+        AgendaKind::Heap => AgendaKind::Wheel,
+        AgendaKind::Wheel => AgendaKind::Heap,
+    };
+    let other_runner = Runner::new(args.threads).with_agenda(other);
+    let t1 = Instant::now();
+    let (other_report, _) = throughput_study(&cfg, &other_runner).expect("valid default config");
+    let other_wall = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        serde_json::to_string(&report).expect("serializable report"),
+        serde_json::to_string(&other_report).expect("serializable report"),
+        "heap and wheel passes diverged — agenda determinism is broken",
+    );
+    eprintln!(
+        "wall: {:.3}s on {} (comparison pass), {:.0} sessions/sec",
+        other_wall,
+        other.name(),
+        other_report.total_sessions as f64 / other_wall,
+    );
+    let wallclock = WallclockReport::new(
+        "throughput_bench",
+        vec![
+            WallclockRun::new(
+                args.agenda,
+                report.total_sessions,
+                pass_events(&report),
+                wall,
+            ),
+            WallclockRun::new(
+                other,
+                other_report.total_sessions,
+                pass_events(&other_report),
+                other_wall,
+            ),
+        ],
+    );
+    wallclock.write_beside(args.json.as_deref());
     args.finish(&runner);
 }

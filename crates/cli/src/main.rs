@@ -43,6 +43,7 @@ use sb_core::config::SystemConfig;
 use sb_core::plan::VideoId;
 use sb_core::series::Width;
 use sb_sim::policy::schedule_client;
+use sb_sim::AgendaKind;
 use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
@@ -57,7 +58,7 @@ fn usage() -> &'static str {
            --loss-rates 0.01,0.05 --burst-len 4\n\
            --outage-channel --outage-start --outage-duration\n\
            --threads N --shards N --sessions N --videos N --samples N\n\
-           --json PATH --metrics PATH --manifest PATH"
+           --agenda heap|wheel --json PATH --metrics PATH --manifest PATH"
 }
 
 fn parse_scheme(name: &str) -> Option<SchemeId> {
@@ -218,9 +219,9 @@ fn cmd_client(opts: &Opts) -> Result<(), String> {
 }
 
 /// The execution flags every study subcommand shares — `--threads`,
-/// `--seed`, `--shards`, `--json`, `--manifest` — parsed and validated
-/// by one routine so `sweep`, `control`, `resilience`, `throughput` and
-/// `scale` reject bad values with identical messages.
+/// `--seed`, `--shards`, `--agenda`, `--json`, `--manifest` — parsed and
+/// validated by one routine so `sweep`, `control`, `resilience`,
+/// `throughput` and `scale` reject bad values with identical messages.
 struct CommonArgs {
     /// Worker-pool size (validated ≥ 1; results never depend on it).
     threads: usize,
@@ -228,6 +229,9 @@ struct CommonArgs {
     seed: Option<u64>,
     /// Shard count (validated ≥ 1; only `scale` accepts > 1).
     shards: usize,
+    /// Engine event-store backend (`heap` or `wheel`; results never
+    /// depend on it).
+    agenda: AgendaKind,
     /// `--json <path>`: where to write the structured report.
     json: Option<String>,
     /// `--manifest <path>`: where to write per-stage wall timings.
@@ -251,18 +255,23 @@ impl CommonArgs {
                     .map_err(|_| format!("--seed: bad integer `{v}`"))?,
             ),
         };
+        let agenda_str = opts.get_str("agenda", "heap");
+        let agenda = AgendaKind::parse(&agenda_str)
+            .ok_or_else(|| format!("--agenda: expected `heap` or `wheel`, got `{agenda_str}`"))?;
         Ok(Self {
             threads,
             seed,
             shards,
+            agenda,
             json: opts.0.get("json").cloned(),
             manifest: opts.0.get("manifest").cloned(),
         })
     }
 
-    /// The worker pool this invocation asked for.
+    /// The worker pool this invocation asked for, driving the engine
+    /// backend it asked for.
     fn runner(&self) -> Runner {
-        Runner::new(self.threads)
+        Runner::new(self.threads).with_agenda(self.agenda)
     }
 
     /// Studies that are not sharded refuse the scale-out flag instead of

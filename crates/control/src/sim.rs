@@ -50,7 +50,7 @@ use sb_core::Skyscraper;
 use sb_metrics::{OpLog, Recorder, Registry, Snapshot, TeeRecorder};
 use sb_resilience::{Degradation, FaultScript, ResilienceOutcome};
 use sb_sim::run::RunParts;
-use sb_sim::{parallel_map, shard_of, Engine, EngineStats, RunConfig};
+use sb_sim::{parallel_map, shard_of, AgendaKind, Engine, EngineStats, RunConfig};
 use sb_workload::{Catalog, WorkloadRequest};
 
 use crate::admission::{AdmissionControl, AdmissionDecision, Backoff};
@@ -382,65 +382,6 @@ impl ControlledSim {
         self.pool
     }
 
-    /// Run the request stream under `policy` with no faults, recording
-    /// metrics into `rec`.
-    ///
-    /// Requests must be in non-decreasing arrival order (workload
-    /// generators produce them that way).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ControlledSim::execute(policy, RunConfig::new(requests).recorder(rec))`"
-    )]
-    pub fn run(
-        &self,
-        requests: &[WorkloadRequest],
-        policy: ControlPolicy,
-        rec: &mut dyn Recorder,
-    ) -> ControlReport {
-        self.run_faults_core(
-            requests,
-            policy,
-            &FaultScript::none(),
-            Degradation::Stall,
-            rec,
-        )
-        .expect("the empty fault script is always valid")
-        .0
-    }
-
-    /// Run the request stream under `policy` while `script` injects
-    /// faults, resolving repair lateness per `degradation`.
-    ///
-    /// Recovery invariants (pinned by tests): no in-flight broadcast
-    /// session is truncated by a reallocation *or* an outage — sessions
-    /// overlapping a dark window are repaired (stalled, skipped, or
-    /// quality-dropped per `degradation`) and still complete; arrivals
-    /// for a dark title are redirected to the batching pool; deferred
-    /// admissions retry on the configured [`Backoff`] and are rejected —
-    /// never silently dropped — when the budget runs out.
-    ///
-    /// # Errors
-    /// [`SchemeError::InvalidConfig`] if the script fails
-    /// [`FaultScript::validate`] or an outage names a slot the
-    /// configuration does not have.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ControlledSim::execute(policy, RunConfig::new(requests)\
-                .faults(ControlFaults { script, degradation }))`"
-    )]
-    pub fn run_with_faults(
-        &self,
-        requests: &[WorkloadRequest],
-        policy: ControlPolicy,
-        script: &FaultScript,
-        degradation: Degradation,
-        rec: &mut dyn Recorder,
-    ) -> Result<ControlReport> {
-        Ok(self
-            .run_faults_core(requests, policy, script, degradation, rec)?
-            .0)
-    }
-
     /// The single-server core behind every public entry point: runs the
     /// event loop and returns, besides the report, the raw material the
     /// sharded merge needs — the sorted served-latency population, the
@@ -453,6 +394,7 @@ impl ControlledSim {
         script: &FaultScript,
         degradation: Degradation,
         rec: &mut dyn Recorder,
+        agenda: AgendaKind,
     ) -> Result<(ControlReport, Vec<f64>, Vec<f64>, EngineStats)> {
         script.validate()?;
         if script
@@ -474,7 +416,7 @@ impl ControlledSim {
         let mut adm = AdmissionControl::new(self.cfg.admission_ceiling);
         adm.retry = self.cfg.admission_retry;
 
-        let mut eng: Engine<Ev> = Engine::new();
+        let mut eng: Engine<Ev> = Engine::with_agenda(agenda);
         let mut horizon = 0.0_f64;
         for (idx, r) in requests.iter().enumerate() {
             eng.schedule_at(at_ticks(r.at.value()), Ev::Arrive { idx, attempt: 0 });
@@ -945,6 +887,7 @@ impl ControlledSim {
             shards,
             threads,
             seed,
+            agenda,
         } = cfg.into_parts();
         let quiet = FaultScript::none();
         let (script, degradation) = match &faults {
@@ -959,9 +902,11 @@ impl ControlledSim {
                         a: &mut reg,
                         b: user,
                     };
-                    self.run_faults_core(requests, policy, script, degradation, &mut tee)?
+                    self.run_faults_core(requests, policy, script, degradation, &mut tee, agenda)?
                 }
-                None => self.run_faults_core(requests, policy, script, degradation, &mut reg)?,
+                None => {
+                    self.run_faults_core(requests, policy, script, degradation, &mut reg, agenda)?
+                }
             };
             return Ok(ControlOutcome {
                 summary: report,
@@ -975,22 +920,22 @@ impl ControlledSim {
             policy,
             requests,
             recorder,
-            (shards, threads, seed),
+            (shards, threads, seed, agenda),
             script,
             degradation,
         )
     }
 
     /// The partitioned path behind [`ControlledSim::execute`];
-    /// `(shards, threads, seed)` are the scale-out knobs off the
-    /// [`RunConfig`].
+    /// `(shards, threads, seed, agenda)` are the scale-out and backend
+    /// knobs off the [`RunConfig`].
     #[allow(clippy::too_many_lines)]
     fn execute_sharded(
         &self,
         policy: ControlPolicy,
         requests: &[WorkloadRequest],
         recorder: Option<&mut dyn Recorder>,
-        (shards, threads, seed): (usize, usize, u64),
+        (shards, threads, seed, agenda): (usize, usize, u64, AgendaKind),
         script: &FaultScript,
         degradation: Degradation,
     ) -> Result<ControlOutcome> {
@@ -1077,6 +1022,7 @@ impl ControlledSim {
                         &scripts[s],
                         degradation,
                         &mut tee,
+                        agenda,
                     )
                 }
                 None => sims[s].run_faults_core(
@@ -1085,6 +1031,7 @@ impl ControlledSim {
                     &scripts[s],
                     degradation,
                     &mut reg,
+                    agenda,
                 ),
             };
             match result {
@@ -1225,7 +1172,6 @@ fn out_report(outs: &[ShardOut], s: usize) -> &ControlReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sb_metrics::Registry;
     use sb_resilience::{ChannelOutage, ChurnEvent};
     use sb_workload::{Patience, PoissonArrivals, PopularityShift, ZipfPopularity};
 
@@ -1591,8 +1537,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_execute_bitwise() {
+    fn heap_and_wheel_backends_match_bitwise_under_faults() {
+        // The control plane is the cancel-heavy client: batching timers,
+        // admission retries and outage repair all cancel or reschedule.
+        // Heap and wheel must agree to the byte, faulted or not.
         let sim = sim(300.0);
         let reqs = shifted_workload(40, 4.0, 300.0, 150.0, 10, 3);
         let script = FaultScript {
@@ -1603,24 +1551,19 @@ mod tests {
             }],
             ..FaultScript::none()
         };
-        let mut reg = Registry::new();
-        let legacy = sim.run(&reqs, ControlPolicy::Dynamic, &mut reg);
-        let out = sim
+        let heap = sim
             .execute(ControlPolicy::Dynamic, RunConfig::new(&reqs))
             .unwrap();
-        assert_eq!(legacy, out.summary);
-        assert_eq!(reg.snapshot(), out.snapshot);
-        let mut reg2 = Registry::new();
-        let legacy_faulted = sim
-            .run_with_faults(
-                &reqs,
-                ControlPolicy::Static,
-                &script,
-                Degradation::SkipSegment,
-                &mut reg2,
+        let wheel = sim
+            .execute(
+                ControlPolicy::Dynamic,
+                RunConfig::new(&reqs).agenda(AgendaKind::Wheel),
             )
             .unwrap();
-        let faulted = sim
+        assert_eq!(heap.summary, wheel.summary);
+        assert_eq!(heap.snapshot, wheel.snapshot);
+        assert_eq!(heap.popularity, wheel.popularity);
+        let faulted_heap = sim
             .execute(
                 ControlPolicy::Static,
                 RunConfig::new(&reqs).faults(ControlFaults {
@@ -1629,8 +1572,19 @@ mod tests {
                 }),
             )
             .unwrap();
-        assert_eq!(legacy_faulted, faulted.summary);
-        assert_eq!(reg2.snapshot(), faulted.snapshot);
+        let faulted_wheel = sim
+            .execute(
+                ControlPolicy::Static,
+                RunConfig::new(&reqs)
+                    .agenda(AgendaKind::Wheel)
+                    .faults(ControlFaults {
+                        script: &script,
+                        degradation: Degradation::SkipSegment,
+                    }),
+            )
+            .unwrap();
+        assert_eq!(faulted_heap.summary, faulted_wheel.summary);
+        assert_eq!(faulted_heap.snapshot, faulted_wheel.snapshot);
     }
 
     #[test]

@@ -20,7 +20,8 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`engine`] | a small, deterministic discrete-event engine (tick clock, binary-heap agenda) |
+//! | [`engine`] | a small, deterministic discrete-event engine (tick clock, pluggable agenda) |
+//! | [`agenda`] | event-store backends: binary heap and hierarchical timing wheel, bitwise interchangeable |
 //! | [`trace`] | the unified [`trace::SessionTrace`] every client model produces, and the [`trace::ClientModel`] trait |
 //! | [`schedule`] | client schedules: downloads, playback, and conversion to traces |
 //! | [`policy`] | per-scheme client policies (latest-feasible, PB's eager prefetch, live) |
@@ -63,6 +64,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod agenda;
 pub mod e2e;
 pub mod engine;
 pub mod faults;
@@ -77,6 +79,7 @@ pub mod sink;
 pub mod system;
 pub mod trace;
 
+pub use agenda::{Agenda, AgendaEntry, AgendaKind, HeapAgenda, MinQueue, WheelAgenda, WheelStats};
 pub use e2e::{replay, E2eReport, PacketConfig};
 pub use engine::{Engine, EngineStats, EventId};
 pub use faults::{

@@ -15,6 +15,7 @@
 //!     .faults(script)           // optional: control-plane fault payload
 //!     .shards(4)                // optional: partitioned scale-out
 //!     .threads(4)               // optional: worker pool for the shards
+//!     .agenda(AgendaKind::Wheel) // optional: engine event-store backend
 //! ```
 //!
 //! consumed by `SystemSim::execute` (and, generically over the request
@@ -25,6 +26,7 @@
 
 use sb_metrics::{Recorder, Snapshot};
 
+use crate::agenda::AgendaKind;
 use crate::engine::EngineStats;
 use crate::sink::{SessionSummary, TraceSink};
 use crate::system::SystemReport;
@@ -44,6 +46,7 @@ pub struct RunConfig<'a, R, F = ()> {
     shards: usize,
     threads: usize,
     seed: u64,
+    agenda: AgendaKind,
 }
 
 impl<'a, R> RunConfig<'a, R> {
@@ -59,6 +62,7 @@ impl<'a, R> RunConfig<'a, R> {
             shards: 1,
             threads: 1,
             seed: 0,
+            agenda: AgendaKind::Heap,
         }
     }
 }
@@ -101,6 +105,7 @@ impl<'a, R, F> RunConfig<'a, R, F> {
             shards: self.shards,
             threads: self.threads,
             seed: self.seed,
+            agenda: self.agenda,
         }
     }
 
@@ -131,6 +136,16 @@ impl<'a, R, F> RunConfig<'a, R, F> {
         self
     }
 
+    /// Event-store backend for every engine the run builds — one per
+    /// shard (default [`AgendaKind::Heap`]). Purely an execution knob:
+    /// heap and wheel runs are byte-identical, only wall-clock speed and
+    /// the non-serialized [`EngineStats::wheel`] counters differ.
+    #[must_use]
+    pub fn agenda(mut self, agenda: AgendaKind) -> Self {
+        self.agenda = agenda;
+        self
+    }
+
     /// Destructure into the executor-facing parts.
     #[must_use]
     pub fn into_parts(self) -> RunParts<'a, R, F> {
@@ -142,6 +157,7 @@ impl<'a, R, F> RunConfig<'a, R, F> {
             shards: self.shards,
             threads: self.threads,
             seed: self.seed,
+            agenda: self.agenda,
         }
     }
 }
@@ -162,6 +178,8 @@ pub struct RunParts<'a, R, F> {
     pub threads: usize,
     /// Shard-hash seed.
     pub seed: u64,
+    /// Event-store backend for every engine of the run.
+    pub agenda: AgendaKind,
 }
 
 /// Everything a system run produces, whatever the slot combination.
@@ -198,6 +216,7 @@ mod tests {
         assert!(parts.recorder.is_none());
         assert!(parts.faults.is_none());
         assert_eq!((parts.shards, parts.threads, parts.seed), (1, 1, 0));
+        assert_eq!(parts.agenda, AgendaKind::Heap);
     }
 
     #[test]
@@ -207,10 +226,12 @@ mod tests {
             .shards(4)
             .threads(2)
             .seed(11)
+            .agenda(AgendaKind::Wheel)
             .faults("script")
             .into_parts();
         assert_eq!(parts.faults, Some("script"));
         assert_eq!((parts.shards, parts.threads, parts.seed), (4, 2, 11));
+        assert_eq!(parts.agenda, AgendaKind::Wheel, "agenda survives faults()");
     }
 
     #[test]

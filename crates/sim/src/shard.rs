@@ -36,12 +36,10 @@
 //!    merged `(arrival, end)` intervals and patched in last (gauges
 //!    merge by `max`, and the global peak dominates every shard's).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use sb_metrics::{OpLog, Recorder, Registry, Snapshot, TeeRecorder};
 use vod_units::{Mbits, Minutes};
 
+use crate::agenda::{AgendaKind, MinQueue};
 use crate::engine::EngineStats;
 use crate::policy::PolicyError;
 use crate::pool::parallel_map;
@@ -121,7 +119,7 @@ impl SystemSim<'_> {
     pub fn execute(&self, cfg: RunConfig<'_, Request>) -> Result<RunOutcome, PolicyError> {
         let parts = cfg.into_parts();
         if parts.shards == 1 {
-            return self.execute_serial(parts.requests, parts.recorder, parts.sink);
+            return self.execute_serial(parts.requests, parts.recorder, parts.sink, parts.agenda);
         }
         self.execute_sharded(parts)
     }
@@ -133,24 +131,25 @@ impl SystemSim<'_> {
         requests: &[Request],
         recorder: Option<&mut dyn Recorder>,
         sink: Option<&mut dyn TraceSink>,
+        agenda: AgendaKind,
     ) -> Result<RunOutcome, PolicyError> {
         let mut reg = Registry::new();
         let mut fold = StreamingFold::new();
         let (summary, stats) = match (recorder, sink) {
-            (None, None) => self.run_core(requests, &mut reg, &mut fold, None),
+            (None, None) => self.run_core(requests, &mut reg, &mut fold, None, agenda),
             (Some(user), None) => {
                 let mut tee = TeeRecorder {
                     a: &mut reg,
                     b: user,
                 };
-                self.run_core(requests, &mut tee, &mut fold, None)
+                self.run_core(requests, &mut tee, &mut fold, None, agenda)
             }
             (None, Some(user)) => {
                 let mut tee = TeeSink {
                     a: &mut fold,
                     b: user,
                 };
-                self.run_core(requests, &mut reg, &mut tee, None)
+                self.run_core(requests, &mut reg, &mut tee, None, agenda)
             }
             (Some(user_rec), Some(user_sink)) => {
                 let mut rec = TeeRecorder {
@@ -161,7 +160,7 @@ impl SystemSim<'_> {
                     a: &mut fold,
                     b: user_sink,
                 };
-                self.run_core(requests, &mut rec, &mut tee, None)
+                self.run_core(requests, &mut rec, &mut tee, None, agenda)
             }
         }?;
         Ok(RunOutcome {
@@ -207,9 +206,9 @@ impl SystemSim<'_> {
                             a: &mut reg,
                             b: log,
                         };
-                        self.run_core(reqs, &mut tee, sink, Some(&mut scalars))
+                        self.run_core(reqs, &mut tee, sink, Some(&mut scalars), parts.agenda)
                     }
-                    None => self.run_core(reqs, &mut reg, sink, Some(&mut scalars)),
+                    None => self.run_core(reqs, &mut reg, sink, Some(&mut scalars), parts.agenda),
                 };
                 for sc in &mut scalars {
                     sc.idx = shard_idx[s][sc.idx];
@@ -241,7 +240,7 @@ impl SystemSim<'_> {
         let mut worst_buffer = Mbits::ZERO;
         let mut delivered = 0.0f64;
         let mut peak_active = 0usize;
-        let mut ends: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let mut ends: MinQueue<u64> = MinQueue::new();
         let mut user_sink = parts.sink;
         let mut cursors = vec![0usize; shards];
         loop {
@@ -265,10 +264,10 @@ impl SystemSim<'_> {
             // after every arrival at T (arrivals are scheduled first and
             // the engine breaks ties by schedule order), so only ends
             // *strictly* before this arrival leave the active set.
-            while ends.peek().is_some_and(|&Reverse(e)| e < tick) {
+            while ends.peek().is_some_and(|&e| e < tick) {
                 ends.pop();
             }
-            ends.push(Reverse(sc.end_tick));
+            ends.push(sc.end_tick);
             peak_active = peak_active.max(ends.len());
             // The identical statements `run_core` executes per session.
             fold.fold_scalars(
@@ -420,6 +419,34 @@ mod tests {
                     out.stats.scheduled, base.stats.scheduled,
                     "event totals are shard-invariant"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn agenda_backend_is_bitwise_invariant_across_shards_and_threads() {
+        // The full grid: {heap, wheel} × shards × threads all collapse to
+        // the serial heap bytes.
+        let (cfg, plan, requests) = lineup();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let base = sim.execute(RunConfig::new(&requests)).unwrap();
+        for agenda in [AgendaKind::Heap, AgendaKind::Wheel] {
+            for shards in [1, 2, 4] {
+                for threads in [1, 4] {
+                    let out = sim
+                        .execute(
+                            RunConfig::new(&requests)
+                                .shards(shards)
+                                .threads(threads)
+                                .agenda(agenda),
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        outcome_key(&base),
+                        outcome_key(&out),
+                        "{agenda:?} S={shards} T={threads} diverged"
+                    );
+                }
             }
         }
     }

@@ -15,16 +15,17 @@
 //! into the same [`SystemSim`], because every model reduces its sessions
 //! to the common [`crate::trace::SessionTrace`].
 
-use sb_metrics::{NullRecorder, Recorder};
+use sb_metrics::Recorder;
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbits, Mbps, Minutes, TickScale, Ticks};
 
 use sb_core::plan::{ChannelPlan, VideoId};
 
+use crate::agenda::AgendaKind;
 use crate::engine::Engine;
 use crate::policy::PolicyError;
 use crate::shard::SessionScalars;
-use crate::sink::{NullSink, TraceSink};
+use crate::sink::TraceSink;
 use crate::trace::ClientModel;
 
 /// One viewer request.
@@ -93,100 +94,24 @@ impl<'a> SystemSim<'a> {
         self
     }
 
-    /// Run the request stream to completion and aggregate statistics.
-    ///
-    /// Requests need not be sorted; the engine orders them.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SystemSim::execute(RunConfig::new(requests))`"
-    )]
-    pub fn run(&self, requests: &[Request]) -> Result<SystemReport, PolicyError> {
-        self.run_core(requests, &mut NullRecorder, &mut NullSink, None)
-            .map(|(r, _)| r)
-    }
-
-    /// [`SystemSim::run`], additionally streaming per-video and
-    /// per-channel series into `rec`:
-    ///
-    /// * `sim_sessions_total{video}` — sessions served (counter);
-    /// * `sim_latency_minutes{video}` — startup latencies (histogram);
-    /// * `sim_peak_buffer_mbits{video}` — per-session peak buffer
-    ///   occupancy (histogram);
-    /// * `sim_channel_busy_minutes{channel}` — reception durations, whose
-    ///   sum is the channel's busy time (histogram);
-    /// * `sim_peak_active_sessions` — high-water mark (gauge);
-    /// * `engine_events_total{kind}` — agenda traffic (counters).
-    ///
-    /// The returned report is identical to [`SystemSim::run`]'s: the
-    /// recorder observes the simulation, it never steers it.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SystemSim::execute(RunConfig::new(requests).recorder(rec))`"
-    )]
-    pub fn run_recorded(
-        &self,
-        requests: &[Request],
-        rec: &mut dyn Recorder,
-    ) -> Result<SystemReport, PolicyError> {
-        self.run_core(requests, rec, &mut NullSink, None)
-            .map(|(r, _)| r)
-    }
-
-    /// The streaming core: [`SystemSim::run_recorded`] handing every
-    /// finished [`crate::trace::SessionTrace`] to `sink` *before dropping
-    /// it*. Pass a [`crate::sink::StreamingFold`] to aggregate
-    /// latency/bandwidth statistics in O(1) memory per session, or a
-    /// [`crate::sink::CollectTraces`] when a consumer (packet replay,
-    /// fault re-injection) needs the materialized traces. The returned
-    /// [`SystemReport`] is identical whatever the sink — sinks observe,
-    /// they never steer.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SystemSim::execute(RunConfig::new(requests).recorder(rec).sink(sink))`"
-    )]
-    pub fn run_with_sink(
-        &self,
-        requests: &[Request],
-        rec: &mut dyn Recorder,
-        sink: &mut dyn TraceSink,
-    ) -> Result<SystemReport, PolicyError> {
-        self.run_core(requests, rec, sink, None).map(|(r, _)| r)
-    }
-
-    /// [`SystemSim::run_with_sink`] additionally returning the engine's
-    /// [`crate::engine::EngineStats`] — agenda traffic and peaks, for
-    /// throughput benchmarking. The report half is identical to every
-    /// other run variant.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SystemSim::execute(RunConfig::new(requests).recorder(rec).sink(sink))` \
-                and read `RunOutcome::stats`"
-    )]
-    pub fn run_instrumented(
-        &self,
-        requests: &[Request],
-        rec: &mut dyn Recorder,
-        sink: &mut dyn TraceSink,
-    ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
-        self.run_core(requests, rec, sink, None)
-    }
-
     /// The one simulation core every public entry point funnels into.
     ///
-    /// Drives `requests` through the engine, streaming traces into
-    /// `sink` and metric events into `rec`. When `capture` is given,
-    /// additionally appends one [`SessionScalars`] per served session in
-    /// engine (pop) order — the sharded executor's raw material; the
-    /// captured floats are computed by the very statements that feed the
-    /// report, so a later replay repeats bit-identical operations.
+    /// Drives `requests` through an engine on the `agenda` backend,
+    /// streaming traces into `sink` and metric events into `rec`. When
+    /// `capture` is given, additionally appends one [`SessionScalars`]
+    /// per served session in engine (pop) order — the sharded executor's
+    /// raw material; the captured floats are computed by the very
+    /// statements that feed the report, so a later replay repeats
+    /// bit-identical operations.
     pub(crate) fn run_core(
         &self,
         requests: &[Request],
         rec: &mut dyn Recorder,
         sink: &mut dyn TraceSink,
         mut capture: Option<&mut Vec<SessionScalars>>,
+        agenda: AgendaKind,
     ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
-        let mut engine: Engine<Ev> = Engine::new();
+        let mut engine: Engine<Ev> = Engine::with_agenda(agenda);
         for (pos, r) in requests.iter().enumerate() {
             engine.schedule_at(
                 Ticks::ZERO + self.scale.duration_from_minutes(r.at),
@@ -456,41 +381,35 @@ mod tests {
         assert_eq!(err, PolicyError::UnknownVideo(VideoId(77)));
     }
 
-    /// The deprecated variants are wrappers over the same core: each one
-    /// must reproduce `execute` bit for bit.
+    /// The heap and wheel backends must produce the same bytes end to
+    /// end: report, streamed fold, snapshot and (serialized) stats.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_execute_bitwise() {
+    fn heap_and_wheel_backends_match_bitwise() {
         let cfg = SystemConfig::paper_defaults(Mbps(300.0));
         let plan = Skyscraper::with_width(Width::Capped(52))
             .plan(&cfg)
             .unwrap();
         let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
         let requests = requests_grid(48, 10, 20.0);
-        let out = sim.execute(RunConfig::new(&requests)).unwrap();
-
-        assert_eq!(sim.run(&requests).unwrap(), out.summary);
-        let mut reg = sb_metrics::Registry::new();
-        assert_eq!(sim.run_recorded(&requests, &mut reg).unwrap(), out.summary);
+        let heap = sim.execute(RunConfig::new(&requests)).unwrap();
+        let wheel = sim
+            .execute(RunConfig::new(&requests).agenda(crate::agenda::AgendaKind::Wheel))
+            .unwrap();
+        assert_eq!(heap.summary, wheel.summary);
+        assert_eq!(heap.fold, wheel.fold);
         assert_eq!(
-            serde_json::to_string(&reg.snapshot()).unwrap(),
-            serde_json::to_string(&out.snapshot).unwrap(),
-            "wrapper registry and execute snapshot must be the same bytes"
+            serde_json::to_string(&heap.snapshot).unwrap(),
+            serde_json::to_string(&wheel.snapshot).unwrap()
         );
-        let mut fold = crate::sink::StreamingFold::new();
-        let (report, stats) = sim
-            .run_instrumented(&requests, &mut sb_metrics::NullRecorder, &mut fold)
-            .unwrap();
-        assert_eq!(report, out.summary);
-        assert_eq!(stats, out.stats);
-        assert_eq!(fold.finish(), out.fold);
-        let with_sink = sim
-            .run_with_sink(
-                &requests,
-                &mut sb_metrics::NullRecorder,
-                &mut crate::sink::NullSink,
-            )
-            .unwrap();
-        assert_eq!(with_sink, out.summary);
+        assert_eq!(
+            serde_json::to_string(&heap.stats).unwrap(),
+            serde_json::to_string(&wheel.stats).unwrap(),
+            "serialized stats must hide the backend"
+        );
+        assert!(heap.stats.wheel.cascades == 0 && heap.stats.wheel.peak_bucket == 0);
+        assert!(
+            wheel.stats.wheel.peak_bucket > 0,
+            "wheel counters live in memory only"
+        );
     }
 }

@@ -98,6 +98,21 @@ impl LogicalChannel {
         out
     }
 
+    /// Boundary tolerance for occurrence arithmetic, in period units.
+    ///
+    /// Callers hand in times computed from the same plan, so a boundary
+    /// reached through a different float chain must count as a hit. The
+    /// slack scales with `q` (occurrence index) because the noise in
+    /// `offset + n·period` does — but only by ulps: 256·ε ≈ 5.7e-14
+    /// relative, a couple of orders above accumulated rounding error
+    /// and many below any genuinely distinct arrival. (A fixed `1e-9`
+    /// *relative* slack once swallowed a real 3.2e-5-minute gap at
+    /// t ≈ 32 000 min, handing clients a "next" broadcast that had
+    /// already started and making their follow-up segment infeasible.)
+    fn boundary_eps(q: f64) -> f64 {
+        256.0 * f64::EPSILON * q.abs().max(1.0)
+    }
+
     /// The last transmission start of `item` at or before `t` (but never
     /// before the channel's phase).
     ///
@@ -113,11 +128,10 @@ impl LogicalChannel {
             if s.item == item {
                 let offset = self.phase.value() + acc;
                 // Occurrences at offset + n·period, n ≥ 0; want the largest
-                // ≤ t (within a relative epsilon — callers hand in times
-                // computed from the same plan, so boundaries must be
-                // treated as hits, not near-misses).
+                // ≤ t, treating boundary hits (within [`Self::boundary_eps`])
+                // as valid occurrences.
                 let q = (t.value() - offset) / period;
-                let eps = 1e-9 * q.abs().max(1.0);
+                let eps = Self::boundary_eps(q);
                 if q >= -eps {
                     let n = (q + eps).floor().max(0.0);
                     let mut candidate = offset + n * period;
@@ -149,11 +163,11 @@ impl LogicalChannel {
         for s in &self.cycle {
             if s.item == item {
                 // Occurrences are phase + offset + n·period for n ≥ 0; want
-                // the smallest ≥ t, treating boundary hits (within a
-                // relative epsilon) as valid occurrences.
+                // the smallest ≥ t, treating boundary hits (within
+                // [`Self::boundary_eps`]) as valid occurrences.
                 let offset = self.phase.value() + acc;
                 let q = (t.value() - offset) / period;
-                let eps = 1e-9 * q.abs().max(1.0);
+                let eps = Self::boundary_eps(q);
                 let n = (q - eps).ceil().max(0.0);
                 let candidate = offset + n * period;
                 // Guard against f64 edge: candidate may land just below t.
@@ -355,6 +369,49 @@ mod tests {
         // prev(next(t)) == next(t).
         let nxt = ch.next_start_of(item1, Minutes(3.0)).unwrap();
         assert!(ch.prev_start_of(item1, nxt).unwrap().approx_eq(nxt, 1e-12));
+    }
+
+    #[test]
+    fn boundary_eps_stays_below_real_gaps_at_large_t() {
+        // Regression: at t ≈ 32 343 min on a 120/713-minute period
+        // (≈ 192 000 occurrences in), a 1e-9-relative slack once
+        // swallowed a genuine 3.2e-5-minute gap and `next_start_of`
+        // returned a broadcast that had already started. The tolerance
+        // must be ulp-scale: next ≥ t, and prev strictly behind next.
+        let mk = |segment, mins: f64| ScheduledSegment {
+            item: BroadcastItem {
+                video: VideoId(7),
+                segment,
+            },
+            size: Mbps(1.5) * Minutes(mins),
+            on_air: Minutes(mins),
+        };
+        let period = 120.0 / 713.0;
+        let ch = LogicalChannel {
+            id: 147,
+            rate: Mbps(1.5),
+            phase: Minutes(0.0),
+            cycle: vec![mk(0, period)],
+        };
+        let item = BroadcastItem {
+            video: VideoId(7),
+            segment: 0,
+        };
+        // The 2.2M-session grid arrival that used to go infeasible.
+        let t = Minutes(32_343.113_636_363_636);
+        let next = ch.next_start_of(item, t).unwrap();
+        assert!(
+            next.value() >= t.value() - 1e-9,
+            "next_start_of went backwards: {} < {}",
+            next.value(),
+            t.value(),
+        );
+        let prev = ch.prev_start_of(item, t).unwrap();
+        assert!(prev < next, "prev {prev:?} not behind next {next:?}");
+        assert!((next.value() - prev.value() - period).abs() < 1e-6);
+        // Exact boundary hits (same float chain) still snap.
+        assert_eq!(ch.next_start_of(item, next), Some(next));
+        assert_eq!(ch.prev_start_of(item, prev), Some(prev));
     }
 
     #[test]

@@ -4,8 +4,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace: the smokes below invoke target/release/{throughput_bench,
+# scale_bench} directly — a root-package build would leave them stale.
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -68,15 +70,63 @@ for s in 1 2 4; do
     done
 done
 
-echo "==> scale release smoke (>= 1M-session streaming cells)"
-./target/release/scale_bench --shards 4 --threads 4 \
+echo "==> agenda smoke (heap vs wheel byte identity, 6-way over --shards)"
+# The wheel backend must reproduce the heap bytes exactly — JSON artifact
+# and stdout — at every shard count. 6 runs: {heap, wheel} x shards {1, 2, 4}.
+agenda_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir" "$scale_dir" "$agenda_dir"' EXIT
+for a in heap wheel; do
+    for s in 1 2 4; do
+        cargo run -q -p sb-cli --bin sbcast -- scale --sessions 3000 --horizon 300 \
+            --shards "$s" --threads 2 --agenda "$a" \
+            --json "$agenda_dir/ag-$a-$s.json" 2>/dev/null > "$agenda_dir/ag-$a-$s.out"
+    done
+done
+for a in heap wheel; do
+    for s in 1 2 4; do
+        diff -u "$agenda_dir/ag-heap-1.json" "$agenda_dir/ag-$a-$s.json"
+        diff -u "$agenda_dir/ag-heap-1.out" "$agenda_dir/ag-$a-$s.out"
+    done
+done
+# The same identity on the fault-study path (control plane + degradation).
+cargo run -q -p sb-cli --bin sbcast -- resilience --horizon 200 --seeds 7 --threads 2 \
+    --agenda wheel 2>/dev/null > "$agenda_dir/res-wheel.out"
+diff -u "$res_a" "$agenda_dir/res-wheel.out"
+
+echo "==> wall-clock trajectory (throughput_bench, heap + wheel timed passes)"
+./target/release/throughput_bench --json "$thr_dir/thr-bench.json" \
+    > "$thr_dir/thr-bench.out" 2>"$thr_dir/thr-bench.err"
+# BENCH_wallclock.json is nondeterministic by design (wall seconds): it
+# is checked for shape, never diffed — keep it OUT of the byte-identity
+# smokes above.
+wallclock="$thr_dir/BENCH_wallclock.json"
+test -s "$wallclock" || { echo "BENCH_wallclock.json missing"; exit 1; }
+for field in '"backend"' '"sessions_per_sec"' '"events_per_sec"' '"wall_secs"' '"wheel_speedup"'; do
+    grep -q "$field" "$wallclock" || { echo "BENCH_wallclock.json lacks $field"; exit 1; }
+done
+grep -q '"heap"' "$wallclock" || { echo "no heap pass in BENCH_wallclock.json"; exit 1; }
+grep -q '"wheel"' "$wallclock" || { echo "no wheel pass in BENCH_wallclock.json"; exit 1; }
+grep '"wheel_speedup"' "$wallclock"
+
+echo "==> scale release smoke (>= 10M streamed sessions on the wheel backend)"
+# 2.2M-session grid: 4 cells + the flagship pass = 11M streamed sessions.
+./target/release/scale_bench --shards 4 --threads 4 --agenda wheel --sessions 2200000 \
     --json "$scale_dir/scale-full.json" > "$scale_dir/scale-full.out" 2>/dev/null
-grep -q '"total_sessions": 1100000' "$scale_dir/scale-full.json"
+grep -q '"total_sessions": 2200000' "$scale_dir/scale-full.json"
+test -s "$scale_dir/BENCH_wallclock.json" || { echo "scale wallclock missing"; exit 1; }
+grep -q '"scale_bench"' "$scale_dir/BENCH_wallclock.json"
+
+echo "==> criterion benches compile against the vendored deps"
+cargo bench -p sb-bench --no-run -q
 
 echo "==> doc lint (shipped docs name the shipped interfaces)"
 grep -q '^## 11\. Sharded scale-out and the one-RunConfig API' DESIGN.md
 grep -q 'shard_invariance' DESIGN.md
+grep -q '^## 12\. The timing-wheel agenda' DESIGN.md
+grep -q 'overflow' DESIGN.md
 grep -q 'sbcast -- scale' README.md
 grep -q 'BENCH_scale.json' README.md
+grep -q '\-\-agenda wheel' README.md
+grep -q 'BENCH_wallclock.json' README.md
 
 echo "verify: OK"
