@@ -16,6 +16,7 @@
 //! | [`resilience_study`] | schemes under bursty loss/outages and the control plane's recovery |
 //! | [`throughput`] | streaming-core throughput cells and the agenda-churn compaction stress |
 //! | [`scale_study`] | sharded scale-out: per-shard agenda footprint and sim-time rates vs `S` |
+//! | [`scenario_study`] | metropolitan scenarios: per-region-class SB vs baselines, flash crowds, correlated outages, diurnal × density |
 //! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
@@ -34,6 +35,7 @@ pub mod render;
 pub mod resilience_study;
 pub mod runner;
 pub mod scale_study;
+pub mod scenario_study;
 pub mod sweep;
 pub mod tables;
 pub mod throughput;

@@ -1,0 +1,61 @@
+//! The metropolitan scenario pack as a benchmark: the full
+//! urban/rural/remote preset grid — per-region-class SB vs baselines,
+//! the premiere flash crowd, the correlated regional outage and the
+//! diurnal × density cell — at paper scale. Emits `BENCH_scenario.json`
+//! unless `--json` names another path.
+//!
+//! `--shards <n>` picks the flagship pass's shard count, `--threads <n>`
+//! the worker pool and `--agenda heap|wheel` the engine backend — the
+//! JSON artifact and stdout are byte-identical for every combination
+//! (the determinism gate `scripts/verify.sh` diffs them). Wall-clock
+//! rates go to stderr and to the sibling nondeterministic
+//! `BENCH_wallclock.json`, which the byte-identity smokes exclude.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sb_analysis::scenario_study::{render_scenario, scenario_study, ScenarioStudyConfig};
+use sb_bench::{WallclockReport, WallclockRun};
+
+fn main() {
+    let mut args = sb_bench::Args::parse();
+    if args.json.is_none() {
+        args.json = Some(PathBuf::from("BENCH_scenario.json"));
+    }
+    let runner = args.runner();
+    let cfg = ScenarioStudyConfig::paper_defaults();
+    let t0 = Instant::now();
+    let (report, metrics) =
+        scenario_study(&cfg, args.shards, &runner).expect("valid default config");
+    let wall = t0.elapsed().as_secs_f64();
+
+    print!("{}", render_scenario(&report));
+    println!(
+        "metrics: {} engine events, {} sessions",
+        metrics.counter_total("engine_events_total"),
+        metrics.counter_total("sim_sessions_total"),
+    );
+    // Wall-clock rates are machine- and thread-dependent: stderr only,
+    // so stdout and the JSON artifact stay byte-identical across
+    // `--shards`, `--threads` and `--agenda`.
+    eprintln!(
+        "wall: {:.3}s at --shards {} --threads {} --agenda {}, {:.0} sessions/sec",
+        wall,
+        args.shards,
+        runner.threads(),
+        args.agenda.name(),
+        report.total_sessions as f64 / wall,
+    );
+    WallclockReport::new(
+        "scenario_bench",
+        vec![WallclockRun::new(
+            args.agenda,
+            report.total_sessions,
+            report.total_events_fired,
+            wall,
+        )],
+    )
+    .write_beside(args.json.as_deref());
+    args.maybe_write_json(&report);
+    args.finish(&runner);
+}

@@ -17,18 +17,22 @@
 //!                                                       agenda-churn stress -> BENCH_throughput.json
 //! sbcast scale    --shards 4 --threads 4                sharded scale-out: agenda footprint
 //!                                                       and sim-time rates -> BENCH_scale.json
+//! sbcast scenario --preset urban --shards 4             metropolitan scenario pack: regional
+//!                                                       SB vs baselines, flash crowds,
+//!                                                       correlated outages -> BENCH_scenario.json
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
 //! `STAG`, or `all`.
 //!
 //! The study subcommands (`sweep`, `hybrid`, `control`, `resilience`,
-//! `throughput`, `scale`) share one execution-flag parser: `--threads N`
-//! sizes the worker pool (must be ≥ 1; stdout and `--json` output are
-//! byte-identical for every N), `--shards N` picks the scale-out shard
-//! count (`scale` only; also result-invariant), `--seed` the workload
-//! seed, `--json <path>` writes the structured report, and `--manifest
-//! <path>` writes per-stage wall-clock timings.
+//! `throughput`, `scale`, `scenario`) share one execution-flag parser:
+//! `--threads N` sizes the worker pool (must be ≥ 1; stdout and `--json`
+//! output are byte-identical for every N), `--shards N` picks the
+//! scale-out shard count (`scale` and `scenario` only; also
+//! result-invariant), `--seed` the workload seed, `--json <path>` writes
+//! the structured report, and `--manifest <path>` writes per-stage
+//! wall-clock timings.
 
 #![forbid(unsafe_code)]
 
@@ -48,7 +52,7 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
@@ -58,6 +62,8 @@ fn usage() -> &'static str {
            --loss-rates 0.01,0.05 --burst-len 4\n\
            --outage-channel --outage-start --outage-duration\n\
            --threads N --shards N --sessions N --videos N --samples N\n\
+           --preset urban|rural|remote|all --profile smoke|paper\n\
+           --flash-at --flash-boost\n\
            --agenda heap|wheel --json PATH --metrics PATH --manifest PATH"
 }
 
@@ -227,7 +233,8 @@ struct CommonArgs {
     threads: usize,
     /// `--seed`, when given (each study applies its own default).
     seed: Option<u64>,
-    /// Shard count (validated ≥ 1; only `scale` accepts > 1).
+    /// Shard count (validated ≥ 1; only `scale` and `scenario`
+    /// accept > 1).
     shards: usize,
     /// Engine event-store backend (`heap` or `wheel`; results never
     /// depend on it).
@@ -275,11 +282,12 @@ impl CommonArgs {
     }
 
     /// Studies that are not sharded refuse the scale-out flag instead of
-    /// silently ignoring it.
+    /// silently ignoring it; `scale` and `scenario` are the two
+    /// subcommands whose engines shard, so they skip this gate.
     fn reject_shards(&self, cmd: &str) -> Result<(), String> {
         if self.shards > 1 {
             return Err(format!(
-                "--shards applies only to `scale` (got {} for `{cmd}`)",
+                "--shards applies only to `scale` and `scenario` (got {} for `{cmd}`)",
                 self.shards
             ));
         }
@@ -656,6 +664,81 @@ fn cmd_scale(opts: &Opts) -> Result<(), String> {
     finish_runner(&common, &runner)
 }
 
+/// The metropolitan scenario pack: per-region-class SB vs baselines on
+/// clustered geography, plus the premiere flash crowd, the correlated
+/// regional outage and the diurnal × density cell, a
+/// [`sb_analysis::scenario_study`] run. Writes `BENCH_scenario.json`
+/// (override with `--json`); stdout and the JSON are byte-identical for
+/// every `--shards` × `--threads` × `--agenda` combination — the
+/// flagship pass contributes only shard-invariant fields. Wall-clock
+/// rates go to stderr.
+fn cmd_scenario(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::scenario_study::{render_scenario, scenario_study, ScenarioStudyConfig};
+    use sb_workload::ScenarioPreset;
+
+    let profile = opts.get_str("profile", "paper");
+    let mut cfg = match profile.as_str() {
+        "paper" => ScenarioStudyConfig::paper_defaults(),
+        "smoke" => ScenarioStudyConfig::smoke(),
+        other => {
+            return Err(format!(
+                "--profile: expected `smoke` or `paper`, got `{other}`"
+            ))
+        }
+    };
+    let preset = opts.get_str("preset", "all");
+    cfg.presets = match preset.as_str() {
+        "all" => cfg.presets,
+        "urban" => vec![ScenarioPreset::Urban],
+        "rural" => vec![ScenarioPreset::Rural],
+        "remote" => vec![ScenarioPreset::Remote],
+        other => {
+            return Err(format!(
+                "--preset: expected `urban`, `rural`, `remote` or `all`, got `{other}`"
+            ))
+        }
+    };
+    if let Some(s) = opts.0.get("scheme") {
+        cfg.schemes = schemes_from(s)?;
+    }
+    cfg.rate = opts.get_f64("rate", cfg.rate)?;
+    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
+    cfg.mean_patience = Minutes(opts.get_f64("patience", cfg.mean_patience.value())?);
+    cfg.flash_at = Minutes(opts.get_f64("flash-at", cfg.flash_at.value())?);
+    cfg.flash_rate_boost = opts.get_f64("flash-boost", cfg.flash_rate_boost)?;
+    cfg.outage_start = Minutes(opts.get_f64("outage-start", cfg.outage_start.value())?);
+    cfg.outage_duration = Minutes(opts.get_f64("outage-duration", cfg.outage_duration.value())?);
+
+    let common = CommonArgs::parse(opts)?;
+    cfg.seed = common.seed.unwrap_or(cfg.seed);
+    let runner = common.runner();
+    let t0 = std::time::Instant::now();
+    let (report, snapshot) =
+        scenario_study(&cfg, common.shards, &runner).map_err(|e| e.to_string())?;
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", render_scenario(&report));
+    eprintln!(
+        "wall: {:.3}s at --shards {} --threads {}, {:.0} sessions/sec",
+        wall,
+        common.shards,
+        runner.threads(),
+        report.total_sessions as f64 / wall,
+    );
+    let path = common
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_scenario.json".to_string());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    if let Some(path) = opts.0.get("metrics") {
+        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    finish_runner(&common, &runner)
+}
+
 fn cmd_series(opts: &Opts) -> Result<(), String> {
     use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
     let budget = PhaseBudget::ExhaustiveUpTo(100_000);
@@ -783,6 +866,7 @@ fn main() -> ExitCode {
         "resilience" => cmd_resilience(&opts),
         "throughput" => cmd_throughput(&opts),
         "scale" => cmd_scale(&opts),
+        "scenario" => cmd_scenario(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

@@ -74,6 +74,7 @@ fn every_study_subcommand_rejects_zero_threads_identically() {
         "resilience",
         "throughput",
         "scale",
+        "scenario",
     ] {
         let out = sbcast(&[cmd, "--threads", "0"]);
         assert_clean_failure(&out);
@@ -97,10 +98,80 @@ fn zero_shards_and_unsharded_commands_reject_the_shards_flag() {
         assert_clean_failure(&out);
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
-            stderr.contains("--shards applies only to `scale`"),
-            "`{cmd}` must refuse --shards, got: {stderr}"
+            stderr.contains("--shards applies only to `scale` and `scenario`"),
+            "`{cmd}` must refuse --shards through the shared gate, got: {stderr}"
         );
     }
+}
+
+#[test]
+fn scenario_rejects_bad_preset_and_profile_cleanly() {
+    let out = sbcast(&["scenario", "--preset", "atlantis"]);
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--preset"));
+    let out = sbcast(&["scenario", "--profile", "huge"]);
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile"));
+}
+
+#[test]
+fn scenario_is_shard_thread_and_agenda_invariant() {
+    // A deliberately small stream (the binary under test is a debug
+    // build): one preset, one scheme, 120 simulated minutes. The full
+    // smoke profile runs in release under scripts/verify.sh.
+    let dir = std::env::temp_dir().join(format!("sbcast-scenario-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut outs = Vec::new();
+    for (shards, threads, agenda) in [("1", "1", "heap"), ("2", "4", "wheel"), ("4", "2", "heap")] {
+        let json = dir.join(format!("scenario-{shards}-{threads}-{agenda}.json"));
+        let out = sbcast(&[
+            "scenario",
+            "--profile",
+            "smoke",
+            "--preset",
+            "urban",
+            "--scheme",
+            "SB:W=52",
+            "--rate",
+            "1.5",
+            "--horizon",
+            "120",
+            "--flash-at",
+            "40",
+            "--outage-start",
+            "45",
+            "--outage-duration",
+            "30",
+            "--shards",
+            shards,
+            "--threads",
+            threads,
+            "--agenda",
+            agenda,
+            "--json",
+            json.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "scenario must run at {shards}/{threads}/{agenda}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outs.push((out.stdout, std::fs::read(&json).unwrap()));
+    }
+    for (stdout, json) in &outs[1..] {
+        assert_eq!(
+            &outs[0].0, stdout,
+            "stdout must not depend on --shards/--threads/--agenda"
+        );
+        assert_eq!(
+            &outs[0].1, json,
+            "JSON must not depend on --shards/--threads/--agenda"
+        );
+    }
+    let json = String::from_utf8_lossy(&outs[0].1);
+    assert!(json.contains("demand_share"));
+    assert!(json.contains("dynamic_report"));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -853,7 +853,10 @@ impl ControlledSim {
     /// With `shards(1)` (the default) this is exactly the historical
     /// single-server run, bit for bit. With `shards(S)` the title space
     /// is partitioned across `S` sub-servers — broadcast slot `i` goes to
-    /// shard `i % S`, cold titles by the seeded [`shard_of`] hash — each
+    /// shard `i % S`, cold titles by the seeded [`shard_of`] hash unless
+    /// the config's `partition` slot covers them (a scenario's region
+    /// table then keeps each region's cold tail on its region's shard) —
+    /// each
     /// with `hot_slots / S`-proportional bandwidth, its own allocator,
     /// estimator, admission control and batching pool, run concurrently
     /// on the deterministic pool and merged in shard order. The sharded
@@ -888,6 +891,7 @@ impl ControlledSim {
             threads,
             seed,
             agenda,
+            partition,
         } = cfg.into_parts();
         let quiet = FaultScript::none();
         let (script, degradation) = match &faults {
@@ -920,22 +924,29 @@ impl ControlledSim {
             policy,
             requests,
             recorder,
-            (shards, threads, seed, agenda),
+            (shards, threads, seed, agenda, partition),
             script,
             degradation,
         )
     }
 
     /// The partitioned path behind [`ControlledSim::execute`];
-    /// `(shards, threads, seed, agenda)` are the scale-out and backend
-    /// knobs off the [`RunConfig`].
+    /// `(shards, threads, seed, agenda, partition)` are the scale-out
+    /// and backend knobs off the [`RunConfig`] plus its scenario slot
+    /// (the cold-title owning-shard table).
     #[allow(clippy::too_many_lines)]
     fn execute_sharded(
         &self,
         policy: ControlPolicy,
         requests: &[WorkloadRequest],
         recorder: Option<&mut dyn Recorder>,
-        (shards, threads, seed, agenda): (usize, usize, u64, AgendaKind),
+        (shards, threads, seed, agenda, partition): (
+            usize,
+            usize,
+            u64,
+            AgendaKind,
+            Option<&[usize]>,
+        ),
         script: &FaultScript,
         degradation: Degradation,
     ) -> Result<ControlOutcome> {
@@ -955,14 +966,20 @@ impl ControlledSim {
         // Partition the title space. Broadcast slot (= hot title) `i`
         // goes to shard `i % S` and, because titles are visited in
         // ascending order, lands on local ids `0..k_s` — exactly the
-        // sub-server's initial hot set. Cold titles hash via `shard_of`.
+        // sub-server's initial hot set. Cold titles follow the scenario
+        // slot's owning-shard table when it covers them, otherwise the
+        // seeded `shard_of` hash; hot slots must stay `i % S` because the
+        // sub-server bandwidth shares are sized off that stride.
         let mut titles_of: Vec<Vec<usize>> = vec![Vec::new(); shards];
         let mut local_of: Vec<(usize, usize)> = Vec::with_capacity(self.cfg.titles);
         for t in 0..self.cfg.titles {
             let s = if t < m {
                 t % shards
             } else {
-                shard_of(t as u64, seed, shards)
+                match partition.and_then(|map| map.get(t)) {
+                    Some(&owner) => owner % shards,
+                    None => shard_of(t as u64, seed, shards),
+                }
             };
             local_of.push((s, titles_of[s].len()));
             titles_of[s].push(t);

@@ -146,6 +146,30 @@ impl FaultScript {
         Ok(())
     }
 
+    /// A correlated regional outage: every broadcast slot in `slots`
+    /// goes dark over the same `[start, start + duration)` window — the
+    /// fault signature of a metro region losing its head-end (power cut,
+    /// fiber backhaul severed) rather than one channel failing alone.
+    ///
+    /// `slots` is typically a scenario's `region_slots(region, hot_slots)`
+    /// list, so the generated script hits exactly the slots the region's
+    /// shard owns. Slot order is preserved, making the script a pure
+    /// function of its inputs (deterministic across runs).
+    #[must_use]
+    pub fn correlated_outages(slots: &[usize], start: Minutes, duration: Minutes) -> Self {
+        Self {
+            outages: slots
+                .iter()
+                .map(|&channel| ChannelOutage {
+                    channel,
+                    start,
+                    duration,
+                })
+                .collect(),
+            ..Self::none()
+        }
+    }
+
     /// Total minutes of `[start, end)` during which `channel` is dark.
     #[must_use]
     pub fn outage_overlap(&self, channel: usize, start: Minutes, end: Minutes) -> Minutes {
@@ -274,6 +298,34 @@ mod tests {
         Skyscraper::with_width(Width::Capped(12))
             .plan(&cfg)
             .unwrap()
+    }
+
+    #[test]
+    fn correlated_outages_cover_every_slot_over_one_window() {
+        let script = FaultScript::correlated_outages(&[1, 3, 5], Minutes(40.0), Minutes(15.0));
+        script.validate().unwrap();
+        assert_eq!(script.outages.len(), 3);
+        for (o, slot) in script.outages.iter().zip([1, 3, 5]) {
+            assert_eq!(
+                (o.channel, o.start, o.duration),
+                (slot, Minutes(40.0), Minutes(15.0))
+            );
+        }
+        assert!(script.restarts.is_empty() && script.bursts.is_empty() && script.churn.is_empty());
+        assert_eq!(
+            script.outage_overlap(3, Minutes(45.0), Minutes(60.0)),
+            Minutes(10.0)
+        );
+        assert_eq!(
+            script.outage_overlap(2, Minutes(0.0), Minutes(120.0)),
+            Minutes(0.0)
+        );
+        // Pure function of its inputs — regenerating yields the same script.
+        assert_eq!(
+            script,
+            FaultScript::correlated_outages(&[1, 3, 5], Minutes(40.0), Minutes(15.0))
+        );
+        assert!(FaultScript::correlated_outages(&[], Minutes(0.0), Minutes(1.0)).is_empty());
     }
 
     #[test]

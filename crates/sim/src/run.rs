@@ -16,6 +16,7 @@
 //!     .shards(4)                // optional: partitioned scale-out
 //!     .threads(4)               // optional: worker pool for the shards
 //!     .agenda(AgendaKind::Wheel) // optional: engine event-store backend
+//!     .partition(&map)          // optional: scenario's video → shard table
 //! ```
 //!
 //! consumed by `SystemSim::execute` (and, generically over the request
@@ -47,6 +48,7 @@ pub struct RunConfig<'a, R, F = ()> {
     threads: usize,
     seed: u64,
     agenda: AgendaKind,
+    partition: Option<&'a [usize]>,
 }
 
 impl<'a, R> RunConfig<'a, R> {
@@ -63,6 +65,7 @@ impl<'a, R> RunConfig<'a, R> {
             threads: 1,
             seed: 0,
             agenda: AgendaKind::Heap,
+            partition: None,
         }
     }
 }
@@ -106,6 +109,7 @@ impl<'a, R, F> RunConfig<'a, R, F> {
             threads: self.threads,
             seed: self.seed,
             agenda: self.agenda,
+            partition: self.partition,
         }
     }
 
@@ -146,6 +150,21 @@ impl<'a, R, F> RunConfig<'a, R, F> {
         self
     }
 
+    /// The scenario slot: a per-video owning-shard table
+    /// (`map[video] % shards` is the shard that runs the session),
+    /// replacing the default seeded hash. This is how a metropolitan
+    /// scenario pins each region's catalog slice — and with it the
+    /// region's arrival stream and channel budget — to one shard.
+    /// Videos beyond the table's length fall back to the hash. Results
+    /// stay byte-identical for every shard count either way: the
+    /// partition only decides *where* a session runs, the ordered-replay
+    /// merge restores the global order (see `sim::shard`).
+    #[must_use]
+    pub fn partition(mut self, map: &'a [usize]) -> Self {
+        self.partition = Some(map);
+        self
+    }
+
     /// Destructure into the executor-facing parts.
     #[must_use]
     pub fn into_parts(self) -> RunParts<'a, R, F> {
@@ -158,6 +177,7 @@ impl<'a, R, F> RunConfig<'a, R, F> {
             threads: self.threads,
             seed: self.seed,
             agenda: self.agenda,
+            partition: self.partition,
         }
     }
 }
@@ -180,6 +200,8 @@ pub struct RunParts<'a, R, F> {
     pub seed: u64,
     /// Event-store backend for every engine of the run.
     pub agenda: AgendaKind,
+    /// Optional per-video owning-shard table (the scenario slot).
+    pub partition: Option<&'a [usize]>,
 }
 
 /// Everything a system run produces, whatever the slot combination.

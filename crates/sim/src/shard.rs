@@ -182,7 +182,15 @@ impl SystemSim<'_> {
         let mut shard_reqs: Vec<Vec<Request>> = vec![Vec::new(); shards];
         let mut shard_idx: Vec<Vec<usize>> = vec![Vec::new(); shards];
         for (i, r) in parts.requests.iter().enumerate() {
-            let s = shard_of(r.video.0 as u64, parts.seed, shards);
+            // The scenario slot wins when it covers the video (a region's
+            // catalog slice stays on the region's shard); anything beyond
+            // the table — and every run without one — takes the hash.
+            // Either way the shard is a pure function of (video, seed), so
+            // the determinism argument above is untouched.
+            let s = match parts.partition.and_then(|map| map.get(r.video.0)) {
+                Some(&owner) => owner % shards,
+                None => shard_of(r.video.0 as u64, parts.seed, shards),
+            };
             shard_reqs[s].push(*r);
             shard_idx[s].push(i);
         }
@@ -449,6 +457,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partition_map_routes_without_changing_a_single_byte() {
+        // A region-style owning-shard table (videos 0..10 → 3 "regions")
+        // produces the same outcome as the hash partition and the serial
+        // run — the scenario slot only decides *where* a session runs.
+        let (cfg, plan, requests) = lineup();
+        let sim = SystemSim::new(&plan, cfg.display_rate, ClientPolicy::LatestFeasible);
+        let base = sim.execute(RunConfig::new(&requests)).unwrap();
+        let map: Vec<usize> = (0..10).map(|v| v % 3).collect();
+        let short_map: Vec<usize> = vec![0; 4]; // videos 4..10 fall back to the hash
+        for shards in [2, 3, 4] {
+            for threads in [1, 4] {
+                for table in [&map, &short_map] {
+                    let out = sim
+                        .execute(
+                            RunConfig::new(&requests)
+                                .shards(shards)
+                                .threads(threads)
+                                .partition(table),
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        outcome_key(&base),
+                        outcome_key(&out),
+                        "partitioned S={shards} T={threads} diverged"
+                    );
+                }
+            }
+        }
+        // And the table genuinely moves load: with 3 shards, the mapped
+        // run's per-shard agenda peaks differ from the hash run's.
+        let mapped = sim
+            .execute(RunConfig::new(&requests).shards(3).partition(&map))
+            .unwrap();
+        let hashed = sim.execute(RunConfig::new(&requests).shards(3)).unwrap();
+        assert_eq!(outcome_key(&mapped), outcome_key(&hashed));
+        assert_ne!(
+            mapped.shard_peak_agenda, hashed.shard_peak_agenda,
+            "the scenario slot should actually re-route sessions"
+        );
     }
 
     #[test]

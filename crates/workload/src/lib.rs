@@ -13,16 +13,26 @@
 //! * [`zipf`] — the Zipf popularity model with the Dan et al. skew
 //!   convention (`p_i ∝ (1/i)^{1−θ}`, `θ = 0.271`),
 //! * [`arrivals`] — Poisson arrival processes, seeded and reproducible,
-//!   plus viewer patience (reneging) models.
+//!   plus viewer patience (reneging) models,
+//! * [`scenario`] — metropolitan geography: clustered user placement on
+//!   a km grid, per-region demand shares and access classes,
+//!   region-local catalogs with a shared hot head, and flash-crowd /
+//!   diurnal temporal stress.
 
 #![forbid(unsafe_code)]
 
 pub mod arrivals;
 pub mod catalog;
+pub mod scenario;
 pub mod zipf;
 
 pub use arrivals::{
     DiurnalArrivals, GridArrivals, Patience, PoissonArrivals, PopularityShift, WorkloadRequest,
+    MAX_PATIENCE_FACTOR,
 };
 pub use catalog::{Catalog, Video};
+pub use scenario::{
+    to_workload, AccessClass, ClusterSpec, FlashCrowd, MetroScenario, Region, ScenarioConfig,
+    ScenarioPreset, ScenarioRequest, ScenarioWorkload, UserSite,
+};
 pub use zipf::ZipfPopularity;

@@ -93,6 +93,24 @@ cargo run -q -p sb-cli --bin sbcast -- resilience --horizon 200 --seeds 7 --thre
     --agenda wheel 2>/dev/null > "$agenda_dir/res-wheel.out"
 diff -u "$res_a" "$agenda_dir/res-wheel.out"
 
+echo "==> scenario smoke (metro pack, determinism across --shards x --threads x --agenda)"
+scn_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir" "$scale_dir" "$agenda_dir" "$scn_dir"' EXIT
+for combo in "1 1 heap" "2 4 wheel" "4 2 heap"; do
+    read -r s n a <<<"$combo"
+    cargo run -q --release -p sb-cli --bin sbcast -- scenario --profile smoke \
+        --shards "$s" --threads "$n" --agenda "$a" \
+        --json "$scn_dir/scn-$s-$n-$a.json" 2>/dev/null > "$scn_dir/scn-$s-$n-$a.out"
+done
+test -s "$scn_dir/scn-1-1-heap.json" || { echo "BENCH_scenario.json is empty"; exit 1; }
+grep -q '"demand_share"' "$scn_dir/scn-1-1-heap.json"
+grep -q '"dynamic_report"' "$scn_dir/scn-1-1-heap.json"
+grep -q '"shard_peak_agenda"' "$scn_dir/scn-1-1-heap.json"
+diff -u "$scn_dir/scn-1-1-heap.json" "$scn_dir/scn-2-4-wheel.json"
+diff -u "$scn_dir/scn-1-1-heap.json" "$scn_dir/scn-4-2-heap.json"
+diff -u "$scn_dir/scn-1-1-heap.out" "$scn_dir/scn-2-4-wheel.out"
+diff -u "$scn_dir/scn-1-1-heap.out" "$scn_dir/scn-4-2-heap.out"
+
 echo "==> wall-clock trajectory (throughput_bench, heap + wheel timed passes)"
 ./target/release/throughput_bench --json "$thr_dir/thr-bench.json" \
     > "$thr_dir/thr-bench.out" 2>"$thr_dir/thr-bench.err"
@@ -116,6 +134,13 @@ grep -q '"total_sessions": 2200000' "$scale_dir/scale-full.json"
 test -s "$scale_dir/BENCH_wallclock.json" || { echo "scale wallclock missing"; exit 1; }
 grep -q '"scale_bench"' "$scale_dir/BENCH_wallclock.json"
 
+echo "==> scenario wall-clock artifact (scenario_bench, paper grid)"
+./target/release/scenario_bench --shards 2 --threads 4 \
+    --json "$scn_dir/scn-bench.json" > "$scn_dir/scn-bench.out" 2>/dev/null
+test -s "$scn_dir/BENCH_wallclock.json" || { echo "scenario wallclock missing"; exit 1; }
+grep -q '"scenario_bench"' "$scn_dir/BENCH_wallclock.json"
+grep -q '"flash"' "$scn_dir/scn-bench.json"
+
 echo "==> criterion benches compile against the vendored deps"
 cargo bench -p sb-bench --no-run -q
 
@@ -128,5 +153,10 @@ grep -q 'sbcast -- scale' README.md
 grep -q 'BENCH_scale.json' README.md
 grep -q '\-\-agenda wheel' README.md
 grep -q 'BENCH_wallclock.json' README.md
+grep -q '^## 13\. The metropolitan scenario pack' DESIGN.md
+grep -q 'scenario_invariance' DESIGN.md
+grep -q 'region_slots' DESIGN.md
+grep -q 'sbcast -- scenario' README.md
+grep -q 'BENCH_scenario.json' README.md
 
 echo "verify: OK"
