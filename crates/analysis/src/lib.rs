@@ -14,6 +14,7 @@
 //! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
 //! | [`control_study`] | static-vs-dynamic channel allocation under a popularity shift |
 //! | [`resilience_study`] | schemes under bursty loss/outages and the control plane's recovery |
+//! | [`recovery_study`] | checkpoint-cadence trade under the crash-recovery supervisor: checkpoints vs replayed sessions, byte-identity re-verified per cell |
 //! | [`throughput`] | streaming-core throughput cells and the agenda-churn compaction stress |
 //! | [`scale_study`] | sharded scale-out: per-shard agenda footprint and sim-time rates vs `S` |
 //! | [`scenario_study`] | metropolitan scenarios: per-region-class SB vs baselines, flash crowds, correlated outages, diurnal × density |
@@ -31,6 +32,7 @@ pub mod crosscheck;
 pub mod figures;
 pub mod hybrid_study;
 pub mod lineup;
+pub mod recovery_study;
 pub mod render;
 pub mod resilience_study;
 pub mod runner;

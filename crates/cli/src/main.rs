@@ -20,6 +20,10 @@
 //! sbcast scenario --preset urban --shards 4             metropolitan scenario pack: regional
 //!                                                       SB vs baselines, flash crowds,
 //!                                                       correlated outages -> BENCH_scenario.json
+//! sbcast recovery --shards 2 --cadence 50 --chaos "kill:1@ckpt:1"
+//!                                                       crash-recovery supervision: checkpoint,
+//!                                                       kill, restore, verify byte-identity;
+//!                                                       --mode sweep -> BENCH_recovery.json
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
@@ -52,7 +56,7 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|recovery|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
@@ -64,6 +68,8 @@ fn usage() -> &'static str {
            --threads N --shards N --sessions N --videos N --samples N\n\
            --preset urban|rural|remote|all --profile smoke|paper\n\
            --flash-at --flash-boost\n\
+           --mode run|sweep --cadence N --kills N\n\
+           --chaos 'kill:1@ckpt:1;kill:0@tick:500;corrupt:1@ckpt:2'\n\
            --agenda heap|wheel --json PATH --metrics PATH --manifest PATH"
 }
 
@@ -739,6 +745,208 @@ fn cmd_scenario(opts: &Opts) -> Result<(), String> {
     finish_runner(&common, &runner)
 }
 
+/// One missing-shard marker, serialized for `--json`.
+#[derive(serde::Serialize)]
+struct MissingShardJson {
+    shard: usize,
+    attempts: u32,
+    last_error: String,
+}
+
+/// The `recovery run` report, serialized for `--json`.
+#[derive(serde::Serialize)]
+struct RecoveryRunJson {
+    sessions_merged: usize,
+    complete: bool,
+    identical: bool,
+    crashes_injected: u64,
+    restores: u64,
+    corrupt_rejected: u64,
+    replayed_sessions: u64,
+    checkpoints: u64,
+    recovery_delay_min: f64,
+    missing: Vec<MissingShardJson>,
+}
+
+/// Crash-recovery supervision. `--mode run` (the default) executes one
+/// supervised run under an explicit `--chaos` script and re-verifies the
+/// byte-identity invariant against a plain `execute`; `--mode sweep`
+/// runs the checkpoint-cadence study → `BENCH_recovery.json`. Both are
+/// byte-identical across `--threads`, `--shards` and `--agenda`.
+fn cmd_recovery(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::recovery_study::{recovery_study, render_recovery, RecoveryConfig};
+    use sb_resilience::{Backoff, CrashScript, Recovered, RunSpec, Supervisor};
+    use sb_sim::policy::ClientPolicy;
+    use sb_sim::system::{Request, SystemSim};
+    use sb_sim::RunConfig;
+    use sb_workload::GridArrivals;
+
+    let common = CommonArgs::parse(opts)?;
+    let runner = common.runner();
+    let mode = opts.get_str("mode", "run");
+
+    if mode == "sweep" {
+        let mut cfg = match opts.get_str("profile", "paper").as_str() {
+            "paper" => RecoveryConfig::paper_defaults(),
+            "smoke" => RecoveryConfig::smoke(),
+            other => {
+                return Err(format!(
+                    "--profile: expected `smoke` or `paper`, got `{other}`"
+                ))
+            }
+        };
+        cfg.bandwidth = Mbps(opts.get_f64("bandwidth", cfg.bandwidth.value())?);
+        cfg.sessions = opts.get_usize("sessions", cfg.sessions)?;
+        cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
+        cfg.videos = opts.get_usize("titles", cfg.videos)?;
+        cfg.kills = opts.get_usize("kills", cfg.kills)?;
+        cfg.seed = common.seed.unwrap_or(cfg.seed);
+        if common.shards > 1 {
+            cfg.shards = common.shards;
+        }
+        let report = recovery_study(&cfg, &runner).map_err(|e| e.to_string())?;
+        print!("{}", render_recovery(&report));
+        let path = common
+            .json
+            .clone()
+            .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        return finish_runner(&common, &runner);
+    }
+    if mode != "run" {
+        return Err(format!("--mode: expected `run` or `sweep`, got `{mode}`"));
+    }
+
+    let bandwidth = Mbps(opts.get_f64("bandwidth", 320.0)?);
+    let sessions = opts.get_usize("sessions", 2_000)?;
+    let titles = opts.get_usize("titles", 10)?;
+    let horizon = Minutes(opts.get_f64("horizon", 200.0)?);
+    let cadence = opts.get_usize("cadence", 50)? as u64;
+    let seed = common.seed.unwrap_or(17);
+    let chaos = CrashScript::parse(&opts.get_str("chaos", "")).map_err(|e| e.to_string())?;
+    let backoff = parse_backoff(opts)?
+        .map_or_else(|| Backoff::new(Minutes(1.0), 2.0, 8), Ok)
+        .map_err(|e| e.to_string())?;
+
+    let id = parse_scheme(&opts.get_str("scheme", "SB:W=52"))
+        .ok_or_else(|| format!("unknown scheme `{}`", opts.get_str("scheme", "SB:W=52")))?;
+    let sys = SystemConfig::paper_defaults(bandwidth);
+    let plan = id.build().plan(&sys).map_err(|e| e.to_string())?;
+    let requests: Vec<Request> = GridArrivals {
+        sessions,
+        horizon,
+        titles: titles.min(plan.num_videos().max(1)),
+        patience: Patience::Infinite,
+        seed,
+    }
+    .generate()
+    .into_iter()
+    .map(|w| Request {
+        at: w.at,
+        video: VideoId(w.video),
+    })
+    .collect();
+
+    // Up-front validation: a zero cadence or an out-of-range partition
+    // is a typed error before anything runs.
+    let run_cfg = RunConfig::new(&requests)
+        .shards(common.shards)
+        .threads(common.threads)
+        .seed(seed)
+        .agenda(common.agenda)
+        .checkpoint_every(cadence);
+    run_cfg.validate().map_err(|e| e.to_string())?;
+    let supervisor = Supervisor::new(backoff, cadence).map_err(|e| e.to_string())?;
+
+    let sim = SystemSim::new(&plan, sys.display_rate, ClientPolicy::LatestFeasible);
+    let baseline = sim.execute(run_cfg).map_err(|e| e.to_string())?;
+    let spec = RunSpec {
+        shards: common.shards,
+        threads: common.threads,
+        seed,
+        agenda: common.agenda,
+        partition: None,
+    };
+    let recovered = supervisor
+        .run(&sim, &requests, &spec, &chaos)
+        .map_err(|e| e.to_string())?;
+
+    let bytes = |o: &sb_sim::RunOutcome| {
+        serde_json::to_string(&(&o.summary, &o.fold, &o.snapshot)).expect("outcomes serialize")
+    };
+    let stats = *recovered.stats();
+    let complete = matches!(recovered, Recovered::Complete { .. });
+    let identical = complete && bytes(&baseline) == bytes(recovered.outcome());
+    println!(
+        "recovery run: {} at {} Mb/s, {} sessions on {} shard(s), cadence {}",
+        id.label(),
+        bandwidth.value(),
+        sessions,
+        common.shards,
+        cadence,
+    );
+    println!(
+        "chaos: {} event(s); crashes {}, restores {}, corrupt rejected {}, \
+         replayed {}, checkpoints {}, modeled delay {:.1} min",
+        chaos.events().len(),
+        stats.crashes_injected,
+        stats.restores,
+        stats.corrupt_rejected,
+        stats.replayed_sessions,
+        stats.checkpoints_taken,
+        stats.recovery_delay.value(),
+    );
+    println!(
+        "sessions merged: {} of {}",
+        recovered.outcome().summary.sessions,
+        baseline.summary.sessions,
+    );
+    let missing: Vec<MissingShardJson> = match &recovered {
+        Recovered::Complete { .. } => {
+            println!(
+                "identical to uninterrupted execute: {}",
+                if identical { "yes" } else { "NO" }
+            );
+            Vec::new()
+        }
+        Recovered::Partial(p) => {
+            println!("PARTIAL RUN: {} shard(s) lost", p.missing.len());
+            for m in &p.missing {
+                println!(
+                    "  shard {}: lost after {} attempt(s): {}",
+                    m.shard, m.attempts, m.last_error
+                );
+            }
+            p.missing
+                .iter()
+                .map(|m| MissingShardJson {
+                    shard: m.shard,
+                    attempts: m.attempts,
+                    last_error: m.last_error.clone(),
+                })
+                .collect()
+        }
+    };
+    common.maybe_write_json(&RecoveryRunJson {
+        sessions_merged: recovered.outcome().summary.sessions,
+        complete,
+        identical,
+        crashes_injected: stats.crashes_injected,
+        restores: stats.restores,
+        corrupt_rejected: stats.corrupt_rejected,
+        replayed_sessions: stats.replayed_sessions,
+        checkpoints: stats.checkpoints_taken,
+        recovery_delay_min: stats.recovery_delay.value(),
+        missing,
+    })?;
+    if !identical && complete {
+        return Err("supervised run diverged from the uninterrupted baseline".into());
+    }
+    Ok(())
+}
+
 fn cmd_series(opts: &Opts) -> Result<(), String> {
     use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
     let budget = PhaseBudget::ExhaustiveUpTo(100_000);
@@ -867,6 +1075,7 @@ fn main() -> ExitCode {
         "throughput" => cmd_throughput(&opts),
         "scale" => cmd_scale(&opts),
         "scenario" => cmd_scenario(&opts),
+        "recovery" => cmd_recovery(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

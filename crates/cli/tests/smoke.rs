@@ -214,6 +214,122 @@ fn scale_is_shard_and_thread_count_invariant() {
 }
 
 #[test]
+fn recovery_rejects_bad_configs_with_typed_errors() {
+    // A zero checkpoint cadence: caught by RunConfig::validate up front.
+    let out = sbcast(&["recovery", "--cadence", "0"]);
+    assert_clean_failure(&out);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checkpoint cadence is 0 sessions"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A chaos script aimed at a shard the run does not have.
+    let out = sbcast(&["recovery", "--shards", "2", "--chaos", "kill:5@ckpt:1"]);
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("chaos script targets shard 5, but the run has only 2 shard(s)"));
+    // A malformed chaos spec item, named in the error.
+    for (spec, what) in [
+        ("corrupt:0@tick:9", "corruption targets checkpoints"),
+        ("kill:1", "expected"),
+        ("explode:1@tick:5", "unknown op"),
+    ] {
+        let out = sbcast(&["recovery", "--chaos", spec]);
+        assert_clean_failure(&out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("bad chaos spec item") && stderr.contains(what),
+            "spec {spec:?}: got {stderr}"
+        );
+    }
+    // A bad mode.
+    let out = sbcast(&["recovery", "--mode", "chaos-monkey"]);
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--mode"));
+}
+
+#[test]
+fn recovery_under_chaos_matches_the_plain_run_for_every_knob() {
+    // The flagship invariant through the CLI: the binary itself verifies
+    // supervised-vs-uninterrupted byte identity (it exits nonzero on
+    // divergence), and stdout must not depend on how the run executed.
+    let mut outs = Vec::new();
+    for (shards, threads, agenda) in [("1", "1", "heap"), ("2", "4", "wheel"), ("2", "2", "heap")] {
+        let out = sbcast(&[
+            "recovery",
+            "--sessions",
+            "1000",
+            "--horizon",
+            "100",
+            "--cadence",
+            "25",
+            "--chaos",
+            "kill:0@ckpt:1;corrupt:0@ckpt:2;kill:0@ckpt:2",
+            "--shards",
+            shards,
+            "--threads",
+            threads,
+            "--agenda",
+            agenda,
+        ]);
+        assert!(
+            out.status.success(),
+            "recovery must run at {shards}/{threads}/{agenda}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(
+            stdout.contains("identical to uninterrupted execute: yes"),
+            "the binary must verify the invariant, got: {stdout}"
+        );
+        assert!(stdout.contains("corrupt rejected 1"), "got: {stdout}");
+        outs.push((shards, threads, agenda, out.stdout));
+    }
+    // Shard counts change the chaos targets' slices, so only runs with
+    // equal --shards must agree byte-for-byte; threads/agenda never
+    // matter.
+    assert_eq!(
+        outs[1].3, outs[2].3,
+        "stdout must not depend on --threads/--agenda"
+    );
+}
+
+#[test]
+fn recovery_degrades_to_an_explicit_partial_run() {
+    // Two kills against a one-restart budget: shard 1 is lost, and the
+    // CLI reports the marker instead of panicking or silently shrinking.
+    let out = sbcast(&[
+        "recovery",
+        "--sessions",
+        "1000",
+        "--horizon",
+        "100",
+        "--cadence",
+        "25",
+        "--shards",
+        "2",
+        "--chaos",
+        "kill:1@ckpt:1;kill:1@ckpt:2",
+        "--retry",
+        "1",
+        "--retry-attempts",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "a partial run is a graceful outcome: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PARTIAL RUN: 1 shard(s) lost"), "{stdout}");
+    assert!(
+        stdout.contains("shard 1: lost after 1 attempt(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("killed"), "{stdout}");
+}
+
+#[test]
 fn throughput_writes_json_and_is_thread_count_invariant() {
     let dir = std::env::temp_dir().join(format!("sbcast-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -892,6 +892,7 @@ impl ControlledSim {
             seed,
             agenda,
             partition,
+            checkpoint_every: _,
         } = cfg.into_parts();
         let quiet = FaultScript::none();
         let (script, degradation) = match &faults {

@@ -1,0 +1,148 @@
+//! Bounded exponential backoff — the shared retry schedule.
+//!
+//! One schedule serves two very different retry loops:
+//!
+//! * the **admission controller** (`sb-control`) deferring over-ceiling
+//!   pool requests ("come back in `base` minutes, then `base·factor`,
+//!   …"), and
+//! * the **crash-recovery supervisor** ([`crate::recovery`]) spacing
+//!   restart attempts of a killed shard.
+//!
+//! Both want the same contract: the first retry after `base`, each
+//! further one `factor`× later, a hard give-up after `max_attempts`
+//! tries, and saturation at [`Backoff::MAX_DELAY`] so an effectively
+//! unbounded attempt budget ([`Backoff::fixed`]) can never produce an
+//! infinite or multi-year delay. The type lives here, at the bottom of
+//! the dependency stack, and `sb-control` re-exports it unchanged.
+
+use serde::{Deserialize, Serialize};
+use vod_units::Minutes;
+
+use sb_core::error::{Result, SchemeError};
+
+/// Bounded exponential backoff for deferred admissions and shard
+/// restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Minutes,
+    /// Multiplier applied per further retry (`1.0` = fixed delay).
+    pub factor: f64,
+    /// Retries allowed before giving up outright.
+    pub max_attempts: u32,
+}
+
+impl Backoff {
+    /// A backoff schedule: retry after `base`, then `base·factor`, then
+    /// `base·factor²`, …, giving up after `max_attempts` retries.
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless the base delay is positive
+    /// and finite, the factor is at least 1 and finite, and at least one
+    /// attempt is allowed.
+    pub fn new(base: Minutes, factor: f64, max_attempts: u32) -> Result<Self> {
+        if !(base.value() > 0.0 && base.value().is_finite()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "backoff base delay must be positive and finite",
+            });
+        }
+        if !(factor >= 1.0 && factor.is_finite()) {
+            return Err(SchemeError::InvalidConfig {
+                what: "backoff factor must be at least 1 and finite",
+            });
+        }
+        if max_attempts == 0 {
+            return Err(SchemeError::InvalidConfig {
+                what: "backoff needs at least one attempt",
+            });
+        }
+        Ok(Self {
+            base,
+            factor,
+            max_attempts,
+        })
+    }
+
+    /// The old fixed-delay behaviour: every retry waits `delay`, with a
+    /// generous attempt cap standing in for "unbounded".
+    ///
+    /// # Errors
+    /// [`SchemeError::InvalidConfig`] unless the delay is positive and
+    /// finite.
+    pub fn fixed(delay: Minutes) -> Result<Self> {
+        Self::new(delay, 1.0, u32::MAX)
+    }
+
+    /// The ceiling an exponential schedule saturates at: one day. Past
+    /// it, a "retry later" answer is indistinguishable from a rejection,
+    /// and the unclamped product overflows to `inf` within a few dozen
+    /// doublings anyway.
+    pub const MAX_DELAY: Minutes = Minutes(24.0 * 60.0);
+
+    /// Delay before retry number `attempt` (0-based), or `None` once the
+    /// attempt budget is exhausted.
+    ///
+    /// The schedule saturates: the delay never exceeds
+    /// `max(base, `[`Backoff::MAX_DELAY`]`)`, so a generous attempt
+    /// budget (e.g. [`Backoff::fixed`]'s `u32::MAX`) cannot drive the
+    /// product to `inf` or a multi-year deferral.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Option<Minutes> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        // Clamp the exponent before the i32 cast (`attempt` may be huge
+        // under a fixed schedule) — factor ≥ 1, so past the clamp the
+        // raw product is far beyond the saturation point regardless.
+        let exp = attempt.min(1 << 16) as i32;
+        let raw = self.base.value() * self.factor.powi(exp);
+        let cap = Self::MAX_DELAY.value().max(self.base.value());
+        Some(Minutes(raw.min(cap)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps_out() {
+        let b = Backoff::new(Minutes(2.0), 2.0, 3).unwrap();
+        assert_eq!(b.delay(0), Some(Minutes(2.0)));
+        assert_eq!(b.delay(1), Some(Minutes(4.0)));
+        assert_eq!(b.delay(2), Some(Minutes(8.0)));
+        assert_eq!(b.delay(3), None);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_documented_max_delay() {
+        // Doubling from 2 minutes passes the one-day cap at attempt 10
+        // (2·2¹⁰ = 2048 > 1440); from there every delay is exactly the cap.
+        let b = Backoff::new(Minutes(2.0), 2.0, u32::MAX).unwrap();
+        assert_eq!(b.delay(9), Some(Minutes(1024.0)));
+        assert_eq!(b.delay(10), Some(Backoff::MAX_DELAY));
+        assert_eq!(b.delay(100), Some(Backoff::MAX_DELAY));
+        // Exponents that would overflow `powi` (or wrap the i32 cast)
+        // still saturate finitely.
+        let d = b.delay(u32::MAX - 1).unwrap();
+        assert!(d.value().is_finite());
+        assert_eq!(d, Backoff::MAX_DELAY);
+        // A fixed schedule is untouched by the cap.
+        let f = Backoff::fixed(Minutes(3.0)).unwrap();
+        assert_eq!(f.delay(u32::MAX - 1), Some(Minutes(3.0)));
+        // A base above the cap is honoured — saturation never shrinks
+        // the first delay.
+        let big = Backoff::new(Minutes(10_000.0), 2.0, 5).unwrap();
+        assert_eq!(big.delay(0), Some(Minutes(10_000.0)));
+        assert_eq!(big.delay(4), Some(Minutes(10_000.0)));
+    }
+
+    #[test]
+    fn backoff_construction_validates() {
+        assert!(Backoff::new(Minutes(0.0), 2.0, 3).is_err());
+        assert!(Backoff::new(Minutes(1.0), 0.5, 3).is_err());
+        assert!(Backoff::new(Minutes(1.0), 2.0, 0).is_err());
+        assert!(Backoff::fixed(Minutes(-1.0)).is_err());
+        assert!(Backoff::new(Minutes(1.0), 1.0, 1).is_ok());
+    }
+}

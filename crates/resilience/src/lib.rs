@@ -19,6 +19,13 @@
 //!   loop over the policy and records each ledger through `sb-metrics`.
 //! - [`ResilienceOutcome`] — the recovery-side ledger a controlled run
 //!   reports: reallocations, repaired sessions, backoff retries, churn.
+//! - [`Backoff`] — the bounded-exponential retry schedule shared by the
+//!   admission controller (re-exported by `sb-control`) and the shard
+//!   supervisor.
+//! - [`Supervisor`] + [`CrashScript`] — crash-recovery execution: shards
+//!   as restartable units with versioned, checksummed checkpoints,
+//!   deterministic chaos injection, and byte-identical resume (see
+//!   [`recovery`] and `DESIGN.md` §14).
 //!
 //! Motivated by the channel-transition tolerance of CTIFB
 //! (arXiv:1711.08118) and the degraded-service regimes of the scalable
@@ -27,12 +34,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod degrade;
 pub mod loss;
+pub mod recovery;
 pub mod script;
 
+pub use backoff::Backoff;
 pub use degrade::{as_stall_report, replay, Degradation, DegradedReport};
 pub use loss::GilbertElliott;
+pub use recovery::{
+    CrashEvent, CrashScript, CrashTrigger, MissingShard, PartialRun, Recovered, RecoveryError,
+    RecoveryStats, RunSpec, Supervisor,
+};
 pub use script::{
     BurstEpisode, ChannelOutage, ChurnEvent, FaultScript, ResilienceOutcome, ScriptedLoss,
 };

@@ -22,6 +22,7 @@
 //! |--------|----------|
 //! | [`engine`] | a small, deterministic discrete-event engine (tick clock, pluggable agenda) |
 //! | [`agenda`] | event-store backends: binary heap and hierarchical timing wheel, bitwise interchangeable |
+//! | [`checkpoint`] | versioned, checksummed shard checkpoints and the crash/restore probe protocol |
 //! | [`trace`] | the unified [`trace::SessionTrace`] every client model produces, and the [`trace::ClientModel`] trait |
 //! | [`schedule`] | client schedules: downloads, playback, and conversion to traces |
 //! | [`policy`] | per-scheme client policies (latest-feasible, PB's eager prefetch, live) |
@@ -65,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub mod agenda;
+pub mod checkpoint;
 pub mod e2e;
 pub mod engine;
 pub mod faults;
@@ -80,8 +82,11 @@ pub mod system;
 pub mod trace;
 
 pub use agenda::{Agenda, AgendaEntry, AgendaKind, HeapAgenda, MinQueue, WheelAgenda, WheelStats};
+pub use checkpoint::{
+    decode_state, CheckpointError, CheckpointState, Killed, Probe, ShardCrash, ShardRun, Verdict,
+};
 pub use e2e::{replay, E2eReport, PacketConfig};
-pub use engine::{Engine, EngineStats, EventId};
+pub use engine::{Engine, EngineStats, EventId, FrozenEngine};
 pub use faults::{
     apply_losses, jitter_free_with_stalls, LossModel, LossProcess, Stall, StallReport,
 };
@@ -89,11 +94,11 @@ pub use pausing::{schedule_pausing_client, PausingSchedule};
 pub use policy::{schedule_client, ClientPolicy};
 pub use pool::parallel_map;
 pub use receive_all::{record_all, RecordingSchedule};
-pub use run::{RunConfig, RunOutcome, RunParts};
+pub use run::{ConfigError, RunConfig, RunOutcome, RunParts};
 pub use schedule::{ClientSchedule, Download, JitterViolation};
-pub use shard::shard_of;
-pub use sink::{CollectTraces, NullSink, SessionSummary, StreamingFold, TraceSink};
-pub use system::{SystemReport, SystemSim};
+pub use shard::{merge_shard_runs, plan_shards, shard_of, ShardSlice};
+pub use sink::{CollectTraces, FoldState, NullSink, SessionSummary, StreamingFold, TraceSink};
+pub use system::{Request, SystemReport, SystemSim};
 pub use trace::{
     ClientModel, PausingClient, Reception, RecordingClient, SessionTrace, TraceViolation,
 };

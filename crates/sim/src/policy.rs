@@ -52,6 +52,19 @@ pub enum PolicyError {
         /// The segment without a catchable broadcast.
         segment: usize,
     },
+    /// A shard's results could not be merged: the per-shard streams were
+    /// inconsistent (e.g. a trace stream shorter than its scalar stream,
+    /// or metric families of conflicting shapes). Carries the offending
+    /// shard and the experiment/pool label, mirroring the worker-panic
+    /// attribution of `sim::pool`.
+    ShardMerge {
+        /// Index of the shard whose results broke the merge.
+        shard: usize,
+        /// Experiment or pool label identifying the run.
+        label: String,
+        /// What was inconsistent.
+        what: String,
+    },
 }
 
 impl core::fmt::Display for PolicyError {
@@ -61,6 +74,9 @@ impl core::fmt::Display for PolicyError {
             PolicyError::MissingSegment(s) => write!(f, "segment {s} is never broadcast"),
             PolicyError::NoFeasibleBroadcast { segment } => {
                 write!(f, "no catchable broadcast for segment {segment}")
+            }
+            PolicyError::ShardMerge { shard, label, what } => {
+                write!(f, "shard {shard} ({label}): merge failed: {what}")
             }
         }
     }

@@ -49,6 +49,7 @@ pub struct RunConfig<'a, R, F = ()> {
     seed: u64,
     agenda: AgendaKind,
     partition: Option<&'a [usize]>,
+    checkpoint_every: Option<u64>,
 }
 
 impl<'a, R> RunConfig<'a, R> {
@@ -66,9 +67,57 @@ impl<'a, R> RunConfig<'a, R> {
             seed: 0,
             agenda: AgendaKind::Heap,
             partition: None,
+            checkpoint_every: None,
         }
     }
 }
+
+/// A [`RunConfig`] rejected up front by [`RunConfig::validate`] — the
+/// typed version of mistakes that would otherwise surface as silent
+/// wraps, panics, or dead knobs deep inside a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The partition table names an owning shard outside `0..shards`.
+    ///
+    /// The base executor forgives this by wrapping (`owner % shards`,
+    /// so one table serves several shard counts); supervised runs
+    /// validate strictly because a wrapped owner under a *recovery*
+    /// scenario usually means the operator pinned a region to a shard
+    /// that does not exist.
+    PartitionOutOfRange {
+        /// Video id (index into the partition table).
+        video: usize,
+        /// The table's claimed owning shard.
+        owner: usize,
+        /// The run's shard count.
+        shards: usize,
+    },
+    /// `checkpoint_every(0)` — a cadence of zero checkpoints nothing.
+    ZeroCheckpointCadence,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::PartitionOutOfRange {
+                video,
+                owner,
+                shards,
+            } => write!(
+                f,
+                "partition table maps video {video} to shard {owner}, but the run has only \
+                 {shards} shard(s) (owners must lie in 0..{shards})"
+            ),
+            ConfigError::ZeroCheckpointCadence => write!(
+                f,
+                "checkpoint cadence is 0 sessions; use a cadence of at least 1, \
+                 or omit checkpointing entirely"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl<'a, R, F> RunConfig<'a, R, F> {
     /// Stream every finished session trace into `sink`.
@@ -110,6 +159,7 @@ impl<'a, R, F> RunConfig<'a, R, F> {
             seed: self.seed,
             agenda: self.agenda,
             partition: self.partition,
+            checkpoint_every: self.checkpoint_every,
         }
     }
 
@@ -165,6 +215,44 @@ impl<'a, R, F> RunConfig<'a, R, F> {
         self
     }
 
+    /// Checkpoint each shard every `sessions` served sessions (default:
+    /// never). Only supervised executors (`sb-resilience`'s recovery
+    /// supervisor) act on this; the plain `execute` path ignores it.
+    /// A cadence of zero is rejected by [`RunConfig::validate`].
+    #[must_use]
+    pub fn checkpoint_every(mut self, sessions: u64) -> Self {
+        self.checkpoint_every = Some(sessions);
+        self
+    }
+
+    /// Validate the knob combination up front, before any shard runs.
+    ///
+    /// Opt-in strictness for supervised/CLI entry points: the base
+    /// executor keeps its forgiving semantics (partition owners wrap by
+    /// `% shards`), while callers that validate get typed errors instead.
+    ///
+    /// # Errors
+    /// [`ConfigError::PartitionOutOfRange`] if the partition table names
+    /// an owner `>= shards`; [`ConfigError::ZeroCheckpointCadence`] for
+    /// `checkpoint_every(0)`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroCheckpointCadence);
+        }
+        if let Some(map) = self.partition {
+            for (video, &owner) in map.iter().enumerate() {
+                if owner >= self.shards {
+                    return Err(ConfigError::PartitionOutOfRange {
+                        video,
+                        owner,
+                        shards: self.shards,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Destructure into the executor-facing parts.
     #[must_use]
     pub fn into_parts(self) -> RunParts<'a, R, F> {
@@ -178,6 +266,7 @@ impl<'a, R, F> RunConfig<'a, R, F> {
             seed: self.seed,
             agenda: self.agenda,
             partition: self.partition,
+            checkpoint_every: self.checkpoint_every,
         }
     }
 }
@@ -202,6 +291,9 @@ pub struct RunParts<'a, R, F> {
     pub agenda: AgendaKind,
     /// Optional per-video owning-shard table (the scenario slot).
     pub partition: Option<&'a [usize]>,
+    /// Optional checkpoint cadence in served sessions (supervised
+    /// executors only).
+    pub checkpoint_every: Option<u64>,
 }
 
 /// Everything a system run produces, whatever the slot combination.
@@ -261,5 +353,51 @@ mod tests {
     fn zero_shards_is_rejected() {
         let reqs: Vec<u8> = Vec::new();
         let _ = RunConfig::new(&reqs).shards(0);
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults_and_sane_knobs() {
+        let reqs: Vec<u8> = vec![1];
+        assert_eq!(RunConfig::new(&reqs).validate(), Ok(()));
+        let map = [0usize, 1, 2];
+        assert_eq!(
+            RunConfig::new(&reqs)
+                .shards(3)
+                .partition(&map)
+                .checkpoint_every(10)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_checkpoint_cadence() {
+        let reqs: Vec<u8> = vec![1];
+        let err = RunConfig::new(&reqs)
+            .checkpoint_every(0)
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCheckpointCadence);
+        assert!(err.to_string().contains("cadence"));
+    }
+
+    #[test]
+    fn validate_rejects_partition_owners_beyond_the_shard_count() {
+        let reqs: Vec<u8> = vec![1];
+        let map = [0usize, 5, 1];
+        let err = RunConfig::new(&reqs)
+            .shards(2)
+            .partition(&map)
+            .validate()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::PartitionOutOfRange {
+                video: 1,
+                owner: 5,
+                shards: 2
+            }
+        );
+        assert!(err.to_string().contains("video 1"));
     }
 }

@@ -91,6 +91,81 @@ pub(crate) struct SessionScalars {
     pub max_streams: usize,
 }
 
+/// One shard's slice of the request stream: the requests it owns, in
+/// global arrival order, plus each request's index in the global slice
+/// (the merge key that lets the ordered replay reconstruct the
+/// unsharded engine order).
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    requests: Vec<Request>,
+    global_idx: Vec<usize>,
+}
+
+impl ShardSlice {
+    /// The shard's requests, in global arrival order.
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// For each request, its index in the run's global request slice.
+    #[must_use]
+    pub(crate) fn global_idx(&self) -> &[usize] {
+        &self.global_idx
+    }
+
+    /// Number of requests on this shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the shard owns no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Partition `requests` into per-shard slices — the single partition
+/// function behind both `execute` and the crash-recovery supervisor, so
+/// a supervised run splits the stream byte-identically to a plain one.
+///
+/// The scenario `partition` table wins when it covers the video (a
+/// region's catalog slice stays on the region's shard, wrapped into
+/// range by `% shards`); anything beyond the table — and every run
+/// without one — takes the seeded [`shard_of`] hash. Either way the
+/// shard is a pure function of `(video, seed)`, which is leg one of the
+/// module's determinism argument.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn plan_shards(
+    requests: &[Request],
+    shards: usize,
+    seed: u64,
+    partition: Option<&[usize]>,
+) -> Vec<ShardSlice> {
+    assert!(shards > 0, "no zero-shard systems");
+    let mut slices = vec![
+        ShardSlice {
+            requests: Vec::new(),
+            global_idx: Vec::new(),
+        };
+        shards
+    ];
+    for (i, r) in requests.iter().enumerate() {
+        let s = match partition.and_then(|map| map.get(r.video.0)) {
+            Some(&owner) => owner % shards,
+            None => shard_of(r.video.0 as u64, seed, shards),
+        };
+        slices[s].requests.push(*r);
+        slices[s].global_idx.push(i);
+    }
+    slices
+}
+
 /// One shard's raw results, pre-merge.
 struct ShardOut {
     scalars: Vec<SessionScalars>,
@@ -99,6 +174,228 @@ struct ShardOut {
     ops: Option<OpLog>,
     traces: Option<Vec<SessionTrace>>,
     err: Option<PolicyError>,
+}
+
+/// Attribute a merge inconsistency to its shard and run label.
+fn merge_err(shard: usize, label: &str, what: impl Into<String>) -> PolicyError {
+    PolicyError::ShardMerge {
+        shard,
+        label: label.to_string(),
+        what: what.into(),
+    }
+}
+
+/// The canonical ordered-replay merge: a k-way merge of per-shard scalar
+/// streams by `(arrival tick, global index)`, replaying the identical
+/// floating-point statements `run_core` executes per session. Returns
+/// the recomputed global report plus the replayed fold. `on_session` is
+/// called once per merged session (stream position, cursor) *before* its
+/// scalars are folded — the executor feeds user sinks through it.
+///
+/// Inconsistent streams surface as [`PolicyError::ShardMerge`] carrying
+/// the shard index and `label`, never as a panic mid-merge.
+fn replay_merge(
+    streams: &[(usize, &[SessionScalars])],
+    label: &str,
+    mut on_session: impl FnMut(usize, usize) -> Result<(), PolicyError>,
+) -> Result<(SystemReport, StreamingFold), PolicyError> {
+    let mut fold = StreamingFold::new();
+    let mut sessions = 0usize;
+    let mut latency_sum = 0.0f64;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut worst_latency = Minutes(0.0);
+    let mut worst_buffer = Mbits::ZERO;
+    let mut delivered = 0.0f64;
+    let mut peak_active = 0usize;
+    let mut ends: MinQueue<u64> = MinQueue::new();
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (pos, (_, scalars)) in streams.iter().enumerate() {
+            if let Some(sc) = scalars.get(cursors[pos]) {
+                let key = (sc.tick, sc.idx, pos);
+                if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                    best = Some(key);
+                }
+            }
+        }
+        let Some((tick, idx, pos)) = best else { break };
+        let (shard, scalars) = streams[pos];
+        let Some(&sc) = scalars.get(cursors[pos]) else {
+            return Err(merge_err(
+                shard,
+                label,
+                format!("scalar stream ended under cursor {}", cursors[pos]),
+            ));
+        };
+        debug_assert_eq!((sc.tick, sc.idx), (tick, idx));
+        on_session(pos, cursors[pos])?;
+        // Global active-session sweep. A `Finish` at tick T fires
+        // after every arrival at T (arrivals are scheduled first and
+        // the engine breaks ties by schedule order), so only ends
+        // *strictly* before this arrival leave the active set.
+        while ends.peek().is_some_and(|&e| e < tick) {
+            ends.pop();
+        }
+        ends.push(sc.end_tick);
+        peak_active = peak_active.max(ends.len());
+        // The identical statements `run_core` executes per session.
+        fold.fold_scalars(
+            sc.latency,
+            sc.peak_buffer,
+            sc.total_received,
+            sc.delivered,
+            sc.max_streams,
+        );
+        sessions += 1;
+        latency_sum += sc.latency;
+        latencies.push(sc.latency);
+        worst_latency = worst_latency.max(Minutes(sc.latency));
+        worst_buffer = worst_buffer.max(Mbits(sc.peak_buffer));
+        delivered += sc.delivered;
+        cursors[pos] += 1;
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    let percentile = |q: f64| -> Minutes {
+        if latencies.is_empty() {
+            Minutes(0.0)
+        } else {
+            let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+            Minutes(latencies[idx])
+        }
+    };
+    let summary = SystemReport {
+        sessions,
+        mean_latency: Minutes(if sessions > 0 {
+            latency_sum / sessions as f64
+        } else {
+            0.0
+        }),
+        p50_latency: percentile(0.5),
+        p95_latency: percentile(0.95),
+        worst_latency,
+        worst_buffer,
+        peak_active_sessions: peak_active,
+        delivered_minutes: Minutes(delivered),
+    };
+    Ok((summary, fold))
+}
+
+/// Check that `incoming` can merge into `acc` without tripping
+/// [`Snapshot::merge`]'s panics: shared families must agree on kind,
+/// shared series on value kind, shared histograms on bucket bounds.
+fn check_mergeable(acc: &Snapshot, incoming: &Snapshot) -> Result<(), String> {
+    use sb_metrics::MetricValue;
+    for of in &incoming.families {
+        let Some(f) = acc.family(&of.name) else {
+            continue;
+        };
+        if f.kind != of.kind {
+            return Err(format!("metric family {} has two kinds", of.name));
+        }
+        for os in &of.series {
+            let Ok(pos) = f.series.binary_search_by(|s| s.labels.cmp(&os.labels)) else {
+                continue;
+            };
+            match (&f.series[pos].value, &os.value) {
+                (MetricValue::Counter(_), MetricValue::Counter(_))
+                | (MetricValue::Gauge(_), MetricValue::Gauge(_)) => {}
+                (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                    if a.bounds != b.bounds {
+                        return Err(format!(
+                            "histogram {}{{{}}} has mismatched bucket bounds",
+                            of.name, os.labels
+                        ));
+                    }
+                }
+                _ => return Err(format!("series {}{{{}}} has two kinds", of.name, os.labels)),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Merge per-shard snapshots in shard order, patching in the one global
+/// quantity no shard can see (the peak simultaneously-active sessions),
+/// with shape mismatches propagated as [`PolicyError::ShardMerge`].
+fn merge_snapshots<'a>(
+    snaps: impl Iterator<Item = (usize, &'a Snapshot)>,
+    peak_active: usize,
+    label: &str,
+) -> Result<Snapshot, PolicyError> {
+    let mut snapshot = Snapshot::default();
+    for (shard, snap) in snaps {
+        check_mergeable(&snapshot, snap).map_err(|what| merge_err(shard, label, what))?;
+        snapshot.merge(snap);
+    }
+    // Shards only saw their own peak; patch in the global one (gauge
+    // merge is `max`, and global ≥ every shard).
+    let mut extras = Registry::new();
+    extras.gauge_max("sim_peak_active_sessions", &[], peak_active as f64);
+    snapshot.merge(&extras.snapshot());
+    Ok(snapshot)
+}
+
+/// Merge completed [`ShardRun`](crate::checkpoint::ShardRun)s — from the
+/// crash-recovery supervisor or
+/// any other caller of [`SystemSim::run_shard`] — into a [`RunOutcome`],
+/// performing the identical ordered replay `execute` uses, so a
+/// supervised (killed, resumed, retried) run's outcome is byte-identical
+/// to an uninterrupted `execute` of the same `RunConfig`.
+///
+/// `runs` pairs each [`ShardRun`](crate::checkpoint::ShardRun) with its
+/// shard index; any subset of a
+/// run's shards may be merged (the supervisor's graceful-degradation
+/// path merges the survivors), in any order — merging is canonicalized
+/// by shard index internally. `label` names the experiment for error
+/// attribution.
+///
+/// # Errors
+/// [`PolicyError::ShardMerge`] when the per-shard streams are
+/// inconsistent; never panics on untrusted shard output.
+pub fn merge_shard_runs(
+    mut runs: Vec<(usize, crate::checkpoint::ShardRun)>,
+    label: &str,
+) -> Result<RunOutcome, PolicyError> {
+    runs.sort_by_key(|&(s, _)| s);
+    for pair in runs.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(merge_err(
+                pair[1].0,
+                label,
+                "the same shard appears twice in the merge set",
+            ));
+        }
+    }
+    let streams: Vec<(usize, &[SessionScalars])> = runs
+        .iter()
+        .map(|(s, r)| (*s, r.scalars.as_slice()))
+        .collect();
+    let (summary, fold) = replay_merge(&streams, label, |_, _| Ok(()))?;
+
+    let mut stats = EngineStats::default();
+    let mut shard_peak_agenda = Vec::with_capacity(runs.len());
+    for (_, r) in &runs {
+        stats.scheduled += r.stats.scheduled;
+        stats.fired += r.stats.fired;
+        stats.cancelled += r.stats.cancelled;
+        stats.compactions += r.stats.compactions;
+        stats.peak_agenda = stats.peak_agenda.max(r.stats.peak_agenda);
+        shard_peak_agenda.push(r.stats.peak_agenda);
+    }
+    let snapshot = merge_snapshots(
+        runs.iter().map(|(s, r)| (*s, &r.snapshot)),
+        summary.peak_active_sessions,
+        label,
+    )?;
+    Ok(RunOutcome {
+        summary,
+        fold: fold.finish(),
+        stats,
+        shard_peak_agenda,
+        snapshot,
+    })
 }
 
 impl SystemSim<'_> {
@@ -178,145 +475,74 @@ impl SystemSim<'_> {
         &self,
         parts: crate::run::RunParts<'_, Request, ()>,
     ) -> Result<RunOutcome, PolicyError> {
+        const LABEL: &str = "sim-shards";
         let shards = parts.shards;
-        let mut shard_reqs: Vec<Vec<Request>> = vec![Vec::new(); shards];
-        let mut shard_idx: Vec<Vec<usize>> = vec![Vec::new(); shards];
-        for (i, r) in parts.requests.iter().enumerate() {
-            // The scenario slot wins when it covers the video (a region's
-            // catalog slice stays on the region's shard); anything beyond
-            // the table — and every run without one — takes the hash.
-            // Either way the shard is a pure function of (video, seed), so
-            // the determinism argument above is untouched.
-            let s = match parts.partition.and_then(|map| map.get(r.video.0)) {
-                Some(&owner) => owner % shards,
-                None => shard_of(r.video.0 as u64, parts.seed, shards),
-            };
-            shard_reqs[s].push(*r);
-            shard_idx[s].push(i);
-        }
+        let slices = plan_shards(parts.requests, shards, parts.seed, parts.partition);
 
         let want_ops = parts.recorder.is_some();
         let want_traces = parts.sink.is_some();
-        let outs: Vec<ShardOut> =
-            parallel_map(parts.threads, "sim-shards", &shard_reqs, |s, reqs| {
-                let mut reg = Registry::new();
-                let mut ops = want_ops.then(OpLog::new);
-                let mut collect = want_traces.then(CollectTraces::new);
-                let mut scalars: Vec<SessionScalars> = Vec::with_capacity(reqs.len());
-                let mut null_sink = NullSink;
-                let sink: &mut dyn TraceSink = match collect.as_mut() {
-                    Some(c) => c,
-                    None => &mut null_sink,
-                };
-                let result = match ops.as_mut() {
-                    Some(log) => {
-                        let mut tee = TeeRecorder {
-                            a: &mut reg,
-                            b: log,
-                        };
-                        self.run_core(reqs, &mut tee, sink, Some(&mut scalars), parts.agenda)
-                    }
-                    None => self.run_core(reqs, &mut reg, sink, Some(&mut scalars), parts.agenda),
-                };
-                for sc in &mut scalars {
-                    sc.idx = shard_idx[s][sc.idx];
+        let outs: Vec<ShardOut> = parallel_map(parts.threads, LABEL, &slices, |_, slice| {
+            let mut reg = Registry::new();
+            let mut ops = want_ops.then(OpLog::new);
+            let mut collect = want_traces.then(CollectTraces::new);
+            let mut scalars: Vec<SessionScalars> = Vec::with_capacity(slice.len());
+            let mut null_sink = NullSink;
+            let sink: &mut dyn TraceSink = match collect.as_mut() {
+                Some(c) => c,
+                None => &mut null_sink,
+            };
+            let reqs = slice.requests();
+            let result = match ops.as_mut() {
+                Some(log) => {
+                    let mut tee = TeeRecorder {
+                        a: &mut reg,
+                        b: log,
+                    };
+                    self.run_core(reqs, &mut tee, sink, Some(&mut scalars), parts.agenda)
                 }
-                let (stats, err) = match result {
-                    Ok((_, stats)) => (stats, None),
-                    Err(e) => (EngineStats::default(), Some(e)),
-                };
-                ShardOut {
-                    scalars,
-                    snapshot: reg.snapshot(),
-                    stats,
-                    ops,
-                    traces: collect.map(|c| c.traces),
-                    err,
-                }
-            });
+                None => self.run_core(reqs, &mut reg, sink, Some(&mut scalars), parts.agenda),
+            };
+            for sc in &mut scalars {
+                sc.idx = slice.global_idx()[sc.idx];
+            }
+            let (stats, err) = match result {
+                Ok((_, stats)) => (stats, None),
+                Err(e) => (EngineStats::default(), Some(e)),
+            };
+            ShardOut {
+                scalars,
+                snapshot: reg.snapshot(),
+                stats,
+                ops,
+                traces: collect.map(|c| c.traces),
+                err,
+            }
+        });
         if let Some(e) = outs.iter().find_map(|o| o.err.clone()) {
             return Err(e);
         }
 
         // Ordered replay: k-way merge by (arrival tick, global index)
-        // reconstructs the unsharded engine order exactly.
-        let mut fold = StreamingFold::new();
-        let mut sessions = 0usize;
-        let mut latency_sum = 0.0f64;
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut worst_latency = Minutes(0.0);
-        let mut worst_buffer = Mbits::ZERO;
-        let mut delivered = 0.0f64;
-        let mut peak_active = 0usize;
-        let mut ends: MinQueue<u64> = MinQueue::new();
+        // reconstructs the unsharded engine order exactly, feeding the
+        // user's trace sink one session at a time along the way.
+        let streams: Vec<(usize, &[SessionScalars])> = outs
+            .iter()
+            .enumerate()
+            .map(|(s, o)| (s, o.scalars.as_slice()))
+            .collect();
         let mut user_sink = parts.sink;
-        let mut cursors = vec![0usize; shards];
-        loop {
-            let mut best: Option<(u64, usize, usize)> = None;
-            for (s, out) in outs.iter().enumerate() {
-                if let Some(sc) = out.scalars.get(cursors[s]) {
-                    let key = (sc.tick, sc.idx, s);
-                    if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
-                        best = Some(key);
-                    }
-                }
-            }
-            let Some((tick, _, s)) = best else { break };
-            let sc = outs[s].scalars[cursors[s]];
+        let (summary, fold) = replay_merge(&streams, LABEL, |s, cursor| {
             if let Some(sink) = user_sink.as_deref_mut() {
                 if let Some(traces) = &outs[s].traces {
-                    sink.accept(&traces[cursors[s]]);
+                    let trace = traces.get(cursor).ok_or_else(|| {
+                        merge_err(s, LABEL, "trace stream shorter than scalar stream")
+                    })?;
+                    sink.accept(trace);
                 }
             }
-            // Global active-session sweep. A `Finish` at tick T fires
-            // after every arrival at T (arrivals are scheduled first and
-            // the engine breaks ties by schedule order), so only ends
-            // *strictly* before this arrival leave the active set.
-            while ends.peek().is_some_and(|&e| e < tick) {
-                ends.pop();
-            }
-            ends.push(sc.end_tick);
-            peak_active = peak_active.max(ends.len());
-            // The identical statements `run_core` executes per session.
-            fold.fold_scalars(
-                sc.latency,
-                sc.peak_buffer,
-                sc.total_received,
-                sc.delivered,
-                sc.max_streams,
-            );
-            sessions += 1;
-            latency_sum += sc.latency;
-            latencies.push(sc.latency);
-            worst_latency = worst_latency.max(Minutes(sc.latency));
-            worst_buffer = worst_buffer.max(Mbits(sc.peak_buffer));
-            delivered += sc.delivered;
-            cursors[s] += 1;
-        }
-
-        latencies.sort_by(f64::total_cmp);
-        let percentile = |q: f64| -> Minutes {
-            if latencies.is_empty() {
-                Minutes(0.0)
-            } else {
-                let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
-                Minutes(latencies[idx])
-            }
-        };
-        let summary = SystemReport {
-            sessions,
-            mean_latency: Minutes(if sessions > 0 {
-                latency_sum / sessions as f64
-            } else {
-                0.0
-            }),
-            p50_latency: percentile(0.5),
-            p95_latency: percentile(0.95),
-            worst_latency,
-            worst_buffer,
-            peak_active_sessions: peak_active,
-            delivered_minutes: Minutes(delivered),
-        };
+            Ok(())
+        })?;
+        let peak_active = summary.peak_active_sessions;
 
         let mut stats = EngineStats::default();
         let mut shard_peak_agenda = Vec::with_capacity(shards);
@@ -329,15 +555,11 @@ impl SystemSim<'_> {
             shard_peak_agenda.push(out.stats.peak_agenda);
         }
 
-        let mut snapshot = Snapshot::default();
-        for out in &outs {
-            snapshot.merge(&out.snapshot);
-        }
-        // Shards only saw their own peak; patch in the global one (gauge
-        // merge is `max`, and global ≥ every shard).
-        let mut extras = Registry::new();
-        extras.gauge_max("sim_peak_active_sessions", &[], peak_active as f64);
-        snapshot.merge(&extras.snapshot());
+        let snapshot = merge_snapshots(
+            outs.iter().enumerate().map(|(s, o)| (s, &o.snapshot)),
+            peak_active,
+            LABEL,
+        )?;
 
         if let Some(rec) = parts.recorder {
             for out in &outs {

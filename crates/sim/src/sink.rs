@@ -152,6 +152,45 @@ impl StreamingFold {
         self.max_streams = self.max_streams.max(max_streams);
     }
 
+    /// Export the fold's accumulators as a [`FoldState`] — the
+    /// checkpoint form. `StreamingFold::thaw(fold.freeze())` continues
+    /// folding exactly where `fold` stood, bit for bit: the float sums
+    /// keep their association, the percentile buffer its order.
+    #[must_use]
+    pub fn freeze(&self) -> FoldState {
+        FoldState {
+            sessions: self.sessions,
+            latency_sum: self.latency_sum,
+            latencies: self.latencies.clone(),
+            worst_latency: self.worst_latency,
+            worst_buffer: self.worst_buffer,
+            total_received: self.total_received,
+            delivered: self.delivered,
+            max_streams: self.max_streams,
+            stall_minutes: self.stall_minutes,
+            stalls: self.stalls,
+            truncated_sessions: self.truncated_sessions,
+        }
+    }
+
+    /// Rebuild a fold from a [`FoldState`] (see [`StreamingFold::freeze`]).
+    #[must_use]
+    pub fn thaw(state: FoldState) -> Self {
+        Self {
+            sessions: state.sessions,
+            latency_sum: state.latency_sum,
+            latencies: state.latencies,
+            worst_latency: state.worst_latency,
+            worst_buffer: state.worst_buffer,
+            total_received: state.total_received,
+            delivered: state.delivered,
+            max_streams: state.max_streams,
+            stall_minutes: state.stall_minutes,
+            stalls: state.stalls,
+            truncated_sessions: state.truncated_sessions,
+        }
+    }
+
     /// Finish the fold into a [`SessionSummary`].
     #[must_use]
     pub fn finish(&self) -> SessionSummary {
@@ -176,6 +215,36 @@ impl StreamingFold {
             truncated_sessions: self.truncated_sessions,
         }
     }
+}
+
+/// The exported accumulators of a [`StreamingFold`], as plain public
+/// fields so the checkpoint encoder can serialize them bit-exactly (the
+/// fold itself keeps its fields private — only freeze/thaw move state in
+/// and out wholesale).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldState {
+    /// Sessions folded.
+    pub sessions: usize,
+    /// Running latency sum (association-sensitive: restored verbatim).
+    pub latency_sum: f64,
+    /// Per-session latencies for exact percentiles, in fold order.
+    pub latencies: Vec<f64>,
+    /// Worst latency so far.
+    pub worst_latency: f64,
+    /// Worst per-session peak buffer so far.
+    pub worst_buffer: f64,
+    /// Running total payload received.
+    pub total_received: f64,
+    /// Running playback minutes delivered.
+    pub delivered: f64,
+    /// Largest per-session concurrent reception count so far.
+    pub max_streams: usize,
+    /// Running stall minutes.
+    pub stall_minutes: f64,
+    /// Stalls counted.
+    pub stalls: usize,
+    /// Truncated sessions counted.
+    pub truncated_sessions: usize,
 }
 
 impl TraceSink for StreamingFold {
@@ -384,6 +453,32 @@ mod tests {
         assert!(a.stall_minutes.value() > 0.0);
         assert_eq!(collect.traces.len(), 40);
         assert_eq!(collect.stall_reports.len(), 40);
+    }
+
+    #[test]
+    fn fold_freeze_thaw_resumes_bit_for_bit() {
+        let (plan, ts) = traces();
+        let losses = LossModel::new(0.2, 7).unwrap();
+        let mut whole = StreamingFold::new();
+        let mut prefix = StreamingFold::new();
+        for (i, t) in ts.iter().enumerate() {
+            let report = apply_losses(&plan, t, &losses);
+            whole.accept_stalls(&report);
+            if i < 17 {
+                prefix.accept_stalls(&report);
+            }
+        }
+        let mut resumed = StreamingFold::thaw(prefix.freeze());
+        for t in ts.iter().skip(17) {
+            let report = apply_losses(&plan, t, &losses);
+            resumed.accept_stalls(&report);
+        }
+        assert_eq!(whole.finish(), resumed.finish());
+        assert_eq!(
+            serde_json::to_string(&whole.finish()).unwrap(),
+            serde_json::to_string(&resumed.finish()).unwrap()
+        );
+        assert_eq!(resumed.sessions(), 40);
     }
 
     #[test]

@@ -60,10 +60,95 @@ pub struct SystemReport {
 
 /// Engine events for the system run. `Arrive` carries the request's
 /// position in the run's slice so the sharded executor can key captured
-/// per-session scalars by a stable index.
-enum Ev {
+/// per-session scalars by a stable index. `Clone`/`Copy` so a pending
+/// agenda can be frozen into a checkpoint (see [`crate::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ev {
     Arrive(usize),
     Finish,
+}
+
+/// The mutable accumulators of one simulation core — everything
+/// [`SystemSim::handle_event`] updates per event and
+/// [`finish_core`] folds into the final [`SystemReport`]. Extracted as a
+/// struct (rather than a closure's captured locals) so the checkpointed
+/// runner can freeze and restore mid-run state bit-exactly; the
+/// statements that mutate it are shared verbatim between the historical
+/// `run_core` path and the checkpoint path.
+#[derive(Debug, Clone)]
+pub(crate) struct CoreState {
+    pub(crate) sessions: usize,
+    pub(crate) latency_sum: f64,
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) worst_latency: Minutes,
+    pub(crate) worst_buffer: Mbits,
+    pub(crate) active: usize,
+    pub(crate) peak_active: usize,
+    pub(crate) delivered: f64,
+    pub(crate) error: Option<PolicyError>,
+}
+
+impl CoreState {
+    pub(crate) fn new() -> Self {
+        Self {
+            sessions: 0,
+            latency_sum: 0.0,
+            latencies: Vec::new(),
+            worst_latency: Minutes(0.0),
+            worst_buffer: Mbits::ZERO,
+            active: 0,
+            peak_active: 0,
+            delivered: 0.0,
+            error: None,
+        }
+    }
+}
+
+/// Close out a run: emit the end-of-run metric events and fold the
+/// accumulators into a [`SystemReport`] — the exact statements (and
+/// float order) of the historical `run_core` epilogue.
+pub(crate) fn finish_core(
+    mut state: CoreState,
+    stats: crate::engine::EngineStats,
+    rec: &mut dyn Recorder,
+) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
+    if let Some(e) = state.error {
+        return Err(e);
+    }
+    rec.gauge_max("sim_peak_active_sessions", &[], state.peak_active as f64);
+    for (kind, n) in [
+        ("scheduled", stats.scheduled),
+        ("fired", stats.fired),
+        ("cancelled", stats.cancelled),
+    ] {
+        rec.incr("engine_events_total", &[("kind", kind)], n);
+    }
+    state.latencies.sort_by(f64::total_cmp);
+    let percentile = |q: f64| -> Minutes {
+        if state.latencies.is_empty() {
+            Minutes(0.0)
+        } else {
+            let idx = ((state.latencies.len() as f64 - 1.0) * q).round() as usize;
+            Minutes(state.latencies[idx])
+        }
+    };
+    Ok((
+        SystemReport {
+            sessions: state.sessions,
+            mean_latency: Minutes(if state.sessions > 0 {
+                state.latency_sum / state.sessions as f64
+            } else {
+                0.0
+            }),
+            p50_latency: percentile(0.5),
+            p95_latency: percentile(0.95),
+            worst_latency: state.worst_latency,
+            worst_buffer: state.worst_buffer,
+            peak_active_sessions: state.peak_active,
+            delivered_minutes: Minutes(state.delivered),
+        },
+        stats,
+    ))
 }
 
 /// A many-client simulation over a fixed broadcast plan.
@@ -112,27 +197,48 @@ impl<'a> SystemSim<'a> {
         agenda: AgendaKind,
     ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
         let mut engine: Engine<Ev> = Engine::with_agenda(agenda);
+        self.schedule_arrivals(&mut engine, requests);
+        let mut state = CoreState::new();
+        engine.run(|eng, at, ev| {
+            self.handle_event(&mut state, eng, at, ev, requests, rec, sink, &mut capture);
+        });
+        let stats = engine.stats();
+        finish_core(state, stats, rec)
+    }
+
+    /// Schedule every request's `Arrive` event, in slice order — the
+    /// FIFO sequence numbers this assigns are part of the deterministic
+    /// pop order a checkpoint must preserve.
+    pub(crate) fn schedule_arrivals(&self, engine: &mut Engine<Ev>, requests: &[Request]) {
         for (pos, r) in requests.iter().enumerate() {
             engine.schedule_at(
                 Ticks::ZERO + self.scale.duration_from_minutes(r.at),
                 Ev::Arrive(pos),
             );
         }
+    }
 
-        let mut sessions = 0usize;
-        let mut latency_sum = 0.0f64;
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut worst_latency = Minutes(0.0);
-        let mut worst_buffer = Mbits::ZERO;
-        let mut active = 0usize;
-        let mut peak_active = 0usize;
-        let mut delivered = 0.0f64;
-        let mut error: Option<PolicyError> = None;
-
-        engine.run(|eng, at, ev| match ev {
+    /// Handle one engine event — the exact per-session statements (and
+    /// float order) every execution path shares; bitwise identity between
+    /// serial, sharded and checkpoint-resumed runs rests on this being
+    /// the *only* copy of them. Returns `true` when a session was served
+    /// (the checkpoint cadence counts served sessions).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_event(
+        &self,
+        state: &mut CoreState,
+        eng: &mut Engine<Ev>,
+        at: Ticks,
+        ev: Ev,
+        requests: &[Request],
+        rec: &mut dyn Recorder,
+        sink: &mut dyn TraceSink,
+        capture: &mut Option<&mut Vec<SessionScalars>>,
+    ) -> bool {
+        match ev {
             Ev::Arrive(pos) => {
-                if error.is_some() {
-                    return;
+                if state.error.is_some() {
+                    return false;
                 }
                 let r = requests[pos];
                 match self
@@ -141,17 +247,17 @@ impl<'a> SystemSim<'a> {
                 {
                     Ok(s) => {
                         sink.accept(&s);
-                        sessions += 1;
-                        active += 1;
-                        peak_active = peak_active.max(active);
+                        state.sessions += 1;
+                        state.active += 1;
+                        state.peak_active = state.peak_active.max(state.active);
                         let lat = s.startup_latency();
-                        latency_sum += lat.value();
-                        latencies.push(lat.value());
-                        worst_latency = worst_latency.max(lat);
-                        worst_buffer = worst_buffer.max(s.peak_buffer());
+                        state.latency_sum += lat.value();
+                        state.latencies.push(lat.value());
+                        state.worst_latency = state.worst_latency.max(lat);
+                        state.worst_buffer = state.worst_buffer.max(s.peak_buffer());
                         let end = s.playback_end();
                         let session_delivered = end.value() - s.playback_start.value();
-                        delivered += session_delivered;
+                        state.delivered += session_delivered;
                         let video = r.video.0.to_string();
                         let vl: &[(&str, &str)] = &[("video", &video)];
                         rec.incr("sim_sessions_total", vl, 1);
@@ -179,54 +285,128 @@ impl<'a> SystemSim<'a> {
                             });
                         }
                         eng.schedule_at(end_at, Ev::Finish);
+                        true
                     }
-                    Err(e) => error = Some(e),
+                    Err(e) => {
+                        state.error = Some(e);
+                        false
+                    }
                 }
             }
             Ev::Finish => {
-                active = active.saturating_sub(1);
+                state.active = state.active.saturating_sub(1);
+                false
             }
-        });
-
-        if let Some(e) = error {
-            return Err(e);
         }
-        rec.gauge_max("sim_peak_active_sessions", &[], peak_active as f64);
-        let stats = engine.stats();
-        for (kind, n) in [
-            ("scheduled", stats.scheduled),
-            ("fired", stats.fired),
-            ("cancelled", stats.cancelled),
-        ] {
-            rec.incr("engine_events_total", &[("kind", kind)], n);
-        }
-        latencies.sort_by(f64::total_cmp);
-        let percentile = |q: f64| -> Minutes {
-            if latencies.is_empty() {
-                Minutes(0.0)
-            } else {
-                let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
-                Minutes(latencies[idx])
-            }
-        };
-        Ok((
-            SystemReport {
-                sessions,
-                mean_latency: Minutes(if sessions > 0 {
-                    latency_sum / sessions as f64
-                } else {
-                    0.0
-                }),
-                p50_latency: percentile(0.5),
-                p95_latency: percentile(0.95),
-                worst_latency,
-                worst_buffer,
-                peak_active_sessions: peak_active,
-                delivered_minutes: Minutes(delivered),
-            },
-            stats,
-        ))
     }
+
+    /// The checkpoint-aware shard core: the same event loop as
+    /// [`SystemSim::run_core`] (sharing [`SystemSim::handle_event`]
+    /// statement for statement), plus three hooks — resume from a decoded
+    /// [`crate::checkpoint::CheckpointState`], take a checkpoint every
+    /// `checkpoint_every` served sessions, and consult `probe` before
+    /// each event and after each checkpoint so a supervisor can inject
+    /// deterministic crashes.
+    ///
+    /// Always runs with a live [`StreamingFold`] *and* a
+    /// [`SessionScalars`] capture: the fold serves the single-shard
+    /// (serial-identical) outcome, the capture feeds the cross-shard
+    /// ordered-replay merge.
+    pub(crate) fn run_core_checkpointed(
+        &self,
+        requests: &[Request],
+        agenda: AgendaKind,
+        checkpoint_every: u64,
+        resume: Option<crate::checkpoint::CheckpointState>,
+        probe: &mut dyn FnMut(crate::checkpoint::Probe<'_>) -> crate::checkpoint::Verdict,
+    ) -> Result<CoreRunOut, crate::checkpoint::ShardCrash> {
+        use crate::checkpoint::{encode_state, Probe, ShardCrash, Verdict};
+        assert!(checkpoint_every > 0, "validated by the supervisor");
+        let (mut engine, mut state, mut fold, mut scalars, mut reg, mut sessions_done) =
+            match resume {
+                Some(cp) => (
+                    Engine::thaw(cp.frozen, agenda),
+                    cp.core,
+                    crate::sink::StreamingFold::thaw(cp.fold),
+                    cp.scalars,
+                    sb_metrics::Registry::from_snapshot(&cp.snapshot),
+                    cp.sessions_done,
+                ),
+                None => {
+                    let mut engine: Engine<Ev> = Engine::with_agenda(agenda);
+                    self.schedule_arrivals(&mut engine, requests);
+                    (
+                        engine,
+                        CoreState::new(),
+                        crate::sink::StreamingFold::new(),
+                        Vec::new(),
+                        sb_metrics::Registry::new(),
+                        0u64,
+                    )
+                }
+            };
+        let mut checkpoints_taken = 0u64;
+        while let Some((at, ev)) = engine.next() {
+            if let Verdict::Kill = probe(Probe::Event { tick: at.0 }) {
+                return Err(ShardCrash::killed(at.0, sessions_done, checkpoints_taken));
+            }
+            let mut cap = Some(&mut scalars);
+            let served = self.handle_event(
+                &mut state,
+                &mut engine,
+                at,
+                ev,
+                requests,
+                &mut reg,
+                &mut fold,
+                &mut cap,
+            );
+            if let Some(e) = state.error.take() {
+                return Err(ShardCrash::Policy(e));
+            }
+            if served {
+                sessions_done += 1;
+                if sessions_done % checkpoint_every == 0 {
+                    let cp = crate::checkpoint::CheckpointState {
+                        frozen: engine.freeze(),
+                        core: state.clone(),
+                        fold: fold.freeze(),
+                        scalars: scalars.clone(),
+                        snapshot: reg.snapshot(),
+                        sessions_done,
+                    };
+                    let encoded = encode_state(&cp);
+                    checkpoints_taken += 1;
+                    let index = sessions_done / checkpoint_every;
+                    if let Verdict::Kill = probe(Probe::Checkpoint {
+                        index,
+                        encoded: &encoded,
+                    }) {
+                        return Err(ShardCrash::killed(at.0, sessions_done, checkpoints_taken));
+                    }
+                }
+            }
+        }
+        let stats = engine.stats();
+        let (report, stats) = finish_core(state, stats, &mut reg).map_err(ShardCrash::Policy)?;
+        drop(fold); // the merge re-replays the fold from the scalar stream
+        Ok(CoreRunOut {
+            report,
+            stats,
+            scalars,
+            snapshot: reg.snapshot(),
+            checkpoints_taken,
+        })
+    }
+}
+
+/// What [`SystemSim::run_core_checkpointed`] returns on completion.
+pub(crate) struct CoreRunOut {
+    pub(crate) report: SystemReport,
+    pub(crate) stats: crate::engine::EngineStats,
+    pub(crate) scalars: Vec<SessionScalars>,
+    pub(crate) snapshot: sb_metrics::Snapshot,
+    pub(crate) checkpoints_taken: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,173 @@
+//! Checkpoint/restore bitwise-identity properties.
+//!
+//! The flagship invariant of the crash-recovery work: a run that is
+//! **killed at a checkpoint and resumed from the serialized bytes** is
+//! bitwise identical to the uninterrupted run — same report, same fold,
+//! same metrics snapshot, same serialized bytes — for **all three client
+//! models** and **both agenda backends**, including *cross-backend*
+//! restores (checkpoint written under the heap, resumed under the
+//! wheel). The checkpoint travels through its real wire format
+//! (`SBCKPT` header + checksum + payload), not through in-memory state.
+
+use proptest::prelude::*;
+use vod_units::{Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::plan::{ChannelPlan, VideoId};
+use sb_core::scheme::BroadcastScheme;
+use sb_core::series::Width;
+use sb_core::Skyscraper;
+use sb_pyramid::{HarmonicBroadcasting, PermutationPyramid};
+use sb_sim::policy::ClientPolicy;
+use sb_sim::system::{Request, SystemSim};
+use sb_sim::trace::{ClientModel, PausingClient, RecordingClient};
+use sb_sim::{
+    merge_shard_runs, plan_shards, AgendaKind, Probe, RunConfig, RunOutcome, ShardCrash, Verdict,
+};
+
+/// Each model against the plan its scheme prescribes (the same lineup
+/// the shard-invariance suite pins).
+fn lineup() -> Vec<(&'static str, ChannelPlan, Box<dyn ClientModel>)> {
+    let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    vec![
+        (
+            "latest-feasible on SB:W=52",
+            Skyscraper::with_width(Width::Capped(52))
+                .plan(&cfg)
+                .unwrap(),
+            Box::new(ClientPolicy::LatestFeasible),
+        ),
+        (
+            "pausing on PPB:b",
+            PermutationPyramid::b().plan(&cfg).unwrap(),
+            Box::new(PausingClient),
+        ),
+        (
+            "recording on HB",
+            HarmonicBroadcasting::delayed().plan(&cfg).unwrap(),
+            Box::new(RecordingClient::default()),
+        ),
+    ]
+}
+
+fn outcome_bytes(o: &RunOutcome) -> (String, String, String) {
+    (
+        serde_json::to_string(&o.summary).unwrap(),
+        serde_json::to_string(&o.fold).unwrap(),
+        serde_json::to_string(&o.snapshot).unwrap(),
+    )
+}
+
+/// Run the whole request stream as one supervised shard: kill it right
+/// after checkpoint `kill_at_ckpt` (written under `agenda_a`), then
+/// resume from those exact bytes under `agenda_b`. If the run finishes
+/// before that checkpoint exists, the uninterrupted result is used —
+/// the property still has to hold.
+fn killed_and_resumed(
+    sim: &SystemSim<'_>,
+    requests: &[Request],
+    cadence: u64,
+    kill_at_ckpt: u64,
+    agenda_a: AgendaKind,
+    agenda_b: AgendaKind,
+) -> (RunOutcome, bool) {
+    let slices = plan_shards(requests, 1, 0, None);
+    let slice = &slices[0];
+
+    let mut captured: Option<Vec<u8>> = None;
+    let mut probe = |p: Probe<'_>| -> Verdict {
+        if let Probe::Checkpoint { index, encoded } = p {
+            captured = Some(encoded.to_vec());
+            if index == kill_at_ckpt {
+                return Verdict::Kill;
+            }
+        }
+        Verdict::Continue
+    };
+    let first = sim.run_shard(slice, agenda_a, cadence, None, &mut probe);
+    let (run, was_killed) = match first {
+        Ok(run) => (run, false),
+        Err(ShardCrash::Killed(_)) => {
+            let bytes = captured.expect("a kill at a checkpoint implies captured bytes");
+            let mut quiet = |_: Probe<'_>| Verdict::Continue;
+            let resumed = sim
+                .run_shard(slice, agenda_b, cadence, Some(&bytes), &mut quiet)
+                .expect("resume from an intact checkpoint");
+            (resumed, true)
+        }
+        Err(e) => panic!("unexpected shard crash: {e}"),
+    };
+    let outcome = merge_shard_runs(vec![(0, run)], "checkpoint-test").unwrap();
+    (outcome, was_killed)
+}
+
+fn requests_for(plan: &ChannelPlan, n: usize, span: f64) -> Vec<Request> {
+    let videos = plan.num_videos().max(1);
+    (0..n)
+        .map(|i| Request {
+            at: Minutes(span * (i as f64 + 0.31) / n as f64),
+            video: VideoId(i % videos),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn killed_and_resumed_runs_are_bitwise_identical(
+        cadence in 5u64..40,
+        kill_at_ckpt in 1u64..5,
+        n in 40usize..120,
+        span in 20.0f64..90.0,
+        heap_first in any::<bool>(),
+    ) {
+        let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+        let (agenda_a, agenda_b) = if heap_first {
+            (AgendaKind::Heap, AgendaKind::Wheel)
+        } else {
+            (AgendaKind::Wheel, AgendaKind::Heap)
+        };
+        for (name, plan, model) in lineup() {
+            let requests = requests_for(&plan, n, span);
+            let sim = SystemSim::new(&plan, cfg.display_rate, model.as_ref());
+            let base = sim
+                .execute(RunConfig::new(&requests))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (resumed, _) =
+                killed_and_resumed(&sim, &requests, cadence, kill_at_ckpt, agenda_a, agenda_b);
+            prop_assert_eq!(
+                outcome_bytes(&base),
+                outcome_bytes(&resumed),
+                "{}: killed+resumed diverged from uninterrupted \
+                 (cadence {}, kill at ckpt {}, {:?}->{:?})",
+                name, cadence, kill_at_ckpt, agenda_a, agenda_b
+            );
+        }
+    }
+}
+
+/// Deterministic regression: a checkpoint written under the heap backend
+/// restores under the wheel backend (and vice versa) without changing a
+/// byte — the normalized checkpoint format is backend-free.
+#[test]
+fn heap_checkpoint_restores_under_wheel_bit_for_bit() {
+    let cfg = SystemConfig::paper_defaults(Mbps(320.0));
+    for (name, plan, model) in lineup() {
+        let requests = requests_for(&plan, 96, 45.0);
+        let sim = SystemSim::new(&plan, cfg.display_rate, model.as_ref());
+        let base = sim.execute(RunConfig::new(&requests)).unwrap();
+        for (a, b) in [
+            (AgendaKind::Heap, AgendaKind::Wheel),
+            (AgendaKind::Wheel, AgendaKind::Heap),
+        ] {
+            let (resumed, was_killed) = killed_and_resumed(&sim, &requests, 20, 2, a, b);
+            assert!(was_killed, "{name}: the kill at checkpoint 2 must fire");
+            assert_eq!(
+                outcome_bytes(&base),
+                outcome_bytes(&resumed),
+                "{name}: {a:?}-written checkpoint diverged restoring under {b:?}"
+            );
+        }
+    }
+}

@@ -111,22 +111,109 @@ impl PoissonArrivals {
     /// `popularity`.
     #[must_use]
     pub fn generate(&self, popularity: &ZipfPopularity, horizon: Minutes) -> Vec<WorkloadRequest> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut cursor = self.cursor(popularity);
         let mut out = Vec::new();
-        let mut t = 0.0f64;
-        loop {
-            // Exponential inter-arrival with mean 1/λ.
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            t += -u.ln() / self.rate_per_minute;
-            if t >= horizon.value() {
-                return out;
-            }
-            out.push(WorkloadRequest {
-                at: Minutes(t),
-                video: popularity.sample(&mut rng),
-                patience: self.patience.draw(&mut rng),
-            });
+        while let Some(r) = cursor.next_before(horizon) {
+            out.push(r);
         }
+        out
+    }
+
+    /// A resumable cursor over this arrival stream, starting at request
+    /// 0. Draining it reproduces [`PoissonArrivals::generate`] bit for
+    /// bit; [`ArrivalCursor::position`] names where it stands.
+    #[must_use]
+    pub fn cursor<'a>(&'a self, popularity: &'a ZipfPopularity) -> ArrivalCursor<'a> {
+        ArrivalCursor {
+            arrivals: self,
+            popularity,
+            rng: SmallRng::seed_from_u64(self.seed),
+            clock: 0.0,
+            position: 0,
+        }
+    }
+
+    /// A cursor resumed at request `position` — the checkpoint/restore
+    /// path for arrival streams. The cursor yields exactly the requests
+    /// a fresh cursor would yield after `position` calls.
+    ///
+    /// The RNG state is reconstructed by **replaying** the first
+    /// `position` requests (the generator's state is opaque to
+    /// serialization, and each request costs three draws — ~100 ns), so
+    /// resuming is `O(position)` once per restart, never per request.
+    #[must_use]
+    pub fn cursor_at<'a>(
+        &'a self,
+        popularity: &'a ZipfPopularity,
+        position: u64,
+    ) -> ArrivalCursor<'a> {
+        let mut cursor = self.cursor(popularity);
+        for _ in 0..position {
+            let _ = cursor.next_request();
+        }
+        cursor
+    }
+}
+
+/// A resumable position in a [`PoissonArrivals`] stream.
+///
+/// The Poisson process is infinite; [`ArrivalCursor::next_request`]
+/// always yields the next request, and [`ArrivalCursor::next_before`]
+/// stops at a horizon **without consuming** any randomness when it
+/// declines — so a drained cursor and a longer-horizon drain agree on
+/// every shared prefix.
+#[derive(Debug, Clone)]
+pub struct ArrivalCursor<'a> {
+    arrivals: &'a PoissonArrivals,
+    popularity: &'a ZipfPopularity,
+    rng: SmallRng,
+    /// The last emitted arrival time (0 before the first).
+    clock: f64,
+    /// Requests emitted so far.
+    position: u64,
+}
+
+impl ArrivalCursor<'_> {
+    /// The next request of the stream, unconditionally.
+    pub fn next_request(&mut self) -> WorkloadRequest {
+        // Exponential inter-arrival with mean 1/λ.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.clock += -u.ln() / self.arrivals.rate_per_minute;
+        self.position += 1;
+        WorkloadRequest {
+            at: Minutes(self.clock),
+            video: self.popularity.sample(&mut self.rng),
+            patience: self.arrivals.patience.draw(&mut self.rng),
+        }
+    }
+
+    /// The next request if it arrives strictly before `horizon`.
+    ///
+    /// Declining rolls the stream back: the peeked request is
+    /// re-delivered by the next call (with any horizon it fits), so
+    /// probing a horizon never perturbs the stream.
+    pub fn next_before(&mut self, horizon: Minutes) -> Option<WorkloadRequest> {
+        let saved = self.clone();
+        let r = self.next_request();
+        if r.at.value() < horizon.value() {
+            Some(r)
+        } else {
+            *self = saved;
+            None
+        }
+    }
+
+    /// Requests emitted so far — feed this to
+    /// [`PoissonArrivals::cursor_at`] to resume after a restart.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// The arrival time of the most recent request (0 at the start).
+    #[must_use]
+    pub fn clock(&self) -> Minutes {
+        Minutes(self.clock)
     }
 }
 
@@ -275,6 +362,35 @@ pub(crate) fn splitmix64(mut z: u64) -> u64 {
 }
 
 impl GridArrivals {
+    /// Request number `i` of the grid, in `O(1)` — every field is a pure
+    /// function of the index, so a restarted consumer resumes anywhere
+    /// in the stream without replaying a prefix.
+    ///
+    /// # Panics
+    /// Panics when `titles` is zero or the horizon is not positive.
+    #[must_use]
+    pub fn request_at(&self, i: usize) -> WorkloadRequest {
+        assert!(self.titles > 0, "grid needs at least one title");
+        assert!(self.horizon.value() > 0.0, "grid horizon must be positive");
+        let phase = splitmix64(self.seed) as usize % self.titles;
+        let gap = self.horizon.value() / self.sessions.max(1) as f64;
+        let patience = match self.patience {
+            Patience::Infinite => Minutes(f64::INFINITY),
+            Patience::Fixed(m) => m,
+            Patience::Exponential(mean) => {
+                let bits = splitmix64(self.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                // 53 uniform bits, offset so u ∈ (0, 1) strictly.
+                let u = ((bits >> 11) as f64 + 0.5) / 9_007_199_254_740_992.0;
+                exponential_patience(mean, u)
+            }
+        };
+        WorkloadRequest {
+            at: Minutes(i as f64 * gap),
+            video: (i + phase) % self.titles,
+            patience,
+        }
+    }
+
     /// Generate the full grid. Requests are sorted by arrival time and
     /// all fall strictly inside the horizon.
     ///
@@ -282,30 +398,7 @@ impl GridArrivals {
     /// Panics when `titles` is zero or the horizon is not positive.
     #[must_use]
     pub fn generate(&self) -> Vec<WorkloadRequest> {
-        assert!(self.titles > 0, "grid needs at least one title");
-        assert!(self.horizon.value() > 0.0, "grid horizon must be positive");
-        let phase = splitmix64(self.seed) as usize % self.titles;
-        let gap = self.horizon.value() / self.sessions.max(1) as f64;
-        (0..self.sessions)
-            .map(|i| {
-                let patience = match self.patience {
-                    Patience::Infinite => Minutes(f64::INFINITY),
-                    Patience::Fixed(m) => m,
-                    Patience::Exponential(mean) => {
-                        let bits =
-                            splitmix64(self.seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407));
-                        // 53 uniform bits, offset so u ∈ (0, 1) strictly.
-                        let u = ((bits >> 11) as f64 + 0.5) / 9_007_199_254_740_992.0;
-                        exponential_patience(mean, u)
-                    }
-                };
-                WorkloadRequest {
-                    at: Minutes(i as f64 * gap),
-                    video: (i + phase) % self.titles,
-                    patience,
-                }
-            })
-            .collect()
+        (0..self.sessions).map(|i| self.request_at(i)).collect()
     }
 }
 
@@ -532,6 +625,68 @@ mod tests {
         assert!(reqs.iter().all(|r| r.patience.value() > 0.0));
         let mean = reqs.iter().map(|r| r.patience.value()).sum::<f64>() / reqs.len() as f64;
         assert!((mean - 5.0).abs() < 0.25, "mean patience {mean}");
+    }
+
+    #[test]
+    fn cursor_drain_reproduces_generate_bit_for_bit() {
+        let z = ZipfPopularity::paper(15);
+        let gen = PoissonArrivals::new(3.0, 5).with_patience(Patience::Exponential(Minutes(4.0)));
+        let horizon = Minutes(50.0);
+        let batch = gen.generate(&z, horizon);
+        let mut cursor = gen.cursor(&z);
+        let mut drained = Vec::new();
+        while let Some(r) = cursor.next_before(horizon) {
+            drained.push(r);
+        }
+        assert_eq!(batch, drained);
+        assert_eq!(cursor.position(), batch.len() as u64);
+        assert_eq!(cursor.clock(), batch.last().unwrap().at);
+    }
+
+    #[test]
+    fn cursor_resumed_mid_stream_yields_the_identical_suffix() {
+        let z = ZipfPopularity::paper(10);
+        let gen = PoissonArrivals::new(2.0, 77).with_patience(Patience::Exponential(Minutes(3.0)));
+        let mut reference = gen.cursor(&z);
+        let full: Vec<WorkloadRequest> = (0..200).map(|_| reference.next_request()).collect();
+        for split in [0u64, 1, 13, 199] {
+            let mut resumed = gen.cursor_at(&z, split);
+            assert_eq!(resumed.position(), split, "resume names its position");
+            for expected in &full[split as usize..] {
+                assert_eq!(&resumed.next_request(), expected, "split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn declining_a_horizon_consumes_no_randomness() {
+        let z = ZipfPopularity::paper(8);
+        let gen = PoissonArrivals::new(1.0, 3).with_patience(Patience::Exponential(Minutes(2.0)));
+        let mut probed = gen.cursor(&z);
+        // Probe a horizon the next arrival cannot meet, repeatedly…
+        for _ in 0..5 {
+            assert_eq!(probed.next_before(Minutes(0.0)), None);
+        }
+        // …then the stream is exactly where an unprobed cursor stands.
+        let mut fresh = gen.cursor(&z);
+        for _ in 0..50 {
+            assert_eq!(probed.next_request(), fresh.next_request());
+        }
+    }
+
+    #[test]
+    fn grid_request_at_matches_the_generated_stream() {
+        let grid = GridArrivals {
+            sessions: 5000,
+            horizon: Minutes(800.0),
+            titles: 9,
+            patience: Patience::Exponential(Minutes(6.0)),
+            seed: 31,
+        };
+        let all = grid.generate();
+        for i in [0usize, 1, 17, 499, 2500, 4999] {
+            assert_eq!(grid.request_at(i), all[i], "index {i}");
+        }
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod scenario;
 pub mod zipf;
 
 pub use arrivals::{
-    DiurnalArrivals, GridArrivals, Patience, PoissonArrivals, PopularityShift, WorkloadRequest,
-    MAX_PATIENCE_FACTOR,
+    ArrivalCursor, DiurnalArrivals, GridArrivals, Patience, PoissonArrivals, PopularityShift,
+    WorkloadRequest, MAX_PATIENCE_FACTOR,
 };
 pub use catalog::{Catalog, Video};
 pub use scenario::{

@@ -111,6 +111,61 @@ diff -u "$scn_dir/scn-1-1-heap.json" "$scn_dir/scn-4-2-heap.json"
 diff -u "$scn_dir/scn-1-1-heap.out" "$scn_dir/scn-2-4-wheel.out"
 diff -u "$scn_dir/scn-1-1-heap.out" "$scn_dir/scn-4-2-heap.out"
 
+echo "==> recovery smoke (kill/resume byte identity, 6-way over --shards x --agenda)"
+# The flagship crash-recovery invariant through the CLI: a supervised run
+# whose shards are killed and resumed from checkpoints must print
+# "identical to uninterrupted execute: yes" (the binary exits nonzero on
+# divergence) at every shard count on both agenda backends.
+rec_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir" "$scale_dir" "$agenda_dir" "$scn_dir" "$rec_dir"' EXIT
+for s in 1 2 4; do
+    for a in heap wheel; do
+        chaos="kill:0@ckpt:1;kill:0@tick:40000"
+        if [ "$s" -gt 1 ]; then chaos="$chaos;kill:1@ckpt:2"; fi
+        cargo run -q --release -p sb-cli --bin sbcast -- recovery \
+            --sessions 2000 --horizon 200 --cadence 25 --shards "$s" --threads 2 \
+            --agenda "$a" --chaos "$chaos" 2>/dev/null > "$rec_dir/rec-$s-$a.out"
+        grep -q 'identical to uninterrupted execute: yes' "$rec_dir/rec-$s-$a.out"
+    done
+    # Same shard count, other backend: byte-identical stdout.
+    diff -u "$rec_dir/rec-$s-heap.out" "$rec_dir/rec-$s-wheel.out"
+done
+
+echo "==> corrupt-checkpoint smoke (checksum rejection + fall-back, then graceful degradation)"
+cargo run -q --release -p sb-cli --bin sbcast -- recovery \
+    --sessions 2000 --horizon 200 --cadence 25 --shards 2 --threads 2 \
+    --chaos "corrupt:1@ckpt:2;kill:1@ckpt:2" 2>/dev/null > "$rec_dir/rec-corrupt.out"
+grep -q 'corrupt rejected 1' "$rec_dir/rec-corrupt.out"
+grep -q 'identical to uninterrupted execute: yes' "$rec_dir/rec-corrupt.out"
+# A shard that exhausts its restart budget degrades to an explicit
+# partial run with the lost shard named — exit 0, never a panic.
+cargo run -q --release -p sb-cli --bin sbcast -- recovery \
+    --sessions 2000 --horizon 200 --cadence 25 --shards 2 --threads 2 \
+    --chaos "kill:1@ckpt:1;kill:1@ckpt:2" --retry 1 --retry-attempts 1 \
+    2>/dev/null > "$rec_dir/rec-partial.out"
+grep -q 'PARTIAL RUN: 1 shard(s) lost' "$rec_dir/rec-partial.out"
+grep -q 'shard 1: lost after 1 attempt(s)' "$rec_dir/rec-partial.out"
+# And a corrupted chaos spec / zero cadence fail with typed errors.
+if cargo run -q --release -p sb-cli --bin sbcast -- recovery --cadence 0 2>"$rec_dir/err0"; then
+    echo "cadence 0 must be rejected"; exit 1
+fi
+grep -q 'checkpoint cadence is 0 sessions' "$rec_dir/err0"
+if cargo run -q --release -p sb-cli --bin sbcast -- recovery --chaos "corrupt:0@tick:9" \
+    2>"$rec_dir/err1"; then
+    echo "corrupt@tick must be rejected"; exit 1
+fi
+grep -q 'corruption targets checkpoints, not ticks' "$rec_dir/err1"
+
+echo "==> recovery sweep artifact (BENCH_recovery.json, cadence trade)"
+cargo run -q --release -p sb-cli --bin sbcast -- recovery --mode sweep --profile smoke \
+    --threads 4 --json "$rec_dir/rec-sweep.json" 2>/dev/null > "$rec_dir/rec-sweep.out"
+test -s "$rec_dir/rec-sweep.json" || { echo "BENCH_recovery.json is empty"; exit 1; }
+grep -q '"replayed_sessions"' "$rec_dir/rec-sweep.json"
+grep -q '"identical": true' "$rec_dir/rec-sweep.json"
+
+echo "==> release profile keeps integer overflow checks on"
+grep -A2 '^\[profile\.release\]' Cargo.toml | grep -q 'overflow-checks = true'
+
 echo "==> wall-clock trajectory (throughput_bench, heap + wheel timed passes)"
 ./target/release/throughput_bench --json "$thr_dir/thr-bench.json" \
     > "$thr_dir/thr-bench.out" 2>"$thr_dir/thr-bench.err"
@@ -158,5 +213,12 @@ grep -q 'scenario_invariance' DESIGN.md
 grep -q 'region_slots' DESIGN.md
 grep -q 'sbcast -- scenario' README.md
 grep -q 'BENCH_scenario.json' README.md
+grep -q '^## 14\. Checkpoint/restore and the crash-recovery supervisor' DESIGN.md
+grep -q 'SBCKPT' DESIGN.md
+grep -q 'checkpoint_restore' DESIGN.md
+grep -q 'recovery_supervisor' DESIGN.md
+grep -q 'sbcast -- recovery' README.md
+grep -q 'BENCH_recovery.json' README.md
+grep -q '\-\-chaos' README.md
 
 echo "verify: OK"
