@@ -285,8 +285,22 @@ pub struct TradeoffPoint {
 /// Every scheme of the lineup — with SB expanded to *all* candidate
 /// widths — as points in the latency × buffer plane at one bandwidth.
 /// This is the "cross-examine Figure 7 and Figure 8" view, made explicit.
+///
+/// Harmonic Broadcasting enters with the **delayed-fix** `2·D/N` latency:
+/// the original `D/N` claim was refuted by Pâris, Carter & Long, so
+/// advertising it here would put an infeasible point on the frontier. Use
+/// [`tradeoff_points_with`] to opt into the buggy point explicitly.
 #[must_use]
 pub fn tradeoff_points(bandwidth: f64) -> Vec<TradeoffPoint> {
+    tradeoff_points_with(bandwidth, false)
+}
+
+/// [`tradeoff_points`] with the original (buggy) HB point included when
+/// `include_buggy_hb` — labeled `HB` next to the default `HB:delayed`,
+/// strictly for illustrating the refuted claim; never let it into a
+/// frontier artifact.
+#[must_use]
+pub fn tradeoff_points_with(bandwidth: f64, include_buggy_hb: bool) -> Vec<TradeoffPoint> {
     use sb_core::config::SystemConfig;
     use sb_core::scheme::BroadcastScheme;
     use sb_core::Skyscraper;
@@ -311,10 +325,21 @@ pub fn tradeoff_points(bandwidth: f64) -> Vec<TradeoffPoint> {
         crate::lineup::SchemeId::PpbA,
         crate::lineup::SchemeId::PpbB,
         crate::lineup::SchemeId::Staggered,
+        crate::lineup::SchemeId::Harmonic,
     ] {
         if let Ok(m) = id.build().metrics(&cfg) {
             out.push(TradeoffPoint {
                 scheme: id.label(),
+                latency: m.access_latency.value(),
+                buffer_mb: m.buffer_mbytes().value(),
+                io_mbps: m.client_io_bandwidth.value(),
+            });
+        }
+    }
+    if include_buggy_hb {
+        if let Ok(m) = sb_pyramid::HarmonicBroadcasting::original().metrics(&cfg) {
+            out.push(TradeoffPoint {
+                scheme: "HB".to_string(),
                 latency: m.access_latency.value(),
                 buffer_mb: m.buffer_mbytes().value(),
                 io_mbps: m.client_io_bandwidth.value(),
@@ -514,6 +539,22 @@ mod tests {
                 assert!(dominated(pb, &points), "PB:a survives at B={b}");
             }
         }
+    }
+
+    #[test]
+    fn buggy_hb_point_stays_behind_its_flag() {
+        // The default trade-off view advertises only the delayed-fix HB
+        // point; the refuted D/N claim appears solely on explicit opt-in.
+        let default_pts = tradeoff_points(320.0);
+        assert!(default_pts.iter().any(|p| p.scheme == "HB:delayed"));
+        assert!(!default_pts.iter().any(|p| p.scheme == "HB"));
+        let with = tradeoff_points_with(320.0, true);
+        let buggy = with.iter().find(|p| p.scheme == "HB").unwrap();
+        let fixed = with.iter().find(|p| p.scheme == "HB:delayed").unwrap();
+        // The buggy point's sole advantage is the latency claim Pâris et
+        // al. refuted — half the feasible variant's.
+        assert!((2.0 * buggy.latency - fixed.latency).abs() < 1e-9);
+        assert!((buggy.buffer_mb - fixed.buffer_mb).abs() < 1e-9);
     }
 
     #[test]

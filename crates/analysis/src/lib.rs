@@ -10,6 +10,7 @@
 //! | [`tables`] | Table 1 (performance formulas, evaluated) and Table 2 (design parameters) |
 //! | [`render`] | plain-text rendering of figures/tables plus JSON export |
 //! | [`crosscheck`] | analytic-vs-simulated comparison for `EXPERIMENTS.md` |
+//! | [`frontier`] | the Pareto frontier in latency × client-I/O × buffer over a bandwidth × catalog grid, analytic and simulated |
 //! | [`ablation`] | beyond-paper studies: series shape and width sensitivity |
 //! | [`hybrid_study`] | §1's hybrid-vs-pure-batching throughput argument, measured |
 //! | [`control_study`] | static-vs-dynamic channel allocation under a popularity shift |
@@ -30,6 +31,7 @@ pub mod ablation;
 pub mod control_study;
 pub mod crosscheck;
 pub mod figures;
+pub mod frontier;
 pub mod hybrid_study;
 pub mod lineup;
 pub mod recovery_study;
@@ -43,6 +45,7 @@ pub mod tables;
 pub mod throughput;
 
 pub use figures::Figure;
+pub use frontier::{frontier_report, render_frontier, FrontierConfig, FrontierReport};
 pub use lineup::{paper_lineup, SchemeId};
 pub use runner::{Experiment, RunManifest, Runner};
 pub use sweep::{sweep_bandwidth, SweepRow};

@@ -12,8 +12,8 @@ use sb_core::scheme::BroadcastScheme;
 use sb_core::series::Width;
 use sb_core::Skyscraper;
 use sb_pyramid::{
-    FastBroadcasting, HarmonicBroadcasting, PermutationPyramid, PyramidBroadcasting,
-    StaggeredBroadcasting,
+    AdaptiveQuasiHarmonic, Ctifb, FastBroadcasting, HarmonicBroadcasting, PermutationPyramid,
+    PyramidBroadcasting, StaggeredBroadcasting,
 };
 
 /// Identifier for every scheme in the study.
@@ -37,6 +37,12 @@ pub enum SchemeId {
     /// Harmonic Broadcasting, delayed (corrected) variant — landscape
     /// context, not in the paper's figures.
     Harmonic,
+    /// Channel Transition Invariant Fast Broadcasting — successor
+    /// landscape, not in the paper's figures.
+    Ctifb,
+    /// Adaptive Quasi-Harmonic Broadcasting — successor landscape, not in
+    /// the paper's figures.
+    Aqhb,
 }
 
 impl SchemeId {
@@ -55,6 +61,8 @@ impl SchemeId {
             SchemeId::Staggered => Box::new(StaggeredBroadcasting),
             SchemeId::Fast => Box::new(FastBroadcasting),
             SchemeId::Harmonic => Box::new(HarmonicBroadcasting::delayed()),
+            SchemeId::Ctifb => Box::new(Ctifb),
+            SchemeId::Aqhb => Box::new(AdaptiveQuasiHarmonic),
         }
     }
 
@@ -71,6 +79,8 @@ impl SchemeId {
             SchemeId::Staggered => "STAG".to_string(),
             SchemeId::Fast => "FB".to_string(),
             SchemeId::Harmonic => "HB:delayed".to_string(),
+            SchemeId::Ctifb => "CTIFB".to_string(),
+            SchemeId::Aqhb => "AQHB".to_string(),
         }
     }
 }
@@ -98,12 +108,18 @@ pub fn extended_lineup() -> Vec<SchemeId> {
     v
 }
 
-/// The full 1997-98 landscape: the paper's lineup plus staggered, Fast
-/// Broadcasting and (corrected) Harmonic Broadcasting.
+/// The full landscape: the paper's lineup plus staggered, Fast
+/// Broadcasting, (corrected) Harmonic Broadcasting, and the two
+/// successors CTIFB and AQHB.
 #[must_use]
 pub fn landscape_lineup() -> Vec<SchemeId> {
     let mut v = extended_lineup();
-    v.extend([SchemeId::Fast, SchemeId::Harmonic]);
+    v.extend([
+        SchemeId::Fast,
+        SchemeId::Harmonic,
+        SchemeId::Ctifb,
+        SchemeId::Aqhb,
+    ]);
     v
 }
 
@@ -127,9 +143,11 @@ mod tests {
     #[test]
     fn landscape_extends_cleanly() {
         let ids = landscape_lineup();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 14);
         assert_eq!(ids[10].label(), "FB");
         assert_eq!(ids[11].label(), "HB:delayed");
+        assert_eq!(ids[12].label(), "CTIFB");
+        assert_eq!(ids[13].label(), "AQHB");
     }
 
     #[test]

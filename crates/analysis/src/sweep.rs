@@ -111,6 +111,20 @@ pub fn evaluate(id: SchemeId, cfg: &SystemConfig) -> Option<SchemePoint> {
             p: None,
             alpha: None,
         },
+        SchemeId::Ctifb => DesignParams {
+            k: sb_pyramid::Ctifb.channels_per_video(cfg).ok()?,
+            p: None,
+            alpha: None,
+        },
+        SchemeId::Aqhb => {
+            // K = slots; P doubles as the subslot granularity m.
+            let p = sb_pyramid::AdaptiveQuasiHarmonic.params(cfg).ok()?;
+            DesignParams {
+                k: p.n,
+                p: Some(p.m),
+                alpha: None,
+            }
+        }
     };
     Some(SchemePoint {
         id,

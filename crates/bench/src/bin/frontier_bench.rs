@@ -1,0 +1,46 @@
+//! The scheme-zoo Pareto frontier as a benchmark: every scheme (SB
+//! expanded over its candidate widths, the PB/PPB/FB/HB/CTIFB/AQHB
+//! baselines) across the paper's bandwidth × catalog grid, each point
+//! marked for dominance in latency × client-I/O × buffer both from the
+//! closed forms and from simulated sessions. Emits `BENCH_frontier.json`
+//! unless `--json` names another path.
+//!
+//! `--shards <n>` picks the per-cell shard count, `--threads <n>` the
+//! worker pool and `--agenda heap|wheel` the engine backend — the JSON
+//! artifact and stdout are byte-identical for every combination (the
+//! determinism gate `scripts/verify.sh` diffs them). `--sessions <n>`
+//! overrides the simulated arrivals per cell. Wall-clock goes to stderr.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sb_analysis::frontier::{frontier_report, render_frontier, FrontierConfig};
+
+fn main() {
+    let mut args = sb_bench::Args::parse();
+    if args.json.is_none() {
+        args.json = Some(PathBuf::from("BENCH_frontier.json"));
+    }
+    let runner = args.runner();
+    let mut cfg = FrontierConfig::paper();
+    if let Some(sessions) = args.sessions {
+        cfg.sessions = sessions;
+    }
+    let t0 = Instant::now();
+    let report = frontier_report(&cfg, args.shards, &runner);
+    let wall = t0.elapsed().as_secs_f64();
+
+    print!("{}", render_frontier(&report));
+    // Wall-clock is machine- and thread-dependent: stderr only, so
+    // stdout and the JSON artifact stay byte-identical across
+    // `--shards`, `--threads` and `--agenda`.
+    eprintln!(
+        "wall: {:.3}s at --shards {} --threads {} --agenda {}",
+        wall,
+        args.shards,
+        runner.threads(),
+        args.agenda.name(),
+    );
+    args.maybe_write_json(&report);
+    args.finish(&runner);
+}

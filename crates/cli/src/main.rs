@@ -24,19 +24,22 @@
 //!                                                       crash-recovery supervision: checkpoint,
 //!                                                       kill, restore, verify byte-identity;
 //!                                                       --mode sweep -> BENCH_recovery.json
+//! sbcast frontier --profile smoke --shards 2            the scheme-zoo Pareto frontier in
+//!                                                       latency x client I/O x buffer,
+//!                                                       analytic + simulated -> BENCH_frontier.json
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
 //! `STAG`, or `all`.
 //!
 //! The study subcommands (`sweep`, `hybrid`, `control`, `resilience`,
-//! `throughput`, `scale`, `scenario`) share one execution-flag parser:
-//! `--threads N` sizes the worker pool (must be ≥ 1; stdout and `--json`
-//! output are byte-identical for every N), `--shards N` picks the
-//! scale-out shard count (`scale` and `scenario` only; also
-//! result-invariant), `--seed` the workload seed, `--json <path>` writes
-//! the structured report, and `--manifest <path>` writes per-stage
-//! wall-clock timings.
+//! `throughput`, `scale`, `scenario`, `recovery`, `frontier`) share one
+//! execution-flag parser: `--threads N` sizes the worker pool (must be
+//! ≥ 1; stdout and `--json` output are byte-identical for every N),
+//! `--shards N` picks the scale-out shard count (`scale`, `scenario`,
+//! `recovery` and `frontier` only; also result-invariant), `--seed` the
+//! workload seed, `--json <path>` writes the structured report, and
+//! `--manifest <path>` writes per-stage wall-clock timings.
 
 #![forbid(unsafe_code)]
 
@@ -56,7 +59,7 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|recovery|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|recovery|frontier|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
@@ -69,6 +72,7 @@ fn usage() -> &'static str {
            --preset urban|rural|remote|all --profile smoke|paper\n\
            --flash-at --flash-boost\n\
            --mode run|sweep --cadence N --kills N\n\
+           --bandwidths 200,320 --catalogs 10,20 --buggy-hb yes\n\
            --chaos 'kill:1@ckpt:1;kill:0@tick:500;corrupt:1@ckpt:2'\n\
            --agenda heap|wheel --json PATH --metrics PATH --manifest PATH"
 }
@@ -239,8 +243,8 @@ struct CommonArgs {
     threads: usize,
     /// `--seed`, when given (each study applies its own default).
     seed: Option<u64>,
-    /// Shard count (validated ≥ 1; only `scale` and `scenario`
-    /// accept > 1).
+    /// Shard count (validated ≥ 1; only `scale`, `scenario`, `recovery`
+    /// and `frontier` accept > 1).
     shards: usize,
     /// Engine event-store backend (`heap` or `wheel`; results never
     /// depend on it).
@@ -288,12 +292,14 @@ impl CommonArgs {
     }
 
     /// Studies that are not sharded refuse the scale-out flag instead of
-    /// silently ignoring it; `scale` and `scenario` are the two
-    /// subcommands whose engines shard, so they skip this gate.
+    /// silently ignoring it; `scale`, `scenario`, `recovery` and
+    /// `frontier` are the subcommands whose engines shard, so they skip
+    /// this gate.
     fn reject_shards(&self, cmd: &str) -> Result<(), String> {
         if self.shards > 1 {
             return Err(format!(
-                "--shards applies only to `scale` and `scenario` (got {} for `{cmd}`)",
+                "--shards applies only to `scale`, `scenario`, `recovery` and `frontier` \
+                 (got {} for `{cmd}`)",
                 self.shards
             ));
         }
@@ -947,6 +953,69 @@ fn cmd_recovery(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The automated Pareto frontier: every scheme in the zoo (SB expanded
+/// over its candidate widths) across a bandwidth × catalog grid, each
+/// point marked for dominance in latency × client-I/O × buffer both
+/// analytically and from simulated sessions — a [`sb_analysis::frontier`]
+/// run. Writes `BENCH_frontier.json` (override with `--json`); stdout
+/// and the JSON are byte-identical for every `--shards` × `--threads` ×
+/// `--agenda` combination. Wall-clock goes to stderr.
+fn cmd_frontier(opts: &Opts) -> Result<(), String> {
+    use sb_analysis::frontier::{frontier_report, render_frontier, FrontierConfig};
+
+    let profile = opts.get_str("profile", "paper");
+    let mut cfg = match profile.as_str() {
+        "paper" => FrontierConfig::paper(),
+        "smoke" => FrontierConfig::smoke(),
+        other => {
+            return Err(format!(
+                "--profile: expected `smoke` or `paper`, got `{other}`"
+            ))
+        }
+    };
+    if let Some(spec) = opts.0.get("bandwidths") {
+        cfg.bandwidths = spec
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|_| format!("bad bandwidth `{t}`")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(spec) = opts.0.get("catalogs") {
+        cfg.catalogs = spec
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| format!("bad catalog size `{t}`"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    cfg.sessions = opts.get_usize("sessions", cfg.sessions)?;
+    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
+    cfg.include_buggy_hb = opts.get_str("buggy-hb", "no") != "no";
+
+    let common = CommonArgs::parse(opts)?;
+    cfg.seed = common.seed.unwrap_or(cfg.seed);
+    let runner = common.runner();
+    let t0 = std::time::Instant::now();
+    let report = frontier_report(&cfg, common.shards, &runner);
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", render_frontier(&report));
+    eprintln!(
+        "wall: {:.3}s at --shards {} --threads {}",
+        wall,
+        common.shards,
+        runner.threads(),
+    );
+    let path = common
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_frontier.json".to_string());
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    finish_runner(&common, &runner)
+}
+
 fn cmd_series(opts: &Opts) -> Result<(), String> {
     use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
     let budget = PhaseBudget::ExhaustiveUpTo(100_000);
@@ -1076,6 +1145,7 @@ fn main() -> ExitCode {
         "scale" => cmd_scale(&opts),
         "scenario" => cmd_scenario(&opts),
         "recovery" => cmd_recovery(&opts),
+        "frontier" => cmd_frontier(&opts),
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),

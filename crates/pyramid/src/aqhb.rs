@@ -1,0 +1,304 @@
+//! Adaptive Quasi-Harmonic Broadcasting (AQHB) — harmonic-family slot
+//! rates that are jitter-free by construction, with the slot count and
+//! subslot granularity chosen adaptively against the bandwidth budget.
+//!
+//! Plain HB's rate-`b/i` channels are *infeasible* for some arrival
+//! phases (the Pâris–Carter–Long bug; see [`crate::harmonic`]). The
+//! quasi-harmonic family repairs this on the server side: with subslot
+//! granularity `m`, channel 1 streams at the display rate `b` and channel
+//! `i ≥ 2` at
+//!
+//! ```text
+//! r_i = b·(H(i·m − 1) − H((i−1)·m − 1))        H(n) = Σ_{j≤n} 1/j
+//! ```
+//!
+//! so each channel runs *faster* than HB's `b/i` (a sum of `m` terms each
+//! `> 1/(i·m)`), its period is strictly under `i` slot times, and a
+//! receive-everything client that delays playback by one slot is
+//! jitter-free at **every** arrival phase (proved per-byte in
+//! `sb_sim::receive_all` tests). The per-video cost telescopes to
+//!
+//! ```text
+//! B(N, m) = b·(1 + H(N·m − 1) − H(m − 1))
+//! ```
+//!
+//! which at `m = 1` is the cautious-harmonic `b·(1 + H(N − 1))`, decreases
+//! strictly as `m` grows, and approaches (but never reaches) the optimal
+//! jitter-free bound `b·(1 + ln N)`. The *adaptive* part picks, for a
+//! budget of `c = B/(b·M)` display-rate units per video, the largest
+//! affordable `N ≤ MAX_SLOTS` at the finest granularity and then the
+//! coarsest `m ≤ MAX_SUBSLOTS` that still fits — maximum slots first
+//! (latency), minimum subslots second (scheduler granularity).
+//!
+//! Analytics (pinned by the closed-form table test below and exactly, per
+//! phase, in `sb_sim::receive_all`):
+//!
+//! * access latency `= 2·D/N` (wait for a channel-1 start, plus the one
+//!   slot of playback delay);
+//! * client I/O bandwidth `= b·(2 + H(N·m − 1) − H(m − 1))` (record every
+//!   channel + play);
+//! * buffer: the profile `Σ_i r_i·min(t, P_i) − b·(t − d)⁺` is the same
+//!   for every arrival phase; its exact peak over the channel-retirement
+//!   breakpoints `P_i` is the requirement ([`AdaptiveQuasiHarmonic::peak_buffer`]).
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbits, Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+use crate::harmonic::harmonic;
+
+/// Cap on AQHB's slot count, matching HB's.
+pub const MAX_SLOTS: usize = 512;
+
+/// Cap on the subslot granularity `m`.
+pub const MAX_SUBSLOTS: usize = 16;
+
+/// Adaptive Quasi-Harmonic Broadcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdaptiveQuasiHarmonic;
+
+/// The adaptive design point: `N` slots at subslot granularity `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AqhbParams {
+    /// Number of equal slots.
+    pub n: usize,
+    /// Subslot granularity.
+    pub m: usize,
+}
+
+/// Channel `i` (0-based) rate in display-rate units: channel 0 streams at
+/// `b`, channel `i ≥ 1` at `H((i+1)·m − 1) − H(i·m − 1)` times `b`.
+#[must_use]
+pub fn rate_units(i: usize, m: usize) -> f64 {
+    if i == 0 {
+        1.0
+    } else {
+        harmonic((i + 1) * m - 1) - harmonic(i * m - 1)
+    }
+}
+
+/// Per-video bandwidth in display-rate units,
+/// `B(N, m)/b = 1 + H(N·m − 1) − H(m − 1)` (the telescoped rate sum).
+#[must_use]
+pub fn bandwidth_units(n: usize, m: usize) -> f64 {
+    1.0 + harmonic(n * m - 1) - harmonic(m - 1)
+}
+
+impl AdaptiveQuasiHarmonic {
+    /// Resolve the adaptive `(N, m)` for a configuration: the largest
+    /// `N ≤ MAX_SLOTS` affordable at `m = MAX_SUBSLOTS`, then the smallest
+    /// `m` that still fits the budget at that `N`.
+    pub fn params(&self, cfg: &SystemConfig) -> Result<AqhbParams> {
+        cfg.validate()?;
+        let c = cfg.channels_ratio(); // per-video budget in units of b
+        if c < 1.0 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            });
+        }
+        let mut n = 1usize;
+        while n < MAX_SLOTS && bandwidth_units(n + 1, MAX_SUBSLOTS) <= c {
+            n += 1;
+        }
+        let m = (1..=MAX_SUBSLOTS)
+            .find(|&m| bandwidth_units(n, m) <= c)
+            .expect("bandwidth_units(n, MAX_SUBSLOTS) <= c by choice of n");
+        Ok(AqhbParams { n, m })
+    }
+
+    /// Number of equal slots at the adaptive design point.
+    pub fn slots(&self, cfg: &SystemConfig) -> Result<usize> {
+        Ok(self.params(cfg)?.n)
+    }
+
+    /// One slot's playback time, `d = D/N`.
+    pub fn slot(&self, cfg: &SystemConfig) -> Result<Minutes> {
+        Ok(Minutes(cfg.video_length.value() / self.slots(cfg)? as f64))
+    }
+
+    /// Exact peak of the (phase-invariant) buffer profile: with `u_i`
+    /// the channel rates in display-rate units and `P_i = d/u_i` the
+    /// channel periods, occupancy at `t` minutes after tune-in is
+    /// `b·(Σ_i u_i·min(t, P_i) − (t − d)⁺)` — piecewise linear, so the
+    /// peak sits at a retirement breakpoint.
+    pub fn peak_buffer(&self, cfg: &SystemConfig) -> Result<Mbits> {
+        let p = self.params(cfg)?;
+        let d = cfg.video_length.value() / p.n as f64;
+        let units: Vec<f64> = (0..p.n).map(|i| rate_units(i, p.m)).collect();
+        let periods: Vec<f64> = units.iter().map(|&u| d / u).collect();
+        let mut breakpoints: Vec<f64> = periods.clone();
+        breakpoints.push(d);
+        let total_play = p.n as f64 * d;
+        let peak = breakpoints
+            .iter()
+            .map(|&t| {
+                let received: f64 = units
+                    .iter()
+                    .zip(&periods)
+                    .map(|(&u, &pi)| u * t.min(pi))
+                    .sum();
+                let consumed = (t - d).clamp(0.0, total_play);
+                received - consumed
+            })
+            .fold(0.0f64, f64::max);
+        Ok(cfg.display_rate * Minutes(peak))
+    }
+}
+
+impl BroadcastScheme for AdaptiveQuasiHarmonic {
+    fn name(&self) -> String {
+        "AQHB".to_string()
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let p = self.params(cfg)?;
+        let slot = Minutes(cfg.video_length.value() / p.n as f64);
+        Ok(SchemeMetrics {
+            access_latency: Minutes(2.0 * slot.value()),
+            client_io_bandwidth: Mbps(cfg.display_rate.value() * (1.0 + bandwidth_units(p.n, p.m))),
+            buffer_requirement: self.peak_buffer(cfg)?,
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let p = self.params(cfg)?;
+        let slot = Minutes(cfg.video_length.value() / p.n as f64);
+        let size = cfg.display_rate * slot;
+        let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
+        let mut channels = Vec::with_capacity(cfg.num_videos * p.n);
+        for v in 0..cfg.num_videos {
+            segment_sizes.push(vec![size; p.n]);
+            for i in 0..p.n {
+                let u = rate_units(i, p.m);
+                channels.push(LogicalChannel {
+                    id: channels.len(),
+                    rate: Mbps(cfg.display_rate.value() * u),
+                    phase: Minutes(0.0),
+                    cycle: vec![ScheduledSegment {
+                        item: BroadcastItem {
+                            video: VideoId(v),
+                            segment: i,
+                        },
+                        size,
+                        // on-air time = size / (u·b) = d/u minutes.
+                        on_air: Minutes(slot.value() / u),
+                    }],
+                });
+            }
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(b: f64) -> SystemConfig {
+        SystemConfig::paper_defaults(Mbps(b))
+    }
+
+    #[test]
+    fn m_equals_one_is_cautious_harmonic() {
+        // At m = 1 the rates collapse to CHB's b, b, b/2, b/3, … and the
+        // cost to b·(1 + H(N−1)).
+        assert!((rate_units(0, 1) - 1.0).abs() < 1e-12);
+        assert!((rate_units(1, 1) - 1.0).abs() < 1e-12);
+        for i in 2..40 {
+            assert!((rate_units(i, 1) - 1.0 / i as f64).abs() < 1e-12, "i={i}");
+        }
+        for n in [2usize, 10, 100] {
+            assert!((bandwidth_units(n, 1) - (1.0 + harmonic(n - 1))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bandwidth_decreases_in_m_toward_the_optimal_bound() {
+        for n in [4usize, 30, 200] {
+            let bound = 1.0 + (n as f64).ln();
+            let mut prev = f64::INFINITY;
+            for m in 1..=MAX_SUBSLOTS {
+                let b = bandwidth_units(n, m);
+                assert!(b < prev, "B(N,m) must strictly decrease in m");
+                assert!(b > bound, "B(N,m) must stay above b(1 + ln N)");
+                prev = b;
+            }
+            // At the finest granularity the gap to optimal is small.
+            assert!(bandwidth_units(n, MAX_SUBSLOTS) - bound < 0.07, "n={n}");
+        }
+    }
+
+    #[test]
+    fn channels_outpace_harmonic_rates() {
+        // Feasibility hinges on r_i > b/i for every i ≥ 1 (period under
+        // i slot times), strict at every granularity.
+        for m in 1..=MAX_SUBSLOTS {
+            for i in 1..64 {
+                assert!(
+                    rate_units(i, m) > 1.0 / (i + 1) as f64,
+                    "m={m} i={i}: {} <= 1/{}",
+                    rate_units(i, m),
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_bandwidth_rejected() {
+        // B = 10 → c = 2/3 < 1: not even one display-rate channel.
+        let c = cfg(10.0);
+        assert!(matches!(
+            AdaptiveQuasiHarmonic.metrics(&c),
+            Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            })
+        ));
+        assert!(AdaptiveQuasiHarmonic.plan(&c).is_err());
+    }
+
+    #[test]
+    fn adaptive_params_maximize_slots_then_coarsen() {
+        let c = cfg(60.0); // c = 4 display-rate units per video
+        let p = AdaptiveQuasiHarmonic.params(&c).unwrap();
+        // N is the largest affordable at m = MAX_SUBSLOTS…
+        assert!(bandwidth_units(p.n, MAX_SUBSLOTS) <= 4.0);
+        assert!(bandwidth_units(p.n + 1, MAX_SUBSLOTS) > 4.0);
+        // …and m is the smallest that fits at that N.
+        assert!(bandwidth_units(p.n, p.m) <= 4.0);
+        if p.m > 1 {
+            assert!(bandwidth_units(p.n, p.m - 1) > 4.0);
+        }
+        // The budget is respected by the concrete plan too.
+        let plan = AdaptiveQuasiHarmonic.plan(&c).unwrap();
+        plan.validate(c.server_bandwidth).unwrap();
+    }
+
+    #[test]
+    fn closed_form_table() {
+        // Pinned design points and metrics at the paper defaults.
+        let c = cfg(60.0); // c = 4
+        let p = AdaptiveQuasiHarmonic.params(&c).unwrap();
+        let m = AdaptiveQuasiHarmonic.metrics(&c).unwrap();
+        let d = 120.0 / p.n as f64;
+        assert!((m.access_latency.value() - 2.0 * d).abs() < 1e-9);
+        let io = 1.5 * (1.0 + bandwidth_units(p.n, p.m));
+        assert!((m.client_io_bandwidth.value() - io).abs() < 1e-9);
+        // AQHB buys far more slots than staggered (K = 4 → 4 "slots") from
+        // the same budget, at bounded rates unlike HB's buggy claim.
+        assert!(p.n > 10, "N = {}", p.n);
+        // Buffer stays below the HB-style fraction of the video.
+        assert!(m.buffer_requirement.value() < c.video_size().value() * 0.45);
+        assert!(m.buffer_requirement.value() > 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Channel Transition Invariant Fast Broadcasting (CTIFB) — FB's segment
+//! layout driven by a client that never switches channels mid-reception.
+//!
+//! CTIFB keeps FB's server side — `K` display-rate channels carrying
+//! `N = 2^K − 1` equal slots, channel `i` (1-based) cycling slots
+//! `2^{i−1} … 2^i − 1` with period `2^{i−1}` slot times, all phase-aligned
+//! — but replaces FB's pick-the-latest-feasible-broadcast client with a
+//! *cycle-recording* one: tune every channel at the next slot boundary and
+//! record each for exactly one full period. Because the layout is slot
+//! aligned and fully packed, every slot then arrives as one whole
+//! contiguous reception on one channel, so the client performs exactly
+//! `K − 1` channel retirements and zero mid-reception transitions — and
+//! its reception windows `[T, T + 2^{i−1}·d)` are the *same* relative to
+//! tune-in for **every** arrival phase. That invariance property (the
+//! scheme's namesake) is pinned empirically in `sb_sim::cycle_record`,
+//! together with a demonstration that FB's latest-feasible client is
+//! *not* invariant.
+//!
+//! Analytics (cross-checked by the closed-form table test below and the
+//! phase-exact simulation in `sb_sim::cycle_record`):
+//!
+//! * `K = ⌊B/(b·M)⌋` channels per video, `N = 2^K − 1` slots of
+//!   `d = D/N` minutes;
+//! * access latency `= d = D/N` (wait for the next slot boundary);
+//! * client I/O bandwidth `= (K + 1)·b` (record all channels + play);
+//! * buffer `= 60·b·d·(N − 1)/2` Mbits — channel `i` stops after
+//!   `2^{i−1}` slots, so occupancy peaks when the widest channel retires:
+//!   `Σ_{i<K} 2^{i−1} = 2^{K−1} − 1 = (N − 1)/2` slots of data, the same
+//!   closed form as FB's worst phase but attained at *every* phase.
+
+use serde::{Deserialize, Serialize};
+use vod_units::{Mbps, Minutes};
+
+use sb_core::config::SystemConfig;
+use sb_core::error::{Result, SchemeError};
+use sb_core::plan::{BroadcastItem, ChannelPlan, LogicalChannel, ScheduledSegment, VideoId};
+use sb_core::scheme::{BroadcastScheme, SchemeMetrics};
+
+use crate::fast::MAX_K;
+
+/// Channel Transition Invariant Fast Broadcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Ctifb;
+
+impl Ctifb {
+    /// Channels per video: `K = min(⌊B/(b·M)⌋, MAX_K)`, sharing FB's cap.
+    pub fn channels_per_video(&self, cfg: &SystemConfig) -> Result<usize> {
+        cfg.validate()?;
+        let k = cfg.channels_ratio().floor() as usize;
+        if k < 1 {
+            return Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: k,
+                required: 1,
+            });
+        }
+        Ok(k.min(MAX_K))
+    }
+
+    /// Number of equal slots, `N = 2^K − 1`.
+    pub fn slots(&self, cfg: &SystemConfig) -> Result<usize> {
+        Ok((1usize << self.channels_per_video(cfg)?) - 1)
+    }
+
+    /// One slot's playback time, `d = D/N`.
+    pub fn slot(&self, cfg: &SystemConfig) -> Result<Minutes> {
+        Ok(Minutes(cfg.video_length.value() / self.slots(cfg)? as f64))
+    }
+}
+
+impl BroadcastScheme for Ctifb {
+    fn name(&self) -> String {
+        "CTIFB".to_string()
+    }
+
+    fn metrics(&self, cfg: &SystemConfig) -> Result<SchemeMetrics> {
+        let k = self.channels_per_video(cfg)?;
+        let n = (1usize << k) - 1;
+        let slot = Minutes(cfg.video_length.value() / n as f64);
+        // Exact (not worst-case) peak: the cycle-recording client's buffer
+        // profile is the same for every arrival phase, peaking at
+        // (N − 1)/2 slots of data when channel K retires.
+        let peak_slots = (n - 1) as f64 / 2.0;
+        Ok(SchemeMetrics {
+            access_latency: slot,
+            client_io_bandwidth: Mbps(cfg.display_rate.value() * (k + 1) as f64),
+            buffer_requirement: cfg.display_rate * Minutes(slot.value() * peak_slots),
+        })
+    }
+
+    fn plan(&self, cfg: &SystemConfig) -> Result<ChannelPlan> {
+        let k = self.channels_per_video(cfg)?;
+        let n = (1usize << k) - 1;
+        let slot = Minutes(cfg.video_length.value() / n as f64);
+        let size = cfg.display_rate * slot;
+        let mut segment_sizes = Vec::with_capacity(cfg.num_videos);
+        let mut channels = Vec::with_capacity(cfg.num_videos * k);
+        for v in 0..cfg.num_videos {
+            segment_sizes.push(vec![size; n]);
+            for i in 0..k {
+                let first = (1usize << i) - 1; // 0-based first slot of channel i
+                let count = 1usize << i;
+                channels.push(LogicalChannel {
+                    id: channels.len(),
+                    rate: cfg.display_rate,
+                    phase: Minutes(0.0),
+                    cycle: (0..count)
+                        .map(|j| ScheduledSegment {
+                            item: BroadcastItem {
+                                video: VideoId(v),
+                                segment: first + j,
+                            },
+                            size,
+                            on_air: slot,
+                        })
+                        .collect(),
+                });
+            }
+        }
+        Ok(ChannelPlan {
+            scheme: self.name(),
+            segment_sizes,
+            channels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FastBroadcasting;
+
+    fn cfg(b: f64) -> SystemConfig {
+        SystemConfig::paper_defaults(Mbps(b))
+    }
+
+    #[test]
+    fn closed_form_table() {
+        // (B, K, N) with the paper defaults M = 10, D = 120, b = 1.5:
+        // latency D/N, I/O (K+1)·b, buffer 60·b·d·(N−1)/2.
+        for (b, k, n) in [(30.0, 2usize, 3usize), (60.0, 4, 15), (120.0, 8, 255)] {
+            let c = cfg(b);
+            assert_eq!(Ctifb.channels_per_video(&c).unwrap(), k);
+            assert_eq!(Ctifb.slots(&c).unwrap(), n);
+            let m = Ctifb.metrics(&c).unwrap();
+            let d = 120.0 / n as f64;
+            assert!((m.access_latency.value() - d).abs() < 1e-9);
+            assert!((m.client_io_bandwidth.value() - 1.5 * (k + 1) as f64).abs() < 1e-9);
+            let buffer = 60.0 * 1.5 * d * (n - 1) as f64 / 2.0;
+            assert!((m.buffer_requirement.value() - buffer).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn insufficient_bandwidth_rejected() {
+        // B = 10 → B/(b·M) = 2/3 < 1 channel per video.
+        let c = cfg(10.0);
+        assert!(matches!(
+            Ctifb.metrics(&c),
+            Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            })
+        ));
+        assert!(Ctifb.plan(&c).is_err());
+    }
+
+    #[test]
+    fn layout_matches_fb() {
+        // Same server side as FB: only the client discipline (and hence
+        // the buffer accounting) differs.
+        let c = cfg(60.0);
+        let ours = Ctifb.plan(&c).unwrap();
+        let fb = FastBroadcasting.plan(&c).unwrap();
+        ours.validate(c.server_bandwidth).unwrap();
+        assert_eq!(ours.segment_sizes, fb.segment_sizes);
+        assert_eq!(ours.channels, fb.channels);
+        assert_eq!(ours.scheme, "CTIFB");
+    }
+
+    #[test]
+    fn buffer_equals_fb_worst_case() {
+        // CTIFB's every-phase peak is exactly FB's worst-phase closed form.
+        let c = cfg(120.0);
+        let ours = Ctifb.metrics(&c).unwrap();
+        let fb = FastBroadcasting.metrics(&c).unwrap();
+        assert!((ours.buffer_requirement.value() - fb.buffer_requirement.value()).abs() < 1e-9);
+    }
+}

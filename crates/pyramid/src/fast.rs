@@ -151,4 +151,19 @@ mod tests {
         let c = cfg(6000.0);
         assert_eq!(FastBroadcasting.channels_per_video(&c).unwrap(), MAX_K);
     }
+
+    #[test]
+    fn insufficient_bandwidth_rejected() {
+        // B = 10 → B/(b·M) = 2/3: K = 0 would make N = 2^0 − 1 = 0 and
+        // the D/N latency divide by zero. Must error, not panic/poison.
+        let c = cfg(10.0);
+        assert!(matches!(
+            FastBroadcasting.metrics(&c),
+            Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            })
+        ));
+        assert!(FastBroadcasting.plan(&c).is_err());
+    }
 }

@@ -30,6 +30,15 @@
 //!   original variant's famous correctness bug and its delayed-playback
 //!   fix (demonstrated in `sb_sim::receive_all`).
 //!
+//! …and two direct successors that close out the scheme zoo:
+//!
+//! * [`ctifb::Ctifb`] — **CTIFB**: FB's layout under a cycle-recording
+//!   client whose reception windows are identical for every arrival phase
+//!   (no mid-reception channel transitions; see `sb_sim::cycle_record`).
+//! * [`aqhb::AdaptiveQuasiHarmonic`] — **AQHB**: quasi-harmonic slot
+//!   rates, jitter-free at every phase, with `(N, m)` picked adaptively
+//!   against the budget and cost approaching the optimal `b·(1 + ln N)`.
+//!
 //! All of these implement [`sb_core::BroadcastScheme`], so they produce
 //! both analytic metrics and concrete channel plans that the simulator
 //! can execute.
@@ -46,6 +55,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod aqhb;
+pub mod ctifb;
 pub mod fast;
 pub mod geometry;
 pub mod harmonic;
@@ -53,6 +64,8 @@ pub mod pb;
 pub mod ppb;
 pub mod staggered;
 
+pub use aqhb::{AdaptiveQuasiHarmonic, AqhbParams};
+pub use ctifb::Ctifb;
 pub use fast::FastBroadcasting;
 pub use geometry::GeometricFragmentation;
 pub use harmonic::{HarmonicBroadcasting, HarmonicVariant};

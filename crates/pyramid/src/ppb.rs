@@ -125,7 +125,24 @@ impl PermutationPyramid {
             });
         }
         let x = ratio / k as f64;
-        let p = ((x - 2.0).floor() as i64).max(min_p as i64) as usize;
+        // `x` must be a finite budget above `min_p + 1` before it is
+        // floored into `P`: the old cast chain
+        // `((x - 2.0).floor() as i64).max(min_p as i64) as usize`
+        // saturated NaN to 0 and ±inf to i64::MAX, silently producing a
+        // nonsense `P` instead of a typed error at extreme configs.
+        if !x.is_finite() {
+            return Err(SchemeError::InvalidConfig {
+                what: "per-channel budget B/(b·M·K) is not finite",
+            });
+        }
+        let p = if x - 2.0 <= min_p as f64 {
+            // Clamp region: the floor would fall below the variant's
+            // minimum replication (including every x < 2, where the old
+            // floor went negative before being clamped back up).
+            min_p
+        } else {
+            (x - 2.0).floor() as usize
+        };
         let alpha = x - p as f64;
         if alpha <= 1.0 {
             return Err(SchemeError::AlphaTooSmall { alpha });
@@ -245,6 +262,36 @@ mod tests {
         assert!(PermutationPyramid::b().params(&cfg(89.0)).is_err());
         assert!(PermutationPyramid::b().params(&cfg(95.0)).is_ok());
         assert!(PermutationPyramid::a().params(&cfg(55.0)).is_err());
+    }
+
+    #[test]
+    fn clamp_boundary_resolves_to_min_p_not_wrapped() {
+        // The regression band for the old cast chain: x = B/(b·M·K) lands
+        // in (min_p + 1, min_p + 2), where `(x − 2).floor()` falls below
+        // min_p (for PPB:b it is 1 < 2). The resolved P must be exactly
+        // min_p with α = x − min_p, not a saturated/wrapped value.
+        let c = cfg(105.0); // ratio = 7 → PPB:b K = 2, x = 3.5
+        let p = PermutationPyramid::b().params(&c).unwrap();
+        assert_eq!(p.k, 2);
+        assert_eq!(p.p, 2);
+        assert!((p.alpha - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_budget_errors_instead_of_degenerating() {
+        // x = 2 exactly for PPB:a (B = 60 → ratio 4 → K = 2, x = 2):
+        // P clamps to min_p = 1 and α = 1, which must surface as
+        // AlphaTooSmall — never a panic or a wrapped parameter.
+        assert!(matches!(
+            PermutationPyramid::a().params(&cfg(60.0)),
+            Err(SchemeError::AlphaTooSmall { .. })
+        ));
+        // A non-finite budget is rejected before any cast can saturate.
+        let mut c = cfg(320.0);
+        c.server_bandwidth = Mbps(f64::NAN);
+        assert!(PermutationPyramid::a().params(&c).is_err());
+        c.server_bandwidth = Mbps(f64::INFINITY);
+        assert!(PermutationPyramid::a().params(&c).is_err());
     }
 
     #[test]

@@ -133,6 +133,21 @@ mod tests {
     }
 
     #[test]
+    fn insufficient_bandwidth_rejected() {
+        // B = 10 → B/(b·M) = 2/3: K = 0 would make the D/K latency divide
+        // by zero. Must error, not panic/poison.
+        let c = SystemConfig::paper_defaults(Mbps(10.0));
+        assert!(matches!(
+            StaggeredBroadcasting.metrics(&c),
+            Err(SchemeError::InsufficientBandwidth {
+                channels_per_video: 0,
+                required: 1,
+            })
+        ));
+        assert!(StaggeredBroadcasting.plan(&c).is_err());
+    }
+
+    #[test]
     fn worst_wait_matches_plan_gap() {
         // The analytic latency equals the largest gap between consecutive
         // starts of the same video in the plan.

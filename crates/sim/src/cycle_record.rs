@@ -1,0 +1,254 @@
+//! CTIFB's cycle-recording client — and the channel-transition invariance
+//! property that names the scheme.
+//!
+//! Against a slot-aligned, fully-packed, phase-zero plan (FB's layout,
+//! reused verbatim by CTIFB), the client tunes **every** channel at the
+//! next slot boundary `T` after arrival and records each channel `i` for
+//! exactly one full period `[T, T + 2^{i−1}·d)`. Because slot boundaries,
+//! channel phases and periods are all multiples of `d`, every slot then
+//! arrives as **one whole contiguous reception** on one channel — no
+//! broadcast is ever caught mid-slot, so the client performs zero
+//! mid-reception channel transitions and its per-channel recording
+//! windows have the *same* bounds relative to `T` for every arrival
+//! phase. Contrast FB's latest-feasible client, whose set of reception
+//! intervals per channel depends on the tune-in phase (demonstrated in
+//! the tests below).
+//!
+//! Playback starts at `T` itself: slot `s` (1-based) lives on channel
+//! `i = ⌊log₂ s⌋ + 1` whose period is `2^{i−1} ≤ s` slots, so its single
+//! reception begins no later than `T + (s − 1)·d` — the slot's own
+//! playback deadline. The resulting buffer profile is *exactly* phase
+//! invariant and peaks at `(N − 1)/2` slots of data when the widest
+//! channel retires, which is precisely `sb_pyramid::Ctifb`'s analytic
+//! buffer requirement (pinned to equality, not just bounded, below).
+
+use vod_units::{Mbits, Mbps, Minutes};
+
+use sb_core::plan::{BroadcastItem, ChannelPlan, PlanIndex, VideoId};
+
+use crate::policy::PolicyError;
+use crate::trace::{Reception, SessionTrace};
+
+/// Build the cycle-recording session: tune every channel at the next
+/// broadcast start of segment 0 after `arrival`, record each carrier for
+/// one full cycle, and play from the tune-in point.
+///
+/// Each segment must be carried by a channel whose next broadcast at or
+/// after tune-in is a whole contiguous slot (true for the slot-aligned
+/// FB/CTIFB layouts; the caller's plan is trusted, the trace's
+/// `validate`/jitter checks catch misuse).
+pub fn record_cycles(
+    plan: &ChannelPlan,
+    video: VideoId,
+    arrival: Minutes,
+    display_rate: Mbps,
+) -> Result<SessionTrace, PolicyError> {
+    record_cycles_indexed(&plan.index(), video, arrival, display_rate)
+}
+
+/// [`record_cycles`] against a prebuilt carrier index — bit-identical
+/// output; use when scheduling many sessions against one plan.
+pub fn record_cycles_indexed(
+    index: &PlanIndex<'_>,
+    video: VideoId,
+    arrival: Minutes,
+    display_rate: Mbps,
+) -> Result<SessionTrace, PolicyError> {
+    let sizes = index
+        .plan()
+        .segment_sizes
+        .get(video.0)
+        .ok_or(PolicyError::UnknownVideo(video))?
+        .clone();
+    let first = BroadcastItem { video, segment: 0 };
+    let tune_in = index
+        .carriers(first)
+        .iter()
+        .map(|occ| index.next_start(occ, arrival))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        .ok_or(PolicyError::MissingSegment(0))?;
+
+    let mut receptions = Vec::with_capacity(sizes.len());
+    for (segment, &size) in sizes.iter().enumerate() {
+        let item = BroadcastItem { video, segment };
+        let occ = index
+            .carriers(item)
+            .first()
+            .ok_or(PolicyError::MissingSegment(segment))?;
+        let ch = index.channel(occ);
+        let start = index.next_start(occ, tune_in);
+        receptions.push(Reception {
+            segment,
+            channel: ch.id,
+            start,
+            duration: (size / ch.rate).to_minutes(),
+            rate: ch.rate,
+            content_offset: Mbits(0.0),
+            size,
+        });
+    }
+    Ok(SessionTrace {
+        arrival,
+        playback_start: tune_in,
+        display_rate,
+        segment_sizes: sizes,
+        receptions,
+    })
+}
+
+/// Per-channel recording windows of a trace: for each channel with at
+/// least one reception, `(channel, window start, window end)` of the
+/// union of its reception intervals — plus whether that union is one
+/// contiguous interval. The invariance property says: under
+/// [`record_cycles`] every channel's union is contiguous, starts at the
+/// tune-in point, and spans exactly one channel period, for **every**
+/// arrival phase.
+#[must_use]
+pub fn channel_windows(trace: &SessionTrace) -> Vec<(usize, Minutes, Minutes, bool)> {
+    let mut by_channel: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+    for rec in &trace.receptions {
+        let iv = (rec.start.value(), rec.end().value());
+        match by_channel.iter_mut().find(|(c, _)| *c == rec.channel) {
+            Some((_, ivs)) => ivs.push(iv),
+            None => by_channel.push((rec.channel, vec![iv])),
+        }
+    }
+    by_channel
+        .into_iter()
+        .map(|(channel, mut ivs)| {
+            ivs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let contiguous = ivs.windows(2).all(|w| (w[0].1 - w[1].0).abs() < 1e-9);
+            let start = ivs.first().expect("non-empty").0;
+            let end = ivs.last().expect("non-empty").1;
+            (channel, Minutes(start), Minutes(end), contiguous)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{schedule_client, ClientPolicy};
+    use crate::trace::{ClientModel, CycleRecordingClient};
+    use sb_core::config::SystemConfig;
+    use sb_core::scheme::BroadcastScheme;
+    use sb_pyramid::{Ctifb, FastBroadcasting};
+
+    fn setup(b: f64) -> (SystemConfig, sb_core::plan::ChannelPlan, Minutes) {
+        let cfg = SystemConfig::paper_defaults(vod_units::Mbps(b));
+        let plan = Ctifb.plan(&cfg).unwrap();
+        let slot = Ctifb.slot(&cfg).unwrap();
+        (cfg, plan, slot)
+    }
+
+    #[test]
+    fn jitter_free_whole_slot_receptions_at_every_phase() {
+        // K = 4, N = 15. Every reception is a whole slot delivered
+        // contiguously on one channel, on time, at every arrival phase.
+        let (cfg, plan, slot) = setup(60.0);
+        for i in 0..96 {
+            let arrival = Minutes(slot.value() * i as f64 / 96.0 * 17.0);
+            let t = record_cycles(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
+            t.validate(&plan).unwrap();
+            assert!(t.is_jitter_free(1e-9), "arrival {arrival}");
+            assert_eq!(t.receptions.len(), 15);
+            for rec in &t.receptions {
+                assert!((rec.duration.value() - slot.value()).abs() < 1e-9);
+                assert_eq!(rec.content_offset, Mbits(0.0));
+            }
+            // Latency never exceeds one slot.
+            assert!(t.startup_latency().value() <= slot.value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn recording_windows_are_phase_invariant() {
+        // The namesake property: channel i's recording window is exactly
+        // [T, T + 2^i·d) relative to tune-in, for every arrival phase —
+        // one contiguous interval per channel, K − 1 channel retirements,
+        // zero mid-reception transitions.
+        let (cfg, plan, slot) = setup(60.0);
+        for i in 0..64 {
+            let arrival = Minutes(slot.value() * i as f64 / 64.0 * 23.0);
+            let t = record_cycles(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
+            let tune_in = t.playback_start.value();
+            let mut windows = channel_windows(&t);
+            windows.sort_by_key(|w| w.0);
+            assert_eq!(windows.len(), 4);
+            for (idx, (_, start, end, contiguous)) in windows.iter().enumerate() {
+                assert!(contiguous, "channel {idx} split its window");
+                assert!((start.value() - tune_in).abs() < 1e-9);
+                let period = slot.value() * (1 << idx) as f64;
+                assert!(
+                    (end.value() - tune_in - period).abs() < 1e-9,
+                    "channel {idx} window length"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fb_latest_feasible_is_not_invariant() {
+        // The contrast: FB's pick-the-latest-broadcast client re-tunes
+        // channels at phase-dependent times, so at some arrival phases a
+        // channel's receptions do not form one contiguous window anchored
+        // at the session start.
+        let (cfg, _, slot) = setup(60.0);
+        let plan = FastBroadcasting.plan(&cfg).unwrap();
+        let mut anchored_everywhere = true;
+        for i in 0..64 {
+            let arrival = Minutes(slot.value() * i as f64 / 64.0 * 23.0);
+            let s = schedule_client(
+                &plan,
+                VideoId(0),
+                arrival,
+                cfg.display_rate,
+                ClientPolicy::LatestFeasible,
+            )
+            .unwrap();
+            let t = s.trace();
+            let tune_in = t.playback_start.value();
+            for (_, start, _, contiguous) in channel_windows(&t) {
+                if !contiguous || (start.value() - tune_in).abs() > 1e-9 {
+                    anchored_everywhere = false;
+                }
+            }
+        }
+        assert!(
+            !anchored_everywhere,
+            "FB's latest-feasible client should depend on the arrival phase"
+        );
+    }
+
+    #[test]
+    fn peak_buffer_equals_analytic_at_every_phase() {
+        // Stronger than FB's worst-case bound: CTIFB's buffer profile is
+        // the *same* for every phase, so the simulated peak equals the
+        // analytic closed form exactly (not merely respects it).
+        for b in [30.0, 60.0, 120.0] {
+            let cfg = SystemConfig::paper_defaults(vod_units::Mbps(b));
+            let plan = Ctifb.plan(&cfg).unwrap();
+            let slot = Ctifb.slot(&cfg).unwrap();
+            let analytic = Ctifb.metrics(&cfg).unwrap().buffer_requirement.value();
+            for i in 0..48 {
+                let arrival = Minutes(slot.value() * i as f64 / 48.0 * 11.0);
+                let t = record_cycles(&plan, VideoId(0), arrival, cfg.display_rate).unwrap();
+                let peak = t.peak_buffer().value();
+                assert!(
+                    (peak - analytic).abs() < 1e-6 * analytic.max(1.0),
+                    "B={b} arrival {arrival}: peak {peak} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn client_model_wires_through() {
+        let (cfg, plan, _) = setup(60.0);
+        let direct = record_cycles(&plan, VideoId(0), Minutes(3.3), cfg.display_rate).unwrap();
+        let via_model = CycleRecordingClient
+            .session(&plan, VideoId(0), Minutes(3.3), cfg.display_rate)
+            .unwrap();
+        assert_eq!(direct, via_model);
+    }
+}

@@ -28,6 +28,7 @@
 //! | [`policy`] | per-scheme client policies (latest-feasible, PB's eager prefetch, live) |
 //! | [`pausing`] | PPB's "max-saving" mid-broadcast-retuning client |
 //! | [`receive_all`] | Harmonic Broadcasting's record-everything client (and its famous bug) |
+//! | [`cycle_record`] | CTIFB's cycle-recording client and its channel-transition invariance property |
 //! | [`faults`] | broadcast-loss injection and stall accounting over traces |
 //! | [`sink`] | the [`sink::TraceSink`] streaming fold: aggregate populations without retaining traces |
 //! | [`system`] | many-client system simulation driven by the engine, generic over client models |
@@ -67,6 +68,7 @@
 
 pub mod agenda;
 pub mod checkpoint;
+pub mod cycle_record;
 pub mod e2e;
 pub mod engine;
 pub mod faults;
@@ -85,6 +87,7 @@ pub use agenda::{Agenda, AgendaEntry, AgendaKind, HeapAgenda, MinQueue, WheelAge
 pub use checkpoint::{
     decode_state, CheckpointError, CheckpointState, Killed, Probe, ShardCrash, ShardRun, Verdict,
 };
+pub use cycle_record::{channel_windows, record_cycles};
 pub use e2e::{replay, E2eReport, PacketConfig};
 pub use engine::{Engine, EngineStats, EventId, FrozenEngine};
 pub use faults::{
@@ -100,5 +103,6 @@ pub use shard::{merge_shard_runs, plan_shards, shard_of, ShardSlice};
 pub use sink::{CollectTraces, FoldState, NullSink, SessionSummary, StreamingFold, TraceSink};
 pub use system::{Request, SystemReport, SystemSim};
 pub use trace::{
-    ClientModel, PausingClient, Reception, RecordingClient, SessionTrace, TraceViolation,
+    ClientModel, CycleRecordingClient, PausingClient, Reception, RecordingClient, SessionTrace,
+    TraceViolation,
 };

@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize};
 use vod_units::{Mbps, Minutes};
 
-use sb_core::plan::{BroadcastItem, ChannelPlan, VideoId};
+use sb_core::plan::{BroadcastItem, ChannelPlan, PlanIndex, VideoId};
 
 use crate::schedule::{ClientSchedule, Download};
 
@@ -87,6 +87,10 @@ impl std::error::Error for PolicyError {}
 /// Compute a complete client session: arrival at `arrival`, watching
 /// `video` from `plan`, consuming at `display_rate`, catching broadcasts
 /// according to `policy`.
+///
+/// Builds a throwaway [`PlanIndex`] — callers scheduling many sessions
+/// against one plan (the simulator does) should build the index once and
+/// use [`schedule_client_indexed`].
 pub fn schedule_client(
     plan: &ChannelPlan,
     video: VideoId,
@@ -94,6 +98,19 @@ pub fn schedule_client(
     display_rate: Mbps,
     policy: ClientPolicy,
 ) -> Result<ClientSchedule, PolicyError> {
+    schedule_client_indexed(&plan.index(), video, arrival, display_rate, policy)
+}
+
+/// [`schedule_client`] against a prebuilt carrier index — bit-identical
+/// output, lookup cost proportional to the answer instead of the plan.
+pub fn schedule_client_indexed(
+    index: &PlanIndex<'_>,
+    video: VideoId,
+    arrival: Minutes,
+    display_rate: Mbps,
+    policy: ClientPolicy,
+) -> Result<ClientSchedule, PolicyError> {
+    let plan = index.plan();
     let sizes = plan
         .segment_sizes
         .get(video.0)
@@ -103,7 +120,7 @@ pub fn schedule_client(
     // Playback start: earliest catchable broadcast of segment 0.
     let first = BroadcastItem { video, segment: 0 };
     let (first_ch, first_start) =
-        earliest_start(plan, first, arrival).ok_or(PolicyError::MissingSegment(0))?;
+        earliest_start(index, first, arrival).ok_or(PolicyError::MissingSegment(0))?;
 
     let mut sched = ClientSchedule {
         arrival,
@@ -120,8 +137,20 @@ pub fn schedule_client(
         size: sizes[0],
     });
 
+    // Running playback-time prefixes — the same left-to-right summation
+    // `ClientSchedule::playback_start_of` performs, kept incrementally so
+    // the per-segment deadline is O(1) instead of O(segment).
+    let durs: Vec<f64> = sizes
+        .iter()
+        .map(|&s| (s / display_rate).to_minutes().value())
+        .collect();
+    let b = display_rate.value();
+    let mut prefix = 0.0f64; // Σ durs[j] for j < segment (updated below)
     #[allow(clippy::needless_range_loop)] // `segment` is an identifier, not just an index
     for segment in 1..sizes.len() {
+        let prefix_prev = prefix; // Σ_{j < segment−1}
+        prefix += durs[segment - 1]; // Σ_{j < segment}
+        let pb = sched.playback_start.value() + prefix;
         let item = BroadcastItem { video, segment };
         let pick = match policy {
             ClientPolicy::LatestFeasible => {
@@ -129,9 +158,16 @@ pub fn schedule_client(
                 // arrival and (b) meets the segment's delivery deadline,
                 // accounting for the channel's rate.
                 let mut best: Option<(usize, Minutes)> = None;
-                for ch in plan.channels_for(item) {
-                    let deadline = sched.required_start(segment, ch.rate);
-                    if let Some(s) = ch.prev_start_of(item, deadline) {
+                for occ in index.carriers(item) {
+                    let ch = index.channel(occ);
+                    // `ClientSchedule::required_start(segment, ch.rate)`.
+                    let r = ch.rate.value();
+                    let deadline = if r >= b {
+                        Minutes(pb)
+                    } else {
+                        Minutes(pb + durs[segment] * (1.0 - b / r))
+                    };
+                    if let Some(s) = index.prev_start(occ, deadline) {
                         if s.value() >= arrival.value() - 1e-9 && best.is_none_or(|(_, b)| s > b) {
                             best = Some((ch.id, s));
                         }
@@ -142,8 +178,8 @@ pub fn schedule_client(
             ClientPolicy::PbEarliest => {
                 // Earliest broadcast at or after the previous segment's
                 // playback begins.
-                let after = sched.playback_start_of(segment - 1);
-                earliest_start(plan, item, after)
+                let after = Minutes(sched.playback_start.value() + prefix_prev);
+                earliest_start(index, item, after)
             }
         };
         let (ch_id, start) = pick.ok_or(PolicyError::NoFeasibleBroadcast { segment })?;
@@ -160,13 +196,16 @@ pub fn schedule_client(
 
 /// The earliest broadcast start of `item` at or after `t`, over all
 /// carrying channels. Returns `(channel id, start)`.
-fn earliest_start(plan: &ChannelPlan, item: BroadcastItem, t: Minutes) -> Option<(usize, Minutes)> {
+fn earliest_start(
+    index: &PlanIndex<'_>,
+    item: BroadcastItem,
+    t: Minutes,
+) -> Option<(usize, Minutes)> {
     let mut best: Option<(usize, Minutes)> = None;
-    for ch in plan.channels_for(item) {
-        if let Some(s) = ch.next_start_of(item, t) {
-            if best.is_none_or(|(_, b)| s < b) {
-                best = Some((ch.id, s));
-            }
+    for occ in index.carriers(item) {
+        let s = index.next_start(occ, t);
+        if best.is_none_or(|(_, b)| s < b) {
+            best = Some((index.channel(occ).id, s));
         }
     }
     best
@@ -183,10 +222,11 @@ pub fn empirical_worst_latency(
     horizon: Minutes,
     n: usize,
 ) -> Result<Minutes, PolicyError> {
+    let index = plan.index();
     let mut worst = Minutes(0.0);
     for i in 0..n {
         let arrival = Minutes(horizon.value() * (i as f64 + 0.37) / n as f64);
-        let s = schedule_client(plan, video, arrival, display_rate, policy)?;
+        let s = schedule_client_indexed(&index, video, arrival, display_rate, policy)?;
         worst = worst.max(s.startup_latency());
     }
     Ok(worst)

@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 use vod_units::{MBytes, Mbits, Mbps, Minutes};
 
-use sb_core::plan::{BroadcastItem, ChannelPlan, VideoId};
+use sb_core::plan::{BroadcastItem, ChannelPlan, PlanIndex, VideoId};
 
 use crate::policy::PolicyError;
 use crate::trace::{Reception, SessionTrace};
@@ -172,27 +172,41 @@ pub fn record_all(
     display_rate: Mbps,
     playback_delay: Minutes,
 ) -> Result<RecordingSchedule, PolicyError> {
+    record_all_indexed(&plan.index(), video, arrival, display_rate, playback_delay)
+}
+
+/// [`record_all`] against a prebuilt carrier index — bit-identical
+/// output; use when scheduling many sessions against one plan.
+pub fn record_all_indexed(
+    index: &PlanIndex<'_>,
+    video: VideoId,
+    arrival: Minutes,
+    display_rate: Mbps,
+    playback_delay: Minutes,
+) -> Result<RecordingSchedule, PolicyError> {
+    let plan = index.plan();
     let sizes = plan
         .segment_sizes
         .get(video.0)
         .ok_or(PolicyError::UnknownVideo(video))?
         .clone();
     let first = BroadcastItem { video, segment: 0 };
-    let carriers = plan.channels_for(first);
-    let tune_in = carriers
+    let tune_in = index
+        .carriers(first)
         .iter()
-        .filter_map(|c| c.next_start_of(first, arrival))
+        .map(|occ| index.next_start(occ, arrival))
         .min_by(|a, b| a.partial_cmp(b).expect("finite"))
         .ok_or(PolicyError::MissingSegment(0))?;
 
     let mut recordings = Vec::with_capacity(sizes.len());
     for (segment, &size) in sizes.iter().enumerate() {
         let item = BroadcastItem { video, segment };
-        let carriers = plan.channels_for(item);
-        let ch = *carriers
+        let occ = index
+            .carriers(item)
             .first()
             .ok_or(PolicyError::MissingSegment(segment))?;
-        let period = ch.period();
+        let ch = index.channel(occ);
+        let period = index.period(occ);
         let phase = (tune_in.value() - ch.phase.value()).rem_euclid(period.value());
         recordings.push(Recording {
             segment,
@@ -301,6 +315,56 @@ mod tests {
         .unwrap();
         let h30 = sb_pyramid::harmonic::harmonic(30);
         assert!((s.total_receive_rate().value() - 1.5 * h30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aqhb_is_jitter_free_at_every_phase_without_hb_luck() {
+        // AQHB's quasi-harmonic rates outpace b/i on every channel, so —
+        // unlike original HB — a one-slot playback delay is jitter-free
+        // at *every* tune-in phase, by construction rather than by phase.
+        let cfg = SystemConfig::paper_defaults(vod_units::Mbps(60.0));
+        let scheme = sb_pyramid::AdaptiveQuasiHarmonic;
+        let plan = scheme.plan(&cfg).unwrap();
+        let slot = scheme.slot(&cfg).unwrap();
+        for i in 0..96 {
+            let arrival = Minutes(slot.value() * i as f64 / 96.0 * 13.0);
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
+            assert!(
+                s.is_jitter_free(1e-6),
+                "arrival {arrival}: shortfall {}",
+                s.worst_shortfall()
+            );
+            // Every channel retires within one slot of its segment's
+            // playback start: period_i < i·d.
+            for (idx, r) in s.recordings.iter().enumerate() {
+                assert!(
+                    r.period.value() < (idx + 1) as f64 * slot.value() + 1e-9,
+                    "segment {idx} period {}",
+                    r.period
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aqhb_peak_buffer_equals_analytic_at_every_phase() {
+        // The receive-everything buffer profile depends only on time since
+        // tune-in (each channel contributes rate·min(t, period) regardless
+        // of its phase), so the simulated peak *equals* the analytic one.
+        let cfg = SystemConfig::paper_defaults(vod_units::Mbps(60.0));
+        let scheme = sb_pyramid::AdaptiveQuasiHarmonic;
+        let plan = scheme.plan(&cfg).unwrap();
+        let slot = scheme.slot(&cfg).unwrap();
+        let analytic = scheme.peak_buffer(&cfg).unwrap().value();
+        for i in 0..48 {
+            let arrival = Minutes(slot.value() * i as f64 / 48.0 * 9.0);
+            let s = record_all(&plan, VideoId(0), arrival, cfg.display_rate, slot).unwrap();
+            let peak = s.peak_buffer().value();
+            assert!(
+                (peak - analytic).abs() < 1e-6 * analytic,
+                "arrival {arrival}: peak {peak} vs analytic {analytic}"
+            );
+        }
     }
 
     #[test]

@@ -198,9 +198,20 @@ impl<'a> SystemSim<'a> {
     ) -> Result<(SystemReport, crate::engine::EngineStats), PolicyError> {
         let mut engine: Engine<Ev> = Engine::with_agenda(agenda);
         self.schedule_arrivals(&mut engine, requests);
+        let index = self.plan.index();
         let mut state = CoreState::new();
         engine.run(|eng, at, ev| {
-            self.handle_event(&mut state, eng, at, ev, requests, rec, sink, &mut capture);
+            self.handle_event(
+                &mut state,
+                eng,
+                at,
+                ev,
+                &index,
+                requests,
+                rec,
+                sink,
+                &mut capture,
+            );
         });
         let stats = engine.stats();
         finish_core(state, stats, rec)
@@ -230,6 +241,7 @@ impl<'a> SystemSim<'a> {
         eng: &mut Engine<Ev>,
         at: Ticks,
         ev: Ev,
+        index: &sb_core::plan::PlanIndex<'_>,
         requests: &[Request],
         rec: &mut dyn Recorder,
         sink: &mut dyn TraceSink,
@@ -243,7 +255,7 @@ impl<'a> SystemSim<'a> {
                 let r = requests[pos];
                 match self
                     .model
-                    .session(self.plan, r.video, r.at, self.display_rate)
+                    .session_indexed(index, r.video, r.at, self.display_rate)
                 {
                     Ok(s) => {
                         sink.accept(&s);
@@ -345,6 +357,7 @@ impl<'a> SystemSim<'a> {
                     )
                 }
             };
+        let index = self.plan.index();
         let mut checkpoints_taken = 0u64;
         while let Some((at, ev)) = engine.next() {
             if let Verdict::Kill = probe(Probe::Event { tick: at.0 }) {
@@ -356,6 +369,7 @@ impl<'a> SystemSim<'a> {
                 &mut engine,
                 at,
                 ev,
+                &index,
                 requests,
                 &mut reg,
                 &mut fold,

@@ -31,11 +31,12 @@
 use serde::{Deserialize, Serialize};
 use vod_units::{MBytes, Mbits, Mbps, Minutes};
 
-use sb_core::plan::{ChannelPlan, VideoId};
+use sb_core::plan::{ChannelPlan, PlanIndex, VideoId};
 
+use crate::cycle_record::{record_cycles, record_cycles_indexed};
 use crate::pausing::schedule_pausing_client;
-use crate::policy::{schedule_client, ClientPolicy, PolicyError};
-use crate::receive_all::record_all;
+use crate::policy::{schedule_client, schedule_client_indexed, ClientPolicy, PolicyError};
+use crate::receive_all::{record_all, record_all_indexed};
 
 /// One contiguous constant-rate delivery of part of a segment.
 ///
@@ -125,6 +126,35 @@ impl SessionTrace {
         Minutes(self.playback_start.value() - self.arrival.value())
     }
 
+    /// Running prefix of segment playback durations: entry `i` is the
+    /// offset of segment `i`'s playback start from `playback_start`.
+    /// Built with the same left-fold as [`SessionTrace::playback_start_of`]
+    /// so the two agree bit-for-bit; lets the per-reception checks below
+    /// run in linear rather than quadratic time.
+    fn playback_prefix(&self) -> Vec<f64> {
+        let mut prefix = Vec::with_capacity(self.segment_sizes.len() + 1);
+        let mut acc = 0.0f64;
+        prefix.push(acc);
+        for j in 0..self.segment_sizes.len() {
+            acc += self.segment_duration(j).value();
+            prefix.push(acc);
+        }
+        prefix
+    }
+
+    fn required_start_with(&self, prefix: &[f64], i: usize) -> Minutes {
+        let rec = &self.receptions[i];
+        let b = self.display_rate.value() * 60.0; // Mbits per minute
+        let r = rec.rate.value() * 60.0;
+        let first_byte =
+            self.playback_start.value() + prefix[rec.segment] + rec.content_offset.value() / b;
+        if r >= b {
+            Minutes(first_byte)
+        } else {
+            Minutes(first_byte + rec.size.value() * (1.0 / b - 1.0 / r))
+        }
+    }
+
     /// The latest start for reception `i` that still delivers every byte
     /// on time. Byte `x` of the interval (content offset `o + x`) arrives
     /// at `start + x/r` and is consumed at `pb + (o + x)/b`, so the
@@ -132,16 +162,7 @@ impl SessionTrace {
     /// when `r ≥ b` and at `x = size` when `r < b`.
     #[must_use]
     pub fn required_start(&self, i: usize) -> Minutes {
-        let rec = &self.receptions[i];
-        let b = self.display_rate.value() * 60.0; // Mbits per minute
-        let r = rec.rate.value() * 60.0;
-        let first_byte =
-            self.playback_start_of(rec.segment).value() + rec.content_offset.value() / b;
-        if r >= b {
-            Minutes(first_byte)
-        } else {
-            Minutes(first_byte + rec.size.value() * (1.0 / b - 1.0 / r))
-        }
+        self.required_start_with(&self.playback_prefix(), i)
     }
 
     /// How late the most-delayed byte of the whole session arrives, in
@@ -150,10 +171,11 @@ impl SessionTrace {
     /// session maximum is `max_i (start_i − required_start(i))`.
     #[must_use]
     pub fn worst_lateness(&self) -> f64 {
+        let prefix = self.playback_prefix();
         self.receptions
             .iter()
             .enumerate()
-            .map(|(i, rec)| rec.start.value() - self.required_start(i).value())
+            .map(|(i, rec)| rec.start.value() - self.required_start_with(&prefix, i).value())
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -161,14 +183,15 @@ impl SessionTrace {
     /// latest jitter-free start.
     #[must_use]
     pub fn violations(&self, tol: f64) -> Vec<TraceViolation> {
+        let prefix = self.playback_prefix();
         let mut out = Vec::new();
         for (i, rec) in self.receptions.iter().enumerate() {
-            let required = self.required_start(i);
+            let required = self.required_start_with(&prefix, i);
             if rec.start.value() > required.value() + tol {
                 out.push(TraceViolation {
                     reception: i,
                     segment: rec.segment,
-                    playback_start: self.playback_start_of(rec.segment),
+                    playback_start: Minutes(self.playback_start.value() + prefix[rec.segment]),
                     required_start: required,
                     actual_start: rec.start,
                 });
@@ -238,7 +261,9 @@ impl SessionTrace {
     /// (reception starts/ends, playback start/end).
     #[must_use]
     pub fn buffer_profile(&self) -> Vec<(Minutes, Mbits)> {
-        let mut points: Vec<f64> = vec![self.playback_start.value(), self.playback_end().value()];
+        let play_start = self.playback_start.value();
+        let play_end = self.playback_end().value();
+        let mut points: Vec<f64> = vec![play_start, play_end];
         for rec in &self.receptions {
             points.push(rec.start.value());
             points.push(rec.end().value());
@@ -246,26 +271,44 @@ impl SessionTrace {
         points.sort_by(f64::total_cmp);
         points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
+        // One sweep over rate-change events instead of re-integrating every
+        // reception at every breakpoint: the aggregate receive rate is
+        // piecewise constant, so `received` advances by `rate · Δt` between
+        // consecutive event/breakpoint times.
+        let mut events: Vec<(f64, f64)> = Vec::with_capacity(self.receptions.len() * 2);
+        for rec in &self.receptions {
+            let r = rec.rate.value() * 60.0; // Mbits per minute
+            events.push((rec.start.value(), r));
+            events.push((rec.end().value(), -r));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+
         let total: f64 = self.segment_sizes.iter().map(|s| s.value()).sum();
-        points
-            .iter()
-            .map(|&t| {
-                let received: f64 = self
-                    .receptions
-                    .iter()
-                    .map(|rec| {
-                        let active = (t - rec.start.value()).clamp(0.0, rec.duration.value());
-                        rec.rate.value() * active * 60.0
-                    })
-                    .sum();
-                let played = (t - self.playback_start.value()).clamp(
-                    0.0,
-                    self.playback_end().value() - self.playback_start.value(),
-                );
-                let consumed = (self.display_rate.value() * played * 60.0).min(total);
-                (Minutes(t), Mbits((received - consumed).max(0.0)))
-            })
-            .collect()
+        let mut out = Vec::with_capacity(points.len());
+        let mut received = 0.0f64;
+        let mut rate = 0.0f64;
+        let mut cursor = points.first().copied().unwrap_or(0.0);
+        let mut next_event = 0usize;
+        for &t in &points {
+            while next_event < events.len() && events[next_event].0 <= t {
+                let (et, dr) = events[next_event];
+                let et = et.max(cursor);
+                if et > cursor {
+                    received += rate * (et - cursor);
+                    cursor = et;
+                }
+                rate += dr;
+                next_event += 1;
+            }
+            if t > cursor {
+                received += rate * (t - cursor);
+                cursor = t;
+            }
+            let played = (t - play_start).clamp(0.0, play_end - play_start);
+            let consumed = (self.display_rate.value() * played * 60.0).min(total);
+            out.push((Minutes(t), Mbits((received - consumed).max(0.0))));
+        }
+        out
     }
 
     /// Peak of the buffer-occupancy curve.
@@ -354,6 +397,20 @@ pub trait ClientModel: Sync {
         arrival: Minutes,
         display_rate: Mbps,
     ) -> Result<SessionTrace, PolicyError>;
+
+    /// [`ClientModel::session`] against a prebuilt [`PlanIndex`] — same
+    /// trace, bit for bit. The engine builds the index once per run and
+    /// calls this for every arrival; models with an indexed scheduler
+    /// override it, everything else falls back to the scanning path.
+    fn session_indexed(
+        &self,
+        index: &PlanIndex<'_>,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        self.session(index.plan(), video, arrival, display_rate)
+    }
 }
 
 impl<M: ClientModel + ?Sized> ClientModel for &M {
@@ -365,6 +422,16 @@ impl<M: ClientModel + ?Sized> ClientModel for &M {
         display_rate: Mbps,
     ) -> Result<SessionTrace, PolicyError> {
         (**self).session(plan, video, arrival, display_rate)
+    }
+
+    fn session_indexed(
+        &self,
+        index: &PlanIndex<'_>,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        (**self).session_indexed(index, video, arrival, display_rate)
     }
 }
 
@@ -378,6 +445,16 @@ impl ClientModel for Box<dyn ClientModel + '_> {
     ) -> Result<SessionTrace, PolicyError> {
         (**self).session(plan, video, arrival, display_rate)
     }
+
+    fn session_indexed(
+        &self,
+        index: &PlanIndex<'_>,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        (**self).session_indexed(index, video, arrival, display_rate)
+    }
 }
 
 impl ClientModel for ClientPolicy {
@@ -389,6 +466,16 @@ impl ClientModel for ClientPolicy {
         display_rate: Mbps,
     ) -> Result<SessionTrace, PolicyError> {
         schedule_client(plan, video, arrival, display_rate, *self).map(|s| s.trace())
+    }
+
+    fn session_indexed(
+        &self,
+        index: &PlanIndex<'_>,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        schedule_client_indexed(index, video, arrival, display_rate, *self).map(|s| s.trace())
     }
 }
 
@@ -427,6 +514,45 @@ impl ClientModel for RecordingClient {
         display_rate: Mbps,
     ) -> Result<SessionTrace, PolicyError> {
         record_all(plan, video, arrival, display_rate, self.playback_delay).map(|s| s.trace())
+    }
+
+    fn session_indexed(
+        &self,
+        index: &PlanIndex<'_>,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        record_all_indexed(index, video, arrival, display_rate, self.playback_delay)
+            .map(|s| s.trace())
+    }
+}
+
+/// The CTIFB cycle-recording client as a [`ClientModel`]
+/// (see [`crate::cycle_record`]): tune every channel at the next slot
+/// boundary, record each for one full period, play from the boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleRecordingClient;
+
+impl ClientModel for CycleRecordingClient {
+    fn session(
+        &self,
+        plan: &ChannelPlan,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        record_cycles(plan, video, arrival, display_rate)
+    }
+
+    fn session_indexed(
+        &self,
+        index: &PlanIndex<'_>,
+        video: VideoId,
+        arrival: Minutes,
+        display_rate: Mbps,
+    ) -> Result<SessionTrace, PolicyError> {
+        record_cycles_indexed(index, video, arrival, display_rate)
     }
 }
 

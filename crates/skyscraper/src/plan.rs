@@ -220,6 +220,20 @@ impl ChannelPlan {
             .collect()
     }
 
+    /// Precompute the carrier index: per-item channel/occurrence lookup
+    /// in O(1) instead of a scan over every cycle entry of every channel.
+    ///
+    /// The index answers exactly the queries [`ChannelPlan::channels_for`],
+    /// [`LogicalChannel::next_start_of`] and
+    /// [`LogicalChannel::prev_start_of`] answer, with bit-identical
+    /// results (same float expressions, same fold order) — it only
+    /// changes the lookup cost, which matters for plans with tens of
+    /// thousands of cycle entries (FB/CTIFB at their segment cap).
+    #[must_use]
+    pub fn index(&self) -> PlanIndex<'_> {
+        PlanIndex::new(self)
+    }
+
     /// Structural validation:
     ///
     /// * every `(video, segment)` of `segment_sizes` is carried by at least
@@ -271,6 +285,158 @@ impl ChannelPlan {
             ));
         }
         Ok(())
+    }
+}
+
+/// One channel's occurrences of one item: the channel's position in
+/// [`ChannelPlan::channels`] plus the absolute start offset of each
+/// occurrence within the first cycle (phase included), in cycle order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemOccurrences {
+    /// Index into [`ChannelPlan::channels`].
+    pub channel: usize,
+    /// `phase + Σ on_air` of the entries preceding each occurrence —
+    /// the occurrence's start time within the first cycle.
+    offsets: Vec<f64>,
+}
+
+/// A precomputed per-item carrier index over a [`ChannelPlan`].
+///
+/// [`ChannelPlan::channels_for`] scans every cycle entry of every channel
+/// on each call, and the per-channel occurrence searches rescan the whole
+/// cycle; for FB-shaped plans at the segment cap (2¹⁶ − 1 segments per
+/// video) a single client session costs ~4·10¹⁰ comparisons that way.
+/// The index is built once in O(total cycle entries) and then answers
+/// carrier and next/prev-start queries in time proportional to the
+/// answer. All arithmetic is copied expression-for-expression from
+/// [`LogicalChannel`] (including the ulp-scale boundary tolerance and the
+/// fold order over occurrences), so results are bit-identical to the
+/// scanning path — the unit tests pin this.
+#[derive(Debug)]
+pub struct PlanIndex<'a> {
+    plan: &'a ChannelPlan,
+    /// Per channel: cycle period, same summation order as
+    /// [`LogicalChannel::period`].
+    periods: Vec<f64>,
+    /// `carriers[video][segment]` → occurrences, in channel order.
+    carriers: Vec<Vec<Vec<ItemOccurrences>>>,
+}
+
+impl<'a> PlanIndex<'a> {
+    fn new(plan: &'a ChannelPlan) -> Self {
+        let mut carriers: Vec<Vec<Vec<ItemOccurrences>>> = plan
+            .segment_sizes
+            .iter()
+            .map(|sizes| vec![Vec::new(); sizes.len()])
+            .collect();
+        let mut periods = Vec::with_capacity(plan.channels.len());
+        for (ci, ch) in plan.channels.iter().enumerate() {
+            // Same accumulation as `LogicalChannel::period` /
+            // `next_start_of`: a running sum over the cycle in order.
+            let mut acc = 0.0f64;
+            for s in &ch.cycle {
+                let (v, g) = (s.item.video.0, s.item.segment);
+                if let Some(per_seg) = carriers.get_mut(v).and_then(|vs| vs.get_mut(g)) {
+                    let offset = ch.phase.value() + acc;
+                    match per_seg.last_mut() {
+                        Some(occ) if occ.channel == ci => occ.offsets.push(offset),
+                        _ => per_seg.push(ItemOccurrences {
+                            channel: ci,
+                            offsets: vec![offset],
+                        }),
+                    }
+                }
+                acc += s.on_air.value();
+            }
+            periods.push(ch.cycle.iter().map(|s| s.on_air.value()).sum());
+        }
+        Self {
+            plan,
+            periods,
+            carriers,
+        }
+    }
+
+    /// The plan this index was built from.
+    #[must_use]
+    pub fn plan(&self) -> &'a ChannelPlan {
+        self.plan
+    }
+
+    /// The channels carrying `item`, in the same order
+    /// [`ChannelPlan::channels_for`] returns them. Empty when the item is
+    /// unknown or never broadcast.
+    #[must_use]
+    pub fn carriers(&self, item: BroadcastItem) -> &[ItemOccurrences] {
+        self.carriers
+            .get(item.video.0)
+            .and_then(|vs| vs.get(item.segment))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The channel behind an occurrence list.
+    #[must_use]
+    pub fn channel(&self, occ: &ItemOccurrences) -> &'a LogicalChannel {
+        &self.plan.channels[occ.channel]
+    }
+
+    /// The channel's cycle period (same value as
+    /// [`LogicalChannel::period`]).
+    #[must_use]
+    pub fn period(&self, occ: &ItemOccurrences) -> Minutes {
+        Minutes(self.periods[occ.channel])
+    }
+
+    /// [`LogicalChannel::next_start_of`] for an indexed carrier: the first
+    /// transmission start of the item at or after `t`. Never `None` — an
+    /// [`ItemOccurrences`] only exists for carried items.
+    #[must_use]
+    pub fn next_start(&self, occ: &ItemOccurrences, t: Minutes) -> Minutes {
+        let period = self.periods[occ.channel];
+        let mut best: Option<f64> = None;
+        for &offset in &occ.offsets {
+            let q = (t.value() - offset) / period;
+            let eps = LogicalChannel::boundary_eps(q);
+            let n = (q - eps).ceil().max(0.0);
+            let candidate = offset + n * period;
+            let candidate = if candidate < t.value() - eps * period {
+                candidate + period
+            } else {
+                candidate
+            };
+            best = Some(match best {
+                Some(b) => b.min(candidate),
+                None => candidate,
+            });
+        }
+        Minutes(best.expect("occurrence lists are non-empty by construction"))
+    }
+
+    /// [`LogicalChannel::prev_start_of`] for an indexed carrier: the last
+    /// transmission start of the item at or before `t`, `None` when the
+    /// channel has not aired it yet.
+    #[must_use]
+    pub fn prev_start(&self, occ: &ItemOccurrences, t: Minutes) -> Option<Minutes> {
+        let period = self.periods[occ.channel];
+        let mut best: Option<f64> = None;
+        for &offset in &occ.offsets {
+            let q = (t.value() - offset) / period;
+            let eps = LogicalChannel::boundary_eps(q);
+            if q >= -eps {
+                let n = (q + eps).floor().max(0.0);
+                let mut candidate = offset + n * period;
+                if candidate > t.value() + eps * period {
+                    candidate -= period;
+                }
+                if candidate >= offset - 1e-12 {
+                    best = Some(match best {
+                        Some(b) => b.max(candidate),
+                        None => candidate,
+                    });
+                }
+            }
+        }
+        best.map(Minutes)
     }
 }
 
@@ -412,6 +578,78 @@ mod tests {
         // Exact boundary hits (same float chain) still snap.
         assert_eq!(ch.next_start_of(item, next), Some(next));
         assert_eq!(ch.prev_start_of(item, prev), Some(prev));
+    }
+
+    #[test]
+    fn index_is_bit_identical_to_the_scanning_path() {
+        // Two channels, phases, interleaved multi-occurrence cycles — the
+        // index must reproduce channels_for / next_start_of /
+        // prev_start_of exactly (same floats, not just approximately).
+        let mk = |video, segment, mins: f64| ScheduledSegment {
+            item: BroadcastItem {
+                video: VideoId(video),
+                segment,
+            },
+            size: Mbps(1.5) * Minutes(mins),
+            on_air: Minutes(mins),
+        };
+        let plan = ChannelPlan {
+            scheme: "toy".into(),
+            segment_sizes: vec![
+                vec![Mbps(1.5) * Minutes(1.0), Mbps(1.5) * Minutes(2.0)],
+                vec![Mbps(1.5) * Minutes(0.7)],
+            ],
+            channels: vec![
+                LogicalChannel {
+                    id: 0,
+                    rate: Mbps(1.5),
+                    phase: Minutes(0.0),
+                    // Item (0,0) occurs twice, interleaved with (0,1).
+                    cycle: vec![mk(0, 0, 1.0), mk(0, 1, 2.0), mk(0, 0, 1.0)],
+                },
+                LogicalChannel {
+                    id: 1,
+                    rate: Mbps(3.0),
+                    phase: Minutes(0.4),
+                    cycle: vec![mk(1, 0, 0.7), mk(0, 0, 1.0)],
+                },
+            ],
+        };
+        let index = plan.index();
+        for (v, sizes) in plan.segment_sizes.iter().enumerate() {
+            for g in 0..sizes.len() {
+                let item = BroadcastItem {
+                    video: VideoId(v),
+                    segment: g,
+                };
+                let scan = plan.channels_for(item);
+                let fast = index.carriers(item);
+                assert_eq!(
+                    scan.iter().map(|c| c.id).collect::<Vec<_>>(),
+                    fast.iter().map(|o| index.channel(o).id).collect::<Vec<_>>(),
+                    "carrier order for v{v}/s{g}"
+                );
+                for (ch, occ) in scan.iter().zip(fast) {
+                    assert_eq!(ch.period(), index.period(occ));
+                    // Awkward query times included: negative offsets,
+                    // exact boundaries, far future.
+                    for t in [0.0, 0.35, 0.4, 1.0, 2.9999999, 3.0, 17.23, 1234.5678] {
+                        assert_eq!(
+                            ch.next_start_of(item, Minutes(t)),
+                            Some(index.next_start(occ, Minutes(t))),
+                            "next_start v{v}/s{g} ch{} t={t}",
+                            ch.id
+                        );
+                        assert_eq!(
+                            ch.prev_start_of(item, Minutes(t)),
+                            index.prev_start(occ, Minutes(t)),
+                            "prev_start v{v}/s{g} ch{} t={t}",
+                            ch.id
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

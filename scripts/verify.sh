@@ -163,6 +163,40 @@ test -s "$rec_dir/rec-sweep.json" || { echo "BENCH_recovery.json is empty"; exit
 grep -q '"replayed_sessions"' "$rec_dir/rec-sweep.json"
 grep -q '"identical": true' "$rec_dir/rec-sweep.json"
 
+echo "==> frontier smoke (scheme zoo Pareto frontier, 6-way over --shards x --threads x --agenda)"
+# The frontier artifact must be byte-identical — JSON and stdout — for
+# every knob combination: {shards 1, 2} x {threads 1, 2} x {heap, wheel}.
+fr_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir" "$scale_dir" "$agenda_dir" "$scn_dir" "$rec_dir" "$fr_dir"' EXIT
+for combo in "1 1 heap" "1 2 wheel" "2 1 wheel" "2 2 heap" "1 2 heap" "2 2 wheel"; do
+    read -r s n a <<<"$combo"
+    cargo run -q --release -p sb-cli --bin sbcast -- frontier --profile smoke \
+        --shards "$s" --threads "$n" --agenda "$a" \
+        --json "$fr_dir/fr-$s-$n-$a.json" 2>/dev/null > "$fr_dir/fr-$s-$n-$a.out"
+done
+test -s "$fr_dir/fr-1-1-heap.json" || { echo "BENCH_frontier.json is empty"; exit 1; }
+grep -q '"on_frontier_analytic"' "$fr_dir/fr-1-1-heap.json"
+grep -q '"sim_jitter_free"' "$fr_dir/fr-1-1-heap.json"
+grep -q 'CTIFB' "$fr_dir/fr-1-1-heap.json"
+grep -q 'AQHB' "$fr_dir/fr-1-1-heap.json"
+for combo in "1 2 wheel" "2 1 wheel" "2 2 heap" "1 2 heap" "2 2 wheel"; do
+    read -r s n a <<<"$combo"
+    diff -u "$fr_dir/fr-1-1-heap.json" "$fr_dir/fr-$s-$n-$a.json"
+    diff -u "$fr_dir/fr-1-1-heap.out" "$fr_dir/fr-$s-$n-$a.out"
+done
+# SB survives both frontiers at the paper operating point (B=320, M=10).
+grep -q 'AS' "$fr_dir/fr-1-1-heap.out"
+# The buggy-HB opt-in surfaces the refuted point as infeasible.
+cargo run -q --release -p sb-cli --bin sbcast -- frontier --profile smoke --buggy-hb yes \
+    --json "$fr_dir/fr-hb.json" 2>/dev/null > "$fr_dir/fr-hb.out"
+grep -q '"sim_jitter_free": false' "$fr_dir/fr-hb.json"
+
+echo "==> frontier wall-clock artifact (frontier_bench, smoke-sized)"
+./target/release/frontier_bench --sessions 8 --threads 4 --shards 2 \
+    --json "$fr_dir/fr-bench.json" > "$fr_dir/fr-bench.out" 2>/dev/null
+test -s "$fr_dir/fr-bench.json" || { echo "frontier_bench JSON missing"; exit 1; }
+grep -q '"cells"' "$fr_dir/fr-bench.json"
+
 echo "==> release profile keeps integer overflow checks on"
 grep -A2 '^\[profile\.release\]' Cargo.toml | grep -q 'overflow-checks = true'
 
@@ -220,5 +254,9 @@ grep -q 'recovery_supervisor' DESIGN.md
 grep -q 'sbcast -- recovery' README.md
 grep -q 'BENCH_recovery.json' README.md
 grep -q '\-\-chaos' README.md
+grep -q '^## 15\. The scheme zoo, completed: CTIFB, AQHB and the automated frontier' DESIGN.md
+grep -q 'PlanIndex' DESIGN.md
+grep -q 'sbcast -- frontier' README.md
+grep -q 'BENCH_frontier.json' README.md
 
 echo "verify: OK"
