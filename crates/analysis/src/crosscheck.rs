@@ -72,6 +72,10 @@ pub fn policy_for(id: SchemeId) -> ClientPolicy {
 /// arrivals uniform in `[0, horizon)`.
 ///
 /// Returns `None` where the scheme is infeasible.
+#[deprecated(
+    note = "pre-`execute(RunConfig)` helper — use `crosscheck_seeded` (seed 0 reproduces \
+            this grid), or build an `Experiment` and call `runner::run_crosscheck`"
+)]
 #[must_use]
 pub fn crosscheck(
     id: SchemeId,
@@ -179,6 +183,10 @@ pub fn crosscheck_seeded_recorded(
 }
 
 /// Cross-check the whole lineup at one bandwidth.
+#[deprecated(
+    note = "pre-`execute(RunConfig)` serial helper — use `crosscheck_lineup_with` with an \
+            explicit `Runner`"
+)]
 #[must_use]
 pub fn crosscheck_lineup(
     ids: &[SchemeId],
@@ -207,7 +215,7 @@ pub fn crosscheck_lineup_with(
 ) -> Vec<CrossCheck> {
     runner
         .timed_map("crosscheck", ids, |&id| {
-            crosscheck(id, bandwidth, horizon, samples)
+            crosscheck_seeded(id, bandwidth, horizon, samples, 0)
         })
         .into_iter()
         .flatten()
@@ -221,7 +229,13 @@ mod tests {
 
     #[test]
     fn lineup_crosschecks_at_320() {
-        let checks = crosscheck_lineup(&extended_lineup(), Mbps(320.0), Minutes(12.0), 60);
+        let checks = crosscheck_lineup_with(
+            &extended_lineup(),
+            Mbps(320.0),
+            Minutes(12.0),
+            60,
+            &crate::runner::Runner::serial(),
+        );
         assert_eq!(checks.len(), 10);
         for c in &checks {
             // Simulation must never exceed the analytic latency promise.
@@ -262,7 +276,7 @@ mod tests {
 
     #[test]
     fn pb_buffer_nearly_attains_analytic() {
-        let c = crosscheck(SchemeId::PbA, Mbps(300.0), Minutes(12.0), 200).unwrap();
+        let c = crosscheck_seeded(SchemeId::PbA, Mbps(300.0), Minutes(12.0), 200, 0).unwrap();
         assert!(
             c.buffer_ratio() > 0.85 && c.buffer_ratio() <= 1.0 + 1e-6,
             "ratio {}",
@@ -272,6 +286,6 @@ mod tests {
 
     #[test]
     fn infeasible_scheme_yields_none() {
-        assert!(crosscheck(SchemeId::PpbB, Mbps(50.0), Minutes(5.0), 10).is_none());
+        assert!(crosscheck_seeded(SchemeId::PpbB, Mbps(50.0), Minutes(5.0), 10, 0).is_none());
     }
 }

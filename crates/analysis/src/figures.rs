@@ -380,10 +380,10 @@ pub fn width_tradeoff(d: Minutes, k: usize) -> Vec<(u64, f64, f64)> {
 mod tests {
     use super::*;
     use crate::lineup::paper_lineup;
-    use crate::sweep::paper_sweep;
+    use crate::sweep::paper_sweep_with;
 
     fn rows() -> Vec<SweepRow> {
-        paper_sweep(&paper_lineup())
+        paper_sweep_with(&paper_lineup(), &crate::runner::Runner::serial())
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! | [`throughput`] | streaming-core throughput cells and the agenda-churn compaction stress |
 //! | [`scale_study`] | sharded scale-out: per-shard agenda footprint and sim-time rates vs `S` |
 //! | [`scenario_study`] | metropolitan scenarios: per-region-class SB vs baselines, flash crowds, correlated outages, diurnal × density |
+//! | [`mod@distribution_study`] | the distributed tier: placement policies × peer assist priced against the Viennot source-once bound |
+//! | [`study`] | the [`study::Study`] trait and registry every CLI subcommand and bench bin dispatches through |
 //! | [`runner`] | [`runner::Experiment`] descriptors, the deterministic parallel [`runner::Runner`], and [`runner::RunManifest`] timings |
 //!
 //! The binaries in `sb-bench` are thin wrappers over this crate: each
@@ -30,6 +32,7 @@
 pub mod ablation;
 pub mod control_study;
 pub mod crosscheck;
+pub mod distribution_study;
 pub mod figures;
 pub mod frontier;
 pub mod hybrid_study;
@@ -40,12 +43,17 @@ pub mod resilience_study;
 pub mod runner;
 pub mod scale_study;
 pub mod scenario_study;
+pub mod study;
 pub mod sweep;
 pub mod tables;
 pub mod throughput;
 
+pub use distribution_study::{
+    distribution_study, render_distribution, DistributionReport, DistributionStudyConfig,
+};
 pub use figures::Figure;
 pub use frontier::{frontier_report, render_frontier, FrontierConfig, FrontierReport};
 pub use lineup::{paper_lineup, SchemeId};
 pub use runner::{Experiment, RunManifest, Runner};
-pub use sweep::{sweep_bandwidth, SweepRow};
+pub use study::{find, registry, Study, StudyCtx, StudyOpts, StudyOutput};
+pub use sweep::SweepRow;

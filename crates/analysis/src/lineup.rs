@@ -66,6 +66,30 @@ impl SchemeId {
         }
     }
 
+    /// Parse the CLI spelling of a scheme: `SB:W=<w>`, `SB:W=inf`,
+    /// `PB:a`/`PB:b`, `PPB:a`/`PPB:b` or `STAG` (the landscape-only
+    /// schemes have no CLI spelling; they enter studies through the
+    /// lineup constructors).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "PB:a" => Some(SchemeId::PbA),
+            "PB:b" => Some(SchemeId::PbB),
+            "PPB:a" => Some(SchemeId::PpbA),
+            "PPB:b" => Some(SchemeId::PpbB),
+            "STAG" => Some(SchemeId::Staggered),
+            s if s.starts_with("SB:W=") => {
+                let w = &s["SB:W=".len()..];
+                if w == "inf" {
+                    Some(SchemeId::Sb(None))
+                } else {
+                    w.parse::<u64>().ok().map(|w| SchemeId::Sb(Some(w)))
+                }
+            }
+            _ => None,
+        }
+    }
+
     /// The display label used in figures.
     #[must_use]
     pub fn label(&self) -> String {
@@ -123,11 +147,41 @@ pub fn landscape_lineup() -> Vec<SchemeId> {
     v
 }
 
+/// Resolve a `--scheme` argument: `all` is the extended lineup, anything
+/// else one parsed scheme.
+///
+/// # Errors
+/// Returns the CLI-facing message for an unknown spelling.
+pub fn schemes_from(opt: &str) -> Result<Vec<SchemeId>, String> {
+    if opt == "all" {
+        Ok(extended_lineup())
+    } else {
+        SchemeId::parse(opt)
+            .map(|s| vec![s])
+            .ok_or_else(|| format!("unknown scheme `{opt}`"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sb_core::config::SystemConfig;
     use vod_units::Mbps;
+
+    #[test]
+    fn parse_round_trips_every_cli_spelling() {
+        for id in extended_lineup() {
+            assert_eq!(SchemeId::parse(&id.label()), Some(id));
+        }
+        assert_eq!(SchemeId::parse("SB:W=inf"), Some(SchemeId::Sb(None)));
+        assert_eq!(SchemeId::parse("HB:delayed"), None, "landscape-only");
+        assert_eq!(SchemeId::parse("SB:W=x"), None);
+        assert_eq!(schemes_from("all").unwrap(), extended_lineup());
+        assert_eq!(
+            schemes_from("nope").unwrap_err(),
+            "unknown scheme `nope`".to_string()
+        );
+    }
 
     #[test]
     fn lineup_order_and_labels() {

@@ -402,6 +402,7 @@ pub fn run_experiment_instrumented(
 mod tests {
     use super::*;
     use crate::lineup::{extended_lineup, paper_lineup};
+    #[allow(deprecated)]
     use crate::sweep::sweep_bandwidth;
 
     #[test]
@@ -431,6 +432,9 @@ mod tests {
     #[test]
     fn parallel_sweep_is_bit_identical_to_serial() {
         let exp = Experiment::over_range("t", paper_lineup(), 100.0, 600.0, 50.0);
+        // The deprecated serial helper stays the reference point here:
+        // the parity it pins is exactly why it could be deprecated.
+        #[allow(deprecated)]
         let serial = sweep_bandwidth(&exp.schemes, 100.0, 600.0, 50.0);
         let par = run_sweep(&exp, &Runner::new(8));
         assert_eq!(par, serial);

@@ -61,7 +61,7 @@ use crate::runner::Runner;
 
 /// The client model each scheme's receivers follow (the same map the
 /// resilience and throughput studies use).
-fn model_for(id: SchemeId) -> Box<dyn ClientModel> {
+pub(crate) fn model_for(id: SchemeId) -> Box<dyn ClientModel> {
     match id {
         SchemeId::PbA | SchemeId::PbB => Box::new(ClientPolicy::PbEarliest),
         SchemeId::PpbA | SchemeId::PpbB => Box::new(PausingClient),

@@ -138,6 +138,10 @@ pub fn evaluate(id: SchemeId, cfg: &SystemConfig) -> Option<SchemePoint> {
 ///
 /// # Panics
 /// Panics on a degenerate range or step.
+#[deprecated(
+    note = "pre-`execute(RunConfig)` serial helper — use `sweep_bandwidth_with` with an \
+            explicit `Runner`, or build an `Experiment` and call `runner::run_sweep`"
+)]
 #[must_use]
 pub fn sweep_bandwidth(ids: &[SchemeId], from: f64, to: f64, step: f64) -> Vec<SweepRow> {
     sweep_bandwidth_with(ids, from, to, step, &Runner::serial())
@@ -161,9 +165,13 @@ pub fn sweep_bandwidth_with(
 }
 
 /// The paper's sweep: 100–600 Mb/s in 20 Mb/s steps.
+#[deprecated(
+    note = "pre-`execute(RunConfig)` serial helper — use `paper_sweep_with` with an \
+            explicit `Runner`"
+)]
 #[must_use]
 pub fn paper_sweep(ids: &[SchemeId]) -> Vec<SweepRow> {
-    sweep_bandwidth(ids, 100.0, 600.0, 20.0)
+    sweep_bandwidth_with(ids, 100.0, 600.0, 20.0, &Runner::serial())
 }
 
 /// [`paper_sweep`] on an explicit [`Runner`].
@@ -192,7 +200,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_the_paper_range() {
-        let rows = paper_sweep(&paper_lineup());
+        let rows = paper_sweep_with(&paper_lineup(), &Runner::serial());
         assert_eq!(rows.len(), 26); // 100, 120, …, 600
         assert!(rows[0].bandwidth.approx_eq(Mbps(100.0), 1e-9));
         assert!(rows[25].bandwidth.approx_eq(Mbps(600.0), 1e-9));
@@ -200,14 +208,14 @@ mod tests {
 
     #[test]
     fn all_schemes_feasible_at_large_b() {
-        let rows = paper_sweep(&extended_lineup());
+        let rows = paper_sweep_with(&extended_lineup(), &Runner::serial());
         let last = rows.last().unwrap();
         assert_eq!(last.points.len(), 10, "all 10 schemes at 600 Mb/s");
     }
 
     #[test]
     fn sb_feasible_across_entire_range() {
-        let rows = paper_sweep(&paper_lineup());
+        let rows = paper_sweep_with(&paper_lineup(), &Runner::serial());
         for r in &rows {
             for w in crate::lineup::PAPER_WIDTHS {
                 assert!(
@@ -222,7 +230,7 @@ mod tests {
     #[test]
     fn figure7_ppb_crossover_at_300() {
         // §5.3's reading of Figure 7: PPB needs ≥ 300 Mb/s for 0.5 min.
-        let rows = paper_sweep(&paper_lineup());
+        let rows = paper_sweep_with(&paper_lineup(), &Runner::serial());
         let cross = latency_crossover(&rows, SchemeId::PpbA, Minutes(0.5)).unwrap();
         assert!(
             (cross.value() - 300.0).abs() <= 20.0,
@@ -241,7 +249,7 @@ mod tests {
         // §2: "PPB … the access latency and storage requirement will
         // eventually improve only linearly as B increases. As a comparison,
         // the original PB scheme does not constrain the value of K."
-        let rows = sweep_bandwidth(&paper_lineup(), 600.0, 3000.0, 300.0);
+        let rows = sweep_bandwidth_with(&paper_lineup(), 600.0, 3000.0, 300.0, &Runner::serial());
         let last = rows.last().unwrap();
         assert!(last.get(SchemeId::PbA).unwrap().params.k > 60);
         assert_eq!(last.get(SchemeId::PpbA).unwrap().params.k, 7);

@@ -63,10 +63,11 @@ fn bench_system_sim(c: &mut Criterion) {
 fn bench_figure_pipeline(c: &mut Criterion) {
     use sb_analysis::lineup::paper_lineup;
     let ids = paper_lineup();
+    let serial = sb_analysis::Runner::serial();
     c.bench_function("paper_sweep_26_points", |b| {
-        b.iter(|| sb_analysis::sweep::paper_sweep(black_box(&ids)))
+        b.iter(|| sb_analysis::sweep::paper_sweep_with(black_box(&ids), &serial))
     });
-    let rows = sb_analysis::sweep::paper_sweep(&ids);
+    let rows = sb_analysis::sweep::paper_sweep_with(&ids, &serial);
     c.bench_function("figures_6_7_8_from_sweep", |b| {
         b.iter(|| {
             (

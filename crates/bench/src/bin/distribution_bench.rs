@@ -1,14 +1,14 @@
-//! Sharded scale-out: per-shard agenda footprint and simulated-time
-//! rates at `S ∈ {1, 2, 4, 8}`, a million-session grid per cell (raise
-//! it with `--sessions`), dispatched through the [`sb_analysis::study`]
-//! registry. Emits `BENCH_scale.json` unless `--json` names another
-//! path.
+//! The distributed tier as a benchmark: placement policies × peer
+//! assist over the full urban/rural/remote preset grid at paper scale,
+//! every configuration priced against the Viennot source-once bound —
+//! dispatched through the [`sb_analysis::study`] registry. Emits
+//! `BENCH_distribution.json` unless `--json` names another path.
 //!
 //! `--shards <n>` picks the flagship pass's shard count, `--threads <n>`
 //! the worker pool and `--agenda heap|wheel` the engine backend — the
 //! JSON artifact and stdout are byte-identical for every combination
 //! (the determinism gate `scripts/verify.sh` diffs them). Wall-clock
-//! sessions/sec go to stderr and to the sibling nondeterministic
+//! rates go to stderr and to the sibling nondeterministic
 //! `BENCH_wallclock.json`, which the byte-identity smokes exclude.
 
 use std::path::PathBuf;
@@ -18,17 +18,13 @@ use sb_analysis::study::{StudyCtx, StudyOpts};
 use sb_bench::{WallclockReport, WallclockRun};
 
 fn main() {
-    let study = sb_analysis::study::find("scale").expect("scale study registered");
+    let study = sb_analysis::study::find("distribution").expect("distribution study registered");
     let mut args = sb_bench::Args::parse();
     if args.json.is_none() {
         args.json = Some(PathBuf::from(study.artifact().expect("artifact study")));
     }
     let runner = args.runner();
-    let mut opts = StudyOpts::default();
-    if let Some(sessions) = args.sessions {
-        assert!(sessions >= 1, "--sessions must be at least 1");
-        opts.set("sessions", sessions.to_string());
-    }
+    let opts = StudyOpts::default();
     let ctx = StudyCtx {
         opts: &opts,
         shards: args.shards,
@@ -40,7 +36,10 @@ fn main() {
     let wall = t0.elapsed().as_secs_f64();
 
     print!("{}", out.rendered);
-    let metrics = out.metrics.as_ref().expect("scale study is instrumented");
+    let metrics = out
+        .metrics
+        .as_ref()
+        .expect("distribution study is instrumented");
     println!(
         "metrics: {} engine events, {} sessions",
         metrics.counter_total("engine_events_total"),
@@ -48,10 +47,9 @@ fn main() {
     );
     // Wall-clock rates are machine- and thread-dependent: stderr only,
     // so stdout and the JSON artifact stay byte-identical across
-    // `--shards`, `--threads` and `--agenda`. The study's rate
-    // denominators already count every grid cell plus the flagship pass.
+    // `--shards`, `--threads` and `--agenda`.
     eprintln!(
-        "wall: {:.3}s at --shards {} --threads {} --agenda {}, {:.0} sessions/sec over the grid",
+        "wall: {:.3}s at --shards {} --threads {} --agenda {}, {:.0} sessions/sec",
         wall,
         args.shards,
         runner.threads(),
@@ -59,7 +57,7 @@ fn main() {
         out.sessions as f64 / wall,
     );
     WallclockReport::new(
-        "scale_bench",
+        "distribution_bench",
         vec![WallclockRun::new(
             args.agenda,
             out.sessions,

@@ -2,8 +2,9 @@
 //! expanded over its candidate widths, the PB/PPB/FB/HB/CTIFB/AQHB
 //! baselines) across the paper's bandwidth × catalog grid, each point
 //! marked for dominance in latency × client-I/O × buffer both from the
-//! closed forms and from simulated sessions. Emits `BENCH_frontier.json`
-//! unless `--json` names another path.
+//! closed forms and from simulated sessions — dispatched through the
+//! [`sb_analysis::study`] registry. Emits `BENCH_frontier.json` unless
+//! `--json` names another path.
 //!
 //! `--shards <n>` picks the per-cell shard count, `--threads <n>` the
 //! worker pool and `--agenda heap|wheel` the engine backend — the JSON
@@ -14,23 +15,30 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use sb_analysis::frontier::{frontier_report, render_frontier, FrontierConfig};
+use sb_analysis::study::{StudyCtx, StudyOpts};
 
 fn main() {
+    let study = sb_analysis::study::find("frontier").expect("frontier study registered");
     let mut args = sb_bench::Args::parse();
     if args.json.is_none() {
-        args.json = Some(PathBuf::from("BENCH_frontier.json"));
+        args.json = Some(PathBuf::from(study.artifact().expect("artifact study")));
     }
     let runner = args.runner();
-    let mut cfg = FrontierConfig::paper();
+    let mut opts = StudyOpts::default();
     if let Some(sessions) = args.sessions {
-        cfg.sessions = sessions;
+        opts.set("sessions", sessions.to_string());
     }
+    let ctx = StudyCtx {
+        opts: &opts,
+        shards: args.shards,
+        seed: None,
+        runner: &runner,
+    };
     let t0 = Instant::now();
-    let report = frontier_report(&cfg, args.shards, &runner);
+    let out = study.run(&ctx).expect("valid default config");
     let wall = t0.elapsed().as_secs_f64();
 
-    print!("{}", render_frontier(&report));
+    print!("{}", out.rendered);
     // Wall-clock is machine- and thread-dependent: stderr only, so
     // stdout and the JSON artifact stay byte-identical across
     // `--shards`, `--threads` and `--agenda`.
@@ -41,6 +49,6 @@ fn main() {
         runner.threads(),
         args.agenda.name(),
     );
-    args.maybe_write_json(&report);
+    args.maybe_write_json_str(&out.report_json);
     args.finish(&runner);
 }

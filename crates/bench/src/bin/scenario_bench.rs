@@ -1,8 +1,9 @@
 //! The metropolitan scenario pack as a benchmark: the full
 //! urban/rural/remote preset grid — per-region-class SB vs baselines,
 //! the premiere flash crowd, the correlated regional outage and the
-//! diurnal × density cell — at paper scale. Emits `BENCH_scenario.json`
-//! unless `--json` names another path.
+//! diurnal × density cell — at paper scale, dispatched through the
+//! [`sb_analysis::study`] registry. Emits `BENCH_scenario.json` unless
+//! `--json` names another path.
 //!
 //! `--shards <n>` picks the flagship pass's shard count, `--threads <n>`
 //! the worker pool and `--agenda heap|wheel` the engine backend — the
@@ -14,22 +15,32 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use sb_analysis::scenario_study::{render_scenario, scenario_study, ScenarioStudyConfig};
+use sb_analysis::study::{StudyCtx, StudyOpts};
 use sb_bench::{WallclockReport, WallclockRun};
 
 fn main() {
+    let study = sb_analysis::study::find("scenario").expect("scenario study registered");
     let mut args = sb_bench::Args::parse();
     if args.json.is_none() {
-        args.json = Some(PathBuf::from("BENCH_scenario.json"));
+        args.json = Some(PathBuf::from(study.artifact().expect("artifact study")));
     }
     let runner = args.runner();
-    let cfg = ScenarioStudyConfig::paper_defaults();
+    let opts = StudyOpts::default();
+    let ctx = StudyCtx {
+        opts: &opts,
+        shards: args.shards,
+        seed: None,
+        runner: &runner,
+    };
     let t0 = Instant::now();
-    let (report, metrics) =
-        scenario_study(&cfg, args.shards, &runner).expect("valid default config");
+    let out = study.run(&ctx).expect("valid default config");
     let wall = t0.elapsed().as_secs_f64();
 
-    print!("{}", render_scenario(&report));
+    print!("{}", out.rendered);
+    let metrics = out
+        .metrics
+        .as_ref()
+        .expect("scenario study is instrumented");
     println!(
         "metrics: {} engine events, {} sessions",
         metrics.counter_total("engine_events_total"),
@@ -44,18 +55,18 @@ fn main() {
         args.shards,
         runner.threads(),
         args.agenda.name(),
-        report.total_sessions as f64 / wall,
+        out.sessions as f64 / wall,
     );
     WallclockReport::new(
         "scenario_bench",
         vec![WallclockRun::new(
             args.agenda,
-            report.total_sessions,
-            report.total_events_fired,
+            out.sessions,
+            out.events,
             wall,
         )],
     )
     .write_beside(args.json.as_deref());
-    args.maybe_write_json(&report);
+    args.maybe_write_json_str(&out.report_json);
     args.finish(&runner);
 }

@@ -1,5 +1,6 @@
 //! Streaming-core throughput: per-scheme engine/agenda accounting plus
-//! the cancel-heavy churn stress. Emits `BENCH_throughput.json` unless
+//! the cancel-heavy churn stress, dispatched through the
+//! [`sb_analysis::study`] registry. Emits `BENCH_throughput.json` unless
 //! `--json` names another path.
 //!
 //! The JSON is fully deterministic (simulated-time rates only), so runs
@@ -13,27 +14,55 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sb_analysis::runner::Runner;
-use sb_analysis::throughput::{render_throughput, throughput_study, ThroughputConfig};
+use sb_analysis::study::{StudyCtx, StudyOpts};
 use sb_bench::{WallclockReport, WallclockRun};
 use sb_sim::AgendaKind;
 
-/// Events a study pass put through the engine, churn half included.
-fn pass_events(report: &sb_analysis::throughput::ThroughputReport) -> u64 {
-    report.total_events_fired + report.churn.engine.fired + report.churn.engine.cancelled
+/// The deepest agenda any study cell reached, read back from the
+/// serialized report (the registry hands the artifact over as JSON).
+fn peak_agenda(report_json: &str) -> u64 {
+    let v: serde_json::Value = serde_json::from_str(report_json).expect("valid report JSON");
+    let cells = v
+        .as_object()
+        .map(|o| serde::field(o, "cells"))
+        .and_then(serde_json::Value::as_array)
+        .unwrap_or(&[]);
+    cells
+        .iter()
+        .filter_map(|c| {
+            c.as_object()
+                .map(|o| serde::field(o, "engine"))
+                .and_then(serde_json::Value::as_object)
+                .map(|e| serde::field(e, "peak_agenda"))
+                .and_then(serde_json::Value::as_u64)
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 fn main() {
+    let study = sb_analysis::study::find("throughput").expect("throughput study registered");
     let mut args = sb_bench::Args::parse();
     if args.json.is_none() {
-        args.json = Some(PathBuf::from("BENCH_throughput.json"));
+        args.json = Some(PathBuf::from(study.artifact().expect("artifact study")));
     }
     let runner = args.runner();
-    let cfg = ThroughputConfig::paper_defaults();
+    let opts = StudyOpts::default();
+    let ctx = StudyCtx {
+        opts: &opts,
+        shards: args.shards,
+        seed: None,
+        runner: &runner,
+    };
     let t0 = Instant::now();
-    let (report, metrics) = throughput_study(&cfg, &runner).expect("valid default config");
+    let out = study.run(&ctx).expect("valid default config");
     let wall = t0.elapsed().as_secs_f64();
 
-    print!("{}", render_throughput(&report));
+    print!("{}", out.rendered);
+    let metrics = out
+        .metrics
+        .as_ref()
+        .expect("throughput study is instrumented");
     println!(
         "metrics: {} engine events, {} sessions",
         metrics.counter_total("engine_events_total"),
@@ -41,21 +70,17 @@ fn main() {
     );
     // Wall-clock rates are machine- and thread-dependent: stderr only,
     // so stdout and the JSON artifact stay byte-identical across
-    // `--threads` counts.
+    // `--threads` counts. The study's event denominator includes the
+    // churn half (fired + cancelled).
     eprintln!(
         "wall: {:.3}s on {}, {:.0} sessions/sec, {:.0} events/sec, peak agenda {}",
         wall,
         args.agenda.name(),
-        report.total_sessions as f64 / wall,
-        pass_events(&report) as f64 / wall,
-        report
-            .cells
-            .iter()
-            .map(|c| c.engine.peak_agenda)
-            .max()
-            .unwrap_or(0),
+        out.sessions as f64 / wall,
+        out.events as f64 / wall,
+        peak_agenda(&out.report_json),
     );
-    args.maybe_write_json(&report);
+    args.maybe_write_json_str(&out.report_json);
 
     // The perf trajectory: re-time the same study on the other backend
     // and write both rates beside the deterministic artifact. The
@@ -66,35 +91,30 @@ fn main() {
         AgendaKind::Wheel => AgendaKind::Heap,
     };
     let other_runner = Runner::new(args.threads).with_agenda(other);
+    let other_ctx = StudyCtx {
+        opts: &opts,
+        shards: args.shards,
+        seed: None,
+        runner: &other_runner,
+    };
     let t1 = Instant::now();
-    let (other_report, _) = throughput_study(&cfg, &other_runner).expect("valid default config");
+    let other_out = study.run(&other_ctx).expect("valid default config");
     let other_wall = t1.elapsed().as_secs_f64();
     assert_eq!(
-        serde_json::to_string(&report).expect("serializable report"),
-        serde_json::to_string(&other_report).expect("serializable report"),
+        out.report_json, other_out.report_json,
         "heap and wheel passes diverged — agenda determinism is broken",
     );
     eprintln!(
         "wall: {:.3}s on {} (comparison pass), {:.0} sessions/sec",
         other_wall,
         other.name(),
-        other_report.total_sessions as f64 / other_wall,
+        other_out.sessions as f64 / other_wall,
     );
     let wallclock = WallclockReport::new(
         "throughput_bench",
         vec![
-            WallclockRun::new(
-                args.agenda,
-                report.total_sessions,
-                pass_events(&report),
-                wall,
-            ),
-            WallclockRun::new(
-                other,
-                other_report.total_sessions,
-                pass_events(&other_report),
-                other_wall,
-            ),
+            WallclockRun::new(args.agenda, out.sessions, out.events, wall),
+            WallclockRun::new(other, other_out.sessions, other_out.events, other_wall),
         ],
     );
     wallclock.write_beside(args.json.as_deref());

@@ -9,6 +9,13 @@
 //! `--manifest <path>` writes the run's [`sb_analysis::RunManifest`] —
 //! per-stage wall-clock timings — as JSON. The Criterion benches live in
 //! `benches/`.
+//!
+//! The study benchmarks (`throughput_bench`, `scale_bench`,
+//! `scenario_bench`, `recovery_bench`, `frontier_bench`,
+//! `distribution_bench`) dispatch through [`sb_analysis::study::find`] —
+//! the same registry the `sbcast` subcommands run on — and only add the
+//! wall-clock instrumentation: timed passes on stderr plus the
+//! nondeterministic [`WallclockReport`] artifact.
 
 #![forbid(unsafe_code)]
 
@@ -112,6 +119,16 @@ impl Args {
     pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
             let json = serde_json::to_string_pretty(value).expect("serializable artifact");
+            std::fs::write(path, json).expect("writable --json path");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Write pre-serialized pretty JSON — a [`sb_analysis::StudyOutput`]'s
+    /// `report_json` — if `--json` was given. Byte-for-byte what
+    /// [`Args::maybe_write_json`] would produce from the report value.
+    pub fn maybe_write_json_str(&self, json: &str) {
+        if let Some(path) = &self.json {
             std::fs::write(path, json).expect("writable --json path");
             eprintln!("wrote {}", path.display());
         }

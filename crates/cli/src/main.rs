@@ -27,28 +27,35 @@
 //! sbcast frontier --profile smoke --shards 2            the scheme-zoo Pareto frontier in
 //!                                                       latency x client I/O x buffer,
 //!                                                       analytic + simulated -> BENCH_frontier.json
+//! sbcast distribution --profile smoke --shards 2        the distributed metro tier: placement
+//!                                                       x peer assist vs the source-once
+//!                                                       bound -> BENCH_distribution.json
 //! ```
 //!
 //! Scheme names: `SB:W=<w>`, `SB:W=inf`, `PB:a`, `PB:b`, `PPB:a`, `PPB:b`,
 //! `STAG`, or `all`.
 //!
-//! The study subcommands (`sweep`, `hybrid`, `control`, `resilience`,
-//! `throughput`, `scale`, `scenario`, `recovery`, `frontier`) share one
+//! Every study subcommand (`sweep`, `hybrid`, `control`, `resilience`,
+//! `throughput`, `scale`, `scenario`, `recovery`, `frontier`,
+//! `distribution`) dispatches through the [`sb_analysis::study`]
+//! registry — one [`sb_analysis::Study`] per subcommand — behind one
 //! execution-flag parser: `--threads N` sizes the worker pool (must be
 //! ≥ 1; stdout and `--json` output are byte-identical for every N),
 //! `--shards N` picks the scale-out shard count (`scale`, `scenario`,
-//! `recovery` and `frontier` only; also result-invariant), `--seed` the
-//! workload seed, `--json <path>` writes the structured report, and
-//! `--manifest <path>` writes per-stage wall-clock timings.
+//! `recovery`, `frontier` and `distribution` only; also
+//! result-invariant), `--seed` the workload seed, `--json <path>` writes
+//! the structured report, and `--manifest <path>` writes per-stage
+//! wall-clock timings.
 
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use sb_analysis::lineup::{extended_lineup, SchemeId};
-use sb_analysis::render::{render_evaluations, render_figure};
-use sb_analysis::runner::{run_experiment, Experiment, Runner};
+use sb_analysis::lineup::{schemes_from, SchemeId};
+use sb_analysis::render::render_evaluations;
+use sb_analysis::runner::Runner;
+use sb_analysis::study::{Study, StudyCtx, StudyOpts};
 use sb_batching::{BatchPolicy, HybridConfig};
 use sb_core::config::SystemConfig;
 use sb_core::plan::VideoId;
@@ -59,7 +66,7 @@ use sb_workload::{Catalog, Patience, PoissonArrivals, ZipfPopularity};
 use vod_units::{Mbps, Minutes};
 
 fn usage() -> &'static str {
-    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|recovery|frontier|series|hetero|pausing> [--key value]...\n\
+    "usage: sbcast <plan|metrics|client|sweep|hybrid|control|resilience|throughput|scale|scenario|recovery|frontier|distribution|series|hetero|pausing> [--key value]...\n\
      keys: --scheme --bandwidth --arrival --video --from --to --step\n\
            --titles --popular --rate --rates 1,2,4 --horizon --width --seed\n\
            --units 1,2,2,5,5 --k 10 --lengths 95,120,150\n\
@@ -74,26 +81,9 @@ fn usage() -> &'static str {
            --mode run|sweep --cadence N --kills N\n\
            --bandwidths 200,320 --catalogs 10,20 --buggy-hb yes\n\
            --chaos 'kill:1@ckpt:1;kill:0@tick:500;corrupt:1@ckpt:2'\n\
+           --policies full,partitioned,hothead,proportional\n\
+           --backbone N --tail-from N --uplink-fraction F\n\
            --agenda heap|wheel --json PATH --metrics PATH --manifest PATH"
-}
-
-fn parse_scheme(name: &str) -> Option<SchemeId> {
-    match name {
-        "PB:a" => Some(SchemeId::PbA),
-        "PB:b" => Some(SchemeId::PbB),
-        "PPB:a" => Some(SchemeId::PpbA),
-        "PPB:b" => Some(SchemeId::PpbB),
-        "STAG" => Some(SchemeId::Staggered),
-        s if s.starts_with("SB:W=") => {
-            let w = &s["SB:W=".len()..];
-            if w == "inf" {
-                Some(SchemeId::Sb(None))
-            } else {
-                w.parse::<u64>().ok().map(|w| SchemeId::Sb(Some(w)))
-            }
-        }
-        _ => None,
-    }
 }
 
 struct Opts(HashMap<String, String>);
@@ -131,16 +121,6 @@ impl Opts {
             .get(key)
             .cloned()
             .unwrap_or_else(|| default.to_string())
-    }
-}
-
-fn schemes_from(opt: &str) -> Result<Vec<SchemeId>, String> {
-    if opt == "all" {
-        Ok(extended_lineup())
-    } else {
-        parse_scheme(opt)
-            .map(|s| vec![s])
-            .ok_or_else(|| format!("unknown scheme `{opt}`"))
     }
 }
 
@@ -198,7 +178,7 @@ fn cmd_client(opts: &Opts) -> Result<(), String> {
     let b = opts.get_f64("bandwidth", 300.0)?;
     let arrival = Minutes(opts.get_f64("arrival", 0.0)?);
     let video = VideoId(opts.get_usize("video", 0)?);
-    let id = parse_scheme(&opts.get_str("scheme", "SB:W=52"))
+    let id = SchemeId::parse(&opts.get_str("scheme", "SB:W=52"))
         .ok_or_else(|| "unknown scheme".to_string())?;
     let cfg = SystemConfig::paper_defaults(Mbps(b));
     let scheme = id.build();
@@ -236,15 +216,14 @@ fn cmd_client(opts: &Opts) -> Result<(), String> {
 
 /// The execution flags every study subcommand shares — `--threads`,
 /// `--seed`, `--shards`, `--agenda`, `--json`, `--manifest` — parsed and
-/// validated by one routine so `sweep`, `control`, `resilience`,
-/// `throughput` and `scale` reject bad values with identical messages.
+/// validated by one routine so every registered study rejects bad
+/// values with identical messages.
 struct CommonArgs {
     /// Worker-pool size (validated ≥ 1; results never depend on it).
     threads: usize,
     /// `--seed`, when given (each study applies its own default).
     seed: Option<u64>,
-    /// Shard count (validated ≥ 1; only `scale`, `scenario`, `recovery`
-    /// and `frontier` accept > 1).
+    /// Shard count (validated ≥ 1; only the sharded studies accept > 1).
     shards: usize,
     /// Engine event-store backend (`heap` or `wheel`; results never
     /// depend on it).
@@ -292,14 +271,14 @@ impl CommonArgs {
     }
 
     /// Studies that are not sharded refuse the scale-out flag instead of
-    /// silently ignoring it; `scale`, `scenario`, `recovery` and
-    /// `frontier` are the subcommands whose engines shard, so they skip
-    /// this gate.
+    /// silently ignoring it; the registry's [`Study::sharded`] studies
+    /// (`scale`, `scenario`, `recovery`, `frontier`, `distribution`)
+    /// skip this gate.
     fn reject_shards(&self, cmd: &str) -> Result<(), String> {
         if self.shards > 1 {
             return Err(format!(
-                "--shards applies only to `scale`, `scenario`, `recovery` and `frontier` \
-                 (got {} for `{cmd}`)",
+                "--shards applies only to `scale`, `scenario`, `recovery`, `frontier` and \
+                 `distribution` (got {} for `{cmd}`)",
                 self.shards
             ));
         }
@@ -330,55 +309,82 @@ fn finish_runner(common: &CommonArgs, runner: &Runner) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(opts: &Opts) -> Result<(), String> {
-    let from = opts.get_f64("from", 100.0)?;
-    let to = opts.get_f64("to", 600.0)?;
-    let step = opts.get_f64("step", 20.0)?;
-    let samples = opts.get_usize("samples", 24)?;
+/// The study-specific flag map a [`Study`] parses its configuration
+/// from: every `--key value` pair as given (studies ignore the
+/// execution keys — those arrive through [`StudyCtx`]).
+fn study_opts(opts: &Opts) -> StudyOpts {
+    StudyOpts::from_pairs(opts.0.iter().map(|(k, v)| (k.clone(), v.clone())))
+}
+
+/// Run one registered study: parse the common execution flags, build the
+/// [`StudyCtx`], print the rendered report to stdout, write the JSON
+/// artifact (the registry default or `--json`), honour `--metrics`, and
+/// put wall-clock rates on stderr — exactly the stanza the nine
+/// pre-registry subcommands each hand-rolled.
+fn run_study(study: &'static dyn Study, opts: &Opts) -> Result<(), String> {
     let common = CommonArgs::parse(opts)?;
-    common.reject_shards("sweep")?;
-    let seed = common.seed.unwrap_or(0);
-    let ids = schemes_from(&opts.get_str("scheme", "all"))?;
-    if !(step > 0.0 && to >= from) {
-        return Err(format!("bad sweep range: from {from} to {to} step {step}"));
+    if !study.sharded() {
+        common.reject_shards(study.name())?;
     }
     let runner = common.runner();
-    let exp = Experiment::over_range("sweep", ids.clone(), from, to, step).with_seed(seed);
-    let report = run_experiment(&exp, Minutes(15.0), samples, &runner);
-    for (fig, name) in [
-        (sb_analysis::figures::figure7(&report.rows, &ids), "latency"),
-        (
-            sb_analysis::figures::figure6(&report.rows, &ids),
-            "disk bandwidth",
-        ),
-        (sb_analysis::figures::figure8(&report.rows, &ids), "storage"),
-    ] {
-        println!("--- {name} ---");
-        print!("{}", render_figure(&fig));
-        println!();
+    let study_opts = study_opts(opts);
+    let ctx = StudyCtx {
+        opts: &study_opts,
+        shards: common.shards,
+        seed: common.seed,
+        runner: &runner,
+    };
+    let t0 = std::time::Instant::now();
+    let out = study.run(&ctx)?;
+    let wall = t0.elapsed().as_secs_f64();
+    print!("{}", out.rendered);
+    match study.artifact() {
+        Some(default) => {
+            // Wall-clock is machine truth, not simulation truth: stderr
+            // only, so stdout and the artifact stay byte-identical
+            // across `--shards`, `--threads` and `--agenda`.
+            let mut line = format!(
+                "wall: {wall:.3}s at --shards {} --threads {}",
+                common.shards,
+                runner.threads(),
+            );
+            if out.sessions > 0 {
+                line.push_str(&format!(", {:.0} sessions/sec", out.sessions as f64 / wall));
+            }
+            if out.events > 0 {
+                line.push_str(&format!(", {:.0} events/sec", out.events as f64 / wall));
+            }
+            eprintln!("{line}");
+            let path = common.json.clone().unwrap_or_else(|| default.to_string());
+            std::fs::write(&path, &out.report_json).map_err(|e| format!("--json {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            if let Some(path) = &common.json {
+                std::fs::write(path, &out.report_json)
+                    .map_err(|e| format!("--json {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+        }
     }
-    if !report.checks.is_empty() {
-        let worst_latency = report
-            .checks
-            .iter()
-            .map(|c| c.latency_ratio())
-            .fold(0.0f64, f64::max);
-        let worst_buffer = report
-            .checks
-            .iter()
-            .map(|c| c.buffer_ratio())
-            .fold(0.0f64, f64::max);
-        println!(
-            "--- crosscheck: {} (scheme, bandwidth) points × {samples} simulated arrivals (seed {seed}) ---",
-            report.checks.len()
-        );
-        println!("worst simulated/analytic latency ratio: {worst_latency:.4} (must be <= 1)");
-        println!("worst simulated/analytic buffer  ratio: {worst_buffer:.4} (must be <= 1)");
+    if let Some(snapshot) = &out.metrics {
+        if let Some(path) = opts.0.get("metrics") {
+            let json = serde_json::to_string_pretty(snapshot).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
     }
-    common.maybe_write_json(&report)?;
     finish_runner(&common, &runner)
 }
 
+/// Resolve a registry study by name; a miss is a bug in the dispatch
+/// table, not user error.
+fn study(name: &str) -> &'static dyn Study {
+    sb_analysis::study::find(name).expect("subcommand registered in sb_analysis::study")
+}
+
+/// The `hybrid` single-server report (the `--rates` study mode
+/// dispatches through the registry instead).
 fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
     let b = opts.get_f64("bandwidth", 600.0)?;
     let titles = opts.get_usize("titles", 60)?;
@@ -389,50 +395,6 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
     let common = CommonArgs::parse(opts)?;
     common.reject_shards("hybrid")?;
     let seed = common.seed.unwrap_or(42);
-    if let Some(spec) = opts.0.get("rates") {
-        // Study mode: hybrid vs pure batching over a list of arrival
-        // rates, one simulated point per rate, through the runner.
-        let rates: Vec<f64> = spec
-            .split(',')
-            .map(|t| t.trim().parse().map_err(|_| format!("bad rate `{t}`")))
-            .collect::<Result<_, _>>()?;
-        let runner = common.runner();
-        let cfg = sb_analysis::hybrid_study::StudyConfig {
-            titles,
-            popular,
-            bandwidth: Mbps(b),
-            width,
-            broadcast_fraction: 0.5,
-            horizon: Minutes(horizon),
-            mean_patience: Minutes(8.0),
-            seed,
-        };
-        let points = sb_analysis::hybrid_study::throughput_study_with(cfg, &rates, &runner);
-        println!("hybrid vs pure batching: {titles} titles, {popular} broadcast, B = {b} Mb/s");
-        println!(
-            "{:>8} {:>9} {:>11} {:>12} {:>13} {:>14}",
-            "rate/min", "requests", "pure served", "pure renege", "hybrid served", "hybrid renege"
-        );
-        for p in &points {
-            println!(
-                "{:>8.1} {:>9} {:>11} {:>11.1}% {:>13} {:>13.1}%",
-                p.rate_per_minute,
-                p.requests,
-                p.pure_served,
-                p.pure_renege_rate * 100.0,
-                p.hybrid_served,
-                p.hybrid_renege_rate * 100.0
-            );
-        }
-        if let Some(first) = points.first() {
-            println!(
-                "broadcast worst latency (rate-independent): {:.3}",
-                first.broadcast_worst_latency
-            );
-        }
-        common.maybe_write_json(&points)?;
-        return finish_runner(&common, &runner);
-    }
     let catalog = Catalog::paper_defaults(titles);
     let requests = PoissonArrivals::new(rate, seed)
         .with_patience(Patience::Exponential(Minutes(8.0)))
@@ -466,291 +428,6 @@ fn cmd_hybrid(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// Static vs dynamic channel control under a popularity shift: the same
-/// request streams through [`sb_control::ControlledSim`] twice, once per
-/// [`sb_control::ControlPolicy`].
-/// Parse the admission-backoff flags: `--retry <base-minutes>` enables
-/// deferral; `--retry-factor` (default 2) and `--retry-attempts`
-/// (default 5) shape the exponential schedule.
-fn parse_backoff(opts: &Opts) -> Result<Option<sb_control::Backoff>, String> {
-    let Some(base) = opts.0.get("retry") else {
-        return Ok(None);
-    };
-    let base: f64 = base
-        .parse()
-        .map_err(|_| format!("--retry: bad number `{base}`"))?;
-    let factor = opts.get_f64("retry-factor", 2.0)?;
-    let attempts = opts.get_usize("retry-attempts", 5)? as u32;
-    sb_control::Backoff::new(Minutes(base), factor, attempts)
-        .map(Some)
-        .map_err(|e| e.to_string())
-}
-
-fn cmd_control(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::control_study::{render_shift_study, shift_study, ShiftStudyConfig};
-    use sb_control::ControlConfig;
-
-    let titles = opts.get_usize("titles", 40)?;
-    let control = ControlConfig {
-        titles,
-        hot_slots: opts.get_usize("popular", 8)?,
-        total_bandwidth: Mbps(opts.get_f64("bandwidth", 300.0)?),
-        broadcast_fraction: opts.get_f64("fraction", 0.6)?,
-        width: Width::capped_lossy(opts.get_usize("width", 52)? as u64),
-        batch: BatchPolicy::Mql,
-        tick: Minutes(opts.get_f64("tick", 15.0)?),
-        half_life: Minutes(opts.get_f64("half-life", 45.0)?),
-        hysteresis: opts.get_f64("hysteresis", 0.1)?,
-        admission_ceiling: opts.get_f64("ceiling", 3.0)?,
-        admission_retry: parse_backoff(opts)?,
-    };
-    let seeds: Vec<u64> = opts
-        .get_str("seeds", "11,23,47")
-        .split(',')
-        .map(|t| t.trim().parse().map_err(|_| format!("bad seed `{t}`")))
-        .collect::<Result<_, _>>()?;
-    let cfg = ShiftStudyConfig {
-        control,
-        rate: opts.get_f64("rate", 6.0)?,
-        horizon: Minutes(opts.get_f64("horizon", 600.0)?),
-        shift_at: Minutes(opts.get_f64("shift-at", 150.0)?),
-        rotate: opts.get_usize("rotate", titles / 2)?,
-        mean_patience: Minutes(opts.get_f64("patience", 45.0)?),
-        seeds,
-    };
-    let common = CommonArgs::parse(opts)?;
-    common.reject_shards("control")?;
-    let runner = common.runner();
-    let (study, snapshot) = shift_study(&cfg, &runner).map_err(|e| e.to_string())?;
-    print!("{}", render_shift_study(&study));
-    common.maybe_write_json(&study)?;
-    if let Some(path) = opts.0.get("metrics") {
-        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    finish_runner(&common, &runner)
-}
-
-/// The fault study: every scheme under i.i.d. and bursty loss at equal
-/// mean rates plus a mid-run channel outage, and the control plane's
-/// recovery from the same script under static vs dynamic control.
-fn cmd_resilience(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::resilience_study::{
-        render_resilience_study, resilience_study, ResilienceStudyConfig,
-    };
-    use sb_resilience::{ChannelOutage, FaultScript};
-
-    let mut cfg = ResilienceStudyConfig::paper_defaults();
-    cfg.bandwidth = Mbps(opts.get_f64("bandwidth", 320.0)?);
-    cfg.horizon = Minutes(opts.get_f64("horizon", 200.0)?);
-    cfg.samples = opts.get_usize("samples", 24)?;
-    cfg.burst_len = opts.get_f64("burst-len", 4.0)?;
-    if let Some(spec) = opts.0.get("loss-rates") {
-        cfg.loss_rates = spec
-            .split(',')
-            .map(|t| t.trim().parse().map_err(|_| format!("bad loss rate `{t}`")))
-            .collect::<Result<_, _>>()?;
-    }
-    cfg.seeds = opts
-        .get_str("seeds", "11,23,47")
-        .split(',')
-        .map(|t| t.trim().parse().map_err(|_| format!("bad seed `{t}`")))
-        .collect::<Result<_, _>>()?;
-    cfg.script = FaultScript {
-        outages: vec![ChannelOutage {
-            channel: opts.get_usize("outage-channel", 0)?,
-            start: Minutes(opts.get_f64("outage-start", 60.0)?),
-            duration: Minutes(opts.get_f64("outage-duration", 25.0)?),
-        }],
-        ..FaultScript::none()
-    };
-    cfg.rate = opts.get_f64("rate", 6.0)?;
-    cfg.mean_patience = Minutes(opts.get_f64("patience", 45.0)?);
-    cfg.control.admission_retry = parse_backoff(opts)?;
-
-    let common = CommonArgs::parse(opts)?;
-    common.reject_shards("resilience")?;
-    let runner = common.runner();
-    let (study, snapshot) = resilience_study(&cfg, &runner).map_err(|e| e.to_string())?;
-    print!("{}", render_resilience_study(&study));
-    common.maybe_write_json(&study)?;
-    if let Some(path) = opts.0.get("metrics") {
-        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    finish_runner(&common, &runner)
-}
-
-/// Streaming-core throughput: per-scheme engine/agenda accounting on the
-/// [`sb_sim::StreamingFold`] path plus the cancel-heavy churn stress.
-/// Writes `BENCH_throughput.json` (override with `--json`); the JSON and
-/// stdout are byte-identical across `--threads` counts, wall-clock rates
-/// go to stderr.
-fn cmd_throughput(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::throughput::{render_throughput, throughput_study, ThroughputConfig};
-
-    let mut cfg = ThroughputConfig::paper_defaults();
-    cfg.bandwidth = Mbps(opts.get_f64("bandwidth", cfg.bandwidth.value())?);
-    cfg.schemes = match opts.0.get("scheme") {
-        None => cfg.schemes,
-        Some(s) => schemes_from(s)?,
-    };
-    cfg.sessions = opts.get_usize("samples", cfg.sessions)?;
-    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
-    cfg.churn_cancels = opts.get_usize("churn-cancels", cfg.churn_cancels as usize)? as u64;
-
-    let common = CommonArgs::parse(opts)?;
-    common.reject_shards("throughput")?;
-    cfg.seed = common.seed.unwrap_or(cfg.seed);
-    let runner = common.runner();
-    let t0 = std::time::Instant::now();
-    let (report, snapshot) = throughput_study(&cfg, &runner).map_err(|e| e.to_string())?;
-    let wall = t0.elapsed().as_secs_f64();
-    print!("{}", render_throughput(&report));
-    let churn_events = report.churn.engine.fired + report.churn.engine.cancelled;
-    eprintln!(
-        "wall: {:.3}s, {:.0} sessions/sec, {:.0} events/sec",
-        wall,
-        report.total_sessions as f64 / wall,
-        (report.total_events_fired + churn_events) as f64 / wall,
-    );
-    let path = common
-        .json
-        .clone()
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
-    eprintln!("wrote {path}");
-    if let Some(path) = opts.0.get("metrics") {
-        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    finish_runner(&common, &runner)
-}
-
-/// Sharded scale-out: per-shard agenda footprint and simulated-time
-/// rates at every grid shard count, a [`sb_analysis::scale_study`] run.
-/// Writes `BENCH_scale.json` (override with `--json`); stdout and the
-/// JSON are byte-identical for every `--shards` and `--threads`
-/// combination — the flagship pass contributes only shard-invariant
-/// fields. Wall-clock rates go to stderr.
-fn cmd_scale(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::scale_study::{render_scale, scale_study, ScaleConfig};
-
-    let mut cfg = ScaleConfig::paper_defaults();
-    cfg.bandwidth = Mbps(opts.get_f64("bandwidth", cfg.bandwidth.value())?);
-    cfg.sessions = opts.get_usize("sessions", cfg.sessions)?;
-    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
-    cfg.videos = opts.get_usize("videos", cfg.videos)?;
-
-    let common = CommonArgs::parse(opts)?;
-    cfg.seed = common.seed.unwrap_or(cfg.seed);
-    let runner = common.runner();
-    let t0 = std::time::Instant::now();
-    let (report, snapshot) =
-        scale_study(&cfg, common.shards, &runner).map_err(|e| e.to_string())?;
-    let wall = t0.elapsed().as_secs_f64();
-    print!("{}", render_scale(&report));
-    eprintln!(
-        "wall: {:.3}s at --shards {} --threads {}, {:.0} sessions/sec over the grid",
-        wall,
-        common.shards,
-        runner.threads(),
-        (report.total_sessions * (report.cells.len() + 1)) as f64 / wall,
-    );
-    let path = common
-        .json
-        .clone()
-        .unwrap_or_else(|| "BENCH_scale.json".to_string());
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
-    eprintln!("wrote {path}");
-    if let Some(path) = opts.0.get("metrics") {
-        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    finish_runner(&common, &runner)
-}
-
-/// The metropolitan scenario pack: per-region-class SB vs baselines on
-/// clustered geography, plus the premiere flash crowd, the correlated
-/// regional outage and the diurnal × density cell, a
-/// [`sb_analysis::scenario_study`] run. Writes `BENCH_scenario.json`
-/// (override with `--json`); stdout and the JSON are byte-identical for
-/// every `--shards` × `--threads` × `--agenda` combination — the
-/// flagship pass contributes only shard-invariant fields. Wall-clock
-/// rates go to stderr.
-fn cmd_scenario(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::scenario_study::{render_scenario, scenario_study, ScenarioStudyConfig};
-    use sb_workload::ScenarioPreset;
-
-    let profile = opts.get_str("profile", "paper");
-    let mut cfg = match profile.as_str() {
-        "paper" => ScenarioStudyConfig::paper_defaults(),
-        "smoke" => ScenarioStudyConfig::smoke(),
-        other => {
-            return Err(format!(
-                "--profile: expected `smoke` or `paper`, got `{other}`"
-            ))
-        }
-    };
-    let preset = opts.get_str("preset", "all");
-    cfg.presets = match preset.as_str() {
-        "all" => cfg.presets,
-        "urban" => vec![ScenarioPreset::Urban],
-        "rural" => vec![ScenarioPreset::Rural],
-        "remote" => vec![ScenarioPreset::Remote],
-        other => {
-            return Err(format!(
-                "--preset: expected `urban`, `rural`, `remote` or `all`, got `{other}`"
-            ))
-        }
-    };
-    if let Some(s) = opts.0.get("scheme") {
-        cfg.schemes = schemes_from(s)?;
-    }
-    cfg.rate = opts.get_f64("rate", cfg.rate)?;
-    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
-    cfg.mean_patience = Minutes(opts.get_f64("patience", cfg.mean_patience.value())?);
-    cfg.flash_at = Minutes(opts.get_f64("flash-at", cfg.flash_at.value())?);
-    cfg.flash_rate_boost = opts.get_f64("flash-boost", cfg.flash_rate_boost)?;
-    cfg.outage_start = Minutes(opts.get_f64("outage-start", cfg.outage_start.value())?);
-    cfg.outage_duration = Minutes(opts.get_f64("outage-duration", cfg.outage_duration.value())?);
-
-    let common = CommonArgs::parse(opts)?;
-    cfg.seed = common.seed.unwrap_or(cfg.seed);
-    let runner = common.runner();
-    let t0 = std::time::Instant::now();
-    let (report, snapshot) =
-        scenario_study(&cfg, common.shards, &runner).map_err(|e| e.to_string())?;
-    let wall = t0.elapsed().as_secs_f64();
-    print!("{}", render_scenario(&report));
-    eprintln!(
-        "wall: {:.3}s at --shards {} --threads {}, {:.0} sessions/sec",
-        wall,
-        common.shards,
-        runner.threads(),
-        report.total_sessions as f64 / wall,
-    );
-    let path = common
-        .json
-        .clone()
-        .unwrap_or_else(|| "BENCH_scenario.json".to_string());
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
-    eprintln!("wrote {path}");
-    if let Some(path) = opts.0.get("metrics") {
-        let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| format!("--metrics {path}: {e}"))?;
-        eprintln!("wrote {path}");
-    }
-    finish_runner(&common, &runner)
-}
-
 /// One missing-shard marker, serialized for `--json`.
 #[derive(serde::Serialize)]
 struct MissingShardJson {
@@ -774,13 +451,12 @@ struct RecoveryRunJson {
     missing: Vec<MissingShardJson>,
 }
 
-/// Crash-recovery supervision. `--mode run` (the default) executes one
-/// supervised run under an explicit `--chaos` script and re-verifies the
-/// byte-identity invariant against a plain `execute`; `--mode sweep`
-/// runs the checkpoint-cadence study → `BENCH_recovery.json`. Both are
-/// byte-identical across `--threads`, `--shards` and `--agenda`.
-fn cmd_recovery(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::recovery_study::{recovery_study, render_recovery, RecoveryConfig};
+/// `recovery --mode run` (the default): one supervised run under an
+/// explicit `--chaos` script, re-verifying the byte-identity invariant
+/// against a plain `execute`. The `--mode sweep` study half dispatches
+/// through the registry instead. Both are byte-identical across
+/// `--threads`, `--shards` and `--agenda`.
+fn cmd_recovery_run(opts: &Opts) -> Result<(), String> {
     use sb_resilience::{Backoff, CrashScript, Recovered, RunSpec, Supervisor};
     use sb_sim::policy::ClientPolicy;
     use sb_sim::system::{Request, SystemSim};
@@ -788,42 +464,6 @@ fn cmd_recovery(opts: &Opts) -> Result<(), String> {
     use sb_workload::GridArrivals;
 
     let common = CommonArgs::parse(opts)?;
-    let runner = common.runner();
-    let mode = opts.get_str("mode", "run");
-
-    if mode == "sweep" {
-        let mut cfg = match opts.get_str("profile", "paper").as_str() {
-            "paper" => RecoveryConfig::paper_defaults(),
-            "smoke" => RecoveryConfig::smoke(),
-            other => {
-                return Err(format!(
-                    "--profile: expected `smoke` or `paper`, got `{other}`"
-                ))
-            }
-        };
-        cfg.bandwidth = Mbps(opts.get_f64("bandwidth", cfg.bandwidth.value())?);
-        cfg.sessions = opts.get_usize("sessions", cfg.sessions)?;
-        cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
-        cfg.videos = opts.get_usize("titles", cfg.videos)?;
-        cfg.kills = opts.get_usize("kills", cfg.kills)?;
-        cfg.seed = common.seed.unwrap_or(cfg.seed);
-        if common.shards > 1 {
-            cfg.shards = common.shards;
-        }
-        let report = recovery_study(&cfg, &runner).map_err(|e| e.to_string())?;
-        print!("{}", render_recovery(&report));
-        let path = common
-            .json
-            .clone()
-            .unwrap_or_else(|| "BENCH_recovery.json".to_string());
-        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
-        eprintln!("wrote {path}");
-        return finish_runner(&common, &runner);
-    }
-    if mode != "run" {
-        return Err(format!("--mode: expected `run` or `sweep`, got `{mode}`"));
-    }
 
     let bandwidth = Mbps(opts.get_f64("bandwidth", 320.0)?);
     let sessions = opts.get_usize("sessions", 2_000)?;
@@ -832,11 +472,11 @@ fn cmd_recovery(opts: &Opts) -> Result<(), String> {
     let cadence = opts.get_usize("cadence", 50)? as u64;
     let seed = common.seed.unwrap_or(17);
     let chaos = CrashScript::parse(&opts.get_str("chaos", "")).map_err(|e| e.to_string())?;
-    let backoff = parse_backoff(opts)?
+    let backoff = sb_analysis::study::parse_backoff(&study_opts(opts))?
         .map_or_else(|| Backoff::new(Minutes(1.0), 2.0, 8), Ok)
         .map_err(|e| e.to_string())?;
 
-    let id = parse_scheme(&opts.get_str("scheme", "SB:W=52"))
+    let id = SchemeId::parse(&opts.get_str("scheme", "SB:W=52"))
         .ok_or_else(|| format!("unknown scheme `{}`", opts.get_str("scheme", "SB:W=52")))?;
     let sys = SystemConfig::paper_defaults(bandwidth);
     let plan = id.build().plan(&sys).map_err(|e| e.to_string())?;
@@ -953,69 +593,6 @@ fn cmd_recovery(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// The automated Pareto frontier: every scheme in the zoo (SB expanded
-/// over its candidate widths) across a bandwidth × catalog grid, each
-/// point marked for dominance in latency × client-I/O × buffer both
-/// analytically and from simulated sessions — a [`sb_analysis::frontier`]
-/// run. Writes `BENCH_frontier.json` (override with `--json`); stdout
-/// and the JSON are byte-identical for every `--shards` × `--threads` ×
-/// `--agenda` combination. Wall-clock goes to stderr.
-fn cmd_frontier(opts: &Opts) -> Result<(), String> {
-    use sb_analysis::frontier::{frontier_report, render_frontier, FrontierConfig};
-
-    let profile = opts.get_str("profile", "paper");
-    let mut cfg = match profile.as_str() {
-        "paper" => FrontierConfig::paper(),
-        "smoke" => FrontierConfig::smoke(),
-        other => {
-            return Err(format!(
-                "--profile: expected `smoke` or `paper`, got `{other}`"
-            ))
-        }
-    };
-    if let Some(spec) = opts.0.get("bandwidths") {
-        cfg.bandwidths = spec
-            .split(',')
-            .map(|t| t.trim().parse().map_err(|_| format!("bad bandwidth `{t}`")))
-            .collect::<Result<_, _>>()?;
-    }
-    if let Some(spec) = opts.0.get("catalogs") {
-        cfg.catalogs = spec
-            .split(',')
-            .map(|t| {
-                t.trim()
-                    .parse()
-                    .map_err(|_| format!("bad catalog size `{t}`"))
-            })
-            .collect::<Result<_, _>>()?;
-    }
-    cfg.sessions = opts.get_usize("sessions", cfg.sessions)?;
-    cfg.horizon = Minutes(opts.get_f64("horizon", cfg.horizon.value())?);
-    cfg.include_buggy_hb = opts.get_str("buggy-hb", "no") != "no";
-
-    let common = CommonArgs::parse(opts)?;
-    cfg.seed = common.seed.unwrap_or(cfg.seed);
-    let runner = common.runner();
-    let t0 = std::time::Instant::now();
-    let report = frontier_report(&cfg, common.shards, &runner);
-    let wall = t0.elapsed().as_secs_f64();
-    print!("{}", render_frontier(&report));
-    eprintln!(
-        "wall: {:.3}s at --shards {} --threads {}",
-        wall,
-        common.shards,
-        runner.threads(),
-    );
-    let path = common
-        .json
-        .clone()
-        .unwrap_or_else(|| "BENCH_frontier.json".to_string());
-    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    std::fs::write(&path, json).map_err(|e| format!("--json {path}: {e}"))?;
-    eprintln!("wrote {path}");
-    finish_runner(&common, &runner)
-}
-
 fn cmd_series(opts: &Opts) -> Result<(), String> {
     use sb_core::custom::{greedy_max_series, validate_units, PhaseBudget};
     let budget = PhaseBudget::ExhaustiveUpTo(100_000);
@@ -1090,7 +667,7 @@ fn cmd_pausing(opts: &Opts) -> Result<(), String> {
     use sb_sim::pausing::schedule_pausing_client;
     let b = opts.get_f64("bandwidth", 320.0)?;
     let arrival = Minutes(opts.get_f64("arrival", 0.0)?);
-    let id = parse_scheme(&opts.get_str("scheme", "PPB:b"))
+    let id = SchemeId::parse(&opts.get_str("scheme", "PPB:b"))
         .ok_or_else(|| "unknown scheme".to_string())?;
     if !matches!(id, SchemeId::PpbA | SchemeId::PpbB) {
         return Err("pausing clients exist only for PPB (scheme PPB:a or PPB:b)".into());
@@ -1137,19 +714,21 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&opts),
         "metrics" => cmd_metrics(&opts),
         "client" => cmd_client(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "hybrid" => cmd_hybrid(&opts),
-        "control" => cmd_control(&opts),
-        "resilience" => cmd_resilience(&opts),
-        "throughput" => cmd_throughput(&opts),
-        "scale" => cmd_scale(&opts),
-        "scenario" => cmd_scenario(&opts),
-        "recovery" => cmd_recovery(&opts),
-        "frontier" => cmd_frontier(&opts),
+        // Dual-mode subcommands: the study half goes through the
+        // registry, the other half stays hand-rolled.
+        "hybrid" if !opts.0.contains_key("rates") => cmd_hybrid(&opts),
+        "recovery" => match opts.get_str("mode", "run").as_str() {
+            "run" => cmd_recovery_run(&opts),
+            "sweep" => run_study(study("recovery"), &opts),
+            mode => Err(format!("--mode: expected `run` or `sweep`, got `{mode}`")),
+        },
         "series" => cmd_series(&opts),
         "hetero" => cmd_hetero(&opts),
         "pausing" => cmd_pausing(&opts),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => match sb_analysis::study::find(other) {
+            Some(study) => run_study(study, &opts),
+            None => Err(format!("unknown command `{other}`\n{}", usage())),
+        },
     });
     match run {
         Ok(()) => ExitCode::SUCCESS,

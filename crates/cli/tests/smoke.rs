@@ -98,7 +98,10 @@ fn zero_shards_and_unsharded_commands_reject_the_shards_flag() {
         assert_clean_failure(&out);
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
-            stderr.contains("--shards applies only to `scale` and `scenario`"),
+            stderr.contains(
+                "--shards applies only to `scale`, `scenario`, `recovery`, `frontier` and \
+                 `distribution`"
+            ),
             "`{cmd}` must refuse --shards through the shared gate, got: {stderr}"
         );
     }

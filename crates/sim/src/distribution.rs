@@ -1,0 +1,657 @@
+//! The distributed metro tier: cross-server routing and peer-assisted
+//! delivery accounting over simulated Skyscraper sessions.
+//!
+//! The broadcast simulator answers *when* every session receives every
+//! segment; this module answers *who pays for the bytes* once the metro
+//! is split into server shards under a
+//! [`Placement`]. It is a pure
+//! accounting pass over [`SessionRecord`]s — compact per-session
+//! reception schedules lifted from [`SessionTrace`]s — so the same
+//! simulated metro can be priced under every placement × peer-assist
+//! combination without re-running the engine, and the result is a pure
+//! function of the record list (byte-identical however the records were
+//! produced).
+//!
+//! ## The cost model
+//!
+//! * **Standing broadcast.** Every server continuously broadcasts the
+//!   Skyscraper channels of every title it hosts (head segments only
+//!   when peer assist is on). Per-title channel rates are read off the
+//!   observed receptions, so only titles the workload actually touches
+//!   contribute cost — the accounting is horizon-scoped.
+//! * **Local hit.** A session whose home server hosts its title tunes
+//!   into the home broadcast for free (the standing cost already paid
+//!   for it).
+//! * **Remote fetch.** Otherwise the nearest ring host relays the
+//!   broadcast over the directed metro backbone link `host → home`.
+//!   Links have per-link capacity ([`DistributionConfig::backbone_mbps`],
+//!   checked at minute granularity); identical broadcast windows of the
+//!   same title share one relay (multicast-aware), and a session that
+//!   cannot fit is **rejected** whole — no partial admissions.
+//! * **Peer assist.** With [`DistributionConfig::peer_assist`] on,
+//!   servers broadcast only the segments below
+//!   [`DistributionConfig::tail_from`]; trailing segments come from an
+//!   earlier same-region session that already holds them and has spare
+//!   uplink (per-region budget, minute-bucketed), falling back to a
+//!   metered server unicast (plus backbone when remote) when no peer
+//!   qualifies.
+//!
+//! Every reception window of every admitted session is delivered by
+//! exactly one of {standing broadcast, server unicast fallback, peer},
+//! which is the conservation invariant
+//! [`RouteOutcome::conservation_holds`] checks and the determinism
+//! suite pins.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use sb_workload::placement::Placement;
+
+use crate::trace::SessionTrace;
+
+/// How many peer candidates a trailing window scans (newest first)
+/// before giving up and falling back to the server. A bound keeps the
+/// accounting pass linear-ish in busy (region, title) pairs; it is part
+/// of the model, so it is a named constant rather than a config knob.
+pub const PEER_SCAN_LIMIT: usize = 64;
+
+/// One reception window: the session receives `segment` during
+/// `[start, end)` minutes at `rate` Mb/s (`mbits` total).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentWindow {
+    /// Segment index within the title.
+    pub segment: usize,
+    /// Window start, minutes.
+    pub start: f64,
+    /// Window end, minutes.
+    pub end: f64,
+    /// Channel rate, Mb/s.
+    pub rate: f64,
+    /// Bytes moved, Mbit.
+    pub mbits: f64,
+}
+
+/// A session reduced to what the distribution tier needs: who asked for
+/// what, from where, and the exact reception schedule the broadcast
+/// plan gave it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Arrival time, minutes.
+    pub arrival: f64,
+    /// Global title id.
+    pub title: usize,
+    /// Requesting region.
+    pub region: usize,
+    /// Reception windows in segment order.
+    pub windows: Vec<SegmentWindow>,
+}
+
+impl SessionRecord {
+    /// Lift a simulated [`SessionTrace`] into a record for `title`
+    /// requested from `region`.
+    #[must_use]
+    pub fn from_trace(trace: &SessionTrace, title: usize, region: usize) -> Self {
+        Self {
+            arrival: trace.arrival.0,
+            title,
+            region,
+            windows: trace
+                .receptions
+                .iter()
+                .map(|r| SegmentWindow {
+                    segment: r.segment,
+                    start: r.start.0,
+                    end: r.end().0,
+                    rate: r.rate.0,
+                    mbits: r.size.0,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Knobs of the distribution cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionConfig {
+    /// Capacity of each directed backbone link, Mb/s.
+    pub backbone_mbps: f64,
+    /// Whether clients with spare uplink serve trailing segments.
+    pub peer_assist: bool,
+    /// First trailing segment index: with peer assist on, servers
+    /// broadcast only segments `< tail_from`.
+    pub tail_from: usize,
+    /// Per-region peer uplink budget, Mb/s (typically a fraction of the
+    /// region's access-class downlink). Empty disables peer serving
+    /// even when `peer_assist` is set.
+    pub peer_uplink_mbps: Vec<f64>,
+}
+
+impl DistributionConfig {
+    /// A broadcast-only model (no peer assist) with the given per-link
+    /// backbone capacity.
+    #[must_use]
+    pub fn broadcast_only(backbone_mbps: f64) -> Self {
+        Self {
+            backbone_mbps,
+            peer_assist: false,
+            tail_from: usize::MAX,
+            peer_uplink_mbps: Vec::new(),
+        }
+    }
+}
+
+/// What one placement × peer-assist combination costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// Sessions offered.
+    pub sessions: usize,
+    /// Sessions admitted (served completely).
+    pub admitted: usize,
+    /// Sessions rejected by backbone capacity.
+    pub rejected: usize,
+    /// Admitted sessions served by their home server.
+    pub local_hits: usize,
+    /// Admitted sessions that needed a remote host.
+    pub remote_fetches: usize,
+    /// Reception windows consumed by admitted sessions.
+    pub consumed_windows: u64,
+    /// Windows delivered by a standing broadcast (home or relayed).
+    pub broadcast_windows: u64,
+    /// Windows delivered by server unicast fallback.
+    pub fallback_windows: u64,
+    /// Windows delivered by peers.
+    pub peer_windows: u64,
+    /// Remote broadcast windows that shared an existing relay for free.
+    pub shared_relay_windows: u64,
+    /// Standing broadcast cost over all servers, Mb/s.
+    pub broadcast_mbps: f64,
+    /// Per-server standing broadcast, Mb/s.
+    pub per_server_broadcast_mbps: Vec<f64>,
+    /// Peak concurrent server unicast fallback (max over servers), Mb/s.
+    pub fallback_peak_mbps: f64,
+    /// Total fallback bytes, Mbit.
+    pub fallback_mbit: f64,
+    /// Peak load on the busiest backbone link, Mb/s.
+    pub backbone_peak_mbps: f64,
+    /// Total backbone bytes, Mbit.
+    pub backbone_mbit: f64,
+    /// Total peer-served bytes, Mbit.
+    pub peer_mbit: f64,
+    /// Σ over observed titles of the full broadcast rate, Mb/s — the
+    /// single-server broadcast cost, so `servers × sum_full_mbps` is
+    /// the naive fully-replicated metro.
+    pub sum_full_mbps: f64,
+    /// The source-once lower bound, Mb/s: with clients uploading, the
+    /// servers must inject each observed title at least once at its
+    /// display rate (the Viennot et al. scaling regime).
+    pub bound_mbps: f64,
+}
+
+impl RouteOutcome {
+    /// Total server bandwidth: standing broadcast plus peak fallback.
+    #[must_use]
+    pub fn server_mbps(&self) -> f64 {
+        self.broadcast_mbps + self.fallback_peak_mbps
+    }
+
+    /// Server bandwidth plus peak backbone — the metro footprint.
+    #[must_use]
+    pub fn footprint_mbps(&self) -> f64 {
+        self.server_mbps() + self.backbone_peak_mbps
+    }
+
+    /// Windows served by servers (broadcast + unicast fallback).
+    #[must_use]
+    pub fn server_windows(&self) -> u64 {
+        self.broadcast_windows + self.fallback_windows
+    }
+
+    /// The conservation invariant: every consumed window was delivered
+    /// by exactly one of broadcast, fallback, or a peer.
+    #[must_use]
+    pub fn conservation_holds(&self) -> bool {
+        self.server_windows() + self.peer_windows == self.consumed_windows
+    }
+}
+
+/// Minute-bucketed load track: a window `[start, end)` at `rate`
+/// occupies every minute bucket it overlaps at the full rate (a
+/// concurrent-streams capacity model, not an average).
+#[derive(Debug, Clone, Default)]
+struct LoadTrack {
+    buckets: Vec<f64>,
+}
+
+fn bucket_span(start: f64, end: f64) -> std::ops::Range<usize> {
+    let lo = start.max(0.0).floor() as usize;
+    let hi = (end.max(0.0).ceil() as usize).max(lo + 1);
+    lo..hi
+}
+
+impl LoadTrack {
+    fn grow(&mut self, upto: usize) {
+        if self.buckets.len() < upto {
+            self.buckets.resize(upto, 0.0);
+        }
+    }
+
+    /// Would adding `rate` over `[start, end)` (plus `pending` deltas
+    /// from the same session) stay within `cap` everywhere?
+    fn fits(
+        &self,
+        start: f64,
+        end: f64,
+        rate: f64,
+        cap: f64,
+        pending: &BTreeMap<usize, f64>,
+    ) -> bool {
+        bucket_span(start, end).all(|b| {
+            let held = self.buckets.get(b).copied().unwrap_or(0.0);
+            let planned = pending.get(&b).copied().unwrap_or(0.0);
+            held + planned + rate <= cap + 1e-9
+        })
+    }
+
+    fn plan(start: f64, end: f64, rate: f64, pending: &mut BTreeMap<usize, f64>) {
+        for b in bucket_span(start, end) {
+            *pending.entry(b).or_insert(0.0) += rate;
+        }
+    }
+
+    fn commit(&mut self, pending: &BTreeMap<usize, f64>) {
+        if let Some((&last, _)) = pending.iter().next_back() {
+            self.grow(last + 1);
+        }
+        for (&b, &r) in pending {
+            self.buckets[b] += r;
+        }
+    }
+
+    fn peak(&self) -> f64 {
+        self.buckets.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+}
+
+/// A planned delivery for one window of the session under admission.
+enum PlannedDelivery {
+    /// Free: covered by the home server's standing broadcast.
+    HomeBroadcast,
+    /// Relayed broadcast over the backbone; `shared` marks a ride on an
+    /// already-established relay of the same window.
+    RelayedBroadcast { shared: bool },
+    /// Server unicast fallback (trailing segment, no peer found).
+    Fallback { remote: bool },
+    /// Served by an admitted peer session out of its uplink budget (the
+    /// peer's charge is planned in `peer_pending`, keyed by its index).
+    Peer,
+}
+
+/// Price `records` under `placement` and `cfg`.
+///
+/// Records must be in the deterministic merged engine order (arrival
+/// order); the pass processes them one session at a time, planning all
+/// of a session's deliveries before committing any, so a rejected
+/// session leaves no residue. The result is a pure function of
+/// `(cfg, placement, records)`.
+#[must_use]
+pub fn route_catalog(
+    cfg: &DistributionConfig,
+    placement: &Placement,
+    records: &[SessionRecord],
+) -> RouteOutcome {
+    // Per-title per-segment channel rates, learned from observations.
+    let mut title_rates: BTreeMap<usize, BTreeMap<usize, f64>> = BTreeMap::new();
+    for rec in records {
+        let seen = title_rates.entry(rec.title).or_default();
+        for w in &rec.windows {
+            let r = seen.entry(w.segment).or_insert(w.rate);
+            if w.rate > *r {
+                *r = w.rate;
+            }
+        }
+    }
+    let head_rate = |segs: &BTreeMap<usize, f64>| -> f64 {
+        segs.iter()
+            .filter(|(&s, _)| s < cfg.tail_from)
+            .map(|(_, &r)| r)
+            .sum()
+    };
+    let full_rate = |segs: &BTreeMap<usize, f64>| -> f64 { segs.values().sum() };
+
+    // Standing broadcast: every hosted, observed title on every host;
+    // head-only when peers carry the tail.
+    let mut per_server_broadcast = vec![0.0f64; placement.servers];
+    let mut sum_full = 0.0f64;
+    let mut bound = 0.0f64;
+    for (&title, segs) in &title_rates {
+        let standing = if cfg.peer_assist {
+            head_rate(segs)
+        } else {
+            full_rate(segs)
+        };
+        for &s in placement.hosts(title) {
+            per_server_broadcast[s] += standing;
+        }
+        sum_full += full_rate(segs);
+        // Display rate proxy: the first channel's rate (Skyscraper
+        // channels all run at the display rate).
+        bound += segs.values().next().copied().unwrap_or(0.0);
+    }
+
+    // Mutable admission state.
+    let mut links: BTreeMap<(usize, usize), LoadTrack> = BTreeMap::new();
+    let mut fallback: Vec<LoadTrack> = vec![LoadTrack::default(); placement.servers];
+    let mut shared_relays: BTreeSet<(usize, usize, usize, usize, u64)> = BTreeSet::new();
+    let mut uplinks: HashMap<usize, LoadTrack> = HashMap::new();
+    // Admitted sessions per (region, title), in admission order.
+    let mut admitted_by_group: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+
+    let mut out = RouteOutcome {
+        sessions: records.len(),
+        admitted: 0,
+        rejected: 0,
+        local_hits: 0,
+        remote_fetches: 0,
+        consumed_windows: 0,
+        broadcast_windows: 0,
+        fallback_windows: 0,
+        peer_windows: 0,
+        shared_relay_windows: 0,
+        broadcast_mbps: per_server_broadcast.iter().sum(),
+        per_server_broadcast_mbps: per_server_broadcast,
+        fallback_peak_mbps: 0.0,
+        fallback_mbit: 0.0,
+        backbone_peak_mbps: 0.0,
+        backbone_mbit: 0.0,
+        peer_mbit: 0.0,
+        sum_full_mbps: sum_full,
+        bound_mbps: bound,
+    };
+
+    for (idx, rec) in records.iter().enumerate() {
+        let home = placement.home_of(rec.region);
+        let src = placement.route(rec.region, rec.title);
+        let remote = src != home;
+        let link = (src, home);
+        let uplink_cap = cfg.peer_uplink_mbps.get(rec.region).copied().unwrap_or(0.0);
+
+        // Plan the whole session before touching shared state.
+        let mut plan: Vec<PlannedDelivery> = Vec::with_capacity(rec.windows.len());
+        let mut link_pending: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut shares_pending: BTreeSet<(usize, usize, usize, usize, u64)> = BTreeSet::new();
+        let mut peer_pending: BTreeMap<usize, BTreeMap<usize, f64>> = BTreeMap::new();
+        let mut feasible = true;
+
+        let group = admitted_by_group
+            .get(&(rec.region, rec.title))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+
+        for w in &rec.windows {
+            let via_broadcast = !cfg.peer_assist || w.segment < cfg.tail_from;
+            if via_broadcast {
+                if !remote {
+                    plan.push(PlannedDelivery::HomeBroadcast);
+                    continue;
+                }
+                let key = (src, home, rec.title, w.segment, w.start.to_bits());
+                if shared_relays.contains(&key) || shares_pending.contains(&key) {
+                    plan.push(PlannedDelivery::RelayedBroadcast { shared: true });
+                    continue;
+                }
+                let track = links.entry(link).or_default();
+                if !track.fits(w.start, w.end, w.rate, cfg.backbone_mbps, &link_pending) {
+                    feasible = false;
+                    break;
+                }
+                LoadTrack::plan(w.start, w.end, w.rate, &mut link_pending);
+                shares_pending.insert(key);
+                plan.push(PlannedDelivery::RelayedBroadcast { shared: false });
+                continue;
+            }
+
+            // Trailing segment: try peers, newest admitted first.
+            let mut chosen: Option<usize> = None;
+            if uplink_cap > 0.0 {
+                for &j in group.iter().rev().take(PEER_SCAN_LIMIT) {
+                    let holds = records[j]
+                        .windows
+                        .iter()
+                        .any(|pw| pw.segment == w.segment && pw.end <= w.start);
+                    if !holds {
+                        continue;
+                    }
+                    let empty = BTreeMap::new();
+                    let mine = peer_pending.get(&j).unwrap_or(&empty);
+                    let track = uplinks.entry(j).or_default();
+                    if track.fits(w.start, w.end, w.rate, uplink_cap, mine) {
+                        chosen = Some(j);
+                        break;
+                    }
+                }
+            }
+            match chosen {
+                Some(j) => {
+                    LoadTrack::plan(w.start, w.end, w.rate, peer_pending.entry(j).or_default());
+                    plan.push(PlannedDelivery::Peer);
+                }
+                None => {
+                    if remote {
+                        let track = links.entry(link).or_default();
+                        if !track.fits(w.start, w.end, w.rate, cfg.backbone_mbps, &link_pending) {
+                            feasible = false;
+                            break;
+                        }
+                        LoadTrack::plan(w.start, w.end, w.rate, &mut link_pending);
+                    }
+                    plan.push(PlannedDelivery::Fallback { remote });
+                }
+            }
+        }
+
+        if !feasible {
+            out.rejected += 1;
+            continue;
+        }
+
+        // Commit.
+        out.admitted += 1;
+        if remote {
+            out.remote_fetches += 1;
+        } else {
+            out.local_hits += 1;
+        }
+        if !link_pending.is_empty() {
+            links.entry(link).or_default().commit(&link_pending);
+        }
+        shared_relays.extend(shares_pending);
+        for (j, pending) in &peer_pending {
+            uplinks.entry(*j).or_default().commit(pending);
+        }
+        let mut fb_pending: BTreeMap<usize, f64> = BTreeMap::new();
+        for (w, d) in rec.windows.iter().zip(&plan) {
+            out.consumed_windows += 1;
+            match d {
+                PlannedDelivery::HomeBroadcast => out.broadcast_windows += 1,
+                PlannedDelivery::RelayedBroadcast { shared } => {
+                    out.broadcast_windows += 1;
+                    if *shared {
+                        out.shared_relay_windows += 1;
+                    } else {
+                        out.backbone_mbit += w.mbits;
+                    }
+                }
+                PlannedDelivery::Fallback { remote } => {
+                    out.fallback_windows += 1;
+                    out.fallback_mbit += w.mbits;
+                    if *remote {
+                        out.backbone_mbit += w.mbits;
+                    }
+                    LoadTrack::plan(w.start, w.end, w.rate, &mut fb_pending);
+                }
+                PlannedDelivery::Peer => {
+                    out.peer_windows += 1;
+                    out.peer_mbit += w.mbits;
+                }
+            }
+        }
+        if !fb_pending.is_empty() {
+            fallback[src].commit(&fb_pending);
+        }
+        admitted_by_group
+            .entry((rec.region, rec.title))
+            .or_default()
+            .push(idx);
+    }
+
+    out.fallback_peak_mbps = fallback.iter().map(LoadTrack::peak).fold(0.0f64, f64::max);
+    out.backbone_peak_mbps = links.values().map(LoadTrack::peak).fold(0.0f64, f64::max);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_workload::placement::{Placement, PlacementPolicy};
+    use sb_workload::scenario::{MetroScenario, ScenarioPreset};
+
+    fn urban() -> MetroScenario {
+        MetroScenario::generate(&ScenarioPreset::Urban.config(7))
+    }
+
+    /// Two windows per session: a head segment then a trailing one.
+    fn rec(arrival: f64, title: usize, region: usize) -> SessionRecord {
+        SessionRecord {
+            arrival,
+            title,
+            region,
+            windows: vec![
+                SegmentWindow {
+                    segment: 0,
+                    start: arrival,
+                    end: arrival + 1.0,
+                    rate: 1.5,
+                    mbits: 90.0,
+                },
+                SegmentWindow {
+                    segment: 2,
+                    start: arrival + 2.0,
+                    end: arrival + 4.0,
+                    rate: 1.5,
+                    mbits: 180.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn full_replication_is_all_local_and_broadcast_only() {
+        let m = urban();
+        let p = Placement::build(PlacementPolicy::FullReplication, &m, 4);
+        let cfg = DistributionConfig::broadcast_only(10.0);
+        let records: Vec<_> = (0..8)
+            .map(|i| rec(i as f64, i % m.titles(), i % 4))
+            .collect();
+        let out = route_catalog(&cfg, &p, &records);
+        assert_eq!(out.admitted, 8);
+        assert_eq!(out.local_hits, 8);
+        assert_eq!(out.remote_fetches, 0);
+        assert_eq!(out.backbone_mbit, 0.0);
+        assert!(out.conservation_holds());
+        assert_eq!(out.peer_windows, 0);
+        // 4 servers × every observed title: the naive corner.
+        assert!((out.broadcast_mbps - 4.0 * out.sum_full_mbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioned_remote_fetches_share_relays_and_respect_capacity() {
+        let m = urban();
+        let p = Placement::build(PlacementPolicy::Partitioned, &m, 4);
+        // Hot title 0 is owned by region 0; requests from region 1 are
+        // remote. Two sessions tuning the *same* broadcast window share
+        // one relay.
+        let cfg = DistributionConfig::broadcast_only(10.0);
+        let a = rec(0.0, 0, 1);
+        let b = rec(0.0, 0, 1); // identical windows → full sharing
+        let out = route_catalog(&cfg, &p, &[a, b]);
+        assert_eq!(out.admitted, 2);
+        assert_eq!(out.remote_fetches, 2);
+        assert_eq!(
+            out.shared_relay_windows, 2,
+            "second session rides both relays"
+        );
+        assert!(out.conservation_holds());
+
+        // A 1 Mb/s link cannot carry the 1.5 Mb/s relay: rejected.
+        let tight = DistributionConfig::broadcast_only(1.0);
+        let out = route_catalog(&tight, &p, &[rec(0.0, 0, 1)]);
+        assert_eq!(out.admitted, 0);
+        assert_eq!(out.rejected, 1);
+        assert_eq!(out.consumed_windows, 0, "rejected sessions consume nothing");
+    }
+
+    #[test]
+    fn peer_assist_serves_trailing_segments_and_conserves_bandwidth() {
+        let m = urban();
+        let p = Placement::build(PlacementPolicy::HotHead, &m, 4);
+        let cfg = DistributionConfig {
+            backbone_mbps: 100.0,
+            peer_assist: true,
+            tail_from: 2,
+            peer_uplink_mbps: vec![50.0; m.regions.len()],
+        };
+        // Session 0 gets segment 2 via fallback (no peers yet); session
+        // 1 arrives 10 minutes later, after session 0's window ended,
+        // so a peer serves it.
+        let records = vec![rec(0.0, 0, 1), rec(10.0, 0, 1)];
+        let out = route_catalog(&cfg, &p, &records);
+        assert_eq!(out.admitted, 2);
+        assert_eq!(out.fallback_windows, 1);
+        assert_eq!(out.peer_windows, 1);
+        assert_eq!(out.broadcast_windows, 2);
+        assert!(out.conservation_holds());
+        assert!(out.peer_mbit > 0.0);
+        // Head-only standing broadcast is cheaper than the full one.
+        let full = route_catalog(&DistributionConfig::broadcast_only(100.0), &p, &records);
+        assert!(out.broadcast_mbps < full.broadcast_mbps);
+    }
+
+    #[test]
+    fn zero_uplink_disables_peers() {
+        let m = urban();
+        let p = Placement::build(PlacementPolicy::HotHead, &m, 4);
+        let cfg = DistributionConfig {
+            backbone_mbps: 100.0,
+            peer_assist: true,
+            tail_from: 2,
+            peer_uplink_mbps: vec![0.0; m.regions.len()],
+        };
+        let out = route_catalog(&cfg, &p, &[rec(0.0, 0, 1), rec(10.0, 0, 1)]);
+        assert_eq!(out.peer_windows, 0);
+        assert_eq!(out.fallback_windows, 2);
+        assert!(out.conservation_holds());
+    }
+
+    #[test]
+    fn route_catalog_is_deterministic() {
+        let m = urban();
+        let p = Placement::build(PlacementPolicy::PopularityProportional, &m, 4);
+        let cfg = DistributionConfig {
+            backbone_mbps: 6.0,
+            peer_assist: true,
+            tail_from: 1,
+            peer_uplink_mbps: vec![3.0; m.regions.len()],
+        };
+        let records: Vec<_> = (0..40)
+            .map(|i| rec(i as f64 * 0.7, i % m.titles(), i % 4))
+            .collect();
+        let a = route_catalog(&cfg, &p, &records);
+        let b = route_catalog(&cfg, &p, &records);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.conservation_holds());
+    }
+}

@@ -34,7 +34,9 @@
 //! | [`system`] | many-client system simulation driven by the engine, generic over client models |
 //! | [`run`] | the one run entry point: the [`run::RunConfig`] builder and [`run::RunOutcome`] |
 //! | [`shard`] | partitioned scale-out: seeded catalog sharding with byte-identical merge |
+//! | [`distribution`] | the distributed metro tier: cross-server routing, backbone capacity, peer-assisted delivery accounting |
 //! | [`pool`] | the deterministic scoped worker pool (order-preserving, attributable panics) |
+//! | [`prelude`] | the one-stop public run surface (`use sb_sim::prelude::*`) |
 //!
 //! ## Example: measure a Skyscraper client empirically
 //!
@@ -69,12 +71,14 @@
 pub mod agenda;
 pub mod checkpoint;
 pub mod cycle_record;
+pub mod distribution;
 pub mod e2e;
 pub mod engine;
 pub mod faults;
 pub mod pausing;
 pub mod policy;
 pub mod pool;
+pub mod prelude;
 pub mod receive_all;
 pub mod run;
 pub mod schedule;
@@ -88,6 +92,9 @@ pub use checkpoint::{
     decode_state, CheckpointError, CheckpointState, Killed, Probe, ShardCrash, ShardRun, Verdict,
 };
 pub use cycle_record::{channel_windows, record_cycles};
+pub use distribution::{
+    route_catalog, DistributionConfig, RouteOutcome, SegmentWindow, SessionRecord,
+};
 pub use e2e::{replay, E2eReport, PacketConfig};
 pub use engine::{Engine, EngineStats, EventId, FrozenEngine};
 pub use faults::{

@@ -312,6 +312,11 @@ pub struct RunOutcome {
     /// Each shard's agenda high-water mark, in shard order (`len ==
     /// shards`): the per-server memory story of a scale-out run.
     pub shard_peak_agenda: Vec<u64>,
+    /// Sessions routed to each shard, in shard order (`len == shards`):
+    /// the per-server load story the distributed tier reads. Like
+    /// `shard_peak_agenda`, this legitimately varies with the shard
+    /// count and is excluded from byte-identity comparisons.
+    pub shard_sessions: Vec<usize>,
     /// Snapshot of the run's private metrics registry, merged across
     /// shards in shard order.
     pub snapshot: Snapshot,

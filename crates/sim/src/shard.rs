@@ -376,6 +376,7 @@ pub fn merge_shard_runs(
 
     let mut stats = EngineStats::default();
     let mut shard_peak_agenda = Vec::with_capacity(runs.len());
+    let mut shard_sessions = Vec::with_capacity(runs.len());
     for (_, r) in &runs {
         stats.scheduled += r.stats.scheduled;
         stats.fired += r.stats.fired;
@@ -383,6 +384,7 @@ pub fn merge_shard_runs(
         stats.compactions += r.stats.compactions;
         stats.peak_agenda = stats.peak_agenda.max(r.stats.peak_agenda);
         shard_peak_agenda.push(r.stats.peak_agenda);
+        shard_sessions.push(r.scalars.len());
     }
     let snapshot = merge_snapshots(
         runs.iter().map(|(s, r)| (*s, &r.snapshot)),
@@ -394,6 +396,7 @@ pub fn merge_shard_runs(
         fold: fold.finish(),
         stats,
         shard_peak_agenda,
+        shard_sessions,
         snapshot,
     })
 }
@@ -464,6 +467,7 @@ impl SystemSim<'_> {
             summary,
             fold: fold.finish(),
             shard_peak_agenda: vec![stats.peak_agenda],
+            shard_sessions: vec![requests.len()],
             stats,
             snapshot: reg.snapshot(),
         })
@@ -546,6 +550,7 @@ impl SystemSim<'_> {
 
         let mut stats = EngineStats::default();
         let mut shard_peak_agenda = Vec::with_capacity(shards);
+        let mut shard_sessions = Vec::with_capacity(shards);
         for out in &outs {
             stats.scheduled += out.stats.scheduled;
             stats.fired += out.stats.fired;
@@ -553,6 +558,7 @@ impl SystemSim<'_> {
             stats.compactions += out.stats.compactions;
             stats.peak_agenda = stats.peak_agenda.max(out.stats.peak_agenda);
             shard_peak_agenda.push(out.stats.peak_agenda);
+            shard_sessions.push(out.scalars.len());
         }
 
         let snapshot = merge_snapshots(
@@ -575,6 +581,7 @@ impl SystemSim<'_> {
             fold: fold.finish(),
             stats,
             shard_peak_agenda,
+            shard_sessions,
             snapshot,
         })
     }

@@ -17,12 +17,16 @@
 //! * [`scenario`] — metropolitan geography: clustered user placement on
 //!   a km grid, per-region demand shares and access classes,
 //!   region-local catalogs with a shared hot head, and flash-crowd /
-//!   diurnal temporal stress.
+//!   diurnal temporal stress,
+//! * [`placement`] — the supply side of the metro: catalog placement
+//!   policies mapping titles to server shards (full replication,
+//!   partitioned, hot-head, popularity-proportional).
 
 #![forbid(unsafe_code)]
 
 pub mod arrivals;
 pub mod catalog;
+pub mod placement;
 pub mod scenario;
 pub mod zipf;
 
@@ -31,6 +35,7 @@ pub use arrivals::{
     WorkloadRequest, MAX_PATIENCE_FACTOR,
 };
 pub use catalog::{Catalog, Video};
+pub use placement::{Placement, PlacementPolicy};
 pub use scenario::{
     to_workload, AccessClass, ClusterSpec, FlashCrowd, MetroScenario, Region, ScenarioConfig,
     ScenarioPreset, ScenarioRequest, ScenarioWorkload, UserSite,

@@ -197,6 +197,39 @@ echo "==> frontier wall-clock artifact (frontier_bench, smoke-sized)"
 test -s "$fr_dir/fr-bench.json" || { echo "frontier_bench JSON missing"; exit 1; }
 grep -q '"cells"' "$fr_dir/fr-bench.json"
 
+echo "==> distribution smoke (distributed tier, 6-way over --shards x --threads x --agenda)"
+# The distributed-tier artifact must be byte-identical — JSON and stdout —
+# for every knob combination: {shards 1, 2} x {threads 1, 2} x {heap, wheel}.
+dist_dir="$(mktemp -d)"
+trap 'rm -f "$res_a" "$res_b"; rm -rf "$thr_dir" "$scale_dir" "$agenda_dir" "$scn_dir" "$rec_dir" "$fr_dir" "$dist_dir"' EXIT
+for combo in "1 1 heap" "1 2 wheel" "2 1 wheel" "2 2 heap" "1 2 heap" "2 2 wheel"; do
+    read -r s n a <<<"$combo"
+    cargo run -q --release -p sb-cli --bin sbcast -- distribution --profile smoke \
+        --shards "$s" --threads "$n" --agenda "$a" \
+        --json "$dist_dir/dist-$s-$n-$a.json" 2>/dev/null > "$dist_dir/dist-$s-$n-$a.out"
+done
+test -s "$dist_dir/dist-1-1-heap.json" || { echo "BENCH_distribution.json is empty"; exit 1; }
+grep -q '"HotHead"' "$dist_dir/dist-1-1-heap.json"
+grep -q '"peer_windows"' "$dist_dir/dist-1-1-heap.json"
+grep -q '"savings_vs_naive"' "$dist_dir/dist-1-1-heap.json"
+grep -q '"bound_mbps"' "$dist_dir/dist-1-1-heap.json"
+for combo in "1 2 wheel" "2 1 wheel" "2 2 heap" "1 2 heap" "2 2 wheel"; do
+    read -r s n a <<<"$combo"
+    diff -u "$dist_dir/dist-1-1-heap.json" "$dist_dir/dist-$s-$n-$a.json"
+    diff -u "$dist_dir/dist-1-1-heap.out" "$dist_dir/dist-$s-$n-$a.out"
+done
+# All four placement policies price both peer modes in the stdout table.
+for policy in full partitioned hothead proportional; do
+    grep -q "^$policy" "$dist_dir/dist-1-1-heap.out"
+done
+
+echo "==> distribution wall-clock artifact (distribution_bench, default artifact name)"
+dist_bench="$PWD/target/release/distribution_bench"
+(cd "$dist_dir" && "$dist_bench" --threads 4 --shards 2 > dist-bench.out 2>/dev/null)
+test -s "$dist_dir/BENCH_distribution.json" || { echo "BENCH_distribution.json missing"; exit 1; }
+test -s "$dist_dir/BENCH_wallclock.json" || { echo "distribution wallclock missing"; exit 1; }
+grep -q '"distribution_bench"' "$dist_dir/BENCH_wallclock.json"
+
 echo "==> release profile keeps integer overflow checks on"
 grep -A2 '^\[profile\.release\]' Cargo.toml | grep -q 'overflow-checks = true'
 
@@ -258,5 +291,12 @@ grep -q '^## 15\. The scheme zoo, completed: CTIFB, AQHB and the automated front
 grep -q 'PlanIndex' DESIGN.md
 grep -q 'sbcast -- frontier' README.md
 grep -q 'BENCH_frontier.json' README.md
+grep -q '^## 16\. The distributed tier: placement, routing and peer assist' DESIGN.md
+grep -q 'PlacementPolicy' DESIGN.md
+grep -q 'source-once' DESIGN.md
+grep -q 'Study. trait' DESIGN.md
+grep -q 'sbcast -- distribution' README.md
+grep -q 'BENCH_distribution.json' README.md
+grep -q '\-\-policies' README.md
 
 echo "verify: OK"

@@ -37,11 +37,17 @@ pub use sb_sim as sim;
 pub use sb_workload as workload;
 pub use vod_units as units;
 
-/// The things almost every program wants in scope.
+/// The things almost every program wants in scope: the scheme and
+/// baseline constructors, the single-session policy helpers, and —
+/// via [`sb_sim::prelude`] — the whole `execute(RunConfig)` run
+/// surface (builder, outcome, agenda/partition selectors, distributed
+/// tier) plus the supervised-run outcomes from `sb-resilience`.
 pub mod prelude {
     pub use sb_core::plan::VideoId;
     pub use sb_core::prelude::*;
     pub use sb_pyramid::{PermutationPyramid, PyramidBroadcasting, StaggeredBroadcasting};
+    pub use sb_resilience::{PartialRun, Recovered};
     pub use sb_sim::policy::{schedule_client, ClientPolicy};
+    pub use sb_sim::prelude::*;
     pub use vod_units::{MBytes, Mbits, Mbps, Minutes, Seconds};
 }

@@ -6,14 +6,15 @@ use skyscraper_broadcasting::analysis::figures::{
 };
 use skyscraper_broadcasting::analysis::lineup::{paper_lineup, PAPER_WIDTHS};
 use skyscraper_broadcasting::analysis::render::{render_figure, to_json};
-use skyscraper_broadcasting::analysis::sweep::paper_sweep;
+use skyscraper_broadcasting::analysis::sweep::paper_sweep_with;
 use skyscraper_broadcasting::analysis::tables::{evaluate_tables, table1_formulas, table2_rules};
+use skyscraper_broadcasting::analysis::Runner;
 use skyscraper_broadcasting::core::series::Width;
 
 #[test]
 fn all_figures_generate_and_render() {
     let ids = paper_lineup();
-    let rows = paper_sweep(&ids);
+    let rows = paper_sweep_with(&ids, &Runner::serial());
     for fig in [
         figure5a(&rows),
         figure5b(&rows),
